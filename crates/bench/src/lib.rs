@@ -1,0 +1,61 @@
+//! # dart-bench — the paper's evaluation, regenerated
+//!
+//! One binary per table/figure of the evaluation section (§4), printing
+//! the paper's reported numbers next to ours:
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `e1_ac_controller`    | §4.1 in-text results (AC-controller) |
+//! | `e2_ns_possibilistic` | Figure 9 |
+//! | `e3_ns_dolev_yao`     | Figure 10 + the Lowe-fix follow-up |
+//! | `e4_osip`             | §4.3 oSIP statistics |
+//! | `e5_vignettes`        | §2 worked examples + tool comparison |
+//!
+//! All binaries accept `--seed N` and print deterministic results.
+//! Criterion benches (in `benches/`) cover engine and solver throughput
+//! and the design-choice ablations called out in DESIGN.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+/// Parses `--seed N` (default 1) from argv.
+pub fn seed_from_args() -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Formats a duration compactly for table cells.
+pub fn fmt_dur(d: Duration) -> String {
+    if d.as_secs() >= 60 {
+        format!("{:.1} min", d.as_secs_f64() / 60.0)
+    } else if d.as_secs() >= 1 {
+        format!("{:.1} s", d.as_secs_f64())
+    } else {
+        format!("{:.1} ms", d.as_secs_f64() * 1e3)
+    }
+}
+
+/// Prints a table header with a title and column names.
+pub fn header(title: &str, cols: &[&str]) {
+    println!("\n== {title} ==");
+    println!("{}", cols.join(" | "));
+    println!("{}", "-".repeat(cols.iter().map(|c| c.len() + 3).sum::<usize>()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_dur(Duration::from_millis(3)), "3.0 ms");
+        assert_eq!(fmt_dur(Duration::from_secs(2)), "2.0 s");
+        assert_eq!(fmt_dur(Duration::from_secs(120)), "2.0 min");
+    }
+}

@@ -1,0 +1,447 @@
+//! The `run_DART` driver — paper Fig. 2.
+//!
+//! Combines random testing (the outer `repeat` loop: fresh random inputs)
+//! with the directed search (the inner loop: run, negate a branch, solve,
+//! re-run). Terminates with [`Outcome::Complete`] only when the directed
+//! search finishes with both completeness flags intact, no divergence, no
+//! solver give-ups and no truncated input shapes — the hypotheses of
+//! Theorem 1(b). Otherwise it keeps restarting with fresh randomness until
+//! the run budget is spent.
+//!
+//! Four engine modes are available:
+//! * [`EngineMode::Directed`] — DART proper (this driver).
+//! * [`EngineMode::RandomOnly`] — the paper's random-testing baseline
+//!   (fresh random inputs every run, no constraint solving).
+//! * [`EngineMode::SymbolicOnly`] — a classical static-symbolic-execution
+//!   baseline: it cannot continue past the first non-linear/indefinite
+//!   operation (no concrete fallback), so constraints collected after the
+//!   first taint are discarded (§2.5's comparison).
+//! * [`EngineMode::Generational`] — the SAGE-style frontier search
+//!   (`run_generational`), a sound non-DFS exploration order.
+
+use crate::exec::{run_once, RunResult, RunTermination};
+use crate::report::{Bug, BugKind, Outcome, SessionReport};
+use crate::search::{solve_next, SolveStats, Strategy};
+use crate::tape::InputTape;
+use dart_minic::{CompiledProgram, FnSig};
+use dart_ram::MachineConfig;
+use dart_solver::{Solver, SolverConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Which engine drives test generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// Directed automated random testing (the paper's contribution).
+    #[default]
+    Directed,
+    /// Pure random testing baseline.
+    RandomOnly,
+    /// Static symbolic execution baseline (stops at the first operation
+    /// outside the theory instead of concretizing).
+    SymbolicOnly,
+    /// Generational search (the strategy of DART's descendant SAGE): each
+    /// run expands *every* branch after its generation bound into a child
+    /// work item, and the frontier is explored breadth-first. Unlike the
+    /// stack-based DFS, this supports sound non-depth-first exploration —
+    /// and it also supports the Theorem 1(b) completeness claim, because
+    /// the generation bound partitions the execution tree exactly.
+    Generational,
+}
+
+/// Driver configuration.
+#[derive(Debug, Clone)]
+pub struct DartConfig {
+    /// Number of iterative toplevel calls per run (the paper's `depth`).
+    pub depth: u32,
+    /// Maximum instrumented runs before giving up.
+    pub max_runs: u64,
+    /// Seed for all randomness (runs are fully reproducible).
+    pub seed: u64,
+    /// Interpreter limits.
+    pub machine: MachineConfig,
+    /// Constraint solver limits.
+    pub solver: SolverConfig,
+    /// Branch selection strategy.
+    pub strategy: Strategy,
+    /// Engine mode (directed / random / symbolic-only).
+    pub mode: EngineMode,
+    /// Stop at the first bug (otherwise keep exploring and collect all).
+    pub stop_at_first_bug: bool,
+    /// Report step-budget exhaustion as a non-termination bug (§4.3).
+    pub nontermination_is_bug: bool,
+    /// Pointer-chasing cap for `random_init` of recursive types.
+    pub max_ptr_depth: u32,
+    /// Record each run's executed branch sequence in
+    /// [`SessionReport::paths`] (the execution tree of §2.2, one leaf per
+    /// run). Off by default: long sessions would hold every path.
+    pub record_paths: bool,
+}
+
+impl Default for DartConfig {
+    fn default() -> DartConfig {
+        DartConfig {
+            depth: 1,
+            max_runs: 100_000,
+            seed: 0,
+            machine: MachineConfig::default(),
+            solver: SolverConfig::default(),
+            strategy: Strategy::Dfs,
+            mode: EngineMode::Directed,
+            stop_at_first_bug: true,
+            nontermination_is_bug: true,
+            max_ptr_depth: 32,
+            record_paths: false,
+        }
+    }
+}
+
+/// Error constructing a [`Dart`] session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DartError {
+    /// The requested toplevel function is not defined in the program.
+    UnknownToplevel(String),
+}
+
+impl fmt::Display for DartError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DartError::UnknownToplevel(name) => {
+                write!(f, "toplevel function `{name}` is not defined")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DartError {}
+
+/// A DART testing session over one toplevel function.
+///
+/// # Examples
+///
+/// ```
+/// use dart::{Dart, DartConfig};
+///
+/// let compiled = dart_minic::compile(r#"
+///     int h(int x, int y) {
+///         if (x != y)
+///             if (2 * x == x + 10)
+///                 abort();
+///         return 0;
+///     }
+/// "#)?;
+/// let report = Dart::new(&compiled, "h", DartConfig::default())?.run();
+/// assert!(report.found_bug(), "DART finds the abort in a couple of runs");
+/// assert!(report.runs <= 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Dart<'p> {
+    compiled: &'p CompiledProgram,
+    sig: FnSig,
+    config: DartConfig,
+}
+
+impl<'p> Dart<'p> {
+    /// Creates a session testing `toplevel`.
+    ///
+    /// # Errors
+    ///
+    /// [`DartError::UnknownToplevel`] if the function is not defined.
+    pub fn new(
+        compiled: &'p CompiledProgram,
+        toplevel: &str,
+        config: DartConfig,
+    ) -> Result<Dart<'p>, DartError> {
+        let sig = compiled
+            .fn_sig(toplevel)
+            .cloned()
+            .ok_or_else(|| DartError::UnknownToplevel(toplevel.to_string()))?;
+        Ok(Dart {
+            compiled,
+            sig,
+            config,
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DartConfig {
+        &self.config
+    }
+
+    /// Runs the session to completion (Fig. 2's `run_DART`).
+    pub fn run(&self) -> SessionReport {
+        if self.config.mode == EngineMode::Generational {
+            return self.run_generational();
+        }
+        let cfg = &self.config;
+        let solver = Solver::new(cfg.solver);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut coverage: std::collections::HashSet<(usize, bool)> =
+            std::collections::HashSet::new();
+        let mut report = SessionReport {
+            outcome: Outcome::Exhausted,
+            runs: 0,
+            bugs: Vec::new(),
+            divergences: 0,
+            restarts: 0,
+            solver: SolveStats::default(),
+            steps: 0,
+            branches_covered: 0,
+            branch_sites: self.branch_sites(),
+            paths: Vec::new(),
+            exec_time: std::time::Duration::ZERO,
+            solve_time: std::time::Duration::ZERO,
+        };
+
+        // Outer loop: fresh random restart (the paper's `repeat`).
+        'outer: loop {
+            report.restarts += 1;
+            let mut tape = InputTape::new(rng.gen());
+            let mut stack = Vec::new();
+            // Only the DFS discipline keeps the `(branch, done)` stack a
+            // sound record of "both subtrees explored" (flipping a shallow
+            // branch first discards the done-state of the deeper subtree),
+            // so only DFS sessions may claim Theorem 1(b) completeness.
+            let mut session_complete = cfg.strategy == Strategy::Dfs;
+
+            // Inner loop: the directed search (`while (directed)`).
+            loop {
+                if report.runs >= cfg.max_runs {
+                    report.outcome = Outcome::Exhausted;
+                    return report;
+                }
+                let exec_started = std::time::Instant::now();
+                let result = run_once(
+                    self.compiled,
+                    &self.sig,
+                    cfg.depth,
+                    cfg.machine,
+                    tape,
+                    stack,
+                    cfg.max_ptr_depth,
+                );
+                report.exec_time += exec_started.elapsed();
+                report.runs += 1;
+                report.steps += result.steps;
+                coverage.extend(result.branches.iter().copied());
+                report.branches_covered = coverage.len();
+                if cfg.record_paths {
+                    report.paths.push(result.branches.clone());
+                }
+                tape = InputTape::new(0); // placeholder; replaced below
+                if self.handle_termination(&result, &mut report, &mut session_complete) {
+                    return report;
+                }
+                if !result.flags.holds() || result.init_truncated {
+                    session_complete = false;
+                }
+                if result.diverged {
+                    report.divergences += 1;
+                    continue 'outer; // fresh random restart
+                }
+
+                match cfg.mode {
+                    EngineMode::RandomOnly => {
+                        // Fresh random inputs every run; never complete.
+                        continue 'outer;
+                    }
+                    EngineMode::Directed | EngineMode::SymbolicOnly => {}
+                    EngineMode::Generational => unreachable!("handled by run_generational"),
+                }
+
+                let (path, mut result_stack) = (result.path, result.stack);
+                if cfg.mode == EngineMode::SymbolicOnly {
+                    // No concrete fallback: branches recorded after the
+                    // first taint are unusable and marked unreachable.
+                    if let Some(cut) = result.taint_at {
+                        result_stack.truncate(cut);
+                    }
+                }
+                let path_for_solve = path;
+                let unknown_before = report.solver.unknown;
+                let solve_started = std::time::Instant::now();
+                let next = solve_next(
+                    &path_for_solve,
+                    &result_stack,
+                    &result.tape,
+                    &solver,
+                    cfg.strategy,
+                    &mut rng,
+                    &mut report.solver,
+                );
+                report.solve_time += solve_started.elapsed();
+                if report.solver.unknown > unknown_before {
+                    session_complete = false;
+                }
+                match next {
+                    Some(step) => {
+                        tape = result.tape;
+                        tape.apply_model(&step.model);
+                        stack = step.stack;
+                    }
+                    None => {
+                        if session_complete {
+                            report.outcome = Outcome::Complete;
+                            return report;
+                        }
+                        // Incomplete: the paper's outer loop "continues
+                        // forever" — restart with fresh randomness.
+                        continue 'outer;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The generational (SAGE-style) search loop: a FIFO frontier of
+    /// `(inputs, prediction, generation bound)` work items. Every executed
+    /// run spawns one child per solvable branch negation at an index at or
+    /// beyond its bound; the child's bound excludes the shared prefix, so
+    /// no path is derived twice. An empty frontier with clean flags means
+    /// every feasible path was executed.
+    fn run_generational(&self) -> SessionReport {
+        use dart_solver::SolveOutcome;
+        use std::collections::VecDeque;
+
+        let cfg = &self.config;
+        let solver = Solver::new(cfg.solver);
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut coverage: std::collections::HashSet<(usize, bool)> =
+            std::collections::HashSet::new();
+        let mut report = SessionReport {
+            outcome: Outcome::Exhausted,
+            runs: 0,
+            bugs: Vec::new(),
+            divergences: 0,
+            restarts: 0,
+            solver: SolveStats::default(),
+            steps: 0,
+            branches_covered: 0,
+            branch_sites: self.branch_sites(),
+            paths: Vec::new(),
+            exec_time: std::time::Duration::ZERO,
+            solve_time: std::time::Duration::ZERO,
+        };
+
+        'outer: loop {
+            report.restarts += 1;
+            let mut session_complete = true;
+            let mut frontier: VecDeque<(InputTape, Vec<dart_sym::BranchRecord>, usize)> =
+                VecDeque::new();
+            frontier.push_back((InputTape::new(rng.gen()), Vec::new(), 0));
+
+            while let Some((tape, stack, bound)) = frontier.pop_front() {
+                if report.runs >= cfg.max_runs {
+                    report.outcome = Outcome::Exhausted;
+                    return report;
+                }
+                let exec_started = std::time::Instant::now();
+                let result = run_once(
+                    self.compiled,
+                    &self.sig,
+                    cfg.depth,
+                    cfg.machine,
+                    tape,
+                    stack,
+                    cfg.max_ptr_depth,
+                );
+                report.exec_time += exec_started.elapsed();
+                report.runs += 1;
+                report.steps += result.steps;
+                coverage.extend(result.branches.iter().copied());
+                report.branches_covered = coverage.len();
+                if cfg.record_paths {
+                    report.paths.push(result.branches.clone());
+                }
+                if self.handle_termination(&result, &mut report, &mut session_complete) {
+                    return report;
+                }
+                if !result.flags.holds() || result.init_truncated {
+                    session_complete = false;
+                }
+                if result.diverged {
+                    report.divergences += 1;
+                    session_complete = false;
+                    continue; // drop the divergent item
+                }
+
+                let solve_started = std::time::Instant::now();
+                let upper = result.stack.len().min(result.path.len());
+                for j in bound..upper {
+                    if result.stack[j].done {
+                        continue;
+                    }
+                    let query = result.path.negated_prefix(j);
+                    match solver.solve_with_hint(&query, |v| result.tape.value_of(v)) {
+                        SolveOutcome::Sat(model) => {
+                            report.solver.sat += 1;
+                            let mut child_tape = result.tape.clone();
+                            child_tape.apply_model(&model);
+                            let mut child_stack = result.stack[..=j].to_vec();
+                            child_stack[j].branch = !child_stack[j].branch;
+                            frontier.push_back((child_tape, child_stack, j + 1));
+                        }
+                        SolveOutcome::Unsat => report.solver.unsat += 1,
+                        SolveOutcome::Unknown => {
+                            report.solver.unknown += 1;
+                            session_complete = false;
+                        }
+                    }
+                }
+                report.solve_time += solve_started.elapsed();
+            }
+
+            if session_complete {
+                report.outcome = Outcome::Complete;
+                return report;
+            }
+            continue 'outer; // incomplete: fresh random restart
+        }
+    }
+
+    /// Total coverable branch directions: two per conditional statement.
+    fn branch_sites(&self) -> usize {
+        2 * self
+            .compiled
+            .program
+            .stmts
+            .iter()
+            .filter(|s| matches!(s, dart_ram::Statement::If { .. }))
+            .count()
+    }
+
+    /// Records bugs / incompleteness from a run's termination. Returns
+    /// `true` when the session should stop now.
+    fn handle_termination(
+        &self,
+        result: &RunResult,
+        report: &mut SessionReport,
+        session_complete: &mut bool,
+    ) -> bool {
+        let kind = match &result.termination {
+            RunTermination::Ok => return false,
+            RunTermination::Abort(reason) => BugKind::Abort(reason.clone()),
+            RunTermination::Crash(fault) => BugKind::Crash(*fault),
+            RunTermination::OutOfSteps => {
+                if !self.config.nontermination_is_bug {
+                    *session_complete = false;
+                    return false;
+                }
+                BugKind::NonTermination
+            }
+        };
+        let bug = Bug {
+            kind,
+            run_index: report.runs,
+            inputs: result.tape.snapshot(),
+        };
+        report.bugs.push(bug.clone());
+        if self.config.stop_at_first_bug {
+            report.outcome = Outcome::BugFound(bug);
+            true
+        } else {
+            false
+        }
+    }
+}

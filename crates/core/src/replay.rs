@@ -1,0 +1,264 @@
+//! Saving and replaying input vectors.
+//!
+//! The paper's driver persists `(stack, IM)` "in a file between
+//! executions"; this module provides the user-facing half of that: a bug's
+//! input vector serializes to a small text file, and replaying it later
+//! reproduces the failing run deterministically (Theorem 1(a) made
+//! tangible — every reported error ships with a working reproduction).
+//!
+//! Format: one slot per line, `kind value  # origin`, where kind is `int`
+//! or `ptr`. Lines starting with `#` and blank lines are ignored.
+
+use crate::exec::{run_once, run_once_traced, RunTermination};
+use crate::tape::{InputKind, InputSlot, InputTape};
+use dart_minic::CompiledProgram;
+use dart_ram::MachineConfig;
+use std::fmt;
+
+/// A malformed replay file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ReplayParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ReplayParseError {}
+
+/// Serializes an input vector (e.g. [`crate::Bug::inputs`]) to the replay
+/// text format.
+pub fn serialize_inputs(slots: &[InputSlot]) -> String {
+    let mut out = String::from("# dart replay file: one input per line\n");
+    for s in slots {
+        let kind = match s.kind {
+            InputKind::IntLike => "int",
+            InputKind::Pointer => "ptr",
+        };
+        out.push_str(&format!("{kind} {}  # {}\n", s.value, s.name));
+    }
+    out
+}
+
+/// Parses the replay text format.
+///
+/// # Errors
+///
+/// Returns a [`ReplayParseError`] naming the first malformed line.
+pub fn parse_inputs(text: &str) -> Result<Vec<InputSlot>, ReplayParseError> {
+    let mut slots = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |message: String| ReplayParseError {
+            line: i + 1,
+            message,
+        };
+        let mut parts = line.split_whitespace();
+        let kind = match parts.next() {
+            Some("int") => InputKind::IntLike,
+            Some("ptr") => InputKind::Pointer,
+            Some(other) => return Err(err(format!("unknown kind `{other}`"))),
+            None => continue,
+        };
+        let value: i64 = parts
+            .next()
+            .ok_or_else(|| err("missing value".into()))?
+            .parse()
+            .map_err(|_| err("value is not an integer".into()))?;
+        if let Some(junk) = parts.next() {
+            return Err(err(format!("trailing `{junk}`")));
+        }
+        slots.push(InputSlot {
+            kind,
+            value,
+            name: format!("replayed input {}", slots.len()),
+        });
+    }
+    Ok(slots)
+}
+
+/// Replays an input vector against `toplevel` and returns how the run
+/// ended. Inputs beyond the recorded vector (if the program consumes more,
+/// e.g. after a code change) are drawn from `seed`.
+///
+/// # Panics
+///
+/// Panics if `toplevel` is not a defined function.
+pub fn replay(
+    compiled: &CompiledProgram,
+    toplevel: &str,
+    depth: u32,
+    machine: MachineConfig,
+    slots: Vec<InputSlot>,
+    seed: u64,
+) -> RunTermination {
+    let sig = compiled
+        .fn_sig(toplevel)
+        .unwrap_or_else(|| panic!("no function `{toplevel}`"))
+        .clone();
+    let tape = InputTape::from_slots(slots, seed);
+    run_once(compiled, &sig, depth, machine, tape, Vec::new(), 32).termination
+}
+
+/// Like [`replay`], but also returns the statement-level execution trace
+/// (one disassembly line per executed statement).
+///
+/// # Panics
+///
+/// Panics if `toplevel` is not a defined function.
+pub fn replay_traced(
+    compiled: &CompiledProgram,
+    toplevel: &str,
+    depth: u32,
+    machine: MachineConfig,
+    slots: Vec<InputSlot>,
+    seed: u64,
+) -> (RunTermination, Vec<String>) {
+    let sig = compiled
+        .fn_sig(toplevel)
+        .unwrap_or_else(|| panic!("no function `{toplevel}`"))
+        .clone();
+    let tape = InputTape::from_slots(slots, seed);
+    let mut trace = Vec::new();
+    let result = run_once_traced(
+        compiled,
+        &sig,
+        depth,
+        machine,
+        tape,
+        Vec::new(),
+        32,
+        &mut trace,
+    );
+    (result.termination, trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dart, DartConfig};
+
+    #[test]
+    fn roundtrip_serialization() {
+        let slots = vec![
+            InputSlot {
+                kind: InputKind::IntLike,
+                value: -42,
+                name: "arg x".into(),
+            },
+            InputSlot {
+                kind: InputKind::Pointer,
+                value: 0,
+                name: "arg p".into(),
+            },
+        ];
+        let text = serialize_inputs(&slots);
+        let parsed = parse_inputs(&text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].kind, InputKind::IntLike);
+        assert_eq!(parsed[0].value, -42);
+        assert_eq!(parsed[1].kind, InputKind::Pointer);
+        assert_eq!(parsed[1].value, 0);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_inputs("int").is_err());
+        assert!(parse_inputs("float 3").is_err());
+        assert!(parse_inputs("int abc").is_err());
+        assert!(parse_inputs("int 3 4").is_err());
+        // Comments and blanks are fine.
+        assert_eq!(parse_inputs("# hi\n\n  \n").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn bug_replays_to_the_same_error() {
+        let compiled = dart_minic::compile(
+            r#"
+            int f(int x) { return 2 * x; }
+            int h(int x, int y) {
+                if (x != y)
+                    if (f(x) == x + 10)
+                        abort();
+                return 0;
+            }
+            "#,
+        )
+        .unwrap();
+        let report = Dart::new(&compiled, "h", DartConfig::default())
+            .unwrap()
+            .run();
+        let bug = report.bug().expect("found");
+
+        // Serialize, parse back, replay: same abort.
+        let text = serialize_inputs(&bug.inputs);
+        let slots = parse_inputs(&text).unwrap();
+        let termination = replay(
+            &compiled,
+            "h",
+            1,
+            MachineConfig::default(),
+            slots,
+            0,
+        );
+        assert!(
+            matches!(termination, RunTermination::Abort(_)),
+            "replay must reproduce the abort, got {termination:?}"
+        );
+    }
+
+    #[test]
+    fn traced_replay_shows_the_path_to_the_abort() {
+        let compiled = dart_minic::compile(
+            "void f(int x) { if (x == 5) abort(); }",
+        )
+        .unwrap();
+        let slots = vec![InputSlot {
+            kind: InputKind::IntLike,
+            value: 5,
+            name: "x".into(),
+        }];
+        let (termination, trace) = replay_traced(
+            &compiled,
+            "f",
+            1,
+            MachineConfig::default(),
+            slots,
+            0,
+        );
+        assert!(matches!(termination, RunTermination::Abort(_)));
+        assert!(!trace.is_empty());
+        assert!(
+            trace.last().unwrap().contains("abort"),
+            "trace must end at the abort: {trace:?}"
+        );
+        assert!(trace.iter().any(|l| l.contains("if")), "{trace:?}");
+    }
+
+    #[test]
+    fn pointer_bug_replays() {
+        let compiled = dart_minic::compile(
+            r#"
+            struct s { int v; };
+            int f(struct s *p) { return p->v; }
+            "#,
+        )
+        .unwrap();
+        let report = Dart::new(&compiled, "f", DartConfig::default())
+            .unwrap()
+            .run();
+        let bug = report.bug().expect("NULL crash found");
+        let slots = parse_inputs(&serialize_inputs(&bug.inputs)).unwrap();
+        let termination = replay(&compiled, "f", 1, MachineConfig::default(), slots, 0);
+        assert!(matches!(termination, RunTermination::Crash(_)));
+    }
+}

@@ -1,0 +1,138 @@
+//! Bug reports and session summaries.
+
+use crate::search::SolveStats;
+use crate::tape::InputSlot;
+use dart_ram::Fault;
+use std::fmt;
+
+/// The error classes DART detects (paper §1: "program crashes, assertion
+/// violations, and non-termination").
+#[derive(Debug, Clone, PartialEq)]
+pub enum BugKind {
+    /// `abort()` executed / assertion violated.
+    Abort(String),
+    /// A crash (memory fault, division by zero, stack overflow).
+    Crash(Fault),
+    /// The run exceeded its step budget.
+    NonTermination,
+}
+
+impl fmt::Display for BugKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BugKind::Abort(reason) => write!(f, "abort: {reason}"),
+            BugKind::Crash(fault) => write!(f, "crash: {fault}"),
+            BugKind::NonTermination => write!(f, "non-termination (step budget exhausted)"),
+        }
+    }
+}
+
+/// A found bug with its reproduction input vector (Theorem 1(a): every
+/// reported error is witnessed by a concrete input).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bug {
+    /// What happened.
+    pub kind: BugKind,
+    /// 1-based index of the run that hit the bug.
+    pub run_index: u64,
+    /// The input vector of the failing run.
+    pub inputs: Vec<InputSlot>,
+}
+
+impl fmt::Display for Bug {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} (run {})", self.kind, self.run_index)?;
+        for (i, s) in self.inputs.iter().enumerate() {
+            writeln!(f, "  x{i} = {}  // {}", s.value, s.name)?;
+        }
+        Ok(())
+    }
+}
+
+/// How a testing session ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// A bug was found (and `stop_at_first_bug` was set).
+    BugFound(Bug),
+    /// The directed search terminated with all completeness flags intact:
+    /// every feasible path was exercised and none hit an error
+    /// (Theorem 1(b)).
+    Complete,
+    /// The run budget was exhausted without a completeness claim.
+    Exhausted,
+}
+
+/// Summary of one testing session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReport {
+    /// Final outcome.
+    pub outcome: Outcome,
+    /// Instrumented runs executed.
+    pub runs: u64,
+    /// Every bug observed (one per failing run; deduplication is the
+    /// caller's concern).
+    pub bugs: Vec<Bug>,
+    /// Times execution departed from the predicted branch sequence.
+    pub divergences: u64,
+    /// Fresh random restarts of the directed search.
+    pub restarts: u64,
+    /// Solver statistics.
+    pub solver: SolveStats,
+    /// Total machine steps across runs.
+    pub steps: u64,
+    /// Distinct `(conditional, direction)` pairs executed across the
+    /// session — branch coverage (each conditional contributes up to 2).
+    pub branches_covered: usize,
+    /// Total coverable directions in the program (2 × conditionals).
+    pub branch_sites: usize,
+    /// Executed branch sequences, one per run, when
+    /// `DartConfig::record_paths` is set (empty otherwise). On a session
+    /// that terminates [`Outcome::Complete`], these are exactly the leaves
+    /// of the program's execution tree (§2.2), pairwise distinct.
+    pub paths: Vec<Vec<(usize, bool)>>,
+    /// Wall-clock time spent executing instrumented runs.
+    pub exec_time: std::time::Duration,
+    /// Wall-clock time spent in the constraint solver.
+    pub solve_time: std::time::Duration,
+}
+
+impl SessionReport {
+    /// The first bug, if any.
+    pub fn bug(&self) -> Option<&Bug> {
+        self.bugs.first()
+    }
+
+    /// Whether the session proved full path coverage.
+    pub fn is_complete(&self) -> bool {
+        matches!(self.outcome, Outcome::Complete)
+    }
+
+    /// Whether any bug was found.
+    pub fn found_bug(&self) -> bool {
+        !self.bugs.is_empty()
+    }
+}
+
+impl fmt::Display for SessionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let outcome = match &self.outcome {
+            Outcome::BugFound(b) => format!("BUG FOUND: {}", b.kind),
+            Outcome::Complete => "complete (all feasible paths explored)".into(),
+            Outcome::Exhausted => "run budget exhausted".into(),
+        };
+        write!(
+            f,
+            "{outcome} | runs {} | bugs {} | divergences {} | restarts {} | \
+             solver sat/unsat/unknown {}/{}/{} | branch cov {}/{}",
+            self.runs,
+            self.bugs.len(),
+            self.divergences,
+            self.restarts,
+            self.solver.sat,
+            self.solver.unsat,
+            self.solver.unknown,
+            self.branches_covered,
+            self.branch_sites,
+        )
+    }
+}

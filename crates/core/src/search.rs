@@ -1,0 +1,252 @@
+//! `solve_path_constraint` (paper Fig. 5) and branch-selection strategies.
+
+use crate::tape::InputTape;
+use dart_solver::{Assignment, SolveOutcome, Solver};
+use dart_sym::{BranchRecord, PathConstraint};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+
+/// Which unexplored branch to force next (the paper's footnote 4: "a
+/// depth-first search is used for exposition, but the next branch to be
+/// forced could be selected using a different strategy, e.g., randomly").
+///
+/// Only [`Strategy::Dfs`] supports the completeness claim of Theorem 1(b):
+/// the `(branch, done)` stack is a sound both-subtrees-explored record only
+/// under the depth-first discipline. A naive shallowest-first strategy
+/// would re-flip the first branch and stall, so a breadth-first mode is
+/// deliberately absent — it needs a generational frontier (as in later
+/// systems like SAGE), not a single prediction stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Deepest not-yet-done branch first (the paper's default).
+    #[default]
+    Dfs,
+    /// Uniformly random among candidates (bug-finding heuristic; never
+    /// claims completeness).
+    RandomBranch,
+}
+
+/// Cumulative solver statistics for a session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Queries answered with a model.
+    pub sat: u64,
+    /// Queries proved unsatisfiable.
+    pub unsat: u64,
+    /// Queries the solver gave up on (these make the session incomplete).
+    pub unknown: u64,
+}
+
+/// The next directed step: a branch prediction stack and the input updates
+/// that should force it.
+#[derive(Debug)]
+pub struct NextStep {
+    /// Prediction for the next run: the old stack truncated at the flipped
+    /// conditional, whose branch bit is inverted (`done` stays false until
+    /// the flip is actually observed — Fig. 4).
+    pub stack: Vec<BranchRecord>,
+    /// Solver model to merge into the tape (`IM'`).
+    pub model: Assignment,
+}
+
+/// Finds the next branch to force. Walks candidate conditionals (not yet
+/// `done`) in strategy order; for each, solves the negated path-constraint
+/// prefix; the first satisfiable one wins. Returns `None` when every
+/// candidate is done or unsatisfiable — the directed search is over
+/// (Fig. 5's `j == -1` case).
+pub fn solve_next(
+    path: &PathConstraint,
+    stack: &[BranchRecord],
+    tape: &InputTape,
+    solver: &Solver,
+    strategy: Strategy,
+    rng: &mut SmallRng,
+    stats: &mut SolveStats,
+) -> Option<NextStep> {
+    let n = stack.len().min(path.len());
+    let mut candidates: Vec<usize> = (0..n).filter(|&j| !stack[j].done).collect();
+    match strategy {
+        Strategy::Dfs => candidates.reverse(),
+        Strategy::RandomBranch => candidates.shuffle(rng),
+    }
+    for j in candidates {
+        let query = path.negated_prefix(j);
+        match solver.solve_with_hint(&query, |v| tape.value_of(v)) {
+            SolveOutcome::Sat(model) => {
+                stats.sat += 1;
+                let mut new_stack: Vec<BranchRecord> = stack[..=j].to_vec();
+                new_stack[j].branch = !new_stack[j].branch;
+                return Some(NextStep {
+                    stack: new_stack,
+                    model,
+                });
+            }
+            SolveOutcome::Unsat => stats.unsat += 1,
+            SolveOutcome::Unknown => stats.unknown += 1,
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::InputKind;
+    use dart_solver::{Constraint, LinExpr, RelOp, Var};
+    use rand::SeedableRng;
+
+    fn record(branch: bool, done: bool) -> BranchRecord {
+        BranchRecord { branch, done }
+    }
+
+    /// path: x != 1 (from branch not taken), x != 2.
+    fn simple_path() -> (PathConstraint, InputTape) {
+        let mut pc = PathConstraint::new();
+        pc.push(Constraint::new(LinExpr::var(Var(0)).offset(-1), RelOp::Ne));
+        pc.push(Constraint::new(LinExpr::var(Var(0)).offset(-2), RelOp::Ne));
+        let mut tape = InputTape::new(0);
+        let _ = tape.take(InputKind::IntLike, || "x".into());
+        (pc, tape)
+    }
+
+    #[test]
+    fn dfs_flips_deepest_first() {
+        let (pc, tape) = simple_path();
+        let stack = vec![record(false, false), record(false, false)];
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut stats = SolveStats::default();
+        let step = solve_next(
+            &pc,
+            &stack,
+            &tape,
+            &Solver::default(),
+            Strategy::Dfs,
+            &mut rng,
+            &mut stats,
+        )
+        .expect("solvable");
+        assert_eq!(step.stack.len(), 2, "deepest candidate keeps full prefix");
+        assert!(step.stack[1].branch, "branch bit flipped");
+        assert!(!step.stack[1].done);
+        assert_eq!(step.model[&Var(0)], 2, "x forced to 2");
+        assert_eq!(stats.sat, 1);
+    }
+
+    #[test]
+    fn random_branch_flips_some_candidate() {
+        let (pc, tape) = simple_path();
+        let stack = vec![record(false, false), record(false, false)];
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut stats = SolveStats::default();
+        let step = solve_next(
+            &pc,
+            &stack,
+            &tape,
+            &Solver::default(),
+            Strategy::RandomBranch,
+            &mut rng,
+            &mut stats,
+        )
+        .expect("solvable");
+        assert!(step.stack.len() == 1 || step.stack.len() == 2);
+        let j = step.stack.len() - 1;
+        assert!(step.stack[j].branch, "flipped");
+    }
+
+    #[test]
+    fn done_branches_are_skipped() {
+        let (pc, tape) = simple_path();
+        let stack = vec![record(false, false), record(false, true)];
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut stats = SolveStats::default();
+        let step = solve_next(
+            &pc,
+            &stack,
+            &tape,
+            &Solver::default(),
+            Strategy::Dfs,
+            &mut rng,
+            &mut stats,
+        )
+        .expect("solvable");
+        assert_eq!(step.stack.len(), 1, "done deepest skipped");
+    }
+
+    #[test]
+    fn all_done_means_search_over() {
+        let (pc, tape) = simple_path();
+        let stack = vec![record(false, true), record(false, true)];
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut stats = SolveStats::default();
+        assert!(solve_next(
+            &pc,
+            &stack,
+            &tape,
+            &Solver::default(),
+            Strategy::Dfs,
+            &mut rng,
+            &mut stats
+        )
+        .is_none());
+        assert_eq!(stats, SolveStats::default());
+    }
+
+    #[test]
+    fn unsat_candidates_fall_through() {
+        // path: x == 1 (taken), x != 5. Flipping the deepest asks for
+        // x == 1 && x == 5: unsat; must fall back to flipping the first.
+        let mut pc = PathConstraint::new();
+        pc.push(Constraint::new(LinExpr::var(Var(0)).offset(-1), RelOp::Eq));
+        pc.push(Constraint::new(LinExpr::var(Var(0)).offset(-5), RelOp::Ne));
+        let mut tape = InputTape::new(0);
+        let _ = tape.take(InputKind::IntLike, || "x".into());
+        let stack = vec![record(true, false), record(false, false)];
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut stats = SolveStats::default();
+        let step = solve_next(
+            &pc,
+            &stack,
+            &tape,
+            &Solver::default(),
+            Strategy::Dfs,
+            &mut rng,
+            &mut stats,
+        )
+        .expect("first conditional still flippable");
+        assert_eq!(step.stack.len(), 1);
+        assert!(!step.stack[0].branch, "x == 1 flipped to x != 1");
+        assert_eq!(stats.unsat, 1);
+        assert_eq!(stats.sat, 1);
+        assert_ne!(step.model[&Var(0)], 1);
+    }
+
+    #[test]
+    fn hint_preserves_unconstrained_inputs() {
+        // Two inputs; constraint only mentions x0. x1's hint must survive
+        // in the *model* only if mentioned; tape merge handles the rest —
+        // here we check the model doesn't clobber x1.
+        let mut pc = PathConstraint::new();
+        pc.push(Constraint::new(LinExpr::var(Var(0)).offset(-9), RelOp::Ne));
+        let mut tape = InputTape::new(0);
+        let _ = tape.take(InputKind::IntLike, || "x".into());
+        let _ = tape.take(InputKind::IntLike, || "y".into());
+        let y_before = tape.value_of(Var(1)).unwrap();
+        let stack = vec![record(false, false)];
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut stats = SolveStats::default();
+        let step = solve_next(
+            &pc,
+            &stack,
+            &tape,
+            &Solver::default(),
+            Strategy::Dfs,
+            &mut rng,
+            &mut stats,
+        )
+        .unwrap();
+        let mut tape = tape;
+        tape.apply_model(&step.model);
+        assert_eq!(tape.value_of(Var(0)), Some(9));
+        assert_eq!(tape.value_of(Var(1)), Some(y_before), "IM + IM' merge");
+    }
+}

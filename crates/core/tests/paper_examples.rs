@@ -1,0 +1,470 @@
+//! The driver against every program the paper discusses in §2 and §4.1.
+
+use dart::{Dart, DartConfig, EngineMode, Outcome, Strategy};
+
+fn directed(max_runs: u64, depth: u32, seed: u64) -> DartConfig {
+    DartConfig {
+        max_runs,
+        depth,
+        seed,
+        ..DartConfig::default()
+    }
+}
+
+const PAPER_H: &str = r#"
+    int f(int x) { return 2 * x; }
+    int h(int x, int y) {
+        if (x != y)
+            if (f(x) == x + 10)
+                abort();
+        return 0;
+    }
+"#;
+
+#[test]
+fn h_bug_found_in_two_runs() {
+    // §2.1: "the second execution then reveals the error".
+    for seed in 0..5 {
+        let compiled = dart_minic::compile(PAPER_H).unwrap();
+        let report = Dart::new(&compiled, "h", directed(100, 1, seed))
+            .unwrap()
+            .run();
+        assert!(report.found_bug(), "seed {seed}");
+        assert!(report.runs <= 3, "seed {seed}: took {} runs", report.runs);
+    }
+}
+
+#[test]
+fn h_random_search_fails() {
+    let compiled = dart_minic::compile(PAPER_H).unwrap();
+    let report = Dart::new(
+        &compiled,
+        "h",
+        DartConfig {
+            mode: EngineMode::RandomOnly,
+            max_runs: 2000,
+            ..DartConfig::default()
+        },
+    )
+    .unwrap()
+    .run();
+    assert!(!report.found_bug());
+    assert_eq!(report.outcome, Outcome::Exhausted);
+}
+
+#[test]
+fn example_2_4_terminates_complete() {
+    // §2.4: f(x, y) with z = y; both paths infeasible beyond two runs; the
+    // directed search terminates and reports completeness.
+    let src = r#"
+        int f(int x, int y) {
+            int z;
+            z = y;
+            if (x == z)
+                if (y == x + 10)
+                    abort();
+            return 0;
+        }
+    "#;
+    let compiled = dart_minic::compile(src).unwrap();
+    let report = Dart::new(&compiled, "f", directed(100, 1, 42)).unwrap().run();
+    assert!(!report.found_bug());
+    assert_eq!(report.outcome, Outcome::Complete);
+    // Paper walks through 2 executions; allow a little slack for the
+    // randomly-equal first pair.
+    assert!(report.runs <= 4, "took {} runs", report.runs);
+}
+
+#[test]
+fn foobar_nonlinear_found_by_directed() {
+    // §2.5: if (x*x*x > 0) { if (x>0 && y==10) abort(); } else { … }.
+    // The cube is non-linear → no constraint, but the inner linear branch
+    // is directable once x lands positive (probability ~1/2 per restart).
+    let src = r#"
+        int foobar(int x, int y) {
+            if (x * x * x > 0) {
+                if (x > 0 && y == 10)
+                    abort();
+            } else {
+                if (x > 0 && y == 20)
+                    abort();
+            }
+            return 0;
+        }
+    "#;
+    let compiled = dart_minic::compile(src).unwrap();
+    let report = Dart::new(&compiled, "foobar", directed(200, 1, 11))
+        .unwrap()
+        .run();
+    assert!(report.found_bug(), "directed search finds the reachable abort");
+    // The only reachable abort is the y==10 one (line 4 of the paper).
+    match &report.bugs[0].kind {
+        dart::BugKind::Abort(_) => {}
+        other => panic!("unexpected bug {other:?}"),
+    }
+    // Never complete: the non-linear branch keeps all_linear = 0.
+    assert_ne!(report.outcome, Outcome::Complete);
+}
+
+#[test]
+fn foobar_symbolic_only_gets_stuck() {
+    // A classical symbolic executor stops at the non-linear branch: with
+    // an unlucky first random input it cannot direct anything.
+    let src = r#"
+        int foobar(int x, int y) {
+            if (x * x * x > 0) {
+                if (x > 0 && y == 10)
+                    abort();
+            } else {
+                if (x > 0 && y == 20)
+                    abort();
+            }
+            return 0;
+        }
+    "#;
+    let compiled = dart_minic::compile(src).unwrap();
+    let mut found = 0;
+    let trials = 20;
+    for seed in 0..trials {
+        let report = Dart::new(
+            &compiled,
+            "foobar",
+            DartConfig {
+                mode: EngineMode::SymbolicOnly,
+                max_runs: 40,
+                seed,
+                ..DartConfig::default()
+            },
+        )
+        .unwrap()
+        .run();
+        if report.found_bug() {
+            found += 1;
+        }
+    }
+    // Only blind luck (y exactly 10/20 at random) can find it: essentially
+    // never. Directed mode (above) finds it reliably.
+    assert_eq!(found, 0, "symbolic-only should be stuck");
+}
+
+#[test]
+fn struct_cast_bug_found() {
+    // §2.5: the pointer-cast aliasing bug static analysis cannot confirm.
+    let src = r#"
+        struct foo { int i; char c; };
+        void bar(struct foo *a) {
+            if (a->c == 0) {
+                *((char *)a + sizeof(int)) = 1;
+                if (a->c != 0)
+                    abort();
+            }
+        }
+    "#;
+    let compiled = dart_minic::compile(src).unwrap();
+    let report = Dart::new(&compiled, "bar", directed(500, 1, 3)).unwrap().run();
+    assert!(report.found_bug(), "{report}");
+    // DART must also have discovered NULL-pointer crashes or the abort —
+    // the first bug can be the NULL deref of a->c when the coin lands NULL.
+}
+
+#[test]
+fn ac_controller_depth1_complete_no_bug() {
+    // §4.1: "a directed search explores all execution paths up to that
+    // depth in 6 iterations and less than a second".
+    let compiled = dart_minic::compile(dart_workloads_ac()).unwrap();
+    let report = Dart::new(&compiled, "ac_controller", directed(1000, 1, 1))
+        .unwrap()
+        .run();
+    assert!(!report.found_bug());
+    assert_eq!(report.outcome, Outcome::Complete);
+    assert!(
+        (5..=8).contains(&report.runs),
+        "paper reports 6 iterations; got {}",
+        report.runs
+    );
+}
+
+#[test]
+fn ac_controller_depth2_finds_assertion() {
+    // §4.1: depth 2 → violation with first message 3 and second 0, found
+    // in 7 iterations.
+    let compiled = dart_minic::compile(dart_workloads_ac()).unwrap();
+    let report = Dart::new(&compiled, "ac_controller", directed(1000, 2, 1))
+        .unwrap()
+        .run();
+    assert!(report.found_bug());
+    assert!(
+        report.runs <= 20,
+        "paper reports 7 iterations; got {}",
+        report.runs
+    );
+    // The witness must be message sequence (3, 0).
+    let bug = report.bug().unwrap();
+    let vals: Vec<i64> = bug.inputs.iter().map(|s| s.value).collect();
+    assert_eq!(vals, vec![3, 0], "Lowe-style witness sequence");
+}
+
+#[test]
+fn ac_controller_random_depth2_fails() {
+    // §4.1: "a random search does not find the assertion violation after
+    // hours" — probability 1/2^64.
+    let compiled = dart_minic::compile(dart_workloads_ac()).unwrap();
+    let report = Dart::new(
+        &compiled,
+        "ac_controller",
+        DartConfig {
+            mode: EngineMode::RandomOnly,
+            depth: 2,
+            max_runs: 5000,
+            ..DartConfig::default()
+        },
+    )
+    .unwrap()
+    .run();
+    assert!(!report.found_bug());
+}
+
+#[test]
+fn non_dfs_strategies_never_claim_completeness() {
+    // BFS/random flipping truncates the stack at the flipped branch,
+    // losing the done-state of deeper subtrees — they are bug-finding
+    // heuristics (footnote 4) and must not claim Theorem 1(b).
+    for strategy in [Strategy::RandomBranch] {
+        let compiled = dart_minic::compile(dart_workloads_ac()).unwrap();
+        let report = Dart::new(
+            &compiled,
+            "ac_controller",
+            DartConfig {
+                depth: 2,
+                max_runs: 300,
+                strategy,
+                seed: 5,
+                ..DartConfig::default()
+            },
+        )
+        .unwrap()
+        .run();
+        assert_ne!(report.outcome, Outcome::Complete, "strategy {strategy:?}");
+    }
+}
+
+#[test]
+fn random_branch_strategy_still_finds_shallow_bug() {
+    // On the two-run §2.1 example all strategies direct successfully.
+    for strategy in [Strategy::Dfs, Strategy::RandomBranch] {
+        let compiled = dart_minic::compile(PAPER_H).unwrap();
+        let report = Dart::new(
+            &compiled,
+            "h",
+            DartConfig {
+                max_runs: 200,
+                strategy,
+                seed: 5,
+                ..DartConfig::default()
+            },
+        )
+        .unwrap()
+        .run();
+        assert!(report.found_bug(), "strategy {strategy:?}");
+    }
+}
+
+#[test]
+fn completeness_matches_bruteforce_path_count() {
+    // Theorem 1(b) sanity: on a small program, a Complete session's run
+    // count equals the number of feasible paths found by brute force.
+    let src = r#"
+        int classify(int a, int b) {
+            int r = 0;
+            if (a > 0) r = r + 1;
+            if (b > 0) r = r + 2;
+            if (a == b) r = r + 4;
+            return r;
+        }
+    "#;
+    let compiled = dart_minic::compile(src).unwrap();
+    let report = Dart::new(&compiled, "classify", directed(10_000, 1, 9))
+        .unwrap()
+        .run();
+    assert_eq!(report.outcome, Outcome::Complete);
+    // Feasible sign/equality combinations: (a>0,b>0,a==b): TTT, TTF, TFF,
+    // FTF, FFT, FFF — 6 of 8 (TFT and FTT are infeasible).
+    assert_eq!(report.runs, 6, "one run per feasible path");
+}
+
+#[test]
+fn divergence_recovery_still_finds_bug() {
+    // A branch on a non-linear value can mispredict; the driver must
+    // restart and still find linear bugs elsewhere.
+    let src = r#"
+        int f(int x, int y) {
+            int prod = x * y;
+            if (prod > 0) { }
+            if (x == 31337) abort();
+            return 0;
+        }
+    "#;
+    let compiled = dart_minic::compile(src).unwrap();
+    let report = Dart::new(&compiled, "f", directed(500, 1, 2)).unwrap().run();
+    assert!(report.found_bug(), "{report}");
+}
+
+#[test]
+fn reports_are_reproducible_across_identical_sessions() {
+    let compiled = dart_minic::compile(dart_workloads_ac()).unwrap();
+    let a = Dart::new(&compiled, "ac_controller", directed(1000, 2, 7))
+        .unwrap()
+        .run();
+    let b = Dart::new(&compiled, "ac_controller", directed(1000, 2, 7))
+        .unwrap()
+        .run();
+    assert_eq!(a.runs, b.runs);
+    assert_eq!(a.bugs.len(), b.bugs.len());
+}
+
+/// The AC-controller program of Fig. 6 (also provided by dart-workloads;
+/// inlined here to keep this crate's tests self-contained).
+fn dart_workloads_ac() -> &'static str {
+    r#"
+    int is_room_hot = 0;
+    int is_door_closed = 0;
+    int ac = 0;
+    void ac_controller(int message) {
+        if (message == 0) is_room_hot = 1;
+        if (message == 1) is_room_hot = 0;
+        if (message == 2) { is_door_closed = 0; ac = 0; }
+        if (message == 3) {
+            is_door_closed = 1;
+            if (is_room_hot) ac = 1;
+        }
+        if (is_room_hot && is_door_closed && !ac)
+            abort();
+    }
+    "#
+}
+
+#[test]
+fn generational_search_finds_deep_bug() {
+    // The SAGE-style frontier reaches the depth-2 AC-controller bug even
+    // though it explores breadth-first.
+    let compiled = dart_minic::compile(dart_workloads_ac()).unwrap();
+    let report = Dart::new(
+        &compiled,
+        "ac_controller",
+        DartConfig {
+            depth: 2,
+            max_runs: 2000,
+            seed: 3,
+            mode: EngineMode::Generational,
+            ..DartConfig::default()
+        },
+    )
+    .unwrap()
+    .run();
+    assert!(report.found_bug(), "{report}");
+}
+
+#[test]
+fn generational_completeness_matches_dfs() {
+    // Both disciplines are exhaustive: on a linear program they claim
+    // completeness with the same number of runs (one per feasible path).
+    let src = r#"
+        int classify(int a, int b) {
+            int r = 0;
+            if (a > 0) r = r + 1;
+            if (b > 0) r = r + 2;
+            if (a == b) r = r + 4;
+            return r;
+        }
+    "#;
+    let compiled = dart_minic::compile(src).unwrap();
+    let dfs = Dart::new(&compiled, "classify", directed(10_000, 1, 9))
+        .unwrap()
+        .run();
+    let gen = Dart::new(
+        &compiled,
+        "classify",
+        DartConfig {
+            max_runs: 10_000,
+            seed: 9,
+            mode: EngineMode::Generational,
+            ..DartConfig::default()
+        },
+    )
+    .unwrap()
+    .run();
+    assert_eq!(dfs.outcome, Outcome::Complete);
+    assert_eq!(gen.outcome, Outcome::Complete);
+    assert_eq!(dfs.runs, 6, "one run per feasible path (DFS)");
+    assert_eq!(gen.runs, 6, "one run per feasible path (generational)");
+}
+
+#[test]
+fn generational_handles_h_example() {
+    let compiled = dart_minic::compile(PAPER_H).unwrap();
+    let report = Dart::new(
+        &compiled,
+        "h",
+        DartConfig {
+            max_runs: 100,
+            seed: 0,
+            mode: EngineMode::Generational,
+            ..DartConfig::default()
+        },
+    )
+    .unwrap()
+    .run();
+    assert!(report.found_bug());
+    assert!(report.runs <= 4);
+}
+
+#[test]
+fn complete_sessions_enumerate_distinct_paths() {
+    // Theorem 1(b) from the execution-tree angle (§2.2): a Complete
+    // session's recorded runs are exactly the leaves of the execution
+    // tree — one path each, pairwise distinct.
+    let compiled = dart_minic::compile(dart_workloads_ac()).unwrap();
+    let report = Dart::new(
+        &compiled,
+        "ac_controller",
+        DartConfig {
+            depth: 1,
+            max_runs: 1000,
+            seed: 1,
+            record_paths: true,
+            ..DartConfig::default()
+        },
+    )
+    .unwrap()
+    .run();
+    assert_eq!(report.outcome, Outcome::Complete);
+    assert_eq!(report.paths.len() as u64, report.runs);
+    let mut seen = std::collections::HashSet::new();
+    for path in &report.paths {
+        assert!(seen.insert(path.clone()), "duplicate path explored: {path:?}");
+    }
+}
+
+#[test]
+fn generational_paths_also_distinct() {
+    let compiled = dart_minic::compile(dart_workloads_ac()).unwrap();
+    let report = Dart::new(
+        &compiled,
+        "ac_controller",
+        DartConfig {
+            depth: 1,
+            max_runs: 1000,
+            seed: 1,
+            mode: EngineMode::Generational,
+            record_paths: true,
+            ..DartConfig::default()
+        },
+    )
+    .unwrap()
+    .run();
+    assert_eq!(report.outcome, Outcome::Complete);
+    let mut seen = std::collections::HashSet::new();
+    for path in &report.paths {
+        assert!(seen.insert(path.clone()), "duplicate path explored: {path:?}");
+    }
+}

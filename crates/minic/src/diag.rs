@@ -1,0 +1,52 @@
+//! Compile-time diagnostics.
+
+use crate::token::Pos;
+use std::fmt;
+
+/// An error produced while lexing, parsing, or compiling MiniC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    message: String,
+    pos: Pos,
+}
+
+impl CompileError {
+    /// Creates an error at `pos`.
+    pub fn new(message: impl Into<String>, pos: Pos) -> CompileError {
+        CompileError {
+            message: message.into(),
+            pos,
+        }
+    }
+
+    /// The human-readable message (no position).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Where the error occurred.
+    pub fn pos(&self) -> Pos {
+        self.pos
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = CompileError::new("bad thing", Pos { line: 3, col: 7 });
+        assert_eq!(e.to_string(), "3:7: bad thing");
+        assert_eq!(e.message(), "bad thing");
+        assert_eq!(e.pos(), Pos { line: 3, col: 7 });
+    }
+}

@@ -1,0 +1,371 @@
+//! The MiniC lexer.
+//!
+//! Supports decimal and hexadecimal integers, character literals, `//` and
+//! `/* */` comments, and every operator the grammar uses.
+
+use crate::diag::CompileError;
+use crate::token::{Keyword, Pos, Punct, Token, TokenKind};
+
+/// Lexes `src` into tokens (terminated by [`TokenKind::Eof`]).
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on malformed numbers, unterminated comments or
+/// character literals, and unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'s> {
+    chars: Vec<char>,
+    src: std::marker::PhantomData<&'s str>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Lexer<'s> {
+        Lexer {
+            chars: src.chars().collect(),
+            src: std::marker::PhantomData,
+            i: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.i).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.i + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, msg: impl Into<String>) -> CompileError {
+        CompileError::new(msg, self.pos())
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, CompileError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let pos = self.pos();
+            let Some(c) = self.peek() else {
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    pos,
+                });
+                return Ok(out);
+            };
+            let kind = if c.is_ascii_digit() {
+                self.number()?
+            } else if c == '\'' {
+                self.char_literal()?
+            } else if c.is_ascii_alphabetic() || c == '_' {
+                self.ident()
+            } else {
+                self.punct()?
+            };
+            out.push(Token { kind, pos });
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), CompileError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    let start = self.pos();
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.bump() {
+                            Some('*') if self.peek() == Some('/') => {
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {}
+                            None => {
+                                return Err(CompileError::new("unterminated comment", start))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<TokenKind, CompileError> {
+        let mut text = String::new();
+        if self.peek() == Some('0') && matches!(self.peek2(), Some('x') | Some('X')) {
+            self.bump();
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_hexdigit() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            if text.is_empty() {
+                return Err(self.error("hex literal needs digits"));
+            }
+            let v = i64::from_str_radix(&text, 16)
+                .map_err(|_| self.error("hex literal out of range"))?;
+            return Ok(TokenKind::Int(v));
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let v: i64 = text
+            .parse()
+            .map_err(|_| self.error("integer literal out of range"))?;
+        Ok(TokenKind::Int(v))
+    }
+
+    fn char_literal(&mut self) -> Result<TokenKind, CompileError> {
+        self.bump(); // opening quote
+        let c = match self.bump() {
+            Some('\\') => match self.bump() {
+                Some('n') => '\n',
+                Some('t') => '\t',
+                Some('0') => '\0',
+                Some('\\') => '\\',
+                Some('\'') => '\'',
+                _ => return Err(self.error("bad escape in character literal")),
+            },
+            Some(c) if c != '\'' => c,
+            _ => return Err(self.error("empty character literal")),
+        };
+        if self.bump() != Some('\'') {
+            return Err(self.error("unterminated character literal"));
+        }
+        Ok(TokenKind::Int(c as i64))
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match Keyword::from_str(&text) {
+            Some(k) => TokenKind::Keyword(k),
+            None => TokenKind::Ident(text),
+        }
+    }
+
+    fn punct(&mut self) -> Result<TokenKind, CompileError> {
+        use Punct::*;
+        let c = self.bump().expect("caller checked");
+        let two = |lexer: &mut Lexer<'_>, next: char, yes: Punct, no: Punct| {
+            if lexer.peek() == Some(next) {
+                lexer.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        let p = match c {
+            '(' => LParen,
+            ')' => RParen,
+            '{' => LBrace,
+            '}' => RBrace,
+            '[' => LBracket,
+            ']' => RBracket,
+            ';' => Semi,
+            ',' => Comma,
+            '.' => Dot,
+            '?' => Question,
+            ':' => Colon,
+            '~' => Tilde,
+            '^' => Caret,
+            '%' => Percent,
+            '/' => Slash,
+            '*' => Star,
+            '+' => match self.peek() {
+                Some('+') => {
+                    self.bump();
+                    PlusPlus
+                }
+                Some('=') => {
+                    self.bump();
+                    PlusAssign
+                }
+                _ => Plus,
+            },
+            '-' => match self.peek() {
+                Some('-') => {
+                    self.bump();
+                    MinusMinus
+                }
+                Some('=') => {
+                    self.bump();
+                    MinusAssign
+                }
+                Some('>') => {
+                    self.bump();
+                    Arrow
+                }
+                _ => Minus,
+            },
+            '=' => two(self, '=', EqEq, Assign),
+            '!' => two(self, '=', NotEq, Not),
+            '<' => match self.peek() {
+                Some('=') => {
+                    self.bump();
+                    Le
+                }
+                Some('<') => {
+                    self.bump();
+                    Shl
+                }
+                _ => Lt,
+            },
+            '>' => match self.peek() {
+                Some('=') => {
+                    self.bump();
+                    Ge
+                }
+                Some('>') => {
+                    self.bump();
+                    Shr
+                }
+                _ => Gt,
+            },
+            '&' => two(self, '&', AmpAmp, Amp),
+            '|' => two(self, '|', PipePipe, Pipe),
+            other => return Err(self.error(format!("unexpected character `{other}`"))),
+        };
+        Ok(TokenKind::Punct(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn numbers_and_idents() {
+        let ks = kinds("x 42 0x1F foo_bar");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Int(42),
+                TokenKind::Int(31),
+                TokenKind::Ident("foo_bar".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_recognized() {
+        let ks = kinds("int if NULL sizeof");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Keyword(Keyword::Int),
+                TokenKind::Keyword(Keyword::If),
+                TokenKind::Keyword(Keyword::Null),
+                TokenKind::Keyword(Keyword::Sizeof),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn char_literals() {
+        assert_eq!(kinds("'a'")[0], TokenKind::Int('a' as i64));
+        assert_eq!(kinds("'\\n'")[0], TokenKind::Int(10));
+        assert_eq!(kinds("'\\0'")[0], TokenKind::Int(0));
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        use Punct::*;
+        let ks = kinds("== != <= >= && || << >> -> ++ -- += -=");
+        let expect = [
+            EqEq, NotEq, Le, Ge, AmpAmp, PipePipe, Shl, Shr, Arrow, PlusPlus, MinusMinus,
+            PlusAssign, MinusAssign,
+        ];
+        for (k, p) in ks.iter().zip(expect) {
+            assert_eq!(*k, TokenKind::Punct(p));
+        }
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("a // line comment\n b /* block\n comment */ c");
+        assert_eq!(ks.len(), 4); // a b c eof
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn bad_character_errors() {
+        assert!(lex("a $ b").is_err());
+    }
+
+    #[test]
+    fn unterminated_char_literal_errors() {
+        assert!(lex("'a").is_err());
+        assert!(lex("''").is_err());
+    }
+}

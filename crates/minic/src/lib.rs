@@ -1,0 +1,51 @@
+//! # dart-minic — a C-like language front end for DART
+//!
+//! The DART paper (PLDI 2005) tests C programs, instrumenting them with CIL.
+//! This crate is the stand-in substrate: **MiniC**, a C subset covering
+//! everything the paper's examples and experiments use — `int`/`char`
+//! scalars, pointers, structs (including self-referential ones), fixed
+//! arrays, casts and `sizeof`, pointer arithmetic, short-circuit `&&`/`||`,
+//! `?:`, the full statement repertoire, `malloc`/`alloca`, `assert`/`abort`,
+//! and `extern` variables/functions forming the program's *external
+//! interface* (§3.1).
+//!
+//! Programs compile to the RAM-machine IR of [`dart_ram`]; the compiled
+//! artifact ([`CompiledProgram`]) also carries struct layouts, function
+//! signatures and the extracted interface — everything the DART driver
+//! needs to generate `random_init`-style inputs (§3.2).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dart_ram::{Machine, MachineConfig, StepOutcome, ZeroEnv};
+//!
+//! let compiled = dart_minic::compile(r#"
+//!     int gcd(int a, int b) {
+//!         while (b != 0) { int t = b; b = a % b; a = t; }
+//!         return a;
+//!     }
+//! "#)?;
+//! let gcd = compiled.program.func_by_name("gcd").unwrap();
+//! let mut m = Machine::new(&compiled.program, MachineConfig::default());
+//! m.call(gcd, &[54, 24])?;
+//! assert_eq!(m.run(&mut ZeroEnv), StepOutcome::Finished { value: Some(6) });
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod compile;
+pub mod diag;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod token;
+pub mod types;
+
+pub use compile::{compile, compile_unit, CompiledProgram, ExternFn, ExternVar, FnSig};
+pub use diag::CompileError;
+pub use parser::parse;
+pub use pretty::print_unit;
+pub use types::{Field, StructId, StructInfo, Type, TypeTable};

@@ -1,0 +1,477 @@
+//! Pretty-printer: AST → MiniC source.
+//!
+//! Emits parseable source whose AST round-trips exactly
+//! (`parse(print(u)) == u` up to source positions). Useful for dumping
+//! generated workloads, golden tests, and fuzzing the parser.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a whole translation unit.
+pub fn print_unit(unit: &Unit) -> String {
+    let mut out = String::new();
+    for item in &unit.items {
+        print_item(&mut out, item);
+        out.push('\n');
+    }
+    out
+}
+
+fn type_prefix(ty: &TypeAst) -> String {
+    match ty {
+        TypeAst::Int => "int".into(),
+        TypeAst::Char => "char".into(),
+        TypeAst::Void => "void".into(),
+        TypeAst::Struct(name) => format!("struct {name}"),
+    }
+}
+
+fn declarator(d: &Declarator) -> String {
+    let mut s = String::new();
+    for _ in 0..d.ptr_depth {
+        s.push('*');
+    }
+    s.push_str(&d.name);
+    for dim in &d.array_dims {
+        let _ = write!(s, "[{dim}]");
+    }
+    s
+}
+
+fn print_item(out: &mut String, item: &Item) {
+    match item {
+        Item::StructDef { name, fields, .. } => {
+            let _ = writeln!(out, "struct {name} {{");
+            for (ty, d) in fields {
+                let _ = writeln!(out, "    {} {};", type_prefix(ty), declarator(d));
+            }
+            let _ = writeln!(out, "}};");
+        }
+        Item::Global {
+            ty,
+            decl,
+            init,
+            is_extern,
+            ..
+        } => {
+            if *is_extern {
+                out.push_str("extern ");
+            }
+            let _ = write!(out, "{} {}", type_prefix(ty), declarator(decl));
+            if let Some(e) = init {
+                let _ = write!(out, " = {}", expr(e));
+            }
+            out.push_str(";\n");
+        }
+        Item::Func {
+            ret,
+            ret_ptr,
+            name,
+            params,
+            body,
+            is_extern,
+            ..
+        } => {
+            if *is_extern {
+                out.push_str("extern ");
+            }
+            let stars = "*".repeat(*ret_ptr as usize);
+            let ps: Vec<String> = params
+                .iter()
+                .map(|(t, d)| format!("{} {}", type_prefix(t), declarator(d)))
+                .collect();
+            let _ = write!(out, "{} {stars}{name}({})", type_prefix(ret), ps.join(", "));
+            match body {
+                None => out.push_str(";\n"),
+                Some(stmts) => {
+                    out.push_str(" {\n");
+                    for s in stmts {
+                        stmt(out, s, 1);
+                    }
+                    out.push_str("}\n");
+                }
+            }
+        }
+    }
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+/// Prints `s` as the contents of an (already-opened) braced body,
+/// unwrapping one `Block` layer so reparsing reaches a fixpoint.
+fn braced_contents(out: &mut String, s: &Stmt, level: usize) {
+    match s {
+        Stmt::Block(stmts) => {
+            for inner in stmts {
+                stmt(out, inner, level);
+            }
+        }
+        other => stmt(out, other, level),
+    }
+}
+
+fn stmt(out: &mut String, s: &Stmt, level: usize) {
+    indent(out, level);
+    match s {
+        Stmt::Block(stmts) => {
+            out.push_str("{\n");
+            for inner in stmts {
+                stmt(out, inner, level + 1);
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        Stmt::Decl { ty, decl, init, .. } => {
+            let _ = write!(out, "{} {}", type_prefix(ty), declarator(decl));
+            if let Some(e) = init {
+                let _ = write!(out, " = {}", expr(e));
+            }
+            out.push_str(";\n");
+        }
+        Stmt::If {
+            cond, then, els, ..
+        } => {
+            // Bodies are always braced: avoids the dangling-else ambiguity.
+            let _ = writeln!(out, "if ({}) {{", expr(cond));
+            braced_contents(out, then, level + 1);
+            indent(out, level);
+            match els {
+                None => out.push_str("}\n"),
+                Some(e) => {
+                    out.push_str("} else {\n");
+                    braced_contents(out, e, level + 1);
+                    indent(out, level);
+                    out.push_str("}\n");
+                }
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            let _ = writeln!(out, "while ({}) {{", expr(cond));
+            braced_contents(out, body, level + 1);
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        Stmt::DoWhile { body, cond, .. } => {
+            out.push_str("do {\n");
+            braced_contents(out, body, level + 1);
+            indent(out, level);
+            let _ = writeln!(out, "}} while ({});", expr(cond));
+        }
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
+            out.push_str("for (");
+            if let Some(i) = init {
+                inline_simple(out, i);
+            }
+            out.push_str("; ");
+            if let Some(c) = cond {
+                out.push_str(&expr(c));
+            }
+            out.push_str("; ");
+            if let Some(st) = step {
+                inline_simple(out, st);
+            }
+            out.push_str(") {\n");
+            braced_contents(out, body, level + 1);
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        Stmt::Return(None, _) => out.push_str("return;\n"),
+        Stmt::Return(Some(e), _) => {
+            let _ = writeln!(out, "return {};", expr(e));
+        }
+        Stmt::Break(_) => out.push_str("break;\n"),
+        Stmt::Continue(_) => out.push_str("continue;\n"),
+        Stmt::Assert(e, _) => {
+            let _ = writeln!(out, "assert({});", expr(e));
+        }
+        Stmt::Assume(e, _) => {
+            let _ = writeln!(out, "assume({});", expr(e));
+        }
+        Stmt::Abort(_) => out.push_str("abort();\n"),
+        Stmt::Switch {
+            scrutinee,
+            cases,
+            default,
+            ..
+        } => {
+            let _ = writeln!(out, "switch ({}) {{", expr(scrutinee));
+            for (k, body) in cases {
+                indent(out, level);
+                if *k < 0 {
+                    let _ = writeln!(out, "case -{}:", -k);
+                } else {
+                    let _ = writeln!(out, "case {k}:");
+                }
+                for st in body {
+                    stmt(out, st, level + 1);
+                }
+            }
+            if let Some(body) = default {
+                indent(out, level);
+                out.push_str("default:\n");
+                for st in body {
+                    stmt(out, st, level + 1);
+                }
+            }
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        Stmt::Assign { .. } | Stmt::ExprStmt(..) => {
+            inline_simple(out, s);
+            out.push_str(";\n");
+        }
+    }
+}
+
+/// Renders a `for`-header-style statement with no indentation/terminator.
+fn inline_simple(out: &mut String, s: &Stmt) {
+    match s {
+        Stmt::Decl { ty, decl, init, .. } => {
+            let _ = write!(out, "{} {}", type_prefix(ty), declarator(decl));
+            if let Some(e) = init {
+                let _ = write!(out, " = {}", expr(e));
+            }
+        }
+        Stmt::Assign { lhs, op, rhs, .. } => {
+            let op = match op {
+                AssignOp::Assign => "=",
+                AssignOp::AddAssign => "+=",
+                AssignOp::SubAssign => "-=",
+            };
+            let _ = write!(out, "{} {op} {}", expr(lhs), expr(rhs));
+        }
+        Stmt::ExprStmt(e, _) => out.push_str(&expr(e)),
+        other => {
+            debug_assert!(false, "not a simple statement: {other:?}");
+        }
+    }
+}
+
+/// Renders an expression, fully parenthesized (round-trips regardless of
+/// precedence).
+pub fn expr(e: &Expr) -> String {
+    match e {
+        Expr::IntLit(v, _) => {
+            if *v < 0 {
+                // Negative literals re-lex as unary minus; parenthesize.
+                format!("({v})")
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::Null(_) => "NULL".into(),
+        Expr::Ident(name, _) => name.clone(),
+        Expr::Unary(op, inner, _) => {
+            let sym = match op {
+                UnaryOp::Neg => "-",
+                UnaryOp::Not => "!",
+                UnaryOp::BitNot => "~",
+                UnaryOp::Deref => "*",
+                UnaryOp::AddrOf => "&",
+            };
+            format!("{sym}({})", expr(inner))
+        }
+        Expr::Binary(op, l, r, _) => {
+            let sym = match op {
+                BinaryOp::Add => "+",
+                BinaryOp::Sub => "-",
+                BinaryOp::Mul => "*",
+                BinaryOp::Div => "/",
+                BinaryOp::Rem => "%",
+                BinaryOp::Eq => "==",
+                BinaryOp::Ne => "!=",
+                BinaryOp::Lt => "<",
+                BinaryOp::Le => "<=",
+                BinaryOp::Gt => ">",
+                BinaryOp::Ge => ">=",
+                BinaryOp::LogAnd => "&&",
+                BinaryOp::LogOr => "||",
+                BinaryOp::BitAnd => "&",
+                BinaryOp::BitOr => "|",
+                BinaryOp::BitXor => "^",
+                BinaryOp::Shl => "<<",
+                BinaryOp::Shr => ">>",
+            };
+            format!("({} {sym} {})", expr(l), expr(r))
+        }
+        Expr::Ternary(c, t, f, _) => {
+            format!("({} ? {} : {})", expr(c), expr(t), expr(f))
+        }
+        Expr::Call { name, args, .. } => {
+            let list: Vec<String> = args.iter().map(expr).collect();
+            format!("{name}({})", list.join(", "))
+        }
+        Expr::Index(base, idx, _) => {
+            format!("{}[{}]", paren_postfix_base(base), expr(idx))
+        }
+        Expr::Member {
+            base, field, arrow, ..
+        } => {
+            let sep = if *arrow { "->" } else { "." };
+            format!("{}{sep}{field}", paren_postfix_base(base))
+        }
+        Expr::Cast {
+            ty,
+            ptr_depth,
+            expr: inner,
+            ..
+        } => {
+            let stars = "*".repeat(*ptr_depth as usize);
+            format!("({}{stars})({})", type_prefix(ty), expr(inner))
+        }
+        Expr::SizeofType { ty, ptr_depth, .. } => {
+            let stars = "*".repeat(*ptr_depth as usize);
+            format!("sizeof({}{stars})", type_prefix(ty))
+        }
+        Expr::Malloc(size, _) => format!("malloc({})", expr(size)),
+        Expr::Alloca(size, _) => format!("alloca({})", expr(size)),
+        Expr::IncDec {
+            target,
+            inc,
+            postfix,
+            ..
+        } => {
+            let sym = if *inc { "++" } else { "--" };
+            if *postfix {
+                format!("{}{sym}", paren_postfix_base(target))
+            } else {
+                format!("{sym}{}", expr(target))
+            }
+        }
+    }
+}
+
+/// A postfix operator's base must itself be a postfix/primary form;
+/// parenthesize anything else.
+fn paren_postfix_base(e: &Expr) -> String {
+    match e {
+        Expr::Ident(..)
+        | Expr::Member { .. }
+        | Expr::Index(..)
+        | Expr::Call { .. } => expr(e),
+        other => format!("({})", expr(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// Checks the printer fixpoint: `print(parse(print(u))) == print(u)`.
+    /// (The printer braces all bodies, so a raw AST comparison would differ
+    /// by `Block` wrappers; the printed form is the canonical one.)
+    fn roundtrips(src: &str) {
+        let first = parse(src).unwrap_or_else(|e| panic!("parse 1: {e}\n{src}"));
+        let printed = print_unit(&first);
+        let second =
+            parse(&printed).unwrap_or_else(|e| panic!("parse 2: {e}\n{printed}"));
+        assert_eq!(printed, print_unit(&second), "not a fixpoint:\n{printed}");
+    }
+
+    #[test]
+    fn roundtrip_basics() {
+        roundtrips("int x = 3; extern int y;");
+        roundtrips("struct s { int a; char *b; int c[4]; };");
+        roundtrips("extern int read();");
+        roundtrips("int *alias(int **p) { return *p; }");
+    }
+
+    #[test]
+    fn roundtrip_statements() {
+        roundtrips(
+            r#"
+            int f(int n) {
+                int acc = 0;
+                int i;
+                for (i = 0; i < n; i++) {
+                    if (i % 2 == 0) acc += i; else acc -= 1;
+                    while (acc > 100) acc = acc - 50;
+                    do { acc++; } while (acc < 0);
+                    if (i == 9) break;
+                    if (i == 3) continue;
+                }
+                assert(acc >= 0);
+                assume(n < 1000);
+                return acc;
+            }
+            "#,
+        );
+    }
+
+    #[test]
+    fn roundtrip_expressions() {
+        roundtrips(
+            r#"
+            struct foo { int i; char c; };
+            int g(struct foo *a, int x, int y) {
+                int v = x > 0 ? x : -y;
+                int w = (x & y) | (x ^ 3) << 2 >> 1;
+                *((char *)a + sizeof(int)) = 1;
+                a->c = (*a).i + a->c;
+                int *p = (int *) malloc(sizeof(struct foo));
+                int *q = (int *) alloca(4);
+                return v + w + !x + ~y + p[0] + q[0] + g(a, --x, y++);
+            }
+            "#,
+        );
+    }
+
+    #[test]
+    fn roundtrip_paper_fig6() {
+        roundtrips(
+            r#"
+            int is_room_hot = 0;
+            int is_door_closed = 0;
+            int ac = 0;
+            void ac_controller(int message) {
+                if (message == 0) is_room_hot = 1;
+                if (message == 1) is_room_hot = 0;
+                if (message == 2) { is_door_closed = 0; ac = 0; }
+                if (message == 3) {
+                    is_door_closed = 1;
+                    if (is_room_hot) ac = 1;
+                }
+                if (is_room_hot && is_door_closed && !ac) abort();
+            }
+            "#,
+        );
+    }
+
+    #[test]
+    fn printed_source_compiles_and_runs_identically() {
+        use dart_ram::{Machine, MachineConfig, StepOutcome, ZeroEnv};
+        let src = r#"
+            int fib(int n) {
+                if (n < 2) return n;
+                return fib(n - 1) + fib(n - 2);
+            }
+        "#;
+        let printed = print_unit(&parse(src).unwrap());
+        let original = crate::compile(src).unwrap();
+        let reprinted = crate::compile(&printed).unwrap();
+        for program in [&original, &reprinted] {
+            let id = program.program.func_by_name("fib").unwrap();
+            let mut m = Machine::new(&program.program, MachineConfig::default());
+            m.call(id, &[10]).unwrap();
+            assert_eq!(m.run(&mut ZeroEnv), StepOutcome::Finished { value: Some(55) });
+        }
+    }
+
+    #[test]
+    fn negative_literal_is_reparseable() {
+        let u = parse("int f() { return 0 - 5; }").unwrap();
+        let printed = print_unit(&u);
+        assert!(parse(&printed).is_ok());
+    }
+}

@@ -1,0 +1,254 @@
+//! Semantic types and struct layout.
+//!
+//! MiniC memory is word-addressed: every scalar (including `char`) occupies
+//! one 64-bit word and `sizeof` counts words (DESIGN.md documents this
+//! substitution; the paper's §2.5 pointer-cast idiom still behaves
+//! identically because offsets are preserved).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifies a struct in the [`TypeTable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StructId(pub u32);
+
+/// A resolved MiniC type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// 64-bit signed word.
+    Int,
+    /// Character (one word; see DESIGN.md).
+    Char,
+    /// No value (function returns only).
+    Void,
+    /// Pointer to another type.
+    Ptr(Box<Type>),
+    /// Fixed-size array.
+    Array(Box<Type>, usize),
+    /// A named struct.
+    Struct(StructId),
+}
+
+impl Type {
+    /// Pointer to `self`.
+    pub fn ptr_to(self) -> Type {
+        Type::Ptr(Box::new(self))
+    }
+
+    /// Whether this is any pointer type.
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, Type::Ptr(_))
+    }
+
+    /// Whether this is an arithmetic scalar (`int`/`char`).
+    pub fn is_scalar_arith(&self) -> bool {
+        matches!(self, Type::Int | Type::Char)
+    }
+
+    /// The pointee of a pointer, or the element of an array (for decay).
+    pub fn deref_target(&self) -> Option<&Type> {
+        match self {
+            Type::Ptr(t) => Some(t),
+            Type::Array(t, _) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// A struct field with its layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Field name.
+    pub name: String,
+    /// Field type.
+    pub ty: Type,
+    /// Offset from the struct base, in words.
+    pub offset: u32,
+}
+
+/// A struct's definition and layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructInfo {
+    /// Struct tag.
+    pub name: String,
+    /// Fields in declaration order.
+    pub fields: Vec<Field>,
+    /// Total size in words.
+    pub size_words: u32,
+}
+
+impl StructInfo {
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+}
+
+/// All struct definitions of a program.
+#[derive(Debug, Clone, Default)]
+pub struct TypeTable {
+    structs: Vec<StructInfo>,
+    by_name: HashMap<String, StructId>,
+}
+
+impl TypeTable {
+    /// Creates an empty table.
+    pub fn new() -> TypeTable {
+        TypeTable::default()
+    }
+
+    /// Registers a struct (fields must already be laid out). Returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already registered (the compiler checks for
+    /// duplicates before building the table).
+    pub fn insert(&mut self, info: StructInfo) -> StructId {
+        assert!(
+            !self.by_name.contains_key(&info.name),
+            "duplicate struct {}",
+            info.name
+        );
+        let id = StructId(self.structs.len() as u32);
+        self.by_name.insert(info.name.clone(), id);
+        self.structs.push(info);
+        id
+    }
+
+    /// Looks up a struct id by tag.
+    pub fn id_of(&self, name: &str) -> Option<StructId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The definition of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id from a different table.
+    pub fn info(&self, id: StructId) -> &StructInfo {
+        &self.structs[id.0 as usize]
+    }
+
+    /// Size of a type in words.
+    ///
+    /// `void` has size 0 (the compiler rejects `void` objects separately).
+    pub fn size_of(&self, ty: &Type) -> u32 {
+        match ty {
+            Type::Int | Type::Char | Type::Ptr(_) => 1,
+            Type::Void => 0,
+            Type::Array(t, n) => self.size_of(t) * (*n as u32),
+            Type::Struct(id) => self.info(*id).size_words,
+        }
+    }
+
+    /// Formats a type for diagnostics.
+    pub fn display(&self, ty: &Type) -> String {
+        match ty {
+            Type::Int => "int".into(),
+            Type::Char => "char".into(),
+            Type::Void => "void".into(),
+            Type::Ptr(t) => format!("{}*", self.display(t)),
+            Type::Array(t, n) => format!("{}[{n}]", self.display(t)),
+            Type::Struct(id) => format!("struct {}", self.info(*id).name),
+        }
+    }
+}
+
+impl fmt::Display for StructInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "struct {} ({} words)", self.name, self.size_words)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_with_foo() -> (TypeTable, StructId) {
+        // struct foo { int i; char c; } — the paper's §2.5 struct.
+        let mut t = TypeTable::new();
+        let id = t.insert(StructInfo {
+            name: "foo".into(),
+            fields: vec![
+                Field {
+                    name: "i".into(),
+                    ty: Type::Int,
+                    offset: 0,
+                },
+                Field {
+                    name: "c".into(),
+                    ty: Type::Char,
+                    offset: 1,
+                },
+            ],
+            size_words: 2,
+        });
+        (t, id)
+    }
+
+    #[test]
+    fn scalar_sizes() {
+        let t = TypeTable::new();
+        assert_eq!(t.size_of(&Type::Int), 1);
+        assert_eq!(t.size_of(&Type::Char), 1);
+        assert_eq!(t.size_of(&Type::Int.ptr_to()), 1);
+        assert_eq!(t.size_of(&Type::Void), 0);
+    }
+
+    #[test]
+    fn array_and_struct_sizes() {
+        let (t, id) = table_with_foo();
+        assert_eq!(t.size_of(&Type::Struct(id)), 2);
+        assert_eq!(t.size_of(&Type::Array(Box::new(Type::Struct(id)), 3)), 6);
+        assert_eq!(
+            t.size_of(&Type::Array(Box::new(Type::Array(Box::new(Type::Int), 4)), 2)),
+            8
+        );
+    }
+
+    #[test]
+    fn field_lookup_and_offsets() {
+        let (t, id) = table_with_foo();
+        let info = t.info(id);
+        assert_eq!(info.field("i").unwrap().offset, 0);
+        assert_eq!(info.field("c").unwrap().offset, 1);
+        assert!(info.field("zzz").is_none());
+    }
+
+    #[test]
+    fn name_lookup() {
+        let (t, id) = table_with_foo();
+        assert_eq!(t.id_of("foo"), Some(id));
+        assert_eq!(t.id_of("bar"), None);
+    }
+
+    #[test]
+    fn deref_targets() {
+        let p = Type::Int.ptr_to();
+        assert_eq!(p.deref_target(), Some(&Type::Int));
+        let a = Type::Array(Box::new(Type::Char), 4);
+        assert_eq!(a.deref_target(), Some(&Type::Char));
+        assert_eq!(Type::Int.deref_target(), None);
+    }
+
+    #[test]
+    fn display_types() {
+        let (t, id) = table_with_foo();
+        assert_eq!(t.display(&Type::Struct(id).ptr_to()), "struct foo*");
+        assert_eq!(
+            t.display(&Type::Array(Box::new(Type::Int.ptr_to()), 3)),
+            "int*[3]"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate struct")]
+    fn duplicate_struct_panics() {
+        let (mut t, _) = table_with_foo();
+        t.insert(StructInfo {
+            name: "foo".into(),
+            fields: vec![],
+            size_words: 0,
+        });
+    }
+}

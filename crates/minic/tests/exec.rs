@@ -1,0 +1,742 @@
+//! End-to-end execution tests: MiniC source → RAM IR → interpreter.
+
+use dart_minic::compile;
+use dart_ram::{Environment, ExtId, Fault, Machine, MachineConfig, Memory, StepOutcome, ZeroEnv};
+
+/// Compiles `src`, writes global initializers, calls `func` with `args`,
+/// and returns the terminal outcome.
+fn run(src: &str, func: &str, args: &[i64]) -> StepOutcome {
+    run_with_env(src, func, args, &mut ZeroEnv)
+}
+
+fn run_with_env(
+    src: &str,
+    func: &str,
+    args: &[i64],
+    env: &mut dyn Environment,
+) -> StepOutcome {
+    let compiled = compile(src).unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+    let id = compiled
+        .program
+        .func_by_name(func)
+        .unwrap_or_else(|| panic!("no function {func}"));
+    let mut m = Machine::new(&compiled.program, MachineConfig::default());
+    for &(off, v) in &compiled.global_inits {
+        m.mem_mut()
+            .store(dart_ram::GLOBAL_BASE + off as i64, v)
+            .unwrap();
+    }
+    m.call(id, args).unwrap();
+    m.run(env)
+}
+
+fn returns(src: &str, func: &str, args: &[i64]) -> i64 {
+    match run(src, func, args) {
+        StepOutcome::Finished { value: Some(v) } => v,
+        other => panic!("expected return value, got {other:?}"),
+    }
+}
+
+#[test]
+fn arithmetic_and_precedence() {
+    let src = "int f(int a, int b) { return a + b * 3 - (a - b) / 2; }";
+    assert_eq!(returns(src, "f", &[10, 4]), 10 + 12 - 3);
+}
+
+#[test]
+fn unary_operators() {
+    let src = "int f(int a) { return -a + !a + ~a; }";
+    assert_eq!(returns(src, "f", &[5]), -5 + 0 + !5);
+    assert_eq!(returns(src, "f", &[0]), 0 + 1 + !0);
+}
+
+#[test]
+fn comparisons_and_logic() {
+    let src = r#"
+        int f(int a, int b) {
+            if (a < b && b <= 10 || a == 99) return 1;
+            return 0;
+        }
+    "#;
+    assert_eq!(returns(src, "f", &[1, 5]), 1);
+    assert_eq!(returns(src, "f", &[5, 1]), 0);
+    assert_eq!(returns(src, "f", &[99, 0]), 1);
+    assert_eq!(returns(src, "f", &[1, 50]), 0);
+}
+
+#[test]
+fn short_circuit_skips_rhs() {
+    // If && were not short-circuit, *p would fault when p == NULL.
+    let src = r#"
+        int f(int take) {
+            int *p = NULL;
+            if (take != 0 && *p == 7) return 1;
+            return 0;
+        }
+    "#;
+    assert_eq!(returns(src, "f", &[0]), 0);
+    // take != 0 → rhs evaluates → NULL deref fault.
+    assert!(matches!(
+        run(src, "f", &[1]),
+        StepOutcome::Faulted(Fault::NullDeref { .. })
+    ));
+}
+
+#[test]
+fn while_and_for_loops() {
+    let src = r#"
+        int sum_to(int n) {
+            int acc = 0;
+            int i;
+            for (i = 1; i <= n; i++) acc += i;
+            return acc;
+        }
+        int count_down(int n) {
+            int c = 0;
+            while (n > 0) { n = n - 1; c = c + 1; }
+            return c;
+        }
+    "#;
+    assert_eq!(returns(src, "sum_to", &[10]), 55);
+    assert_eq!(returns(src, "count_down", &[7]), 7);
+}
+
+#[test]
+fn do_while_executes_once() {
+    let src = r#"
+        int f(int n) {
+            int c = 0;
+            do { c = c + 1; } while (n > 100);
+            return c;
+        }
+    "#;
+    assert_eq!(returns(src, "f", &[0]), 1);
+}
+
+#[test]
+fn break_and_continue() {
+    let src = r#"
+        int f(int n) {
+            int acc = 0;
+            int i;
+            for (i = 0; i < n; i++) {
+                if (i == 3) continue;
+                if (i == 6) break;
+                acc += i;
+            }
+            return acc;
+        }
+    "#;
+    // 0+1+2+4+5 = 12
+    assert_eq!(returns(src, "f", &[100]), 12);
+}
+
+#[test]
+fn nested_loops_with_break() {
+    let src = r#"
+        int f(int n) {
+            int total = 0;
+            int i; int j;
+            for (i = 0; i < n; i++) {
+                for (j = 0; j < n; j++) {
+                    if (j > i) break;
+                    total += 1;
+                }
+            }
+            return total;
+        }
+    "#;
+    // sum_{i=0}^{3} (i+1) = 10 for n=4
+    assert_eq!(returns(src, "f", &[4]), 10);
+}
+
+#[test]
+fn recursion_fibonacci() {
+    let src = r#"
+        int fib(int n) {
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+    "#;
+    assert_eq!(returns(src, "fib", &[10]), 55);
+}
+
+#[test]
+fn mutual_recursion() {
+    let src = r#"
+        int is_odd(int n);
+        int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+        int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+    "#;
+    assert_eq!(returns(src, "is_even", &[10]), 1);
+    assert_eq!(returns(src, "is_odd", &[10]), 0);
+}
+
+#[test]
+fn globals_and_initializers() {
+    let src = r#"
+        int counter = 5;
+        int bump(int d) { counter += d; return counter; }
+    "#;
+    assert_eq!(returns(src, "bump", &[3]), 8);
+}
+
+#[test]
+fn pointers_and_address_of() {
+    let src = r#"
+        int f(int x) {
+            int *p = &x;
+            *p = *p + 1;
+            return x;
+        }
+    "#;
+    assert_eq!(returns(src, "f", &[41]), 42);
+}
+
+#[test]
+fn pointer_swap_through_function() {
+    let src = r#"
+        void swap(int *a, int *b) { int t = *a; *a = *b; *b = t; }
+        int f(int x, int y) {
+            swap(&x, &y);
+            return x * 100 + y;
+        }
+    "#;
+    assert_eq!(returns(src, "f", &[3, 4]), 403);
+}
+
+#[test]
+fn arrays_and_indexing() {
+    let src = r#"
+        int f(int n) {
+            int a[5];
+            int i;
+            for (i = 0; i < 5; i++) a[i] = i * i;
+            return a[n];
+        }
+    "#;
+    assert_eq!(returns(src, "f", &[3]), 9);
+}
+
+#[test]
+fn array_out_of_bounds_faults() {
+    let src = r#"
+        int g[4];
+        int f(int n) { return g[n]; }
+    "#;
+    assert!(matches!(run(src, "f", &[2]), StepOutcome::Finished { .. }));
+    assert!(matches!(
+        run(src, "f", &[100]),
+        StepOutcome::Faulted(Fault::OutOfBounds { .. })
+    ));
+}
+
+#[test]
+fn structs_fields_and_arrow() {
+    let src = r#"
+        struct point { int x; int y; };
+        int f(int a, int b) {
+            struct point p;
+            struct point *q = &p;
+            p.x = a;
+            q->y = b;
+            return p.x * 1000 + q->y;
+        }
+    "#;
+    assert_eq!(returns(src, "f", &[12, 34]), 12034);
+}
+
+#[test]
+fn struct_copy_assignment() {
+    let src = r#"
+        struct pair { int a; int b; };
+        int f() {
+            struct pair x;
+            struct pair y;
+            x.a = 7; x.b = 9;
+            y = x;
+            x.a = 0;
+            return y.a * 10 + y.b;
+        }
+    "#;
+    assert_eq!(returns(src, "f", &[]), 79);
+}
+
+#[test]
+fn nested_structs() {
+    let src = r#"
+        struct inner { int v; };
+        struct outer { struct inner i; int w; };
+        int f() {
+            struct outer o;
+            o.i.v = 3;
+            o.w = 4;
+            return o.i.v + o.w;
+        }
+    "#;
+    assert_eq!(returns(src, "f", &[]), 7);
+}
+
+#[test]
+fn linked_list_via_malloc() {
+    let src = r#"
+        struct node { int v; struct node *next; };
+        int f(int n) {
+            struct node *head = NULL;
+            int i;
+            for (i = 0; i < n; i++) {
+                struct node *fresh = (struct node *) malloc(sizeof(struct node));
+                fresh->v = i;
+                fresh->next = head;
+                head = fresh;
+            }
+            int sum = 0;
+            while (head != NULL) { sum += head->v; head = head->next; }
+            return sum;
+        }
+    "#;
+    assert_eq!(returns(src, "f", &[5]), 10);
+}
+
+#[test]
+fn paper_2_5_pointer_cast_aliasing() {
+    // The paper's §2.5 example: writing through a cast alias must reach a->c.
+    let src = r#"
+        struct foo { int i; char c; };
+        int bar(struct foo *a) {
+            if (a->c == 0) {
+                *((char *)a + sizeof(int)) = 1;
+                if (a->c != 0) return 1; /* the paper aborts here */
+            }
+            return 0;
+        }
+        int f() {
+            struct foo *a = (struct foo *) malloc(sizeof(struct foo));
+            a->i = 0; a->c = 0;
+            return bar(a);
+        }
+    "#;
+    assert_eq!(returns(src, "f", &[]), 1);
+}
+
+#[test]
+fn pointer_arithmetic_scaling() {
+    let src = r#"
+        struct wide { int a; int b; int c; };
+        int f() {
+            struct wide arr[3];
+            struct wide *p = arr;
+            arr[2].b = 99;
+            p = p + 2;
+            return p->b;
+        }
+    "#;
+    assert_eq!(returns(src, "f", &[]), 99);
+}
+
+#[test]
+fn pointer_difference() {
+    let src = r#"
+        int f() {
+            int a[10];
+            int *p = &a[7];
+            int *q = &a[2];
+            return p - q;
+        }
+    "#;
+    assert_eq!(returns(src, "f", &[]), 5);
+}
+
+#[test]
+fn ternary_expression() {
+    let src = "int f(int a) { return a > 0 ? a : -a; }";
+    assert_eq!(returns(src, "f", &[-9]), 9);
+    assert_eq!(returns(src, "f", &[4]), 4);
+}
+
+#[test]
+fn logical_value_materialization() {
+    let src = "int f(int a, int b) { int r = a && b; return r * 10 + (a || b); }";
+    assert_eq!(returns(src, "f", &[2, 3]), 11);
+    assert_eq!(returns(src, "f", &[0, 3]), 1);
+    assert_eq!(returns(src, "f", &[0, 0]), 0);
+}
+
+#[test]
+fn inc_dec_semantics() {
+    let src = r#"
+        int f() {
+            int x = 5;
+            int a = x++;
+            int b = ++x;
+            int c = x--;
+            int d = --x;
+            return a * 1000 + b * 100 + c * 10 + d;
+        }
+    "#;
+    // a=5 (x=6), b=7 (x=7), c=7 (x=6), d=5 (x=5)
+    assert_eq!(returns(src, "f", &[]), 5775);
+}
+
+#[test]
+fn abort_statement() {
+    let src = "void f(int x) { if (x == 42) abort(); }";
+    assert!(matches!(run(src, "f", &[42]), StepOutcome::Aborted { .. }));
+    assert!(matches!(run(src, "f", &[0]), StepOutcome::Finished { .. }));
+}
+
+#[test]
+fn assert_statement() {
+    let src = "void f(int x) { assert(x > 0); }";
+    match run(src, "f", &[-1]) {
+        StepOutcome::Aborted { reason } => assert!(reason.contains("assertion failed")),
+        other => panic!("expected abort, got {other:?}"),
+    }
+    assert!(matches!(run(src, "f", &[1]), StepOutcome::Finished { .. }));
+}
+
+#[test]
+fn division_by_zero_faults() {
+    let src = "int f(int a, int b) { return a / b; }";
+    assert_eq!(returns(src, "f", &[7, 2]), 3);
+    assert!(matches!(
+        run(src, "f", &[7, 0]),
+        StepOutcome::Faulted(Fault::DivisionByZero)
+    ));
+}
+
+#[test]
+fn null_dereference_crash() {
+    let src = r#"
+        struct s { int v; };
+        int f(int go) {
+            struct s *p = NULL;
+            if (go) return p->v;
+            return 0;
+        }
+    "#;
+    assert!(matches!(
+        run(src, "f", &[1]),
+        StepOutcome::Faulted(Fault::NullDeref { .. })
+    ));
+}
+
+#[test]
+fn infinite_loop_detected() {
+    let src = "void f() { while (1) { } }";
+    assert_eq!(run(src, "f", &[]), StepOutcome::OutOfSteps);
+}
+
+#[test]
+fn alloca_null_on_huge_request() {
+    let src = r#"
+        int f(int n) {
+            int *p = (int *) alloca(n);
+            if (p == NULL) return -1;
+            *p = 7;
+            return *p;
+        }
+    "#;
+    assert_eq!(returns(src, "f", &[16]), 7);
+    assert_eq!(returns(src, "f", &[1 << 40]), -1);
+}
+
+#[test]
+fn extern_function_values_from_environment() {
+    struct Script(Vec<i64>);
+    impl Environment for Script {
+        fn external_value(&mut self, _e: ExtId, _m: &mut Memory) -> i64 {
+            self.0.remove(0)
+        }
+    }
+    let src = r#"
+        extern int read_input();
+        int f() { return read_input() * 10 + read_input(); }
+    "#;
+    let out = run_with_env(src, "f", &[], &mut Script(vec![4, 2]));
+    assert_eq!(out, StepOutcome::Finished { value: Some(42) });
+}
+
+#[test]
+fn undeclared_function_becomes_external() {
+    struct FortyTwo;
+    impl Environment for FortyTwo {
+        fn external_value(&mut self, _e: ExtId, _m: &mut Memory) -> i64 {
+            42
+        }
+    }
+    // `mystery` is never declared — §3.1: undefined references are the
+    // external interface.
+    let src = "int f() { return mystery(); }";
+    let compiled = compile(src).unwrap();
+    assert_eq!(compiled.extern_fns.len(), 1);
+    assert_eq!(compiled.extern_fns[0].name, "mystery");
+    let out = run_with_env(src, "f", &[], &mut FortyTwo);
+    assert_eq!(out, StepOutcome::Finished { value: Some(42) });
+}
+
+#[test]
+fn extern_vars_listed_in_interface() {
+    let src = r#"
+        extern int config;
+        int f() { return config; }
+    "#;
+    let compiled = compile(src).unwrap();
+    assert_eq!(compiled.extern_vars.len(), 1);
+    assert_eq!(compiled.extern_vars[0].name, "config");
+}
+
+#[test]
+fn char_behaves_as_word() {
+    let src = r#"
+        int f() {
+            char c = 'A';
+            c = c + 1;
+            return c;
+        }
+    "#;
+    assert_eq!(returns(src, "f", &[]), 'B' as i64);
+}
+
+#[test]
+fn sizeof_counts_words() {
+    let src = r#"
+        struct s { int a; int b; int c; };
+        int f() { return sizeof(struct s) + sizeof(int) + sizeof(int *); }
+    "#;
+    assert_eq!(returns(src, "f", &[]), 5);
+}
+
+#[test]
+fn two_dimensional_arrays() {
+    let src = r#"
+        int f() {
+            int m[3][4];
+            int i; int j;
+            for (i = 0; i < 3; i++)
+                for (j = 0; j < 4; j++)
+                    m[i][j] = i * 10 + j;
+            return m[2][3];
+        }
+    "#;
+    assert_eq!(returns(src, "f", &[]), 23);
+}
+
+#[test]
+fn array_of_pointers() {
+    let src = r#"
+        int f() {
+            int a = 1; int b = 2; int c = 3;
+            int *arr[3];
+            arr[0] = &a; arr[1] = &b; arr[2] = &c;
+            *arr[1] = 20;
+            return a + b + c;
+        }
+    "#;
+    assert_eq!(returns(src, "f", &[]), 24);
+}
+
+#[test]
+fn paper_ac_controller_concrete() {
+    let src = r#"
+        int is_room_hot = 0;
+        int is_door_closed = 0;
+        int ac = 0;
+        void ac_controller(int message) {
+            if (message == 0) is_room_hot = 1;
+            if (message == 1) is_room_hot = 0;
+            if (message == 2) { is_door_closed = 0; ac = 0; }
+            if (message == 3) {
+                is_door_closed = 1;
+                if (is_room_hot) ac = 1;
+            }
+            if (is_room_hot && is_door_closed && !ac) abort();
+        }
+    "#;
+    // A single message can never violate the assertion.
+    for msg in [0, 1, 2, 3, 99] {
+        assert!(
+            matches!(run(src, "ac_controller", &[msg]), StepOutcome::Finished { .. }),
+            "message {msg}"
+        );
+    }
+    // But the 3-then-0 sequence does (needs persistent globals).
+    let compiled = compile(src).unwrap();
+    let id = compiled.program.func_by_name("ac_controller").unwrap();
+    let mut m = Machine::new(&compiled.program, MachineConfig::default());
+    m.call(id, &[3]).unwrap();
+    assert!(matches!(m.run(&mut ZeroEnv), StepOutcome::Finished { .. }));
+    m.call(id, &[0]).unwrap();
+    assert!(matches!(m.run(&mut ZeroEnv), StepOutcome::Aborted { .. }));
+}
+
+#[test]
+fn compile_errors_are_reported() {
+    for (src, needle) in [
+        ("int f() { return x; }", "unknown variable"),
+        ("int f(int a) { return a.b; }", "member access"),
+        ("int f(int a) { return *a; }", "cannot dereference"),
+        ("int f() { break; }", "outside a loop"),
+        ("struct s { struct s inner; };", "recursively contains"),
+        ("int x = y;", "must be constant"),
+        ("struct t { int a; }; int f(struct t v) { return 0; }", "scalar or pointer"),
+        ("int f() { return g(1); } int g(int a, int b) { return a; }", "expects 2"),
+        ("int f() { 3 = 4; }", "not an lvalue"),
+        ("int f(); int f() { return 0; } int f() { return 1; }", "duplicate function"),
+    ] {
+        match compile(src) {
+            Err(e) => assert!(
+                e.message().contains(needle),
+                "error `{e}` should mention `{needle}`"
+            ),
+            Ok(_) => panic!("expected error for: {src}"),
+        }
+    }
+}
+
+#[test]
+fn global_struct_and_array_zeroed() {
+    let src = r#"
+        struct s { int a; int b; };
+        struct s gs;
+        int ga[4];
+        int f() { return gs.a + gs.b + ga[0] + ga[3]; }
+    "#;
+    assert_eq!(returns(src, "f", &[]), 0);
+}
+
+#[test]
+fn stack_overflow_on_runaway_recursion() {
+    let src = "int f(int n) { return f(n + 1); }";
+    assert!(matches!(
+        run(src, "f", &[0]),
+        StepOutcome::Faulted(Fault::StackOverflow)
+    ));
+}
+
+#[test]
+fn use_after_return_faults() {
+    let src = r#"
+        int *leak() { int local = 5; return &local; }
+        int f() { int *p = leak(); return *p; }
+    "#;
+    assert!(matches!(
+        run(src, "f", &[]),
+        StepOutcome::Faulted(Fault::OutOfBounds { .. })
+    ));
+}
+
+#[test]
+fn bit_operations() {
+    let src = "int f(int a, int b) { return (a & b) + (a | b) + (a ^ b) + (a << 2) + (a >> 1); }";
+    let (a, b) = (12i64, 10i64);
+    assert_eq!(
+        returns(src, "f", &[a, b]),
+        (a & b) + (a | b) + (a ^ b) + (a << 2) + (a >> 1)
+    );
+}
+
+#[test]
+fn remainder_and_negative_division() {
+    let src = "int f(int a, int b) { return a % b * 100 + a / b; }";
+    assert_eq!(returns(src, "f", &[-7, 2]), -1 * 100 + -3);
+}
+
+#[test]
+fn void_function_returns_nothing() {
+    let src = r#"
+        int g = 0;
+        void set(int v) { g = v; }
+        int f() { set(9); return g; }
+    "#;
+    assert_eq!(returns(src, "f", &[]), 9);
+}
+
+#[test]
+fn assume_halts_silently_when_false() {
+    // assume(e) encodes a precondition (paper §6): a violated assumption
+    // ends the run normally — it is not a bug.
+    let src = r#"
+        int f(int x) {
+            assume(x > 0);
+            assert(x != 13);
+            return x;
+        }
+    "#;
+    assert!(matches!(run(src, "f", &[5]), StepOutcome::Finished { .. }));
+    assert!(matches!(run(src, "f", &[-5]), StepOutcome::Halted));
+    assert!(matches!(run(src, "f", &[13]), StepOutcome::Aborted { .. }));
+}
+
+#[test]
+fn switch_dispatch_and_fallthrough() {
+    let src = r#"
+        int f(int x) {
+            int r = 0;
+            switch (x) {
+                case 1:
+                    r = 10;
+                    break;
+                case 2:
+                    r = 20;          /* falls through into case 3 */
+                case 3:
+                    r = r + 1;
+                    break;
+                case -4:
+                    return -44;
+                default:
+                    r = 99;
+            }
+            return r;
+        }
+    "#;
+    assert_eq!(returns(src, "f", &[1]), 10);
+    assert_eq!(returns(src, "f", &[2]), 21); // fallthrough
+    assert_eq!(returns(src, "f", &[3]), 1);
+    assert_eq!(returns(src, "f", &[-4]), -44);
+    assert_eq!(returns(src, "f", &[7]), 99);
+}
+
+#[test]
+fn switch_without_default_skips() {
+    let src = r#"
+        int f(int x) {
+            int r = 5;
+            switch (x) { case 1: r = 1; break; }
+            return r;
+        }
+    "#;
+    assert_eq!(returns(src, "f", &[1]), 1);
+    assert_eq!(returns(src, "f", &[2]), 5);
+}
+
+#[test]
+fn continue_inside_switch_binds_to_loop() {
+    let src = r#"
+        int f(int n) {
+            int total = 0;
+            int i;
+            for (i = 0; i < n; i++) {
+                switch (i % 3) {
+                    case 0:
+                        continue;    /* next loop iteration, not the switch */
+                    case 1:
+                        total += 10;
+                        break;
+                    default:
+                        total += 1;
+                }
+            }
+            return total;
+        }
+    "#;
+    // i = 0..6: i%3 = 0,1,2,0,1,2 -> 10+1+10+1 = 22
+    assert_eq!(returns(src, "f", &[6]), 22);
+}
+
+#[test]
+fn switch_errors() {
+    assert!(compile("int f(int x) { switch (x) { case 1: break; case 1: break; } return 0; }").is_err());
+    assert!(compile("int f(int x) { switch (x) { default: break; case 1: break; } return 0; }").is_err());
+    assert!(compile("int f(int x) { switch (x) { case 1: break; default: break; default: break; } return 0; }").is_err());
+}

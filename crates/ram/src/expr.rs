@@ -1,0 +1,376 @@
+//! RAM-machine expressions and their concrete evaluation.
+//!
+//! Mirrors the paper's §2.2: "a symbolic expression … can be of the form m
+//! (a memory address), c (a constant), *(e,e'), ¬(e), *e (pointer
+//! dereference), etc. Expressions have no side-effects." Concretely, an
+//! expression reads memory through [`MemView`] and produces a 64-bit word.
+//! Arithmetic wraps (C semantics on the machine's word size); division by
+//! zero and invalid memory reads surface as [`Fault`]s.
+
+use crate::memory::Fault;
+use std::fmt;
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation `-e` (wrapping).
+    Neg,
+    /// Logical not `!e` (1 if zero, else 0).
+    Not,
+    /// Bitwise complement `~e`.
+    BitNot,
+}
+
+/// Binary operators. Comparisons yield 0 or 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Truncated division; faults on divisor 0.
+    Div,
+    /// Remainder; faults on divisor 0.
+    Rem,
+    /// Equality test.
+    Eq,
+    /// Disequality test.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Bitwise and.
+    BitAnd,
+    /// Bitwise or.
+    BitOr,
+    /// Bitwise xor.
+    BitXor,
+    /// Left shift (count masked to the word size).
+    Shl,
+    /// Arithmetic right shift (count masked to the word size).
+    Shr,
+}
+
+impl BinOp {
+    /// Whether this operator is a comparison producing 0/1.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+}
+
+/// A side-effect-free RAM expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A constant word.
+    Const(i64),
+    /// Read the word at the address denoted by the inner expression.
+    Load(Box<Expr>),
+    /// The base address of the current stack frame (used to address locals
+    /// and parameters; always concrete).
+    FrameBase,
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for a load.
+    pub fn load(addr: Expr) -> Expr {
+        Expr::Load(Box::new(addr))
+    }
+
+    /// Convenience constructor for a unary op.
+    pub fn unary(op: UnOp, e: Expr) -> Expr {
+        Expr::Unary(op, Box::new(e))
+    }
+
+    /// Convenience constructor for a binary op.
+    pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Address of a local/parameter slot: `FrameBase + offset`.
+    pub fn frame_slot(offset: u32) -> Expr {
+        Expr::binary(
+            BinOp::Add,
+            Expr::FrameBase,
+            Expr::Const(offset as i64),
+        )
+    }
+
+    /// Read of a local/parameter slot.
+    pub fn local(offset: u32) -> Expr {
+        Expr::load(Expr::frame_slot(offset))
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(c) => write!(f, "{c}"),
+            Expr::Load(a) => write!(f, "*({a})"),
+            Expr::FrameBase => write!(f, "bp"),
+            Expr::Unary(op, e) => {
+                let s = match op {
+                    UnOp::Neg => "-",
+                    UnOp::Not => "!",
+                    UnOp::BitNot => "~",
+                };
+                write!(f, "{s}({e})")
+            }
+            Expr::Binary(op, l, r) => {
+                let s = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::Rem => "%",
+                    BinOp::Eq => "==",
+                    BinOp::Ne => "!=",
+                    BinOp::Lt => "<",
+                    BinOp::Le => "<=",
+                    BinOp::Gt => ">",
+                    BinOp::Ge => ">=",
+                    BinOp::BitAnd => "&",
+                    BinOp::BitOr => "|",
+                    BinOp::BitXor => "^",
+                    BinOp::Shl => "<<",
+                    BinOp::Shr => ">>",
+                };
+                write!(f, "({l} {s} {r})")
+            }
+        }
+    }
+}
+
+/// Read-only view of machine state used by expression evaluation.
+///
+/// Both the interpreter's concrete evaluation and the symbolic layer's
+/// fallback path (paper Fig. 1, `evaluate_concrete`) go through this trait so
+/// their semantics cannot diverge.
+pub trait MemView {
+    /// Reads the word at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Fault`] for unmapped or null addresses.
+    fn load(&self, addr: i64) -> Result<i64, Fault>;
+
+    /// Base address of the current stack frame.
+    fn frame_base(&self) -> i64;
+}
+
+/// Evaluates `e` concretely against `view`.
+///
+/// # Errors
+///
+/// Propagates memory faults from loads; reports [`Fault::DivisionByZero`]
+/// for `/` and `%` with a zero divisor.
+pub fn eval_concrete(e: &Expr, view: &dyn MemView) -> Result<i64, Fault> {
+    match e {
+        Expr::Const(c) => Ok(*c),
+        Expr::FrameBase => Ok(view.frame_base()),
+        Expr::Load(a) => {
+            let addr = eval_concrete(a, view)?;
+            view.load(addr)
+        }
+        Expr::Unary(op, inner) => {
+            let v = eval_concrete(inner, view)?;
+            Ok(match op {
+                UnOp::Neg => v.wrapping_neg(),
+                UnOp::Not => i64::from(v == 0),
+                UnOp::BitNot => !v,
+            })
+        }
+        Expr::Binary(op, l, r) => {
+            let a = eval_concrete(l, view)?;
+            let b = eval_concrete(r, view)?;
+            apply_binop(*op, a, b)
+        }
+    }
+}
+
+/// Applies a binary operator to two concrete words.
+///
+/// # Errors
+///
+/// [`Fault::DivisionByZero`] for `/` or `%` by zero.
+pub fn apply_binop(op: BinOp, a: i64, b: i64) -> Result<i64, Fault> {
+    Ok(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => {
+            if b == 0 {
+                return Err(Fault::DivisionByZero);
+            }
+            a.wrapping_div(b)
+        }
+        BinOp::Rem => {
+            if b == 0 {
+                return Err(Fault::DivisionByZero);
+            }
+            a.wrapping_rem(b)
+        }
+        BinOp::Eq => i64::from(a == b),
+        BinOp::Ne => i64::from(a != b),
+        BinOp::Lt => i64::from(a < b),
+        BinOp::Le => i64::from(a <= b),
+        BinOp::Gt => i64::from(a > b),
+        BinOp::Ge => i64::from(a >= b),
+        BinOp::BitAnd => a & b,
+        BinOp::BitOr => a | b,
+        BinOp::BitXor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+        BinOp::Shr => a.wrapping_shr(b as u32 & 63),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    struct FakeMem {
+        cells: HashMap<i64, i64>,
+        bp: i64,
+    }
+
+    impl MemView for FakeMem {
+        fn load(&self, addr: i64) -> Result<i64, Fault> {
+            self.cells
+                .get(&addr)
+                .copied()
+                .ok_or(Fault::OutOfBounds { addr })
+        }
+        fn frame_base(&self) -> i64 {
+            self.bp
+        }
+    }
+
+    fn mem(pairs: &[(i64, i64)]) -> FakeMem {
+        FakeMem {
+            cells: pairs.iter().copied().collect(),
+            bp: 1000,
+        }
+    }
+
+    #[test]
+    fn constants_and_arith() {
+        let m = mem(&[]);
+        let e = Expr::binary(
+            BinOp::Add,
+            Expr::Const(2),
+            Expr::binary(BinOp::Mul, Expr::Const(3), Expr::Const(4)),
+        );
+        assert_eq!(eval_concrete(&e, &m), Ok(14));
+    }
+
+    #[test]
+    fn loads_and_frame_slots() {
+        let m = mem(&[(1000, 7), (1001, 9)]);
+        assert_eq!(eval_concrete(&Expr::local(0), &m), Ok(7));
+        assert_eq!(eval_concrete(&Expr::local(1), &m), Ok(9));
+        assert_eq!(eval_concrete(&Expr::frame_slot(1), &m), Ok(1001));
+    }
+
+    #[test]
+    fn nested_pointer_dereference() {
+        // cell 1000 holds address 2000, cell 2000 holds 42: **bp == 42
+        let m = mem(&[(1000, 2000), (2000, 42)]);
+        let e = Expr::load(Expr::local(0));
+        assert_eq!(eval_concrete(&e, &m), Ok(42));
+    }
+
+    #[test]
+    fn load_fault_propagates() {
+        let m = mem(&[]);
+        assert_eq!(
+            eval_concrete(&Expr::load(Expr::Const(5)), &m),
+            Err(Fault::OutOfBounds { addr: 5 })
+        );
+    }
+
+    #[test]
+    fn division_by_zero_faults() {
+        let m = mem(&[]);
+        for op in [BinOp::Div, BinOp::Rem] {
+            let e = Expr::binary(op, Expr::Const(1), Expr::Const(0));
+            assert_eq!(eval_concrete(&e, &m), Err(Fault::DivisionByZero));
+        }
+    }
+
+    #[test]
+    fn comparisons_yield_bits() {
+        let m = mem(&[]);
+        let cases = [
+            (BinOp::Eq, 3, 3, 1),
+            (BinOp::Eq, 3, 4, 0),
+            (BinOp::Ne, 3, 4, 1),
+            (BinOp::Lt, -1, 0, 1),
+            (BinOp::Le, 0, 0, 1),
+            (BinOp::Gt, 5, 4, 1),
+            (BinOp::Ge, 4, 5, 0),
+        ];
+        for (op, a, b, want) in cases {
+            let e = Expr::binary(op, Expr::Const(a), Expr::Const(b));
+            assert_eq!(eval_concrete(&e, &m), Ok(want), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn unary_ops() {
+        let m = mem(&[]);
+        assert_eq!(
+            eval_concrete(&Expr::unary(UnOp::Neg, Expr::Const(5)), &m),
+            Ok(-5)
+        );
+        assert_eq!(
+            eval_concrete(&Expr::unary(UnOp::Not, Expr::Const(0)), &m),
+            Ok(1)
+        );
+        assert_eq!(
+            eval_concrete(&Expr::unary(UnOp::Not, Expr::Const(7)), &m),
+            Ok(0)
+        );
+        assert_eq!(
+            eval_concrete(&Expr::unary(UnOp::BitNot, Expr::Const(0)), &m),
+            Ok(-1)
+        );
+    }
+
+    #[test]
+    fn wrapping_arithmetic() {
+        let m = mem(&[]);
+        let e = Expr::binary(BinOp::Add, Expr::Const(i64::MAX), Expr::Const(1));
+        assert_eq!(eval_concrete(&e, &m), Ok(i64::MIN));
+        let e = Expr::binary(BinOp::Mul, Expr::Const(i64::MAX), Expr::Const(2));
+        assert_eq!(eval_concrete(&e, &m), Ok(-2));
+    }
+
+    #[test]
+    fn shift_counts_masked() {
+        let m = mem(&[]);
+        let e = Expr::binary(BinOp::Shl, Expr::Const(1), Expr::Const(65));
+        assert_eq!(eval_concrete(&e, &m), Ok(2));
+        let e = Expr::binary(BinOp::Shr, Expr::Const(-8), Expr::Const(1));
+        assert_eq!(eval_concrete(&e, &m), Ok(-4)); // arithmetic shift
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Expr::binary(BinOp::Add, Expr::local(0), Expr::Const(10));
+        assert_eq!(e.to_string(), "(*((bp + 0)) + 10)");
+    }
+}

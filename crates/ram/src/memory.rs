@@ -1,0 +1,370 @@
+//! The RAM machine's word-addressed memory with block-granular validity.
+//!
+//! The paper's machine (§2.2) maps addresses to words. We additionally track
+//! which address ranges are *mapped* (globals, live stack frames, heap
+//! blocks, stack `alloca` blocks) so that NULL dereferences, out-of-bounds
+//! accesses and use-after-return become observable [`Fault`]s — these are
+//! exactly the "crashes" the oSIP study (§4.3) counts.
+//!
+//! Design notes:
+//! * **Word addressing.** Every scalar occupies one 64-bit word and `sizeof`
+//!   counts words (see DESIGN.md). Address 0 is NULL and never mapped.
+//! * **Regions.** Globals live at [`GLOBAL_BASE`], stack frames and `alloca`
+//!   blocks grow from [`STACK_BASE`], heap blocks from [`HEAP_BASE`]. The
+//!   gaps between regions are generous enough that blocks never collide.
+//! * **Sparse cells.** Contents are a hash map; mapped-but-unwritten cells
+//!   read as 0 (deterministic, like a zeroing allocator).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// First global address.
+pub const GLOBAL_BASE: i64 = 0x1000;
+/// First stack address (frames and `alloca` blocks).
+pub const STACK_BASE: i64 = 0x1_0000_0000;
+/// First heap address.
+pub const HEAP_BASE: i64 = 0x100_0000_0000;
+
+/// A memory access or arithmetic fault — the RAM-machine analogue of a
+/// crash (SIGSEGV / SIGFPE). DART reports these as bugs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// Dereference of the NULL address (or an address inside the guard page
+    /// right above it).
+    NullDeref {
+        /// The faulting address.
+        addr: i64,
+    },
+    /// Access to an unmapped or freed address.
+    OutOfBounds {
+        /// The faulting address.
+        addr: i64,
+    },
+    /// Integer division or remainder by zero.
+    DivisionByZero,
+    /// Too many nested calls (stack exhaustion via recursion).
+    StackOverflow,
+    /// Control transfer outside the program text.
+    BadJump {
+        /// The bad statement label.
+        label: usize,
+    },
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::NullDeref { addr } => write!(f, "null dereference at address {addr}"),
+            Fault::OutOfBounds { addr } => write!(f, "out-of-bounds access at address {addr}"),
+            Fault::DivisionByZero => write!(f, "division by zero"),
+            Fault::StackOverflow => write!(f, "call stack overflow"),
+            Fault::BadJump { label } => write!(f, "jump to invalid label {label}"),
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+/// Where a mapped block lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// Program globals (always live).
+    Global,
+    /// A stack frame or `alloca` block.
+    Stack,
+    /// A heap (`malloc`) block.
+    Heap,
+}
+
+#[derive(Debug, Clone)]
+struct Block {
+    len: i64,
+    live: bool,
+    region: Region,
+}
+
+/// The machine memory: sparse cells plus a block table for validity.
+#[derive(Debug, Clone)]
+pub struct Memory {
+    cells: HashMap<i64, i64>,
+    blocks: BTreeMap<i64, Block>,
+    stack_top: i64,
+    heap_top: i64,
+    /// Remaining stack words available to `alloca` (models the bounded
+    /// process stack of the paper's oSIP attack; `alloca` beyond this
+    /// returns NULL instead of a block).
+    stack_budget: i64,
+}
+
+/// Number of guard words above NULL that classify as a null dereference
+/// rather than a generic out-of-bounds (mirrors a page-zero guard).
+const NULL_GUARD: i64 = 0x1000;
+
+impl Memory {
+    /// Creates a memory with `global_words` mapped at [`GLOBAL_BASE`] and
+    /// the given `alloca` budget in words.
+    pub fn new(global_words: u32, stack_budget: i64) -> Memory {
+        let mut blocks = BTreeMap::new();
+        if global_words > 0 {
+            blocks.insert(
+                GLOBAL_BASE,
+                Block {
+                    len: global_words as i64,
+                    live: true,
+                    region: Region::Global,
+                },
+            );
+        }
+        Memory {
+            cells: HashMap::new(),
+            blocks,
+            stack_top: STACK_BASE,
+            heap_top: HEAP_BASE,
+            stack_budget,
+        }
+    }
+
+    /// Checks that `addr` falls inside a live block.
+    fn check(&self, addr: i64) -> Result<(), Fault> {
+        if (0..NULL_GUARD).contains(&addr) {
+            return Err(Fault::NullDeref { addr });
+        }
+        match self.blocks.range(..=addr).next_back() {
+            Some((&start, b)) if b.live && addr < start + b.len => Ok(()),
+            _ => Err(Fault::OutOfBounds { addr }),
+        }
+    }
+
+    /// Reads the word at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Faults on NULL, unmapped, or dead addresses. Mapped-but-unwritten
+    /// cells read as 0.
+    pub fn load(&self, addr: i64) -> Result<i64, Fault> {
+        self.check(addr)?;
+        Ok(self.cells.get(&addr).copied().unwrap_or(0))
+    }
+
+    /// Writes the word at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Same fault conditions as [`Memory::load`].
+    pub fn store(&mut self, addr: i64, value: i64) -> Result<(), Fault> {
+        self.check(addr)?;
+        self.cells.insert(addr, value);
+        Ok(())
+    }
+
+    /// Whether `addr` is currently mapped and live.
+    pub fn is_mapped(&self, addr: i64) -> bool {
+        self.check(addr).is_ok()
+    }
+
+    /// Allocates a heap block of `words` cells, returning its base address.
+    /// Zero-word requests still return a fresh, unique (but empty) block.
+    /// Negative sizes (a `size_t` wraparound in C terms) yield 0 (NULL) —
+    /// allocation failure is a value, not a crash; the crash happens when
+    /// the unchecked NULL is dereferenced, as in the paper's oSIP attack.
+    pub fn alloc_heap(&mut self, words: i64) -> i64 {
+        if words < 0 {
+            return 0;
+        }
+        let base = self.heap_top;
+        self.blocks.insert(
+            base,
+            Block {
+                len: words,
+                live: true,
+                region: Region::Heap,
+            },
+        );
+        // Pad by one word so adjacent blocks never merge logically.
+        self.heap_top += words + 1;
+        base
+    }
+
+    /// Allocates a stack (`alloca`) block of `words` cells, returning its
+    /// base address.
+    ///
+    /// Returns 0 (NULL) when the request is negative or exceeds the
+    /// remaining stack budget — exactly the failure mode behind the paper's
+    /// oSIP parser attack (§4.3: an unchecked `alloca` of a >2.5 MB message
+    /// returns NULL and the parser crashes downstream).
+    pub fn alloc_stack(&mut self, words: i64) -> i64 {
+        if words < 0 || words > self.stack_budget {
+            return 0;
+        }
+        self.stack_budget -= words;
+        let base = self.stack_top;
+        self.blocks.insert(
+            base,
+            Block {
+                len: words,
+                live: true,
+                region: Region::Stack,
+            },
+        );
+        self.stack_top += words + 1;
+        base
+    }
+
+    /// Pushes a stack frame of `words` cells and returns its base.
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::StackOverflow`] when the frame exceeds the stack budget.
+    pub fn push_frame(&mut self, words: u32) -> Result<i64, Fault> {
+        let words = words as i64;
+        if words > self.stack_budget {
+            return Err(Fault::StackOverflow);
+        }
+        self.stack_budget -= words;
+        let base = self.stack_top;
+        self.blocks.insert(
+            base,
+            Block {
+                len: words,
+                live: true,
+                region: Region::Stack,
+            },
+        );
+        self.stack_top += words + 1;
+        Ok(base)
+    }
+
+    /// Marks the frame at `base` dead; later accesses fault
+    /// (use-after-return detection). The budget is returned to the stack.
+    pub fn pop_frame(&mut self, base: i64) {
+        if let Some(b) = self.blocks.get_mut(&base) {
+            debug_assert_eq!(b.region, Region::Stack);
+            b.live = false;
+            self.stack_budget += b.len;
+        }
+    }
+
+    /// Remaining `alloca`/frame budget in words.
+    pub fn stack_budget(&self) -> i64 {
+        self.stack_budget
+    }
+
+    /// The length of the live block at exactly `base`, if any. Useful for
+    /// diagnostics and the driver's input registration.
+    pub fn block_len(&self, base: i64) -> Option<i64> {
+        self.blocks
+            .get(&base)
+            .filter(|b| b.live)
+            .map(|b| b.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> Memory {
+        Memory::new(8, 1 << 20)
+    }
+
+    #[test]
+    fn globals_are_mapped_and_zeroed() {
+        let m = mem();
+        assert_eq!(m.load(GLOBAL_BASE), Ok(0));
+        assert_eq!(m.load(GLOBAL_BASE + 7), Ok(0));
+        assert_eq!(
+            m.load(GLOBAL_BASE + 8),
+            Err(Fault::OutOfBounds {
+                addr: GLOBAL_BASE + 8
+            })
+        );
+    }
+
+    #[test]
+    fn store_then_load() {
+        let mut m = mem();
+        m.store(GLOBAL_BASE + 3, 99).unwrap();
+        assert_eq!(m.load(GLOBAL_BASE + 3), Ok(99));
+    }
+
+    #[test]
+    fn null_is_a_distinguished_fault() {
+        let m = mem();
+        assert_eq!(m.load(0), Err(Fault::NullDeref { addr: 0 }));
+        assert_eq!(m.load(12), Err(Fault::NullDeref { addr: 12 }));
+    }
+
+    #[test]
+    fn heap_allocation_bounds() {
+        let mut m = mem();
+        let p = m.alloc_heap(4);
+        m.store(p, 1).unwrap();
+        m.store(p + 3, 4).unwrap();
+        assert_eq!(m.load(p + 4), Err(Fault::OutOfBounds { addr: p + 4 }));
+        assert_eq!(m.block_len(p), Some(4));
+    }
+
+    #[test]
+    fn distinct_heap_blocks_never_alias() {
+        let mut m = mem();
+        let p = m.alloc_heap(2);
+        let q = m.alloc_heap(2);
+        assert_ne!(p, q);
+        // The word between blocks (padding) is unmapped.
+        assert!(m.load(p + 2).is_err());
+        m.store(q, 5).unwrap();
+        assert_eq!(m.load(p), Ok(0));
+    }
+
+    #[test]
+    fn zero_sized_heap_block() {
+        let mut m = mem();
+        let p = m.alloc_heap(0);
+        assert_eq!(m.load(p), Err(Fault::OutOfBounds { addr: p }));
+    }
+
+    #[test]
+    fn negative_alloc_yields_null() {
+        let mut m = mem();
+        assert_eq!(m.alloc_heap(-1), 0);
+        assert_eq!(m.alloc_stack(-5), 0);
+    }
+
+    #[test]
+    fn frames_push_pop_and_use_after_return() {
+        let mut m = mem();
+        let base = m.push_frame(3).unwrap();
+        m.store(base + 2, 7).unwrap();
+        assert_eq!(m.load(base + 2), Ok(7));
+        m.pop_frame(base);
+        assert_eq!(m.load(base + 2), Err(Fault::OutOfBounds { addr: base + 2 }));
+    }
+
+    #[test]
+    fn frame_budget_restored_on_pop() {
+        let mut m = Memory::new(0, 10);
+        let base = m.push_frame(8).unwrap();
+        assert_eq!(m.stack_budget(), 2);
+        assert_eq!(m.push_frame(8), Err(Fault::StackOverflow));
+        m.pop_frame(base);
+        assert_eq!(m.stack_budget(), 10);
+        assert!(m.push_frame(8).is_ok());
+    }
+
+    #[test]
+    fn alloca_returns_null_on_budget_exhaustion() {
+        let mut m = Memory::new(0, 100);
+        assert_ne!(m.alloc_stack(64), 0);
+        // 36 words left; a 64-word request fails *without* a fault.
+        assert_eq!(m.alloc_stack(64), 0);
+        // Small requests still succeed.
+        assert_ne!(m.alloc_stack(36), 0);
+    }
+
+    #[test]
+    fn unwritten_heap_cells_read_zero() {
+        let mut m = mem();
+        let p = m.alloc_heap(2);
+        assert_eq!(m.load(p + 1), Ok(0));
+    }
+}

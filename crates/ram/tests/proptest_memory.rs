@@ -1,0 +1,173 @@
+//! Property test of the memory model against a naive reference model.
+//!
+//! Random sequences of allocations, frame pushes/pops, stores and loads are
+//! applied to both [`dart_ram::Memory`] and a simple reference built on a
+//! `HashMap` plus explicit live-range bookkeeping; every observable result
+//! (values, fault classes) must agree.
+
+use dart_ram::{Fault, Memory};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    AllocHeap { words: i64 },
+    AllocStack { words: i64 },
+    PushFrame { words: u32 },
+    PopNewestFrame,
+    /// Store into block `block % live_blocks` at `offset` (may be out of
+    /// bounds on purpose).
+    Store { block: usize, offset: i64, value: i64 },
+    Load { block: usize, offset: i64 },
+    LoadRaw { addr: i64 },
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0i64..6).prop_map(|words| Op::AllocHeap { words }),
+        (0i64..6).prop_map(|words| Op::AllocStack { words }),
+        (1u32..6).prop_map(|words| Op::PushFrame { words }),
+        Just(Op::PopNewestFrame),
+        (0usize..8, -2i64..8, -100i64..100)
+            .prop_map(|(block, offset, value)| Op::Store { block, offset, value }),
+        (0usize..8, -2i64..8).prop_map(|(block, offset)| Op::Load { block, offset }),
+        (-5i64..5000).prop_map(|addr| Op::LoadRaw { addr }),
+    ]
+}
+
+/// Reference model: explicit block list with liveness and contents.
+#[derive(Default)]
+struct RefModel {
+    /// (base, len, live)
+    blocks: Vec<(i64, i64, bool)>,
+    frames: Vec<usize>, // indices into blocks
+    cells: HashMap<i64, i64>,
+    globals: (i64, i64),
+}
+
+impl RefModel {
+    fn classify(&self, addr: i64) -> Result<(), FaultClass> {
+        if (0..0x1000).contains(&addr) {
+            return Err(FaultClass::Null);
+        }
+        let (gbase, glen) = self.globals;
+        if addr >= gbase && addr < gbase + glen {
+            return Ok(());
+        }
+        for &(base, len, live) in &self.blocks {
+            if live && addr >= base && addr < base + len {
+                return Ok(());
+            }
+        }
+        Err(FaultClass::OutOfBounds)
+    }
+
+    fn load(&self, addr: i64) -> Result<i64, FaultClass> {
+        self.classify(addr)?;
+        Ok(self.cells.get(&addr).copied().unwrap_or(0))
+    }
+
+    fn store(&mut self, addr: i64, v: i64) -> Result<(), FaultClass> {
+        self.classify(addr)?;
+        self.cells.insert(addr, v);
+        Ok(())
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum FaultClass {
+    Null,
+    OutOfBounds,
+}
+
+fn classify(f: Fault) -> FaultClass {
+    match f {
+        Fault::NullDeref { .. } => FaultClass::Null,
+        Fault::OutOfBounds { .. } => FaultClass::OutOfBounds,
+        other => panic!("unexpected fault class {other}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn memory_matches_reference_model(ops in proptest::collection::vec(op(), 1..60)) {
+        const GLOBALS: u32 = 4;
+        const BUDGET: i64 = 32;
+        let mut mem = Memory::new(GLOBALS, BUDGET);
+        let mut reference = RefModel {
+            globals: (dart_ram::GLOBAL_BASE, GLOBALS as i64),
+            ..RefModel::default()
+        };
+        let mut budget = BUDGET;
+
+        for op in &ops {
+            match *op {
+                Op::AllocHeap { words } => {
+                    let base = mem.alloc_heap(words);
+                    prop_assert_ne!(base, 0, "heap allocation never fails");
+                    reference.blocks.push((base, words, true));
+                }
+                Op::AllocStack { words } => {
+                    let base = mem.alloc_stack(words);
+                    if words <= budget {
+                        prop_assert_ne!(base, 0);
+                        budget -= words;
+                        reference.blocks.push((base, words, true));
+                    } else {
+                        prop_assert_eq!(base, 0, "over-budget alloca yields NULL");
+                    }
+                }
+                Op::PushFrame { words } => {
+                    match mem.push_frame(words) {
+                        Ok(base) => {
+                            prop_assert!(i64::from(words) <= budget);
+                            budget -= i64::from(words);
+                            reference.blocks.push((base, words as i64, true));
+                            reference.frames.push(reference.blocks.len() - 1);
+                        }
+                        Err(Fault::StackOverflow) => {
+                            prop_assert!(i64::from(words) > budget);
+                        }
+                        Err(other) => prop_assert!(false, "unexpected {other}"),
+                    }
+                }
+                Op::PopNewestFrame => {
+                    if let Some(idx) = reference.frames.pop() {
+                        let (base, len, _) = reference.blocks[idx];
+                        mem.pop_frame(base);
+                        reference.blocks[idx].2 = false;
+                        budget += len;
+                    }
+                }
+                Op::Store { block, offset, value } => {
+                    if reference.blocks.is_empty() {
+                        continue;
+                    }
+                    let (base, _, _) = reference.blocks[block % reference.blocks.len()];
+                    let addr = base + offset;
+                    let got = mem.store(addr, value).map_err(classify);
+                    let want = reference.store(addr, value);
+                    prop_assert_eq!(got, want, "store at {}", addr);
+                }
+                Op::Load { block, offset } => {
+                    if reference.blocks.is_empty() {
+                        continue;
+                    }
+                    let (base, _, _) = reference.blocks[block % reference.blocks.len()];
+                    let addr = base + offset;
+                    let got = mem.load(addr).map_err(classify);
+                    let want = reference.load(addr);
+                    prop_assert_eq!(got, want, "load at {}", addr);
+                }
+                Op::LoadRaw { addr } => {
+                    let got = mem.load(addr).map_err(classify);
+                    let want = reference.load(addr);
+                    prop_assert_eq!(got, want, "raw load at {}", addr);
+                }
+            }
+            prop_assert_eq!(mem.stack_budget(), budget, "budget bookkeeping");
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Relational constraints over linear expressions, and their integer
+//! normalization.
+//!
+//! A [`Constraint`] is `expr OP 0`. DART's path constraints are conjunctions
+//! of these; negating the branch predicate at a conditional flips the
+//! operator ([`RelOp::negated`]). Because all solver variables are integers,
+//! strict inequalities normalize away (`e < 0` becomes `e <= -1`) and
+//! disequalities split into two strict cases.
+
+use crate::linear::{LinExpr, Var};
+use std::fmt;
+
+/// Relational operator comparing a linear expression against zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RelOp {
+    /// `expr == 0`
+    Eq,
+    /// `expr != 0`
+    Ne,
+    /// `expr < 0`
+    Lt,
+    /// `expr <= 0`
+    Le,
+    /// `expr > 0`
+    Gt,
+    /// `expr >= 0`
+    Ge,
+}
+
+impl RelOp {
+    /// The operator of the *negated* predicate: `!(e op 0)`.
+    pub fn negated(self) -> RelOp {
+        match self {
+            RelOp::Eq => RelOp::Ne,
+            RelOp::Ne => RelOp::Eq,
+            RelOp::Lt => RelOp::Ge,
+            RelOp::Le => RelOp::Gt,
+            RelOp::Gt => RelOp::Le,
+            RelOp::Ge => RelOp::Lt,
+        }
+    }
+
+    /// Evaluates `value op 0`.
+    pub fn holds(self, value: i128) -> bool {
+        match self {
+            RelOp::Eq => value == 0,
+            RelOp::Ne => value != 0,
+            RelOp::Lt => value < 0,
+            RelOp::Le => value <= 0,
+            RelOp::Gt => value > 0,
+            RelOp::Ge => value >= 0,
+        }
+    }
+}
+
+impl fmt::Display for RelOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RelOp::Eq => "==",
+            RelOp::Ne => "!=",
+            RelOp::Lt => "<",
+            RelOp::Le => "<=",
+            RelOp::Gt => ">",
+            RelOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A single linear constraint `expr op 0`.
+///
+/// # Examples
+///
+/// ```
+/// use dart_solver::{Constraint, LinExpr, RelOp, Var};
+///
+/// // x0 - 10 == 0, i.e. x0 == 10
+/// let c = Constraint::new(LinExpr::var(Var(0)).offset(-10), RelOp::Eq);
+/// assert!(c.satisfied_by(|_| Some(10)));
+/// assert!(!c.negated().satisfied_by(|_| Some(10)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Constraint {
+    /// The linear expression compared against zero.
+    pub expr: LinExpr,
+    /// The relational operator.
+    pub op: RelOp,
+}
+
+impl Constraint {
+    /// Creates a constraint `expr op 0`.
+    pub fn new(expr: LinExpr, op: RelOp) -> Constraint {
+        Constraint { expr, op }
+    }
+
+    /// The logical negation of this constraint.
+    #[must_use]
+    pub fn negated(&self) -> Constraint {
+        Constraint {
+            expr: self.expr.clone(),
+            op: self.op.negated(),
+        }
+    }
+
+    /// Evaluates the constraint under a (partial) assignment; missing
+    /// variables read as 0.
+    pub fn satisfied_by<F: Fn(Var) -> Option<i64>>(&self, lookup: F) -> bool {
+        self.op.holds(self.expr.eval_with(lookup))
+    }
+
+    /// The variables mentioned by this constraint.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.expr.vars()
+    }
+
+    /// If the constraint mentions no variables, returns whether it is
+    /// trivially true (`Some(true)`), trivially false (`Some(false)`), or
+    /// `None` when it actually constrains variables.
+    pub fn triviality(&self) -> Option<bool> {
+        if self.expr.is_constant() {
+            Some(self.op.holds(self.expr.constant() as i128))
+        } else {
+            None
+        }
+    }
+
+    /// Normalizes to a set of *non-strict* integer forms.
+    ///
+    /// Over the integers: `e < 0` ⇔ `e ≤ -1`; `e > 0` ⇔ `-e ≤ -1`;
+    /// `e ≥ 0` ⇔ `-e ≤ 0`; `e == 0` ⇔ `e ≤ 0 ∧ -e ≤ 0`; and `e != 0` is a
+    /// *disjunction* `e ≤ -1 ∨ -e ≤ -1`.
+    pub fn normalize(&self) -> NormalForm {
+        let e = &self.expr;
+        match self.op {
+            RelOp::Le => NormalForm::Conj(vec![LeZero::new(e.clone())]),
+            RelOp::Lt => NormalForm::Conj(vec![LeZero::new(e.offset(1))]),
+            RelOp::Ge => NormalForm::Conj(vec![LeZero::new(e.scaled(-1))]),
+            RelOp::Gt => NormalForm::Conj(vec![LeZero::new(e.scaled(-1).offset(1))]),
+            RelOp::Eq => NormalForm::Conj(vec![
+                LeZero::new(e.clone()),
+                LeZero::new(e.scaled(-1)),
+            ]),
+            RelOp::Ne => NormalForm::Disj(
+                LeZero::new(e.offset(1)),
+                LeZero::new(e.scaled(-1).offset(1)),
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} 0", self.expr, self.op)
+    }
+}
+
+/// A normalized constraint `expr <= 0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeZero {
+    /// The expression bounded above by zero.
+    pub expr: LinExpr,
+}
+
+impl LeZero {
+    /// Wraps an expression as `expr <= 0`.
+    pub fn new(expr: LinExpr) -> LeZero {
+        LeZero { expr }
+    }
+
+    /// Evaluates under an assignment.
+    pub fn satisfied_by<F: Fn(Var) -> Option<i64>>(&self, lookup: F) -> bool {
+        self.expr.eval_with(lookup) <= 0
+    }
+}
+
+impl fmt::Display for LeZero {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} <= 0", self.expr)
+    }
+}
+
+/// Result of integer normalization: either a conjunction of `<= 0` rows or a
+/// two-way disjunction (only produced by `!=`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NormalForm {
+    /// All listed rows must hold.
+    Conj(Vec<LeZero>),
+    /// Either row must hold (case split).
+    Disj(LeZero, LeZero),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> LinExpr {
+        LinExpr::var(Var(0))
+    }
+
+    #[test]
+    fn negation_is_involution() {
+        for op in [RelOp::Eq, RelOp::Ne, RelOp::Lt, RelOp::Le, RelOp::Gt, RelOp::Ge] {
+            assert_eq!(op.negated().negated(), op);
+        }
+    }
+
+    #[test]
+    fn negation_flips_satisfaction() {
+        for op in [RelOp::Eq, RelOp::Ne, RelOp::Lt, RelOp::Le, RelOp::Gt, RelOp::Ge] {
+            for v in [-2i128, -1, 0, 1, 2] {
+                assert_eq!(op.holds(v), !op.negated().holds(v), "op={op} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn satisfied_by_assignment() {
+        // x - 10 >= 0
+        let c = Constraint::new(x().offset(-10), RelOp::Ge);
+        assert!(c.satisfied_by(|_| Some(10)));
+        assert!(c.satisfied_by(|_| Some(11)));
+        assert!(!c.satisfied_by(|_| Some(9)));
+    }
+
+    #[test]
+    fn triviality() {
+        let c = Constraint::new(LinExpr::constant_expr(-3), RelOp::Lt);
+        assert_eq!(c.triviality(), Some(true));
+        let c = Constraint::new(LinExpr::constant_expr(0), RelOp::Ne);
+        assert_eq!(c.triviality(), Some(false));
+        let c = Constraint::new(x(), RelOp::Eq);
+        assert_eq!(c.triviality(), None);
+    }
+
+    /// Normalization preserves meaning on a grid of integer points.
+    #[test]
+    fn normalization_semantics() {
+        for op in [RelOp::Eq, RelOp::Ne, RelOp::Lt, RelOp::Le, RelOp::Gt, RelOp::Ge] {
+            // 2x - 3 op 0
+            let c = Constraint::new(x().scaled(2).offset(-3), op);
+            for v in -5..=5i64 {
+                let direct = c.satisfied_by(|_| Some(v));
+                let norm = match c.normalize() {
+                    NormalForm::Conj(rows) => rows.iter().all(|r| r.satisfied_by(|_| Some(v))),
+                    NormalForm::Disj(a, b) => {
+                        a.satisfied_by(|_| Some(v)) || b.satisfied_by(|_| Some(v))
+                    }
+                };
+                assert_eq!(direct, norm, "op={op} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn display() {
+        let c = Constraint::new(x().scaled(2).offset(-3), RelOp::Le);
+        assert_eq!(c.to_string(), "2*x0 - 3 <= 0");
+    }
+}

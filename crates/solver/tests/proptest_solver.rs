@@ -1,0 +1,222 @@
+//! Property-based tests for the integer constraint solver.
+//!
+//! Strategy: generate random small systems two ways —
+//! 1. *Planted* systems: pick a secret assignment first, then emit only
+//!    constraints that the secret satisfies. The solver must answer `Sat`,
+//!    and the model it returns must satisfy every constraint.
+//! 2. *Arbitrary* systems: any answer is allowed, but `Sat` models must
+//!    verify, and `Unsat` answers are cross-checked against a brute-force
+//!    enumeration over a tiny box.
+
+use dart_solver::{Bounds, Constraint, LinExpr, RelOp, SolveOutcome, Solver, SolverConfig, Var};
+use proptest::prelude::*;
+
+const NUM_VARS: u32 = 4;
+
+fn relop() -> impl Strategy<Value = RelOp> {
+    prop_oneof![
+        Just(RelOp::Eq),
+        Just(RelOp::Ne),
+        Just(RelOp::Lt),
+        Just(RelOp::Le),
+        Just(RelOp::Gt),
+        Just(RelOp::Ge),
+    ]
+}
+
+fn lin_expr() -> impl Strategy<Value = LinExpr> {
+    (
+        proptest::collection::vec((-5i64..=5, 0u32..NUM_VARS), 0..4),
+        -20i64..=20,
+    )
+        .prop_map(|(terms, k)| {
+            LinExpr::from_terms(terms.into_iter().map(|(c, v)| (Var(v), c)), k)
+        })
+}
+
+fn constraint() -> impl Strategy<Value = Constraint> {
+    (lin_expr(), relop()).prop_map(|(e, op)| Constraint::new(e, op))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Planted systems are always satisfiable and returned models verify.
+    #[test]
+    fn planted_systems_are_sat(
+        secret in proptest::collection::vec(-50i64..=50, NUM_VARS as usize),
+        raw in proptest::collection::vec(constraint(), 1..8),
+    ) {
+        // Keep only constraints the secret satisfies; flip the rest so they do.
+        let planted: Vec<Constraint> = raw
+            .into_iter()
+            .map(|c| {
+                if c.satisfied_by(|v| Some(secret[v.index()])) {
+                    c
+                } else {
+                    c.negated()
+                }
+            })
+            .collect();
+        let out = Solver::default().solve(&planted);
+        match out {
+            SolveOutcome::Sat(model) => {
+                for c in &planted {
+                    prop_assert!(
+                        c.satisfied_by(|v| model.get(&v).copied()),
+                        "model {model:?} violates {c}"
+                    );
+                }
+            }
+            other => prop_assert!(false, "planted system reported {other:?}"),
+        }
+    }
+
+    /// On arbitrary systems over a tiny box, the solver agrees with
+    /// brute-force enumeration.
+    #[test]
+    fn agrees_with_bruteforce_on_tiny_box(
+        cs in proptest::collection::vec(constraint(), 1..6),
+    ) {
+        const LO: i64 = -4;
+        const HI: i64 = 4;
+        let solver = Solver::new(SolverConfig {
+            default_bounds: Bounds::new(LO, HI),
+            ..SolverConfig::default()
+        });
+
+        // Brute force over all assignments in the box.
+        let mut brute_sat = false;
+        let width = (HI - LO + 1) as usize;
+        'outer: for idx in 0..width.pow(NUM_VARS) {
+            let mut rem = idx;
+            let mut point = [0i64; NUM_VARS as usize];
+            for slot in point.iter_mut() {
+                *slot = LO + (rem % width) as i64;
+                rem /= width;
+            }
+            if cs.iter().all(|c| c.satisfied_by(|v| Some(point[v.index()]))) {
+                brute_sat = true;
+                break 'outer;
+            }
+        }
+
+        match solver.solve(&cs) {
+            SolveOutcome::Sat(model) => {
+                prop_assert!(brute_sat, "solver found model but brute force says unsat");
+                for c in &cs {
+                    prop_assert!(c.satisfied_by(|v| model.get(&v).copied()));
+                }
+                for (_, &val) in model.iter() {
+                    prop_assert!((LO..=HI).contains(&val), "model outside box");
+                }
+            }
+            SolveOutcome::Unsat => prop_assert!(!brute_sat, "solver unsat, brute force sat"),
+            SolveOutcome::Unknown => {
+                // Permitted, but should be rare at this scale; accept.
+            }
+        }
+    }
+
+    /// Negation duality: a constraint and its negation never agree on any
+    /// point, and always cover every point.
+    #[test]
+    fn negation_partitions_space(
+        c in constraint(),
+        point in proptest::collection::vec(-100i64..=100, NUM_VARS as usize),
+    ) {
+        let lookup = |v: Var| Some(point[v.index()]);
+        prop_assert_ne!(c.satisfied_by(lookup), c.negated().satisfied_by(lookup));
+    }
+
+    /// Solutions honor the hint for unconstrained degrees of freedom when the
+    /// hint already satisfies the system.
+    #[test]
+    fn hint_kept_when_satisfying(
+        secret in proptest::collection::vec(-50i64..=50, NUM_VARS as usize),
+        raw in proptest::collection::vec(constraint(), 1..5),
+    ) {
+        let planted: Vec<Constraint> = raw
+            .into_iter()
+            .map(|c| {
+                if c.satisfied_by(|v| Some(secret[v.index()])) { c } else { c.negated() }
+            })
+            .collect();
+        let out = Solver::default()
+            .solve_with_hint(&planted, |v| Some(secret[v.index()]));
+        match out {
+            SolveOutcome::Sat(model) => {
+                for (&v, &val) in model.iter() {
+                    prop_assert_eq!(val, secret[v.index()], "hint value not preserved");
+                }
+            }
+            other => prop_assert!(false, "expected sat, got {other:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Disequality-heavy systems (the lazy case-analysis path): an
+    /// all-distinct constraint over k variables plus a planted witness.
+    #[test]
+    fn all_distinct_systems_solved(
+        k in 2usize..5,
+        base in -20i64..20,
+    ) {
+        let mut cs = Vec::new();
+        // Pin each variable into a small band around distinct anchors so
+        // the system is satisfiable but the zero/hint probes fail.
+        for i in 0..k {
+            let anchor = base + 10 * i as i64;
+            cs.push(Constraint::new(
+                LinExpr::var(Var(i as u32)).offset(-anchor - 3),
+                RelOp::Le,
+            ));
+            cs.push(Constraint::new(
+                LinExpr::var(Var(i as u32)).offset(-anchor + 3),
+                RelOp::Ge,
+            ));
+        }
+        for i in 0..k {
+            for j in (i + 1)..k {
+                cs.push(Constraint::new(
+                    LinExpr::var(Var(i as u32)).sub(&LinExpr::var(Var(j as u32))),
+                    RelOp::Ne,
+                ));
+            }
+        }
+        match Solver::default().solve(&cs) {
+            SolveOutcome::Sat(m) => {
+                for c in &cs {
+                    prop_assert!(c.satisfied_by(|v| m.get(&v).copied()));
+                }
+            }
+            other => prop_assert!(false, "expected sat, got {other:?}"),
+        }
+    }
+
+    /// Pigeonhole-style unsat: k variables in a band of k-1 values, all
+    /// distinct — the lazy splitter must refute every branch.
+    #[test]
+    fn pigeonhole_distinct_unsat(k in 2usize..5) {
+        let mut cs = Vec::new();
+        for i in 0..k {
+            cs.push(Constraint::new(LinExpr::var(Var(i as u32)), RelOp::Ge));
+            cs.push(Constraint::new(
+                LinExpr::var(Var(i as u32)).offset(-(k as i64 - 2)),
+                RelOp::Le,
+            ));
+        }
+        for i in 0..k {
+            for j in (i + 1)..k {
+                cs.push(Constraint::new(
+                    LinExpr::var(Var(i as u32)).sub(&LinExpr::var(Var(j as u32))),
+                    RelOp::Ne,
+                ));
+            }
+        }
+        prop_assert_eq!(Solver::default().solve(&cs), SolveOutcome::Unsat);
+    }
+}

@@ -1,0 +1,57 @@
+//! # dart-sym — DART's symbolic layer
+//!
+//! Implements the paper's Fig. 1 (`evaluate_symbolic`): expressions are
+//! evaluated to **linear forms over input variables**; whenever an
+//! expression leaves the linear theory (multiplication of two non-constant
+//! subexpressions, division, bit operations, comparisons used as values) or
+//! dereferences a pointer whose address depends on an input, evaluation
+//! *falls back to the concrete value of that subexpression* and a
+//! completeness flag (`all_linear` / `all_locs_definite`) is cleared. This
+//! graceful degradation is the heart of DART's concolic execution: "symbolic
+//! execution degrades gracefully in the sense that randomization takes over
+//! … when automated reasoning fails" (§6).
+//!
+//! The symbolic memory `S` maps machine addresses to linear forms; inputs
+//! are addresses mapped to fresh solver variables (the paper's `S = [m -> m
+//! | m in M0]`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dart_ram::{BinOp, Expr, Fault, MemView};
+//! use dart_sym::{Completeness, SymMemory, eval_symbolic};
+//!
+//! struct OneCell;
+//! impl MemView for OneCell {
+//!     fn load(&self, addr: i64) -> Result<i64, Fault> {
+//!         if addr == 100 { Ok(7) } else { Err(Fault::OutOfBounds { addr }) }
+//!     }
+//!     fn frame_base(&self) -> i64 { 100 }
+//! }
+//!
+//! let mut sym = SymMemory::new();
+//! let x = sym.bind_input(100); // the cell at address 100 is input x
+//! let mut flags = Completeness::new();
+//!
+//! // 2 * M[100] + 1  evaluates to the linear form  2x + 1
+//! let e = Expr::binary(
+//!     BinOp::Add,
+//!     Expr::binary(BinOp::Mul, Expr::Const(2), Expr::load(Expr::Const(100))),
+//!     Expr::Const(1),
+//! );
+//! let v = eval_symbolic(&e, &OneCell, &sym, &mut flags);
+//! assert_eq!(v.coeff(x), 2);
+//! assert_eq!(v.constant(), 1);
+//! assert!(flags.all_linear);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod memory;
+pub mod path;
+
+pub use eval::{eval_predicate, eval_symbolic, Completeness};
+pub use memory::SymMemory;
+pub use path::{BranchRecord, PathConstraint};

@@ -1,0 +1,124 @@
+//! The symbolic memory `S` and input registration.
+//!
+//! The paper (§2.3): "DART maintains a symbolic memory S that maps memory
+//! addresses to expressions. Initially, S is a mapping that maps each m in
+//! M0 to itself." Here "itself" is a fresh solver variable per input
+//! address; all other entries are linear forms produced by assignments.
+//!
+//! Only non-constant forms are stored: a constant form is always equal to
+//! the concrete memory's value, so dropping it loses nothing (and keeps `S`
+//! small). Machine addresses are never reused within a run (the allocator
+//! is monotonic), so stale entries cannot alias fresh blocks.
+
+use dart_solver::{LinExpr, Var};
+use std::collections::HashMap;
+
+/// The symbolic store: machine address → linear form over inputs.
+#[derive(Debug, Clone, Default)]
+pub struct SymMemory {
+    map: HashMap<i64, LinExpr>,
+    next_input: u32,
+}
+
+impl SymMemory {
+    /// Creates an empty symbolic memory with no inputs.
+    pub fn new() -> SymMemory {
+        SymMemory::default()
+    }
+
+    /// Registers the cell at `addr` as a fresh program input and maps it to
+    /// itself (a fresh solver variable). Returns the variable.
+    pub fn bind_input(&mut self, addr: i64) -> Var {
+        let v = Var(self.next_input);
+        self.next_input += 1;
+        self.map.insert(addr, LinExpr::var(v));
+        v
+    }
+
+    /// Number of inputs registered so far.
+    pub fn num_inputs(&self) -> u32 {
+        self.next_input
+    }
+
+    /// Maps the cell at `addr` to an externally-numbered input variable.
+    /// Used by drivers that own the input numbering (e.g. DART's input
+    /// tape, where variable `k` is the `k`-th consumed input).
+    pub fn bind(&mut self, addr: i64, var: Var) {
+        self.map.insert(addr, LinExpr::var(var));
+    }
+
+    /// The symbolic value stored at `addr`, if any non-constant form is
+    /// tracked there.
+    pub fn get(&self, addr: i64) -> Option<&LinExpr> {
+        self.map.get(&addr)
+    }
+
+    /// Stores a symbolic value at `addr`. Constant forms erase the entry
+    /// (the concrete memory already has the value).
+    pub fn set(&mut self, addr: i64, value: LinExpr) {
+        if value.is_constant() {
+            self.map.remove(&addr);
+        } else {
+            self.map.insert(addr, value);
+        }
+    }
+
+    /// Drops any symbolic tracking for `addr` (used when a cell receives a
+    /// value the symbolic layer cannot represent, e.g. a fresh pointer).
+    pub fn forget(&mut self, addr: i64) {
+        self.map.remove(&addr);
+    }
+
+    /// Number of addresses currently tracked symbolically.
+    pub fn tracked(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inputs_get_fresh_variables() {
+        let mut s = SymMemory::new();
+        let a = s.bind_input(100);
+        let b = s.bind_input(200);
+        assert_ne!(a, b);
+        assert_eq!(s.num_inputs(), 2);
+        assert_eq!(s.get(100), Some(&LinExpr::var(a)));
+        assert_eq!(s.get(200), Some(&LinExpr::var(b)));
+    }
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let mut s = SymMemory::new();
+        let x = s.bind_input(100);
+        let form = LinExpr::var(x).scaled(3).offset(1);
+        s.set(500, form.clone());
+        assert_eq!(s.get(500), Some(&form));
+        assert_eq!(s.tracked(), 2);
+    }
+
+    #[test]
+    fn constant_stores_erase() {
+        let mut s = SymMemory::new();
+        let x = s.bind_input(100);
+        s.set(500, LinExpr::var(x));
+        s.set(500, LinExpr::constant_expr(7));
+        assert_eq!(s.get(500), None);
+        assert_eq!(s.tracked(), 1);
+    }
+
+    #[test]
+    fn forget_drops_tracking() {
+        let mut s = SymMemory::new();
+        let x = s.bind_input(100);
+        s.set(500, LinExpr::var(x));
+        s.forget(500);
+        assert_eq!(s.get(500), None);
+        // Forgetting an input address also works (overwritten inputs).
+        s.forget(100);
+        assert_eq!(s.get(100), None);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property test of the core concolic invariant (paper §2.3): symbolic
+//! evaluation is a *generalization* of concrete evaluation — substituting
+//! the current input values into the linear form always reproduces the
+//! concrete value, no matter how many fallbacks occurred.
+
+use dart_ram::{eval_concrete, BinOp, Expr, Fault, MemView, UnOp};
+use dart_sym::{eval_predicate, eval_symbolic, Completeness, SymMemory};
+use dart_solver::Var;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const INPUT_BASE: i64 = 1000;
+const NUM_INPUTS: usize = 3;
+
+struct FakeMem {
+    cells: HashMap<i64, i64>,
+}
+
+impl MemView for FakeMem {
+    fn load(&self, addr: i64) -> Result<i64, Fault> {
+        self.cells
+            .get(&addr)
+            .copied()
+            .ok_or(Fault::OutOfBounds { addr })
+    }
+    fn frame_base(&self) -> i64 {
+        INPUT_BASE
+    }
+}
+
+fn binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Rem),
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+        Just(BinOp::BitAnd),
+        Just(BinOp::BitOr),
+        Just(BinOp::BitXor),
+        Just(BinOp::Shl),
+        Just(BinOp::Shr),
+    ]
+}
+
+fn unop() -> impl Strategy<Value = UnOp> {
+    prop_oneof![Just(UnOp::Neg), Just(UnOp::Not), Just(UnOp::BitNot)]
+}
+
+/// Expressions over the input cells and constants. Loads always target
+/// mapped cells so concrete evaluation cannot fault.
+fn ram_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-50i64..=50).prop_map(Expr::Const),
+        (0..NUM_INPUTS as i64)
+            .prop_map(|i| Expr::load(Expr::Const(INPUT_BASE + i))),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (unop(), inner.clone()).prop_map(|(op, e)| Expr::unary(op, e)),
+            (binop(), inner.clone(), inner.clone())
+                .prop_map(|(op, l, r)| Expr::binary(op, l, r)),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn symbolic_generalizes_concrete(
+        e in ram_expr(),
+        inputs in proptest::collection::vec(-100i64..=100, NUM_INPUTS),
+    ) {
+        let mem = FakeMem {
+            cells: inputs
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (INPUT_BASE + i as i64, v))
+                .collect(),
+        };
+        let mut sym = SymMemory::new();
+        let vars: Vec<Var> = (0..NUM_INPUTS)
+            .map(|i| sym.bind_input(INPUT_BASE + i as i64))
+            .collect();
+
+        let mut flags = Completeness::new();
+        let form = eval_symbolic(&e, &mem, &sym, &mut flags);
+
+        match eval_concrete(&e, &mem) {
+            Ok(conc) => {
+                let sym_val = form.eval_with(|v| {
+                    vars.iter().position(|&x| x == v).map(|i| inputs[i])
+                });
+                prop_assert_eq!(sym_val, conc as i128, "expr {} flags {:?}", e, flags);
+            }
+            Err(Fault::DivisionByZero) => {
+                // Concrete evaluation faults; the symbolic form's value is
+                // unspecified (the machine step faults before it is used).
+            }
+            Err(other) => prop_assert!(false, "unexpected fault {other}"),
+        }
+    }
+
+    /// A recorded predicate always agrees with the concrete branch value:
+    /// if the condition is concretely true, the predicate is satisfied by
+    /// the current inputs (and vice versa after negation).
+    #[test]
+    fn predicates_agree_with_concrete_branches(
+        e in ram_expr(),
+        inputs in proptest::collection::vec(-100i64..=100, NUM_INPUTS),
+    ) {
+        let mem = FakeMem {
+            cells: inputs
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (INPUT_BASE + i as i64, v))
+                .collect(),
+        };
+        let mut sym = SymMemory::new();
+        let vars: Vec<Var> = (0..NUM_INPUTS)
+            .map(|i| sym.bind_input(INPUT_BASE + i as i64))
+            .collect();
+        let mut flags = Completeness::new();
+
+        let Ok(conc) = eval_concrete(&e, &mem) else {
+            return Ok(()); // faulting condition: nothing to check
+        };
+        let taken = conc != 0;
+        if let Some(pred) = eval_predicate(&e, &mem, &sym, &mut flags) {
+            let oriented = if taken { pred } else { pred.negated() };
+            prop_assert!(
+                oriented.satisfied_by(|v| {
+                    vars.iter().position(|&x| x == v).map(|i| inputs[i])
+                }),
+                "expr {} inputs {:?}", e, inputs
+            );
+        }
+    }
+}

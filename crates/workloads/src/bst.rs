@@ -1,0 +1,113 @@
+//! A binary search tree driven one insertion per depth iteration —
+//! exercises heap allocation, recursive structures, and stateful
+//! multi-call search, with a planted crash two calls deep.
+
+/// MiniC source. Toplevel: `insert(key)`; each depth iteration inserts one
+/// key into a global tree. The "hot-key cache shortcut" dereferences
+/// `root->left` without a NULL check, so the crash needs ≥1 prior insert
+/// (to create a root with an empty left child) followed by the exact magic
+/// key — a 2^-32 event for random testing, two directed runs for DART.
+pub const BST_INSERT: &str = r#"
+struct node { int key; struct node *left; struct node *right; };
+
+struct node *root = NULL;
+int size = 0;
+
+struct node *fresh(int key) {
+    struct node *n = (struct node *) malloc(sizeof(struct node));
+    n->key = key;
+    n->left = NULL;
+    n->right = NULL;
+    return n;
+}
+
+void insert(int key) {
+    if (root == NULL) {
+        root = fresh(key);
+        size = 1;
+        return;
+    }
+
+    /* planted bug: "hot key" shortcut pokes the root's left child
+       without checking it exists */
+    if (key == 23130) {
+        root->left->key = key;       /* crash when left is NULL */
+        return;
+    }
+
+    struct node *cur = root;
+    while (1) {
+        if (key == cur->key) return;     /* no duplicates */
+        if (key < cur->key) {
+            if (cur->left == NULL) {
+                cur->left = fresh(key);
+                size = size + 1;
+                return;
+            }
+            cur = cur->left;
+        } else {
+            if (cur->right == NULL) {
+                cur->right = fresh(key);
+                size = size + 1;
+                return;
+            }
+            cur = cur->right;
+        }
+    }
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dart_minic::compile;
+    use dart_ram::{Machine, MachineConfig, StepOutcome, ZeroEnv};
+
+    #[test]
+    fn inserts_build_a_search_tree() {
+        let compiled = compile(BST_INSERT).unwrap();
+        let id = compiled.program.func_by_name("insert").unwrap();
+        let mut m = Machine::new(&compiled.program, MachineConfig::default());
+        for key in [50, 20, 70, 20, 60] {
+            m.call(id, &[key]).unwrap();
+            let out = m.run(&mut ZeroEnv);
+            assert!(matches!(out, StepOutcome::Finished { .. }), "{out:?}");
+        }
+        // size global: 4 distinct keys.
+        let size_off = compiled
+            .program
+            .global_names
+            .iter()
+            .find(|(n, _)| n == "size")
+            .map(|&(_, off)| off)
+            .unwrap();
+        assert_eq!(
+            m.mem().load(dart_ram::GLOBAL_BASE + size_off as i64),
+            Ok(4)
+        );
+    }
+
+    #[test]
+    fn magic_key_crashes_after_one_insert() {
+        let compiled = compile(BST_INSERT).unwrap();
+        let id = compiled.program.func_by_name("insert").unwrap();
+        let mut m = Machine::new(&compiled.program, MachineConfig::default());
+        m.call(id, &[5]).unwrap();
+        assert!(matches!(m.run(&mut ZeroEnv), StepOutcome::Finished { .. }));
+        m.call(id, &[23130]).unwrap();
+        assert!(matches!(
+            m.run(&mut ZeroEnv),
+            StepOutcome::Faulted(dart_ram::Fault::NullDeref { .. })
+        ));
+    }
+
+    #[test]
+    fn magic_key_first_is_fine() {
+        // As the first insert the magic key just becomes the root.
+        let compiled = compile(BST_INSERT).unwrap();
+        let id = compiled.program.func_by_name("insert").unwrap();
+        let mut m = Machine::new(&compiled.program, MachineConfig::default());
+        m.call(id, &[23130]).unwrap();
+        assert!(matches!(m.run(&mut ZeroEnv), StepOutcome::Finished { .. }));
+    }
+}

@@ -1,0 +1,149 @@
+//! Classic unit-testing benchmark programs, MiniC editions.
+//!
+//! Not from the DART paper itself, but from the testing literature it
+//! spawned — small programs whose bugs sit behind input filters exactly
+//! like the paper's §4.1 observation: "most applications contain
+//! input-filtering code … only inputs that satisfy these filtering tests
+//! are then passed to the core application".
+
+/// Triangle classification (Myers' classic, the paper's reference \[27\]):
+/// the isosceles case `a == c` is forgotten. The checker enforces the
+/// validity precondition with `assume` and the specification with
+/// `assert`.
+pub const TRIANGLE_BUGGY: &str = r#"
+/* 1 = equilateral, 2 = isosceles, 3 = scalene */
+int classify(int a, int b, int c) {
+    if (a == b && b == c) return 1;
+    if (a == b || b == c) return 2;   /* BUG: forgets a == c */
+    return 3;
+}
+
+void check(int a, int b, int c) {
+    assume(a > 0 && b > 0 && c > 0);
+    assume(a + b > c && b + c > a && a + c > b);
+    int kind = classify(a, b, c);
+    if (a == b && b == c) assert(kind == 1);
+    if (a != b && b != c && a != c) assert(kind == 3);
+    if (a == c && a != b) assert(kind == 2);
+}
+"#;
+
+/// The fixed classifier: DART verifies it (directed search terminates
+/// with no assertion violated).
+pub const TRIANGLE_FIXED: &str = r#"
+int classify(int a, int b, int c) {
+    if (a == b && b == c) return 1;
+    if (a == b || b == c || a == c) return 2;
+    return 3;
+}
+
+void check(int a, int b, int c) {
+    assume(a > 0 && b > 0 && c > 0);
+    assume(a + b > c && b + c > a && a + c > b);
+    int kind = classify(a, b, c);
+    if (a == b && b == c) assert(kind == 1);
+    if (a != b && b != c && a != c) assert(kind == 3);
+    if (a == c && a != b) assert(kind == 2);
+}
+"#;
+
+/// A TCAS-flavored altitude-separation advisory: deeply nested filtering
+/// logic with a corner case (own aircraft exactly at the threshold while
+/// climbing) that issues contradictory advisories.
+pub const TCAS_LITE: &str = r#"
+int UP = 1;
+int DOWN = 2;
+
+int advisory(int own_alt, int other_alt, int own_rate) {
+    int sep = own_alt - other_alt;
+    if (sep < 0) sep = -sep;
+    if (sep >= 600) return 0;            /* no threat */
+
+    int climb = own_rate > 0;
+    if (own_alt < other_alt) {
+        if (climb && sep < 300) return DOWN;
+        return DOWN;
+    }
+    if (own_alt > other_alt) {
+        if (!climb && sep < 300) return UP;
+        return UP;
+    }
+    /* co-altitude corner: BUG issues UP regardless of rate */
+    return UP;
+}
+
+void check(int own_alt, int other_alt, int own_rate) {
+    assume(own_alt > 0 && own_alt < 50000);
+    assume(other_alt > 0 && other_alt < 50000);
+    int a = advisory(own_alt, other_alt, own_rate);
+    /* spec: a descending own-aircraft at co-altitude must not be told UP */
+    if (own_alt == other_alt && own_rate < 0)
+        assert(a != UP);
+}
+"#;
+
+/// A bounded stack driven one operation per depth iteration (`op`:
+/// 1 = push, 2 = pop). The pop handler forgets the emptiness check on one
+/// path, underflowing the index — a depth-2 bug sequence (push is not
+/// needed: pop-on-empty with the magic flavor), mirroring the
+/// AC-controller's stateful-depth structure.
+pub const BOUNDED_STACK: &str = r#"
+int data[8];
+int top = 0;
+
+void operate(int op, int value) {
+    if (op == 1) {
+        if (top >= 8) return;         /* full: ignore */
+        data[top] = value;
+        top = top + 1;
+    }
+    if (op == 2) {
+        if (value == 777) {
+            /* "fast path" BUG: no emptiness check */
+            top = top - 1;
+            data[top] = 0;            /* crashes: data[-1] */
+            return;
+        }
+        if (top == 0) return;         /* empty: ignore */
+        top = top - 1;
+    }
+}
+"#;
+
+/// A five-state protocol automaton: only the exact input word
+/// `7, 3, 9, 1, 5` (one symbol per depth iteration) reaches the failure
+/// state. Random testing needs ~2^160 attempts; the directed search walks
+/// the automaton one flipped branch at a time.
+pub const LOCK_FSM: &str = r#"
+int state = 0;
+
+void step(int symbol) {
+    if (state == 0) { if (symbol == 7) state = 1; else state = 0; }
+    else if (state == 1) { if (symbol == 3) state = 2; else state = 0; }
+    else if (state == 2) { if (symbol == 9) state = 3; else state = 0; }
+    else if (state == 3) { if (symbol == 1) state = 4; else state = 0; }
+    else if (state == 4) {
+        if (symbol == 5) abort();     /* the vault opens */
+        state = 0;
+    }
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dart_minic::compile;
+
+    #[test]
+    fn all_classics_compile() {
+        for (name, src) in [
+            ("TRIANGLE_BUGGY", TRIANGLE_BUGGY),
+            ("TRIANGLE_FIXED", TRIANGLE_FIXED),
+            ("TCAS_LITE", TCAS_LITE),
+            ("BOUNDED_STACK", BOUNDED_STACK),
+            ("LOCK_FSM", LOCK_FSM),
+        ] {
+            compile(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+}

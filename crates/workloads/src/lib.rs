@@ -1,0 +1,43 @@
+//! # dart-workloads — the benchmark programs of the DART paper
+//!
+//! MiniC sources (and generators) for everything the paper's evaluation
+//! (§4) runs:
+//!
+//! * [`paper`] — the §2 vignettes and the §4.1 AC-controller (Fig. 6),
+//! * [`needham_schroeder`](crate::needham_schroeder()) — the §4.2 protocol implementation with both
+//!   intruder models and the Lowe-fix variants,
+//! * [`osip`] — a seeded generator reproducing the §4.3 oSIP defect
+//!   distribution plus the unchecked-`alloca` parser bug,
+//! * [`classics`] — classic testing benchmarks (triangle classification,
+//!   a TCAS-like advisory, a bounded stack, a lock automaton) used by the
+//!   extended test suite and the ablation benches.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dart_workloads::{needham_schroeder, Intruder, LoweFix};
+//!
+//! let src = needham_schroeder(Intruder::DolevYao, LoweFix::Off);
+//! let compiled = dart_minic::compile(&src)?;
+//! assert!(compiled.fn_sig("deliver").is_some());
+//! # Ok::<(), dart_minic::CompileError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bst;
+pub mod classics;
+pub mod needham_schroeder;
+pub mod osip;
+pub mod paper;
+pub mod sip_uri;
+
+pub use bst::BST_INSERT;
+pub use classics::{
+    BOUNDED_STACK, LOCK_FSM, TCAS_LITE, TRIANGLE_BUGGY, TRIANGLE_FIXED,
+};
+pub use needham_schroeder::{needham_schroeder, Intruder, LoweFix};
+pub use osip::{generate as generate_osip, OsipConfig, OsipFn, OsipLibrary, Planted};
+pub use paper::{AC_CONTROLLER, EXAMPLE_2_4, FOOBAR, PAPER_H, STRUCT_CAST};
+pub use sip_uri::SIP_URI_PARSER;

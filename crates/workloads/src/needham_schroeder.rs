@@ -1,0 +1,355 @@
+//! A MiniC implementation of the Needham-Schroeder public-key protocol
+//! (paper §4.2).
+//!
+//! The program simulates initiator `A` and responder `B` interleaved in one
+//! process, exactly like the ~400-line C implementation the paper tests.
+//! Agents, keys and nonces are integers; `{x, y}Kz` is modeled as the tuple
+//! `(key = z, d1 = x, d2 = y, d3 = identity-or-0)` — an agent can read a
+//! tuple only when `key` equals its own identity, and the intruder reads
+//! tuples encrypted with *his* key.
+//!
+//! The toplevel `deliver(to, key, d1, d2, d3)` injects one network message
+//! per call; DART's `depth` is the number of injected messages, matching
+//! the depth column of Figures 9 and 10.
+//!
+//! Two environment models:
+//! * [`Intruder::Possibilistic`] — the most general environment: any tuple
+//!   can be injected (DART can "guess" secrets by solving `d1 == NB`,
+//!   which is why the paper finds only the projection of Lowe's attack, at
+//!   depth 2).
+//! * [`Intruder::DolevYao`] — an input filter accepts a message only if the
+//!   intruder could construct it: either an exact replay of a previously
+//!   transmitted tuple (forwarding an undecryptable blob) or a composition
+//!   of values he has learned. The shortest violation is the full
+//!   six-step Lowe attack, surfacing at depth 4 (Figure 10).
+//!
+//! The scenario: `A` initiates a session *with the intruder `I`* (as in
+//! Lowe's attack); `B` only ever accepts sessions claimed to be from `A`.
+//! The assertion says `B` completing a session he believes is with `A`
+//! implies `A` actually ran a session with `B` — violated exactly by the
+//! attack.
+
+use std::fmt;
+
+/// Which environment model surrounds the protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Intruder {
+    /// Most general environment (no filter).
+    Possibilistic,
+    /// Dolev-Yao filter: forward or compose-from-knowledge only.
+    DolevYao,
+}
+
+/// Whether (and how faithfully) Lowe's fix is applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoweFix {
+    /// Original protocol — vulnerable.
+    Off,
+    /// The *incomplete* fix the paper stumbled on: `B` adds its identity to
+    /// message 2, but `A` validates it against "a legal responder" instead
+    /// of against its session peer — the forwarded blob still passes.
+    Incomplete,
+    /// The complete fix: `A` checks the identity against its session peer;
+    /// the attack becomes impossible.
+    Complete,
+}
+
+impl fmt::Display for Intruder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Intruder::Possibilistic => write!(f, "possibilistic"),
+            Intruder::DolevYao => write!(f, "Dolev-Yao"),
+        }
+    }
+}
+
+/// Generates the MiniC source for the chosen configuration. The toplevel
+/// function is `deliver`.
+pub fn needham_schroeder(intruder: Intruder, fix: LoweFix) -> String {
+    let fix_id_field = match fix {
+        LoweFix::Off => "0",
+        LoweFix::Incomplete | LoweFix::Complete => "2", // B's identity
+    };
+    let fix_check = match fix {
+        LoweFix::Off => "",
+        // Wrong check: "was this sent by *some* responder?" — the
+        // forwarded blob carries B's identity and passes.
+        LoweFix::Incomplete => "if (d3 != 2) return;",
+        // Right check: "was this sent by *my* peer?" — A's peer is I.
+        LoweFix::Complete => "if (d3 != a_peer) return;",
+    };
+    let filter = match intruder {
+        Intruder::Possibilistic => "",
+        Intruder::DolevYao => "if (!dolev_yao_ok(key, d1, d2, d3)) return;",
+    };
+    // The Fig. 10 encoding counts A's spontaneous first message as depth 1
+    // ("after no specific input, A sends its first message"), so the
+    // Dolev-Yao variant consumes the first delivery as the start event and
+    // the full Lowe attack surfaces at depth 4. The Fig. 9 (possibilistic)
+    // encoding does not, putting B's two-message projection at depth 2.
+    let start_return = match intruder {
+        Intruder::Possibilistic => "",
+        Intruder::DolevYao => "return;",
+    };
+
+    format!(
+        r#"
+/* Needham-Schroeder public-key protocol: A (=1) initiates with the
+   intruder I (=3); B (=2) responds. Public key of agent x is x. */
+
+int NA = 1001; /* A's nonce */
+int NB = 1002; /* B's nonce */
+int NI = 1003; /* the intruder's own nonce */
+
+int started = 0;
+
+/* initiator A: 0 = idle, 1 = sent msg1, 2 = completed */
+int a_state = 0;
+int a_peer = 3;
+
+/* responder B: 0 = idle, 1 = sent msg2, 2 = completed */
+int b_state = 0;
+int b_peer = 0;
+int b_nonce = 0;
+
+/* ---- the wire and the intruder's knowledge ----
+
+   The atoms the intruder could ever learn are fixed by the protocol
+   (identities, padding, his own nonce, and — after the right messages —
+   NA and NB), so knowledge is two booleans rather than a set. This keeps
+   the model's branching close to the paper's implementation; a set-with-
+   membership-loop encoding is semantically identical but multiplies the
+   path count per message by two orders of magnitude. */
+
+int knows_na = 0;
+int knows_nb = 0;
+
+int seen_key[8];
+int seen_d1[8];
+int seen_d2[8];
+int seen_d3[8];
+int n_seen = 0;
+
+/* every message put on the wire is observed: blobs the intruder cannot
+   decrypt are recorded for later forwarding; blobs encrypted with his own
+   key update his knowledge instead */
+void transmit(int key, int d1, int d2, int d3) {{
+    if (key == 3) {{
+        if (d1 == 1001) knows_na = 1;
+        if (d1 == 1002) knows_nb = 1;
+        if (d2 == 1001) knows_na = 1;
+        if (d2 == 1002) knows_nb = 1;
+    }} else if (n_seen < 8) {{
+        seen_key[n_seen] = key;
+        seen_d1[n_seen] = d1;
+        seen_d2[n_seen] = d2;
+        seen_d3[n_seen] = d3;
+        n_seen = n_seen + 1;
+    }}
+}}
+
+/* a single value the intruder can produce */
+int composable(int v) {{
+    if (v >= 0 && v <= 3) return 1;            /* identities, padding */
+    if (knows_na) {{ if (v == 1001) return 1; }}
+    if (knows_nb) {{ if (v == 1002) return 1; }}
+    return 0;
+}}
+
+/* Dolev-Yao constructibility: exact forward of an undecryptable blob, or
+   composition of known values into a protocol-shaped message. (Like the
+   paper's tuned intruder model — §4.2 reports trying several and keeping
+   "the smallest state space we could get"; composing non-protocol-shaped
+   junk only adds paths every receiver ignores.) */
+int dolev_yao_ok(int key, int d1, int d2, int d3) {{
+    int i;
+    for (i = 0; i < n_seen; i++)
+        if (seen_key[i] == key && seen_d1[i] == d1
+            && seen_d2[i] == d2 && seen_d3[i] == d3)
+            return 1;
+    /* msg1 shape: {{x, ident}}K */
+    if (d3 == 0 && composable(d1) && d2 >= 0 && d2 <= 3)
+        return 1;
+    return 0;
+}}
+
+/* ---- protocol roles ---- */
+
+void a_receive(int key, int d1, int d2, int d3) {{
+    if (key != 1) return;          /* A only decrypts with Ka */
+    if (a_state == 1) {{
+        /* msg2: {{Na, Nb'}} (+ responder identity with Lowe's fix) */
+        if (d1 != NA) return;
+        {fix_check}
+        /* msg3: return the nonce, encrypted for A's peer */
+        transmit(a_peer, d2, 0, 0);
+        a_state = 2;
+    }}
+}}
+
+void b_receive(int key, int d1, int d2, int d3) {{
+    if (key != 2) return;          /* B only decrypts with Kb */
+    if (b_state == 0) {{
+        /* msg1: {{Na', X}}: B accepts sessions claimed to be from A */
+        if (d2 != 1) return;
+        b_peer = d2;
+        b_nonce = d1;
+        /* msg2: {{Na', Nb}}Ka (+ B's identity with Lowe's fix) */
+        transmit(1, b_nonce, NB, {fix_id_field});
+        b_state = 1;
+    }} else if (b_state == 1) {{
+        /* msg3: {{Nb}} */
+        if (d1 != NB) return;
+        b_state = 2;
+        /* B believes it authenticated A — but A only ever ran a session
+           with I. Authentication is violated: Lowe's attack. */
+        assert(a_state == 2 && a_peer == 2);
+    }}
+}}
+
+/* ---- toplevel: one network delivery per call ---- */
+
+void deliver(int to, int key, int d1, int d2, int d3) {{
+    if (!started) {{
+        started = 1;
+        /* A spontaneously opens a session with I: msg1 = {{Na, A}}Ki */
+        transmit(a_peer, NA, 1, 0);
+        a_state = 1;
+        {start_return}
+    }}
+    {filter}
+    if (to == 1) a_receive(key, d1, d2, d3);
+    else if (to == 2) b_receive(key, d1, d2, d3);
+    /* messages to I need no handler: his knowledge grows in transmit() */
+}}
+"#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dart_minic::compile;
+    use dart_ram::{Machine, MachineConfig, StepOutcome, ZeroEnv};
+
+    fn deliver_seq(src: &str, msgs: &[[i64; 5]]) -> StepOutcome {
+        let compiled = compile(src).unwrap();
+        let id = compiled.program.func_by_name("deliver").unwrap();
+        let mut m = Machine::new(&compiled.program, MachineConfig::default());
+        for &(off, v) in &compiled.global_inits {
+            m.mem_mut()
+                .store(dart_ram::GLOBAL_BASE + off as i64, v)
+                .unwrap();
+        }
+        let mut last = StepOutcome::Halted;
+        for msg in msgs {
+            m.call(id, msg).unwrap();
+            last = m.run(&mut ZeroEnv);
+            if last.is_terminal() && !matches!(last, StepOutcome::Finished { .. }) {
+                return last;
+            }
+        }
+        last
+    }
+
+    /// The full Lowe attack, hand-scripted, against each configuration.
+    /// NA = 1001, NB = 1002. The paper's six steps collapse to four
+    /// deliveries because the intruder is an input filter (§4.2).
+    fn lowe_attack() -> Vec<[i64; 5]> {
+        vec![
+            // 1. any first delivery triggers A -> I: {NA, A}Ki
+            [3, 3, 0, 0, 0],
+            // 2. I(A) -> B: {NA, A}Kb (composed: NA is known)
+            [2, 2, 1001, 1, 0],
+            // 3. forward B's reply to A: {NA, NB, id}Ka
+            [1, 1, 1001, 1002, 0], // with fix off, d3 = 0
+            // 4. I(A) -> B: {NB}Kb (NB learned from A's msg3 to I)
+            [2, 2, 1002, 0, 0],
+        ]
+    }
+
+    #[test]
+    fn all_configurations_compile() {
+        for intruder in [Intruder::Possibilistic, Intruder::DolevYao] {
+            for fix in [LoweFix::Off, LoweFix::Incomplete, LoweFix::Complete] {
+                let src = needham_schroeder(intruder, fix);
+                compile(&src).unwrap_or_else(|e| panic!("{intruder:?}/{fix:?}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn scripted_attack_violates_assertion_no_fix() {
+        for intruder in [Intruder::Possibilistic, Intruder::DolevYao] {
+            let src = needham_schroeder(intruder, LoweFix::Off);
+            let out = deliver_seq(&src, &lowe_attack());
+            assert!(
+                matches!(out, StepOutcome::Aborted { .. }),
+                "{intruder}: attack must violate the assertion, got {out:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scripted_attack_passes_incomplete_fix() {
+        // With the incomplete fix, B includes its identity (2) and A's
+        // wrong check lets the forwarded blob through.
+        let mut msgs = lowe_attack();
+        msgs[2] = [1, 1, 1001, 1002, 2]; // forwarded blob now carries d3 = 2
+        let src = needham_schroeder(Intruder::DolevYao, LoweFix::Incomplete);
+        let out = deliver_seq(&src, &msgs);
+        assert!(matches!(out, StepOutcome::Aborted { .. }), "{out:?}");
+    }
+
+    #[test]
+    fn scripted_attack_blocked_by_complete_fix() {
+        let mut msgs = lowe_attack();
+        msgs[2] = [1, 1, 1001, 1002, 2];
+        let src = needham_schroeder(Intruder::DolevYao, LoweFix::Complete);
+        let out = deliver_seq(&src, &msgs);
+        assert!(
+            matches!(out, StepOutcome::Finished { .. }),
+            "complete fix must block the attack, got {out:?}"
+        );
+    }
+
+    #[test]
+    fn dolev_yao_filter_blocks_nonce_guessing() {
+        // Injecting {NB}Kb directly (without the attack prefix) must be
+        // filtered: NB is not constructible.
+        let src = needham_schroeder(Intruder::DolevYao, LoweFix::Off);
+        let out = deliver_seq(
+            &src,
+            &[[3, 3, 0, 0, 0], [2, 2, 1001, 1, 0], [2, 2, 1002, 0, 0]],
+        );
+        assert!(
+            matches!(out, StepOutcome::Finished { .. }),
+            "guessed nonce must be filtered, got {out:?}"
+        );
+    }
+
+    #[test]
+    fn possibilistic_two_message_projection() {
+        // §4.2: with the most general environment, B can be driven to
+        // completion in two messages (the attack's projection onto B).
+        let src = needham_schroeder(Intruder::Possibilistic, LoweFix::Off);
+        let out = deliver_seq(&src, &[[2, 2, 777, 1, 0], [2, 2, 1002, 0, 0]]);
+        assert!(matches!(out, StepOutcome::Aborted { .. }), "{out:?}");
+    }
+
+    #[test]
+    fn single_message_cannot_violate() {
+        for intruder in [Intruder::Possibilistic, Intruder::DolevYao] {
+            let src = needham_schroeder(intruder, LoweFix::Off);
+            // Exhaustively meaningful single messages cannot complete B.
+            for msg in [
+                [2i64, 2, 1001, 1, 0],
+                [2, 2, 1002, 0, 0],
+                [1, 1, 1001, 1002, 0],
+            ] {
+                let out = deliver_seq(&src, &[msg]);
+                assert!(matches!(out, StepOutcome::Finished { .. }), "{msg:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! A SIP-URI-flavored parser: a realistic, switch-based input-filtering
+//! pipeline of the kind the paper's §4.1 discussion describes — "most
+//! applications contain input-filtering code that performs basic sanity
+//! checks on the inputs and discards the bad or irrelevant ones. Only
+//! inputs that satisfy these filtering tests are then passed to the core
+//! application."
+//!
+//! The URI arrives pre-tokenized as a struct of integers (one field per
+//! syntactic component — our word-level stand-in for oSIP's character
+//! parsing). The parser validates scheme, user, host and port through a
+//! switch-driven state machine; the *core application* behind the filter
+//! contains a planted bug: registering a `sips:` (secure) URI with
+//! transport parameter `udp` and the loopback host dereferences an
+//! uninitialized route entry. Reaching it requires passing every filter —
+//! hopeless for random testing, a few hundred runs for DART.
+
+/// MiniC source. Toplevel: `register(scheme, user, host, port, transport)`.
+pub const SIP_URI_PARSER: &str = r#"
+/* token codes */
+int SCHEME_SIP = 1;
+int SCHEME_SIPS = 2;
+int TRANSPORT_UDP = 1;
+int TRANSPORT_TCP = 2;
+int TRANSPORT_TLS = 3;
+int HOST_LOOPBACK = 127;
+
+struct binding { int host; int port; int secure; };
+struct binding table[4];
+int n_bound = 0;
+
+/* the "core application": record a registration */
+int bind_uri(int host, int port, int secure, int transport) {
+    if (n_bound >= 4) return -1;
+    table[n_bound].host = host;
+    table[n_bound].port = port;
+    table[n_bound].secure = secure;
+    n_bound = n_bound + 1;
+
+    /* planted bug: secure URI over UDP to loopback walks one entry past
+       the bindings recorded so far (stale index arithmetic) */
+    if (secure == 1) {
+        if (transport == 1) {
+            if (host == 127) {
+                struct binding *stale = &table[n_bound + 3];
+                return stale->port;   /* out of bounds when n_bound > 0 */
+            }
+        }
+    }
+    return n_bound;
+}
+
+/* the input filter: scheme/user/host/port sanity checks */
+int register_uri(int scheme, int user, int host, int port, int transport) {
+    int secure = 0;
+
+    switch (scheme) {
+        case 1:                /* sip:  */
+            secure = 0;
+            break;
+        case 2:                /* sips: */
+            secure = 1;
+            break;
+        default:
+            return -400;       /* unsupported scheme */
+    }
+
+    if (user <= 0) return -401;          /* user part required */
+    if (user > 9999) return -402;        /* user id out of range */
+
+    if (host <= 0 || host > 255) return -403;  /* host octet */
+
+    if (port != 0) {                     /* 0 = default port */
+        if (port < 1024) return -404;    /* privileged ports rejected */
+        if (port > 65535) return -405;
+    }
+
+    switch (transport) {
+        case 1:
+            break;                       /* udp */
+        case 2:
+            break;                       /* tcp */
+        case 3:
+            if (secure == 0) return -406; /* tls requires sips: */
+            break;
+        default:
+            return -407;
+    }
+
+    int effective = port;
+    if (effective == 0) {
+        if (secure == 1) effective = 5061; else effective = 5060;
+    }
+    return bind_uri(host, effective, secure, transport);
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dart_minic::compile;
+    use dart_ram::{Machine, MachineConfig, StepOutcome, ZeroEnv};
+
+    fn call(args: &[i64]) -> StepOutcome {
+        let compiled = compile(SIP_URI_PARSER).unwrap();
+        let id = compiled.program.func_by_name("register_uri").unwrap();
+        let mut m = Machine::new(&compiled.program, MachineConfig::default());
+        for &(off, v) in &compiled.global_inits {
+            m.mem_mut()
+                .store(dart_ram::GLOBAL_BASE + off as i64, v)
+                .unwrap();
+        }
+        m.call(id, args).unwrap();
+        m.run(&mut ZeroEnv)
+    }
+
+    #[test]
+    fn valid_registrations_succeed() {
+        // sip:100@10:5070;tcp
+        assert_eq!(
+            call(&[1, 100, 10, 5070, 2]),
+            StepOutcome::Finished { value: Some(1) }
+        );
+        // sips:42@200 (default port, tls)
+        assert_eq!(
+            call(&[2, 42, 200, 0, 3]),
+            StepOutcome::Finished { value: Some(1) }
+        );
+    }
+
+    #[test]
+    fn filters_reject_bad_input() {
+        assert_eq!(call(&[9, 1, 1, 0, 1]), StepOutcome::Finished { value: Some(-400) });
+        assert_eq!(call(&[1, 0, 1, 0, 1]), StepOutcome::Finished { value: Some(-401) });
+        assert_eq!(call(&[1, 1, 999, 0, 1]), StepOutcome::Finished { value: Some(-403) });
+        assert_eq!(call(&[1, 1, 1, 80, 1]), StepOutcome::Finished { value: Some(-404) });
+        assert_eq!(call(&[1, 1, 1, 0, 3]), StepOutcome::Finished { value: Some(-406) });
+    }
+
+    #[test]
+    fn planted_bug_crashes_concretely() {
+        // sips:1@127;udp → the stale binding read goes out of bounds.
+        let out = call(&[2, 1, 127, 0, 1]);
+        assert!(
+            matches!(out, StepOutcome::Faulted(_)),
+            "expected the planted crash, got {out:?}"
+        );
+    }
+}

@@ -1,0 +1,313 @@
+//! `dartc` — the DART command-line tool.
+//!
+//! Point it at a MiniC source file and a toplevel function; it extracts the
+//! interface, generates the random test driver, and runs the directed
+//! search — no harness code required (the paper's headline claim).
+//!
+//! ```text
+//! dartc program.mc --toplevel parse [options]
+//!
+//! options:
+//!   --toplevel NAME    function under test (required unless --interface/--print-ir)
+//!   --depth N          iterative toplevel calls per run        [1]
+//!   --runs N           maximum instrumented runs               [100000]
+//!   --seed N           RNG seed                                [0]
+//!   --mode M           directed | random | symbolic | generational [directed]
+//!   --strategy S       dfs | random-branch                     [dfs]
+//!   --all-bugs         keep searching after the first bug
+//!   --max-steps N      per-run step budget (non-termination)   [2000000]
+//!   --interface        print the extracted interface and exit
+//!   --print-ir         print the compiled RAM program and exit
+//!   --save-bug FILE    write the first bug's input vector to FILE
+//!   --replay FILE      replay a saved input vector instead of searching
+//!   --trace            with --replay: print every executed statement
+//! ```
+//!
+//! Exit status: 0 = no bug, 1 = bug found, 2 = usage/compile error.
+
+use dart::{Dart, DartConfig, EngineMode, Strategy};
+use std::process::ExitCode;
+
+struct Options {
+    file: String,
+    toplevel: Option<String>,
+    depth: u32,
+    runs: u64,
+    seed: u64,
+    mode: EngineMode,
+    strategy: Strategy,
+    all_bugs: bool,
+    max_steps: u64,
+    interface_only: bool,
+    print_ir: bool,
+    save_bug: Option<String>,
+    replay: Option<String>,
+    trace: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: dartc <file.mc> --toplevel NAME [--depth N] [--runs N] [--seed N] \
+     [--mode directed|random|symbolic|generational] [--strategy dfs|random-branch] \
+     [--all-bugs] [--max-steps N] [--interface] [--print-ir]"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        file: String::new(),
+        toplevel: None,
+        depth: 1,
+        runs: 100_000,
+        seed: 0,
+        mode: EngineMode::Directed,
+        strategy: Strategy::Dfs,
+        all_bugs: false,
+        max_steps: 2_000_000,
+        interface_only: false,
+        print_ir: false,
+        save_bug: None,
+        replay: None,
+        trace: false,
+    };
+    let mut it = args.iter().peekable();
+    let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
+                     flag: &str|
+     -> Result<String, String> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--toplevel" => opts.toplevel = Some(value(&mut it, "--toplevel")?),
+            "--depth" => {
+                opts.depth = value(&mut it, "--depth")?
+                    .parse()
+                    .map_err(|_| "--depth expects a positive integer".to_string())?
+            }
+            "--runs" => {
+                opts.runs = value(&mut it, "--runs")?
+                    .parse()
+                    .map_err(|_| "--runs expects an integer".to_string())?
+            }
+            "--seed" => {
+                opts.seed = value(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?
+            }
+            "--max-steps" => {
+                opts.max_steps = value(&mut it, "--max-steps")?
+                    .parse()
+                    .map_err(|_| "--max-steps expects an integer".to_string())?
+            }
+            "--mode" => {
+                opts.mode = match value(&mut it, "--mode")?.as_str() {
+                    "directed" => EngineMode::Directed,
+                    "random" => EngineMode::RandomOnly,
+                    "symbolic" => EngineMode::SymbolicOnly,
+                    "generational" => EngineMode::Generational,
+                    other => return Err(format!("unknown mode `{other}`")),
+                }
+            }
+            "--strategy" => {
+                opts.strategy = match value(&mut it, "--strategy")?.as_str() {
+                    "dfs" => Strategy::Dfs,
+                    "random-branch" => Strategy::RandomBranch,
+                    other => return Err(format!("unknown strategy `{other}`")),
+                }
+            }
+            "--all-bugs" => opts.all_bugs = true,
+            "--save-bug" => opts.save_bug = Some(value(&mut it, "--save-bug")?),
+            "--replay" => opts.replay = Some(value(&mut it, "--replay")?),
+            "--trace" => opts.trace = true,
+            "--interface" => opts.interface_only = true,
+            "--print-ir" => opts.print_ir = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option `{other}`"))
+            }
+            file => {
+                if !opts.file.is_empty() {
+                    return Err("multiple input files given".into());
+                }
+                opts.file = file.to_string();
+            }
+        }
+    }
+    if opts.file.is_empty() {
+        return Err("no input file".into());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("dartc: {msg}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    let source = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dartc: cannot read {}: {e}", opts.file);
+            return ExitCode::from(2);
+        }
+    };
+    let compiled = match dart_minic::compile(&source) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("dartc: {}: {e}", opts.file);
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.print_ir {
+        print!("{}", compiled.program);
+        return ExitCode::SUCCESS;
+    }
+
+    let Some(toplevel) = opts.toplevel.as_deref().map(str::to_string).or_else(|| {
+        // Single-function programs need no flag.
+        (compiled.functions.len() == 1).then(|| compiled.functions[0].name.clone())
+    }) else {
+        eprintln!(
+            "dartc: choose a toplevel with --toplevel; defined functions: {}",
+            compiled
+                .functions
+                .iter()
+                .map(|f| f.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return ExitCode::from(2);
+    };
+
+    match dart::describe_interface(&compiled, &toplevel) {
+        Some(report) => print!("{report}"),
+        None => {
+            eprintln!("dartc: no function `{toplevel}` in {}", opts.file);
+            return ExitCode::from(2);
+        }
+    }
+    if opts.interface_only {
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = &opts.replay {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("dartc: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let slots = match dart::parse_inputs(&text) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("dartc: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let machine = dart_ram::MachineConfig {
+            max_steps: opts.max_steps,
+            ..dart_ram::MachineConfig::default()
+        };
+        let termination = if opts.trace {
+            let (termination, trace) =
+                dart::replay_traced(&compiled, &toplevel, opts.depth, machine, slots, opts.seed);
+            for line in &trace {
+                println!("{line}");
+            }
+            termination
+        } else {
+            dart::replay(&compiled, &toplevel, opts.depth, machine, slots, opts.seed)
+        };
+        println!("replay: {termination:?}");
+        return match termination {
+            dart::RunTermination::Ok => ExitCode::SUCCESS,
+            _ => ExitCode::from(1),
+        };
+    }
+
+    let config = DartConfig {
+        depth: opts.depth,
+        max_runs: opts.runs,
+        seed: opts.seed,
+        mode: opts.mode,
+        strategy: opts.strategy,
+        stop_at_first_bug: !opts.all_bugs,
+        machine: dart_ram::MachineConfig {
+            max_steps: opts.max_steps,
+            ..dart_ram::MachineConfig::default()
+        },
+        ..DartConfig::default()
+    };
+    let session = Dart::new(&compiled, &toplevel, config).expect("toplevel checked above");
+    let report = session.run();
+    println!("\n{report}");
+    for bug in &report.bugs {
+        println!("\n{bug}");
+    }
+    if let (Some(path), Some(bug)) = (&opts.save_bug, report.bug()) {
+        let text = dart::serialize_inputs(&bug.inputs);
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("dartc: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("reproduction written to {path}");
+    }
+    if report.found_bug() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(list: &[&str]) -> Result<Options, String> {
+        parse_args(&list.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults_and_file() {
+        let o = parse(&["prog.mc"]).unwrap();
+        assert_eq!(o.file, "prog.mc");
+        assert_eq!(o.depth, 1);
+        assert_eq!(o.mode, EngineMode::Directed);
+        assert!(o.toplevel.is_none());
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let o = parse(&[
+            "p.mc", "--toplevel", "f", "--depth", "3", "--runs", "42", "--seed", "9",
+            "--mode", "generational", "--strategy", "random-branch", "--all-bugs",
+            "--max-steps", "1000", "--save-bug", "bug.txt", "--replay", "in.txt",
+        ])
+        .unwrap();
+        assert_eq!(o.toplevel.as_deref(), Some("f"));
+        assert_eq!(o.depth, 3);
+        assert_eq!(o.runs, 42);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.mode, EngineMode::Generational);
+        assert_eq!(o.strategy, Strategy::RandomBranch);
+        assert!(o.all_bugs);
+        assert_eq!(o.max_steps, 1000);
+        assert_eq!(o.save_bug.as_deref(), Some("bug.txt"));
+        assert_eq!(o.replay.as_deref(), Some("in.txt"));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["a.mc", "--mode", "quantum"]).is_err());
+        assert!(parse(&["a.mc", "--depth"]).is_err());
+        assert!(parse(&["a.mc", "b.mc"]).is_err());
+        assert!(parse(&["a.mc", "--frobnicate"]).is_err());
+    }
+}

@@ -1,0 +1,24 @@
+//! # dart-repro — umbrella crate for the DART (PLDI 2005) reproduction
+//!
+//! Re-exports the workspace's crates so the repository-level examples and
+//! integration tests have a single dependency surface:
+//!
+//! * [`solver`] — linear integer constraint solving (the `lp_solve` stand-in),
+//! * [`ram`] — the RAM machine, memory model and interpreter,
+//! * [`minic`] — the C-like language front end,
+//! * [`sym`] — symbolic evaluation with concrete fallback,
+//! * [`engine`] — the DART driver (directed / random / symbolic-only),
+//! * [`workloads`] — the paper's benchmark programs.
+//!
+//! See the repository README for a tour, and `DESIGN.md` / `EXPERIMENTS.md`
+//! for the paper-to-code mapping.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use dart as engine;
+pub use dart_minic as minic;
+pub use dart_ram as ram;
+pub use dart_solver as solver;
+pub use dart_sym as sym;
+pub use dart_workloads as workloads;

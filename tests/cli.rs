@@ -1,0 +1,123 @@
+//! Process-level tests of the `dartc` binary: the paper's headline claim
+//! ("testing can be performed completely automatically on any program that
+//! compiles") exercised the way a user would.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn dartc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dartc"))
+}
+
+fn write_demo(dir: &std::path::Path) -> std::path::PathBuf {
+    let path = dir.join("demo.mc");
+    let mut f = std::fs::File::create(&path).unwrap();
+    writeln!(
+        f,
+        r#"
+        int f(int x) {{ return 2 * x; }}
+        int h(int x, int y) {{
+            if (x != y)
+                if (f(x) == x + 10)
+                    abort();
+            return 0;
+        }}
+        "#
+    )
+    .unwrap();
+    path
+}
+
+fn tempdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dartc-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn finds_bug_and_exits_one() {
+    let dir = tempdir();
+    let demo = write_demo(&dir);
+    let out = dartc().arg(&demo).args(["--toplevel", "h"]).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "bug found => exit 1\n{stdout}");
+    assert!(stdout.contains("BUG FOUND"), "{stdout}");
+    assert!(stdout.contains("toplevel: h"), "interface printed\n{stdout}");
+    assert!(stdout.contains("x0 = 10"), "witness printed\n{stdout}");
+}
+
+#[test]
+fn save_and_replay_roundtrip() {
+    let dir = tempdir();
+    let demo = write_demo(&dir);
+    let bugfile = dir.join("bug.txt");
+
+    let out = dartc()
+        .arg(&demo)
+        .args(["--toplevel", "h", "--save-bug"])
+        .arg(&bugfile)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(bugfile.exists());
+
+    let out = dartc()
+        .arg(&demo)
+        .args(["--toplevel", "h", "--replay"])
+        .arg(&bugfile)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("replay: Abort"), "{stdout}");
+
+    // Traced replay prints disassembly lines ending at the abort.
+    let out = dartc()
+        .arg(&demo)
+        .args(["--toplevel", "h", "--trace", "--replay"])
+        .arg(&bugfile)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("if"), "trace shows conditionals\n{stdout}");
+    assert!(stdout.contains("abort"), "{stdout}");
+}
+
+#[test]
+fn clean_program_exits_zero() {
+    let dir = tempdir();
+    let path = dir.join("clean.mc");
+    std::fs::write(&path, "int id(int x) { return x; }").unwrap();
+    let out = dartc().arg(&path).output().unwrap(); // single function: no --toplevel needed
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("complete"), "{stdout}");
+}
+
+#[test]
+fn compile_errors_exit_two() {
+    let dir = tempdir();
+    let path = dir.join("broken.mc");
+    std::fs::write(&path, "int f( { }").unwrap();
+    let out = dartc().arg(&path).args(["--toplevel", "f"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(!String::from_utf8_lossy(&out.stderr).is_empty());
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    let out = dartc().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn print_ir_disassembles() {
+    let dir = tempdir();
+    let demo = write_demo(&dir);
+    let out = dartc().arg(&demo).arg("--print-ir").output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(stdout.contains("; fn h"), "{stdout}");
+    assert!(stdout.contains("goto"), "{stdout}");
+}

@@ -1,0 +1,135 @@
+//! Property-based end-to-end tests of Theorem 1 on randomly generated
+//! linear MiniC programs.
+//!
+//! Programs are random nests of linear conditionals over two integer
+//! parameters, with `abort()`s sprinkled in some leaves. Everything stays
+//! inside DART's decidable theory, so by Theorem 1 the directed search
+//! must either find a bug or terminate having explored every feasible
+//! path. We check both directions against a brute-force grid:
+//!
+//! * **Soundness** (1a): every reported bug's input vector, replayed
+//!   concretely, reproduces an abort.
+//! * **Completeness** (1b): if DART terminates without a bug, no grid
+//!   point aborts.
+
+use dart::{Dart, DartConfig, Outcome};
+use dart_ram::{Machine, MachineConfig, StepOutcome, ZeroEnv};
+use proptest::prelude::*;
+
+/// A linear expression over `x`, `y` and constants, as source text.
+fn linexpr() -> impl Strategy<Value = String> {
+    (-3i64..=3, -3i64..=3, -8i64..=8).prop_map(|(a, b, c)| {
+        let mut s = String::new();
+        if a != 0 {
+            s.push_str(&format!("{a} * x"));
+        }
+        if b != 0 {
+            if !s.is_empty() {
+                s.push_str(" + ");
+            }
+            s.push_str(&format!("{b} * y"));
+        }
+        if s.is_empty() {
+            format!("{c}")
+        } else {
+            format!("{s} + {c}")
+        }
+    })
+}
+
+fn cond() -> impl Strategy<Value = String> {
+    (
+        linexpr(),
+        prop_oneof![
+            Just("=="),
+            Just("!="),
+            Just("<"),
+            Just("<="),
+            Just(">"),
+            Just(">="),
+        ],
+        linexpr(),
+    )
+        .prop_map(|(l, op, r)| format!("({l}) {op} ({r})"))
+}
+
+/// A statement tree of bounded depth.
+fn stmt(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        3 => linexpr().prop_map(|e| format!("z = z + ({e});")),
+        1 => Just("abort();".to_string()),
+        1 => Just("return z;".to_string()),
+    ];
+    leaf.prop_recursive(depth, 24, 3, move |inner| {
+        (cond(), inner.clone(), proptest::option::of(inner))
+            .prop_map(|(c, t, e)| match e {
+                Some(e) => format!("if ({c}) {{ {t} }} else {{ {e} }}"),
+                None => format!("if ({c}) {{ {t} }}"),
+            })
+            .boxed()
+    })
+    .boxed()
+}
+
+fn program() -> impl Strategy<Value = String> {
+    proptest::collection::vec(stmt(3), 1..5).prop_map(|stmts| {
+        format!(
+            "int test(int x, int y) {{ int z = 0; {} return z; }}",
+            stmts.join("\n")
+        )
+    })
+}
+
+/// Runs `test(x, y)` concretely; true iff it aborts.
+fn aborts_concretely(compiled: &dart_minic::CompiledProgram, x: i64, y: i64) -> bool {
+    let id = compiled.program.func_by_name("test").unwrap();
+    let mut m = Machine::new(&compiled.program, MachineConfig::default());
+    m.call(id, &[x, y]).unwrap();
+    matches!(m.run(&mut ZeroEnv), StepOutcome::Aborted { .. })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn theorem_1_on_random_linear_programs(src in program(), seed in 0u64..1000) {
+        let compiled = match dart_minic::compile(&src) {
+            Ok(c) => c,
+            Err(e) => panic!("generated program must compile: {e}\n{src}"),
+        };
+        let report = Dart::new(&compiled, "test", DartConfig {
+            max_runs: 20_000,
+            seed,
+            ..DartConfig::default()
+        }).unwrap().run();
+
+        // All constructs are linear: the session must resolve one way or
+        // the other, never exhaust its (generous) budget.
+        prop_assert_ne!(report.outcome.clone(), Outcome::Exhausted, "{}", src);
+
+        match report.bug() {
+            Some(bug) => {
+                // Soundness: the witness replays to an abort.
+                let vals: Vec<i64> = bug.inputs.iter().map(|s| s.value).collect();
+                prop_assert_eq!(vals.len(), 2, "two scalar inputs");
+                prop_assert!(
+                    aborts_concretely(&compiled, vals[0], vals[1]),
+                    "witness ({}, {}) must replay to an abort\n{}",
+                    vals[0], vals[1], src
+                );
+            }
+            None => {
+                // Completeness: no point of a coarse grid aborts.
+                prop_assert_eq!(report.outcome.clone(), Outcome::Complete, "{}", src);
+                for x in -6..=6 {
+                    for y in -6..=6 {
+                        prop_assert!(
+                            !aborts_concretely(&compiled, x, y),
+                            "DART claimed completeness but ({x}, {y}) aborts\n{src}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
