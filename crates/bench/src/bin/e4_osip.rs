@@ -50,7 +50,8 @@ fn main() {
             ..DartConfig::default()
         },
         threads,
-    );
+    )
+    .expect("all sweep toplevels come from the generated library");
     for (f, result) in lib.functions.iter().zip(&results) {
         let report = &result.report;
         if report.found_bug() {

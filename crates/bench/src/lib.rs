@@ -45,7 +45,10 @@ pub fn fmt_dur(d: Duration) -> String {
 pub fn header(title: &str, cols: &[&str]) {
     println!("\n== {title} ==");
     println!("{}", cols.join(" | "));
-    println!("{}", "-".repeat(cols.iter().map(|c| c.len() + 3).sum::<usize>()));
+    println!(
+        "{}",
+        "-".repeat(cols.iter().map(|c| c.len() + 3).sum::<usize>())
+    );
 }
 
 #[cfg(test)]

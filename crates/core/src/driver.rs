@@ -25,7 +25,7 @@ use crate::search::{solve_next, SolveStats, Strategy};
 use crate::tape::InputTape;
 use dart_minic::{CompiledProgram, FnSig};
 use dart_ram::MachineConfig;
-use dart_solver::{Solver, SolverConfig};
+use dart_solver::{QueryCache, Solver, SolverConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;
@@ -77,6 +77,10 @@ pub struct DartConfig {
     /// [`SessionReport::paths`] (the execution tree of §2.2, one leaf per
     /// run). Off by default: long sessions would hold every path.
     pub record_paths: bool,
+    /// Memoize solver verdicts across the session's queries (on by
+    /// default). Turning it off changes no session outcome — only how
+    /// often the solver actually runs; see `SolveStats::cache_hits`.
+    pub solver_cache: bool,
 }
 
 impl Default for DartConfig {
@@ -93,6 +97,7 @@ impl Default for DartConfig {
             nontermination_is_bug: true,
             max_ptr_depth: 32,
             record_paths: false,
+            solver_cache: true,
         }
     }
 }
@@ -176,6 +181,9 @@ impl<'p> Dart<'p> {
         }
         let cfg = &self.config;
         let solver = Solver::new(cfg.solver);
+        // One query cache per session: queries repeat massively within a
+        // session (restarts replay whole query families), never across.
+        let mut cache = QueryCache::new(cfg.solver_cache);
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
         let mut coverage: std::collections::HashSet<(usize, bool)> =
             std::collections::HashSet::new();
@@ -197,8 +205,11 @@ impl<'p> Dart<'p> {
         // Outer loop: fresh random restart (the paper's `repeat`).
         'outer: loop {
             report.restarts += 1;
-            let mut tape = InputTape::new(rng.gen());
-            let mut stack = Vec::new();
+            // The next run's inputs and branch prediction. Owned by this
+            // binding between runs and *moved* into `run_once`, so a stale
+            // tape can never leak into a later iteration.
+            let mut next_input: (InputTape, Vec<dart_sym::BranchRecord>) =
+                (InputTape::new(rng.gen()), Vec::new());
             // Only the DFS discipline keeps the `(branch, done)` stack a
             // sound record of "both subtrees explored" (flipping a shallow
             // branch first discards the done-state of the deeper subtree),
@@ -211,6 +222,7 @@ impl<'p> Dart<'p> {
                     report.outcome = Outcome::Exhausted;
                     return report;
                 }
+                let (tape, stack) = next_input;
                 let exec_started = std::time::Instant::now();
                 let result = run_once(
                     self.compiled,
@@ -229,7 +241,6 @@ impl<'p> Dart<'p> {
                 if cfg.record_paths {
                     report.paths.push(result.branches.clone());
                 }
-                tape = InputTape::new(0); // placeholder; replaced below
                 if self.handle_termination(&result, &mut report, &mut session_complete) {
                     return report;
                 }
@@ -266,6 +277,7 @@ impl<'p> Dart<'p> {
                     &result_stack,
                     &result.tape,
                     &solver,
+                    &mut cache,
                     cfg.strategy,
                     &mut rng,
                     &mut report.solver,
@@ -276,9 +288,9 @@ impl<'p> Dart<'p> {
                 }
                 match next {
                     Some(step) => {
-                        tape = result.tape;
+                        let mut tape = result.tape;
                         tape.apply_model(&step.model);
-                        stack = step.stack;
+                        next_input = (tape, step.stack);
                     }
                     None => {
                         if session_complete {
@@ -306,6 +318,7 @@ impl<'p> Dart<'p> {
 
         let cfg = &self.config;
         let solver = Solver::new(cfg.solver);
+        let mut cache = QueryCache::new(cfg.solver_cache);
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
         let mut coverage: std::collections::HashSet<(usize, bool)> =
             std::collections::HashSet::new();
@@ -368,12 +381,19 @@ impl<'p> Dart<'p> {
 
                 let solve_started = std::time::Instant::now();
                 let upper = result.stack.len().min(result.path.len());
+                // One incremental prefix session per run: the `j` queries
+                // below all share prefixes of this run's path constraint.
+                let mut session = solver.session();
+                for c in &result.path.constraints()[..upper] {
+                    session.push(c);
+                }
                 for j in bound..upper {
                     if result.stack[j].done {
                         continue;
                     }
-                    let query = result.path.negated_prefix(j);
-                    match solver.solve_with_hint(&query, |v| result.tape.value_of(v)) {
+                    let negated = result.path.constraints()[j].negated();
+                    match cache.solve_query(&mut session, j, &negated, |v| result.tape.value_of(v))
+                    {
                         SolveOutcome::Sat(model) => {
                             report.solver.sat += 1;
                             let mut child_tape = result.tape.clone();
@@ -389,6 +409,7 @@ impl<'p> Dart<'p> {
                         }
                     }
                 }
+                report.solver.absorb_cache(&cache);
                 report.solve_time += solve_started.elapsed();
             }
 

@@ -15,12 +15,10 @@
 use crate::run::RunCtx;
 use crate::tape::InputTape;
 use dart_minic::{CompiledProgram, FnSig};
-use dart_ram::{
-    Fault, Machine, MachineConfig, Statement, StepOutcome, GLOBAL_BASE,
-};
+use dart_ram::{Fault, Machine, MachineConfig, Statement, StepOutcome, GLOBAL_BASE};
 use dart_solver::Constraint;
-use dart_sym::{eval_predicate, eval_symbolic, BranchRecord, Completeness, PathConstraint};
 use dart_solver::LinExpr;
+use dart_sym::{eval_predicate, eval_symbolic, BranchRecord, Completeness, PathConstraint};
 
 /// How a run ended.
 #[derive(Debug, Clone, PartialEq)]
@@ -229,18 +227,12 @@ fn plan(machine: &Machine<'_>, ctx: &mut RunCtx<'_>) -> Planned {
         return Planned::Nothing;
     };
     match stmt {
-        Statement::Assign { src, .. } => Planned::AssignSrc(eval_symbolic(
-            src,
-            machine,
-            &ctx.sym,
-            &mut ctx.flags,
-        )),
-        Statement::If { cond, .. } => Planned::Branch(eval_predicate(
-            cond,
-            machine,
-            &ctx.sym,
-            &mut ctx.flags,
-        )),
+        Statement::Assign { src, .. } => {
+            Planned::AssignSrc(eval_symbolic(src, machine, &ctx.sym, &mut ctx.flags))
+        }
+        Statement::If { cond, .. } => {
+            Planned::Branch(eval_predicate(cond, machine, &ctx.sym, &mut ctx.flags))
+        }
         Statement::Call { args, .. } => Planned::CallArgs(
             args.iter()
                 .map(|a| eval_symbolic(a, machine, &ctx.sym, &mut ctx.flags))
@@ -261,11 +253,9 @@ fn apply(ctx: &mut RunCtx<'_>, planned: Planned, outcome: &StepOutcome) {
         (Planned::AssignSrc(v), StepOutcome::Assigned { dst, .. }) => {
             ctx.sym.set(*dst, v);
         }
-        (Planned::Branch(pred), StepOutcome::Branched { taken }) => {
-            if let Some(pred) = pred {
-                let oriented = if *taken { pred } else { pred.negated() };
-                ctx.observe_branch(*taken, oriented);
-            }
+        (Planned::Branch(Some(pred)), StepOutcome::Branched { taken }) => {
+            let oriented = if *taken { pred } else { pred.negated() };
+            ctx.observe_branch(*taken, oriented);
         }
         (Planned::CallArgs(vals), StepOutcome::Called { frame_base, .. }) => {
             for (i, v) in vals.into_iter().enumerate() {

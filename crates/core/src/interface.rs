@@ -113,10 +113,8 @@ mod tests {
 
     #[test]
     fn display_renders_sections() {
-        let compiled = dart_minic::compile(
-            "extern int x; int f(int a) { return ping() + x + a; }",
-        )
-        .unwrap();
+        let compiled =
+            dart_minic::compile("extern int x; int f(int a) { return ping() + x + a; }").unwrap();
         let text = describe_interface(&compiled, "f").unwrap().to_string();
         assert!(text.contains("toplevel: f"));
         assert!(text.contains("arg a: int"));

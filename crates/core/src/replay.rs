@@ -202,14 +202,7 @@ mod tests {
         // Serialize, parse back, replay: same abort.
         let text = serialize_inputs(&bug.inputs);
         let slots = parse_inputs(&text).unwrap();
-        let termination = replay(
-            &compiled,
-            "h",
-            1,
-            MachineConfig::default(),
-            slots,
-            0,
-        );
+        let termination = replay(&compiled, "h", 1, MachineConfig::default(), slots, 0);
         assert!(
             matches!(termination, RunTermination::Abort(_)),
             "replay must reproduce the abort, got {termination:?}"
@@ -218,23 +211,14 @@ mod tests {
 
     #[test]
     fn traced_replay_shows_the_path_to_the_abort() {
-        let compiled = dart_minic::compile(
-            "void f(int x) { if (x == 5) abort(); }",
-        )
-        .unwrap();
+        let compiled = dart_minic::compile("void f(int x) { if (x == 5) abort(); }").unwrap();
         let slots = vec![InputSlot {
             kind: InputKind::IntLike,
             value: 5,
             name: "x".into(),
         }];
-        let (termination, trace) = replay_traced(
-            &compiled,
-            "f",
-            1,
-            MachineConfig::default(),
-            slots,
-            0,
-        );
+        let (termination, trace) =
+            replay_traced(&compiled, "f", 1, MachineConfig::default(), slots, 0);
         assert!(matches!(termination, RunTermination::Abort(_)));
         assert!(!trace.is_empty());
         assert!(

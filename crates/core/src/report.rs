@@ -123,7 +123,8 @@ impl fmt::Display for SessionReport {
         write!(
             f,
             "{outcome} | runs {} | bugs {} | divergences {} | restarts {} | \
-             solver sat/unsat/unknown {}/{}/{} | branch cov {}/{}",
+             solver sat/unsat/unknown {}/{}/{} | cache hits/reuse/splits {}/{}/{} | \
+             branch cov {}/{}",
             self.runs,
             self.bugs.len(),
             self.divergences,
@@ -131,6 +132,9 @@ impl fmt::Display for SessionReport {
             self.solver.sat,
             self.solver.unsat,
             self.solver.unknown,
+            self.solver.cache_hits,
+            self.solver.cache_model_reuse,
+            self.solver.split_solves,
             self.branches_covered,
             self.branch_sites,
         )

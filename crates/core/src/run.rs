@@ -104,14 +104,7 @@ impl<'p> RunCtx<'p> {
     /// a symbolic input. Pointers flip a (replayable) coin between NULL and
     /// a fresh heap object, recursively initialized — so unbounded
     /// structures like lists arise with geometric size.
-    pub fn random_init(
-        &mut self,
-        mem: &mut Memory,
-        addr: i64,
-        ty: &Type,
-        name: &str,
-        depth: u32,
-    ) {
+    pub fn random_init(&mut self, mem: &mut Memory, addr: i64, ty: &Type, name: &str, depth: u32) {
         match ty {
             Type::Int | Type::Char | Type::Void => {
                 let (var, val) = self.tape.take(InputKind::IntLike, || name.to_string());
@@ -155,7 +148,14 @@ impl<'p> RunCtx<'p> {
 
     /// Initializes a freshly allocated pointee. `void` pointees get a
     /// single integer-like input cell.
-    fn init_pointee(&mut self, mem: &mut Memory, base: i64, pointee: &Type, name: &str, depth: u32) {
+    fn init_pointee(
+        &mut self,
+        mem: &mut Memory,
+        base: i64,
+        pointee: &Type,
+        name: &str,
+        depth: u32,
+    ) {
         let deref_name = format!("*{name}");
         match pointee {
             Type::Void => self.random_init(mem, base, &Type::Int, &deref_name, depth),
@@ -266,13 +266,7 @@ mod tests {
         let mut ctx = ctx_with("struct s { int a; int b; int c; }; int f() { return 0; }");
         let id = ctx.compiled.types.id_of("s").unwrap();
         let mut mem = Memory::new(8, 1 << 20);
-        ctx.random_init(
-            &mut mem,
-            dart_ram::GLOBAL_BASE,
-            &Type::Struct(id),
-            "s",
-            0,
-        );
+        ctx.random_init(&mut mem, dart_ram::GLOBAL_BASE, &Type::Struct(id), "s", 0);
         assert_eq!(ctx.tape.len(), 3);
     }
 
@@ -299,9 +293,7 @@ mod tests {
 
     #[test]
     fn random_init_recursive_type_terminates() {
-        let mut ctx = ctx_with(
-            "struct node { int v; struct node *next; }; int f() { return 0; }",
-        );
+        let mut ctx = ctx_with("struct node { int v; struct node *next; }; int f() { return 0; }");
         let id = ctx.compiled.types.id_of("node").unwrap();
         let mut mem = Memory::new(8, 1 << 20);
         // A linked list arises with geometric length; depth cap guarantees
@@ -334,7 +326,13 @@ mod tests {
         let first = mem.load(dart_ram::GLOBAL_BASE).unwrap();
         ctx.tape.rewind();
         let mut mem2 = Memory::new(4, 1 << 20);
-        ctx.random_init(&mut mem2, dart_ram::GLOBAL_BASE, &Type::Int.ptr_to(), "p", 0);
+        ctx.random_init(
+            &mut mem2,
+            dart_ram::GLOBAL_BASE,
+            &Type::Int.ptr_to(),
+            "p",
+            0,
+        );
         let second = mem2.load(dart_ram::GLOBAL_BASE).unwrap();
         // Nullness replays exactly (fresh memory allocates deterministically).
         assert_eq!(first == 0, second == 0);

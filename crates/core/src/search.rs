@@ -1,7 +1,7 @@
 //! `solve_path_constraint` (paper Fig. 5) and branch-selection strategies.
 
 use crate::tape::InputTape;
-use dart_solver::{Assignment, SolveOutcome, Solver};
+use dart_solver::{Assignment, QueryCache, SolveOutcome, Solver};
 use dart_sym::{BranchRecord, PathConstraint};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -35,6 +35,24 @@ pub struct SolveStats {
     pub unsat: u64,
     /// Queries the solver gave up on (these make the session incomplete).
     pub unknown: u64,
+    /// Queries answered by the session query cache without solving.
+    pub cache_hits: u64,
+    /// Queries answered by re-checking a previously computed model
+    /// (the counterexample-reuse fast path).
+    pub cache_model_reuse: u64,
+    /// Solved queries that split into independent variable components.
+    pub split_solves: u64,
+}
+
+impl SolveStats {
+    /// Copies the cache-side counters out of `cache` (they are
+    /// session-cumulative, so this is an assignment, not an addition).
+    pub fn absorb_cache(&mut self, cache: &QueryCache) {
+        let cs = cache.stats();
+        self.cache_hits = cs.hits;
+        self.cache_model_reuse = cs.model_reuse;
+        self.split_solves = cs.split_solves;
+    }
 }
 
 /// The next directed step: a branch prediction stack and the input updates
@@ -54,11 +72,13 @@ pub struct NextStep {
 /// prefix; the first satisfiable one wins. Returns `None` when every
 /// candidate is done or unsatisfiable — the directed search is over
 /// (Fig. 5's `j == -1` case).
+#[allow(clippy::too_many_arguments)] // one spot, mirrors Fig. 5's state
 pub fn solve_next(
     path: &PathConstraint,
     stack: &[BranchRecord],
     tape: &InputTape,
     solver: &Solver,
+    cache: &mut QueryCache,
     strategy: Strategy,
     rng: &mut SmallRng,
     stats: &mut SolveStats,
@@ -69,23 +89,32 @@ pub fn solve_next(
         Strategy::Dfs => candidates.reverse(),
         Strategy::RandomBranch => candidates.shuffle(rng),
     }
+    // All of this run's queries share prefixes of one path constraint, so
+    // push it once and let each query start from the shared factorization.
+    let mut session = solver.session();
+    for c in &path.constraints()[..n] {
+        session.push(c);
+    }
+    let mut found = None;
     for j in candidates {
-        let query = path.negated_prefix(j);
-        match solver.solve_with_hint(&query, |v| tape.value_of(v)) {
+        let negated = path.constraints()[j].negated();
+        match cache.solve_query(&mut session, j, &negated, |v| tape.value_of(v)) {
             SolveOutcome::Sat(model) => {
                 stats.sat += 1;
                 let mut new_stack: Vec<BranchRecord> = stack[..=j].to_vec();
                 new_stack[j].branch = !new_stack[j].branch;
-                return Some(NextStep {
+                found = Some(NextStep {
                     stack: new_stack,
                     model,
                 });
+                break;
             }
             SolveOutcome::Unsat => stats.unsat += 1,
             SolveOutcome::Unknown => stats.unknown += 1,
         }
     }
-    None
+    stats.absorb_cache(cache);
+    found
 }
 
 #[cfg(test)]
@@ -120,6 +149,7 @@ mod tests {
             &stack,
             &tape,
             &Solver::default(),
+            &mut QueryCache::new(true),
             Strategy::Dfs,
             &mut rng,
             &mut stats,
@@ -143,6 +173,7 @@ mod tests {
             &stack,
             &tape,
             &Solver::default(),
+            &mut QueryCache::new(true),
             Strategy::RandomBranch,
             &mut rng,
             &mut stats,
@@ -164,6 +195,7 @@ mod tests {
             &stack,
             &tape,
             &Solver::default(),
+            &mut QueryCache::new(true),
             Strategy::Dfs,
             &mut rng,
             &mut stats,
@@ -183,6 +215,7 @@ mod tests {
             &stack,
             &tape,
             &Solver::default(),
+            &mut QueryCache::new(true),
             Strategy::Dfs,
             &mut rng,
             &mut stats
@@ -208,6 +241,7 @@ mod tests {
             &stack,
             &tape,
             &Solver::default(),
+            &mut QueryCache::new(true),
             Strategy::Dfs,
             &mut rng,
             &mut stats,
@@ -239,12 +273,12 @@ mod tests {
             &stack,
             &tape,
             &Solver::default(),
+            &mut QueryCache::new(true),
             Strategy::Dfs,
             &mut rng,
             &mut stats,
         )
         .unwrap();
-        let mut tape = tape;
         tape.apply_model(&step.model);
         assert_eq!(tape.value_of(Var(0)), Some(9));
         assert_eq!(tape.value_of(Var(1)), Some(y_before), "IM + IM' merge");

@@ -6,7 +6,7 @@
 //! results are returned in input order and are identical to a sequential
 //! sweep (each session's randomness is seeded from its own function name).
 
-use crate::driver::{Dart, DartConfig};
+use crate::driver::{Dart, DartConfig, DartError};
 use crate::report::SessionReport;
 use dart_minic::CompiledProgram;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -26,17 +26,26 @@ pub struct SweepResult {
 /// function name, so results do not depend on scheduling or on the set of
 /// other functions in the sweep.
 ///
+/// # Errors
+///
+/// [`DartError::UnknownToplevel`] if any name is not a defined function.
+/// The whole list is validated up front, before any session runs.
+///
 /// # Panics
 ///
-/// Panics if any name is not a defined function (check the list against
-/// [`CompiledProgram::fn_sig`] first), or if `threads` is 0.
+/// Panics if `threads` is 0.
 pub fn sweep(
     compiled: &CompiledProgram,
     toplevels: &[String],
     config: &DartConfig,
     threads: usize,
-) -> Vec<SweepResult> {
+) -> Result<Vec<SweepResult>, DartError> {
     assert!(threads > 0, "need at least one thread");
+    for name in toplevels {
+        if compiled.fn_sig(name).is_none() {
+            return Err(DartError::UnknownToplevel(name.clone()));
+        }
+    }
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<SweepResult>> = Vec::new();
     slots.resize_with(toplevels.len(), || None);
@@ -54,7 +63,7 @@ pub fn sweep(
                     ..config.clone()
                 };
                 let report = Dart::new(compiled, name, cfg)
-                    .unwrap_or_else(|e| panic!("sweep: {e}"))
+                    .expect("toplevels validated before spawning")
                     .run();
                 let result = SweepResult {
                     function: name.clone(),
@@ -65,10 +74,10 @@ pub fn sweep(
         }
     });
 
-    slots
+    Ok(slots
         .into_iter()
         .map(|r| r.expect("every index was processed"))
-        .collect()
+        .collect())
 }
 
 /// FNV-1a, so per-function seeds are stable across runs and platforms.
@@ -114,7 +123,7 @@ mod tests {
     #[test]
     fn sweep_tests_each_function() {
         let compiled = library();
-        let results = sweep(&compiled, &names(), &config(), 3);
+        let results = sweep(&compiled, &names(), &config(), 3).unwrap();
         assert_eq!(results.len(), 3);
         assert_eq!(results[0].function, "crashes");
         assert!(results[0].report.found_bug());
@@ -125,8 +134,8 @@ mod tests {
     #[test]
     fn parallel_equals_sequential() {
         let compiled = library();
-        let wide = sweep(&compiled, &names(), &config(), 4);
-        let narrow = sweep(&compiled, &names(), &config(), 1);
+        let wide = sweep(&compiled, &names(), &config(), 4).unwrap();
+        let narrow = sweep(&compiled, &names(), &config(), 1).unwrap();
         for (a, b) in wide.iter().zip(&narrow) {
             assert_eq!(a.function, b.function);
             assert_eq!(a.report.runs, b.report.runs);
@@ -137,6 +146,19 @@ mod tests {
     #[test]
     fn empty_sweep_is_fine() {
         let compiled = library();
-        assert!(sweep(&compiled, &[], &config(), 2).is_empty());
+        assert!(sweep(&compiled, &[], &config(), 2).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unknown_toplevel_is_an_error_not_a_panic() {
+        let compiled = library();
+        let names: Vec<String> = ["crashes", "no_such_function"]
+            .into_iter()
+            .map(String::from)
+            .collect();
+        match sweep(&compiled, &names, &config(), 2) {
+            Err(DartError::UnknownToplevel(name)) => assert_eq!(name, "no_such_function"),
+            other => panic!("expected UnknownToplevel, got {other:?}"),
+        }
     }
 }

@@ -1,0 +1,156 @@
+//! The solver query cache must be an invisible optimization: running any
+//! session with the cache on vs. off produces the *same report* — same
+//! runs, same bugs, same restarts, same outcome, same per-verdict solver
+//! counts. Only the cache counters and wall-clock may differ.
+
+use dart::{Dart, DartConfig, EngineMode, SessionReport, Strategy};
+
+/// Fig. 1 / §2.1 — the `h` example.
+const PAPER_H: &str = r#"
+    int f(int x) { return 2 * x; }
+    int h(int x, int y) {
+        if (x != y)
+            if (f(x) == x + 10)
+                abort();
+        return 0;
+    }
+"#;
+
+/// §2.5 — the AC controller state machine.
+const AC_CONTROLLER: &str = r#"
+    int is_room_hot = 0;
+    int is_door_closed = 0;
+    int ac = 0;
+    void ac_controller(int message) {
+        if (message == 0) is_room_hot = 1;
+        if (message == 1) is_room_hot = 0;
+        if (message == 2) { is_door_closed = 0; ac = 0; }
+        if (message == 3) {
+            is_door_closed = 1;
+            if (is_room_hot) ac = 1;
+        }
+        if (is_room_hot && is_door_closed && !ac)
+            abort();
+    }
+"#;
+
+/// Everything in a report that describes *what the search did*, as
+/// opposed to how fast it did it or how often the cache helped.
+fn observable(r: &SessionReport) -> impl PartialEq + std::fmt::Debug {
+    (
+        r.outcome.clone(),
+        r.runs,
+        r.bugs.clone(),
+        r.divergences,
+        r.restarts,
+        (r.solver.sat, r.solver.unsat, r.solver.unknown),
+        r.steps,
+        r.branches_covered,
+        r.paths.clone(),
+    )
+}
+
+fn run_with_cache(source: &str, toplevel: &str, base: &DartConfig, cache: bool) -> SessionReport {
+    let compiled = dart_minic::compile(source).unwrap();
+    let config = DartConfig {
+        solver_cache: cache,
+        record_paths: true,
+        ..base.clone()
+    };
+    Dart::new(&compiled, toplevel, config).unwrap().run()
+}
+
+fn assert_cache_invisible(source: &str, toplevel: &str, base: &DartConfig) {
+    let on = run_with_cache(source, toplevel, base, true);
+    let off = run_with_cache(source, toplevel, base, false);
+    assert_eq!(
+        observable(&on),
+        observable(&off),
+        "cache on/off must be observationally identical ({toplevel}, {:?})",
+        base.mode
+    );
+    assert_eq!(
+        off.solver.cache_hits, 0,
+        "a disabled cache must never report hits"
+    );
+}
+
+#[test]
+fn directed_reports_identical_cache_on_and_off() {
+    for seed in 0..4 {
+        let base = DartConfig {
+            max_runs: 500,
+            seed,
+            stop_at_first_bug: false,
+            ..DartConfig::default()
+        };
+        assert_cache_invisible(PAPER_H, "h", &base);
+        let base = DartConfig {
+            depth: 2,
+            max_runs: 500,
+            seed,
+            ..DartConfig::default()
+        };
+        assert_cache_invisible(AC_CONTROLLER, "ac_controller", &base);
+    }
+}
+
+#[test]
+fn generational_reports_identical_cache_on_and_off() {
+    for seed in 0..4 {
+        let base = DartConfig {
+            mode: EngineMode::Generational,
+            max_runs: 500,
+            seed,
+            stop_at_first_bug: false,
+            ..DartConfig::default()
+        };
+        assert_cache_invisible(PAPER_H, "h", &base);
+        let base = DartConfig {
+            mode: EngineMode::Generational,
+            depth: 2,
+            max_runs: 500,
+            seed,
+            ..DartConfig::default()
+        };
+        assert_cache_invisible(AC_CONTROLLER, "ac_controller", &base);
+    }
+}
+
+/// A restarting session on the Fig. 1 example: `RandomBranch` never
+/// claims completeness, so the driver keeps restarting and each restart
+/// replays the same query family with fresh hints.
+fn restarting_fig1_config(seed: u64) -> DartConfig {
+    DartConfig {
+        max_runs: 60,
+        seed,
+        strategy: Strategy::RandomBranch,
+        stop_at_first_bug: false,
+        ..DartConfig::default()
+    }
+}
+
+/// The model-reuse path actually fires under restarts (different hints,
+/// same constraint sets), so this config is the sharpest determinism
+/// probe — and the one the cache-hit acceptance check runs on.
+#[test]
+fn restarting_sessions_identical_cache_on_and_off() {
+    for seed in 0..4 {
+        assert_cache_invisible(PAPER_H, "h", &restarting_fig1_config(seed));
+    }
+}
+
+#[test]
+fn cache_hits_observed_on_fig1_example() {
+    let report = run_with_cache(PAPER_H, "h", &restarting_fig1_config(0), true);
+    assert!(
+        report.solver.cache_hits > 0,
+        "restarts replay the Fig. 1 query family; expected hits, got {:?}",
+        report.solver
+    );
+    assert!(
+        report.solver.cache_model_reuse > 0,
+        "fresh hints over known constraint sets should reuse pooled models, got {:?}",
+        report.solver
+    );
+}

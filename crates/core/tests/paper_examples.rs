@@ -67,7 +67,9 @@ fn example_2_4_terminates_complete() {
         }
     "#;
     let compiled = dart_minic::compile(src).unwrap();
-    let report = Dart::new(&compiled, "f", directed(100, 1, 42)).unwrap().run();
+    let report = Dart::new(&compiled, "f", directed(100, 1, 42))
+        .unwrap()
+        .run();
     assert!(!report.found_bug());
     assert_eq!(report.outcome, Outcome::Complete);
     // Paper walks through 2 executions; allow a little slack for the
@@ -96,7 +98,10 @@ fn foobar_nonlinear_found_by_directed() {
     let report = Dart::new(&compiled, "foobar", directed(200, 1, 11))
         .unwrap()
         .run();
-    assert!(report.found_bug(), "directed search finds the reachable abort");
+    assert!(
+        report.found_bug(),
+        "directed search finds the reachable abort"
+    );
     // The only reachable abort is the y==10 one (line 4 of the paper).
     match &report.bugs[0].kind {
         dart::BugKind::Abort(_) => {}
@@ -161,7 +166,9 @@ fn struct_cast_bug_found() {
         }
     "#;
     let compiled = dart_minic::compile(src).unwrap();
-    let report = Dart::new(&compiled, "bar", directed(500, 1, 3)).unwrap().run();
+    let report = Dart::new(&compiled, "bar", directed(500, 1, 3))
+        .unwrap()
+        .run();
     assert!(report.found_bug(), "{report}");
     // DART must also have discovered NULL-pointer crashes or the abort —
     // the first bug can be the NULL deref of a->c when the coin lands NULL.
@@ -226,26 +233,25 @@ fn ac_controller_random_depth2_fails() {
 
 #[test]
 fn non_dfs_strategies_never_claim_completeness() {
-    // BFS/random flipping truncates the stack at the flipped branch,
-    // losing the done-state of deeper subtrees — they are bug-finding
-    // heuristics (footnote 4) and must not claim Theorem 1(b).
-    for strategy in [Strategy::RandomBranch] {
-        let compiled = dart_minic::compile(dart_workloads_ac()).unwrap();
-        let report = Dart::new(
-            &compiled,
-            "ac_controller",
-            DartConfig {
-                depth: 2,
-                max_runs: 300,
-                strategy,
-                seed: 5,
-                ..DartConfig::default()
-            },
-        )
-        .unwrap()
-        .run();
-        assert_ne!(report.outcome, Outcome::Complete, "strategy {strategy:?}");
-    }
+    // Random flipping truncates the stack at the flipped branch, losing
+    // the done-state of deeper subtrees — it is a bug-finding heuristic
+    // (footnote 4) and must not claim Theorem 1(b).
+    let strategy = Strategy::RandomBranch;
+    let compiled = dart_minic::compile(dart_workloads_ac()).unwrap();
+    let report = Dart::new(
+        &compiled,
+        "ac_controller",
+        DartConfig {
+            depth: 2,
+            max_runs: 300,
+            strategy,
+            seed: 5,
+            ..DartConfig::default()
+        },
+    )
+    .unwrap()
+    .run();
+    assert_ne!(report.outcome, Outcome::Complete, "strategy {strategy:?}");
 }
 
 #[test]
@@ -305,7 +311,9 @@ fn divergence_recovery_still_finds_bug() {
         }
     "#;
     let compiled = dart_minic::compile(src).unwrap();
-    let report = Dart::new(&compiled, "f", directed(500, 1, 2)).unwrap().run();
+    let report = Dart::new(&compiled, "f", directed(500, 1, 2))
+        .unwrap()
+        .run();
     assert!(report.found_bug(), "{report}");
 }
 
@@ -441,7 +449,10 @@ fn complete_sessions_enumerate_distinct_paths() {
     assert_eq!(report.paths.len() as u64, report.runs);
     let mut seen = std::collections::HashSet::new();
     for path in &report.paths {
-        assert!(seen.insert(path.clone()), "duplicate path explored: {path:?}");
+        assert!(
+            seen.insert(path.clone()),
+            "duplicate path explored: {path:?}"
+        );
     }
 }
 
@@ -465,6 +476,9 @@ fn generational_paths_also_distinct() {
     assert_eq!(report.outcome, Outcome::Complete);
     let mut seen = std::collections::HashSet::new();
     for path in &report.paths {
-        assert!(seen.insert(path.clone()), "duplicate path explored: {path:?}");
+        assert!(
+            seen.insert(path.clone()),
+            "duplicate path explored: {path:?}"
+        );
     }
 }

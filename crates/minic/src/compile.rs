@@ -16,8 +16,8 @@ use crate::parser::parse;
 use crate::token::Pos;
 use crate::types::{Field, StructId, StructInfo, Type, TypeTable};
 use dart_ram::{
-    AllocKind, BinOp, Expr as RExpr, ExtId, External, FuncId, Function, Program, Statement,
-    UnOp, GLOBAL_BASE,
+    AllocKind, BinOp, Expr as RExpr, ExtId, External, FuncId, Function, Program, Statement, UnOp,
+    GLOBAL_BASE,
 };
 use std::collections::HashMap;
 
@@ -120,14 +120,22 @@ pub fn compile_unit(unit: &ast::Unit) -> Result<CompiledProgram, CompileError> {
 // Struct layout
 // ---------------------------------------------------------------------
 
+/// A struct definition as parsed: name, `(type, declarator)` fields, pos.
+type RawStructDef<'a> = (&'a String, &'a Vec<(TypeAst, Declarator)>, Pos);
+/// A struct definition with field types resolved.
+type ResolvedStructDef = (String, Vec<(String, Type)>, Pos);
+
 fn build_type_table(unit: &ast::Unit) -> Result<TypeTable, CompileError> {
     // Pass 1: reserve ids so self-referential pointers resolve.
     let mut ids: HashMap<String, StructId> = HashMap::new();
-    let mut defs: Vec<(&String, &Vec<(TypeAst, Declarator)>, Pos)> = Vec::new();
+    let mut defs: Vec<RawStructDef> = Vec::new();
     for item in &unit.items {
         if let Item::StructDef { name, fields, pos } = item {
             if ids.contains_key(name) {
-                return Err(CompileError::new(format!("duplicate struct `{name}`"), *pos));
+                return Err(CompileError::new(
+                    format!("duplicate struct `{name}`"),
+                    *pos,
+                ));
             }
             ids.insert(name.clone(), StructId(ids.len() as u32));
             defs.push((name, fields, *pos));
@@ -135,7 +143,7 @@ fn build_type_table(unit: &ast::Unit) -> Result<TypeTable, CompileError> {
     }
 
     // Pass 2: resolve field types.
-    let mut resolved: Vec<(String, Vec<(String, Type)>, Pos)> = Vec::new();
+    let mut resolved: Vec<ResolvedStructDef> = Vec::new();
     for (name, fields, pos) in &defs {
         let mut fs = Vec::new();
         for (tast, d) in fields.iter() {
@@ -152,7 +160,7 @@ fn build_type_table(unit: &ast::Unit) -> Result<TypeTable, CompileError> {
     // itself by value has infinite size).
     fn size_of(
         ty: &Type,
-        resolved: &[(String, Vec<(String, Type)>, Pos)],
+        resolved: &[ResolvedStructDef],
         visiting: &mut Vec<u32>,
         memo: &mut HashMap<u32, u32>,
     ) -> Result<u32, String> {
@@ -226,12 +234,7 @@ fn resolve_type(
         TypeAst::Void => Type::Void,
         TypeAst::Struct(name) => match struct_ids.get(name) {
             Some(id) => Type::Struct(*id),
-            None => {
-                return Err(CompileError::new(
-                    format!("unknown struct `{name}`"),
-                    pos,
-                ))
-            }
+            None => return Err(CompileError::new(format!("unknown struct `{name}`"), pos)),
         },
     };
     for _ in 0..ptr_depth {
@@ -839,11 +842,7 @@ impl Compiler {
                 let mut case_jumps = Vec::with_capacity(cases.len());
                 for (k, _) in cases {
                     case_jumps.push(self.emit(Statement::If {
-                        cond: RExpr::binary(
-                            BinOp::Eq,
-                            RExpr::local(tmp),
-                            RExpr::Const(*k),
-                        ),
+                        cond: RExpr::binary(BinOp::Eq, RExpr::local(tmp), RExpr::Const(*k)),
                         target: UNPATCHED,
                     }));
                 }
@@ -902,10 +901,7 @@ impl Compiler {
                 if let Type::Struct(_) = lty {
                     // Word-wise struct copy.
                     if *op != AssignOp::Assign {
-                        return Err(CompileError::new(
-                            "compound assignment on struct",
-                            *pos,
-                        ));
+                        return Err(CompileError::new("compound assignment on struct", *pos));
                     }
                     let (raddr, rty) = self.compile_addr(rhs, ctx, ids)?;
                     if rty != lty {
@@ -1047,12 +1043,12 @@ impl Compiler {
                     return Ok((RExpr::frame_slot(slot), ty));
                 }
                 if let Some(g) = self.globals.get(name) {
-                    return Ok((
-                        RExpr::Const(GLOBAL_BASE + g.offset as i64),
-                        g.ty.clone(),
-                    ));
+                    return Ok((RExpr::Const(GLOBAL_BASE + g.offset as i64), g.ty.clone()));
                 }
-                Err(CompileError::new(format!("unknown variable `{name}`"), *pos))
+                Err(CompileError::new(
+                    format!("unknown variable `{name}`"),
+                    *pos,
+                ))
             }
             Expr::Unary(UnaryOp::Deref, inner, pos) => {
                 let (val, ty) = self.compile_value(inner, ctx, ids)?;
@@ -1155,10 +1151,7 @@ impl Compiler {
             Expr::Null(_) => Ok((RExpr::Const(0), Type::Void.ptr_to())),
             Expr::SizeofType { ty, ptr_depth, pos } => {
                 let rty = resolve_type(ty, *ptr_depth, &[], ids, *pos)?;
-                Ok((
-                    RExpr::Const(self.types.size_of(&rty) as i64),
-                    Type::Int,
-                ))
+                Ok((RExpr::Const(self.types.size_of(&rty) as i64), Type::Int))
             }
             Expr::Ident(_, _) | Expr::Member { .. } | Expr::Index(_, _, _) => {
                 let (addr, ty) = self.compile_addr(e, ctx, ids)?;
@@ -1300,10 +1293,7 @@ impl Compiler {
                 if lt.is_ptr() && rt.is_ptr() {
                     if op == B::Sub {
                         // Pointer difference in elements.
-                        let sz = self
-                            .types
-                            .size_of(lt.deref_target().expect("ptr"))
-                            .max(1);
+                        let sz = self.types.size_of(lt.deref_target().expect("ptr")).max(1);
                         let diff = RExpr::binary(BinOp::Sub, lv, rv);
                         let v = if sz == 1 {
                             diff

@@ -115,9 +115,7 @@ impl<'s> Lexer<'s> {
                                 break;
                             }
                             Some(_) => {}
-                            None => {
-                                return Err(CompileError::new("unterminated comment", start))
-                            }
+                            None => return Err(CompileError::new("unterminated comment", start)),
                         }
                     }
                 }
@@ -332,8 +330,19 @@ mod tests {
         use Punct::*;
         let ks = kinds("== != <= >= && || << >> -> ++ -- += -=");
         let expect = [
-            EqEq, NotEq, Le, Ge, AmpAmp, PipePipe, Shl, Shr, Arrow, PlusPlus, MinusMinus,
-            PlusAssign, MinusAssign,
+            EqEq,
+            NotEq,
+            Le,
+            Ge,
+            AmpAmp,
+            PipePipe,
+            Shl,
+            Shr,
+            Arrow,
+            PlusPlus,
+            MinusMinus,
+            PlusAssign,
+            MinusAssign,
         ];
         for (k, p) in ks.iter().zip(expect) {
             assert_eq!(*k, TokenKind::Punct(p));

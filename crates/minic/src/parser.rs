@@ -111,9 +111,7 @@ impl Parser {
             match self.bump() {
                 TokenKind::Int(n) if n > 0 => array_dims.push(n as usize),
                 other => {
-                    return Err(self.error(format!(
-                        "expected positive array size, found {other}"
-                    )))
+                    return Err(self.error(format!("expected positive array size, found {other}")))
                 }
             }
             self.eat_punct(Punct::RBracket)?;
@@ -155,10 +153,7 @@ impl Parser {
         }
 
         if !self.at_type() {
-            return Err(self.error(format!(
-                "expected a declaration, found {}",
-                self.peek()
-            )));
+            return Err(self.error(format!("expected a declaration, found {}", self.peek())));
         }
         let ty = self.base_type()?;
         let decl = self.declarator()?;
@@ -410,20 +405,15 @@ impl Parser {
                                     }
                                 }
                                 other => {
-                                    return Err(self.error(format!(
-                                        "expected case constant, found {other}"
-                                    )))
+                                    return Err(self
+                                        .error(format!("expected case constant, found {other}")))
                                 }
                             };
                             if cases.iter().any(|(k, _)| *k == value) {
-                                return Err(
-                                    self.error(format!("duplicate case {value}"))
-                                );
+                                return Err(self.error(format!("duplicate case {value}")));
                             }
                             if default.is_some() {
-                                return Err(
-                                    self.error("`case` after `default`".to_string())
-                                );
+                                return Err(self.error("`case` after `default`".to_string()));
                             }
                             self.eat_punct(Punct::Colon)?;
                             cases.push((value, self.case_body()?));
@@ -947,9 +937,7 @@ mod tests {
 
     #[test]
     fn casts_and_sizeof() {
-        let u = parse_ok(
-            "void f(struct foo *a) { *((char *)a + sizeof(int)) = 1; }",
-        );
+        let u = parse_ok("void f(struct foo *a) { *((char *)a + sizeof(int)) = 1; }");
         // This is the paper's §2.5 line — must parse as cast + pointer math.
         match &u.items[0] {
             Item::Func { body, .. } => {
@@ -966,9 +954,7 @@ mod tests {
 
     #[test]
     fn malloc_and_null() {
-        parse_ok(
-            "int f() { int *p; p = malloc(2); if (p == NULL) return 0; return *p; }",
-        );
+        parse_ok("int f() { int *p; p = malloc(2); if (p == NULL) return 0; return *p; }");
     }
 
     #[test]

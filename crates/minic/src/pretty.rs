@@ -355,10 +355,7 @@ pub fn expr(e: &Expr) -> String {
 /// parenthesize anything else.
 fn paren_postfix_base(e: &Expr) -> String {
     match e {
-        Expr::Ident(..)
-        | Expr::Member { .. }
-        | Expr::Index(..)
-        | Expr::Call { .. } => expr(e),
+        Expr::Ident(..) | Expr::Member { .. } | Expr::Index(..) | Expr::Call { .. } => expr(e),
         other => format!("({})", expr(other)),
     }
 }
@@ -374,8 +371,7 @@ mod tests {
     fn roundtrips(src: &str) {
         let first = parse(src).unwrap_or_else(|e| panic!("parse 1: {e}\n{src}"));
         let printed = print_unit(&first);
-        let second =
-            parse(&printed).unwrap_or_else(|e| panic!("parse 2: {e}\n{printed}"));
+        let second = parse(&printed).unwrap_or_else(|e| panic!("parse 2: {e}\n{printed}"));
         assert_eq!(printed, print_unit(&second), "not a fixpoint:\n{printed}");
     }
 
@@ -464,7 +460,10 @@ mod tests {
             let id = program.program.func_by_name("fib").unwrap();
             let mut m = Machine::new(&program.program, MachineConfig::default());
             m.call(id, &[10]).unwrap();
-            assert_eq!(m.run(&mut ZeroEnv), StepOutcome::Finished { value: Some(55) });
+            assert_eq!(
+                m.run(&mut ZeroEnv),
+                StepOutcome::Finished { value: Some(55) }
+            );
         }
     }
 

@@ -94,7 +94,10 @@ pub enum Keyword {
 }
 
 impl Keyword {
-    /// Looks up a keyword by spelling.
+    /// Looks up a keyword by spelling. (Infallible lookup returning
+    /// `Option`, so `std::str::FromStr` with its error type is a poor
+    /// fit.)
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Option<Keyword> {
         Some(match s {
             "int" => Keyword::Int,

@@ -201,7 +201,10 @@ mod tests {
         assert_eq!(t.size_of(&Type::Struct(id)), 2);
         assert_eq!(t.size_of(&Type::Array(Box::new(Type::Struct(id)), 3)), 6);
         assert_eq!(
-            t.size_of(&Type::Array(Box::new(Type::Array(Box::new(Type::Int), 4)), 2)),
+            t.size_of(&Type::Array(
+                Box::new(Type::Array(Box::new(Type::Int), 4)),
+                2
+            )),
             8
         );
     }

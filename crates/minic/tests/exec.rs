@@ -9,12 +9,7 @@ fn run(src: &str, func: &str, args: &[i64]) -> StepOutcome {
     run_with_env(src, func, args, &mut ZeroEnv)
 }
 
-fn run_with_env(
-    src: &str,
-    func: &str,
-    args: &[i64],
-    env: &mut dyn Environment,
-) -> StepOutcome {
+fn run_with_env(src: &str, func: &str, args: &[i64], env: &mut dyn Environment) -> StepOutcome {
     let compiled = compile(src).unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
     let id = compiled
         .program
@@ -44,6 +39,7 @@ fn arithmetic_and_precedence() {
 }
 
 #[test]
+#[allow(clippy::identity_op)] // expected values mirror the MiniC source
 fn unary_operators() {
     let src = "int f(int a) { return -a + !a + ~a; }";
     assert_eq!(returns(src, "f", &[5]), -5 + 0 + !5);
@@ -556,7 +552,10 @@ fn paper_ac_controller_concrete() {
     // A single message can never violate the assertion.
     for msg in [0, 1, 2, 3, 99] {
         assert!(
-            matches!(run(src, "ac_controller", &[msg]), StepOutcome::Finished { .. }),
+            matches!(
+                run(src, "ac_controller", &[msg]),
+                StepOutcome::Finished { .. }
+            ),
             "message {msg}"
         );
     }
@@ -579,10 +578,19 @@ fn compile_errors_are_reported() {
         ("int f() { break; }", "outside a loop"),
         ("struct s { struct s inner; };", "recursively contains"),
         ("int x = y;", "must be constant"),
-        ("struct t { int a; }; int f(struct t v) { return 0; }", "scalar or pointer"),
-        ("int f() { return g(1); } int g(int a, int b) { return a; }", "expects 2"),
+        (
+            "struct t { int a; }; int f(struct t v) { return 0; }",
+            "scalar or pointer",
+        ),
+        (
+            "int f() { return g(1); } int g(int a, int b) { return a; }",
+            "expects 2",
+        ),
         ("int f() { 3 = 4; }", "not an lvalue"),
-        ("int f(); int f() { return 0; } int f() { return 1; }", "duplicate function"),
+        (
+            "int f(); int f() { return 0; } int f() { return 1; }",
+            "duplicate function",
+        ),
     ] {
         match compile(src) {
             Err(e) => assert!(
@@ -637,6 +645,7 @@ fn bit_operations() {
 }
 
 #[test]
+#[allow(clippy::neg_multiply)] // expected value mirrors the MiniC source
 fn remainder_and_negative_division() {
     let src = "int f(int a, int b) { return a % b * 100 + a / b; }";
     assert_eq!(returns(src, "f", &[-7, 2]), -1 * 100 + -3);
@@ -736,7 +745,15 @@ fn continue_inside_switch_binds_to_loop() {
 
 #[test]
 fn switch_errors() {
-    assert!(compile("int f(int x) { switch (x) { case 1: break; case 1: break; } return 0; }").is_err());
-    assert!(compile("int f(int x) { switch (x) { default: break; case 1: break; } return 0; }").is_err());
-    assert!(compile("int f(int x) { switch (x) { case 1: break; default: break; default: break; } return 0; }").is_err());
+    assert!(
+        compile("int f(int x) { switch (x) { case 1: break; case 1: break; } return 0; }").is_err()
+    );
+    assert!(
+        compile("int f(int x) { switch (x) { default: break; case 1: break; } return 0; }")
+            .is_err()
+    );
+    assert!(compile(
+        "int f(int x) { switch (x) { case 1: break; default: break; default: break; } return 0; }"
+    )
+    .is_err());
 }

@@ -14,7 +14,11 @@ fn pos() -> Pos {
 }
 
 fn ident() -> impl Strategy<Value = String> {
-    prop_oneof![Just("a".to_string()), Just("b".to_string()), Just("c".to_string())]
+    prop_oneof![
+        Just("a".to_string()),
+        Just("b".to_string()),
+        Just("c".to_string())
+    ]
 }
 
 fn binop() -> impl Strategy<Value = BinaryOp> {
@@ -60,23 +64,24 @@ fn expr() -> impl Strategy<Value = Expr> {
     ];
     leaf.prop_recursive(4, 32, 3, |inner| {
         prop_oneof![
-            (unop(), inner.clone())
-                .prop_map(|(op, e)| Expr::Unary(op, Box::new(e), pos())),
-            (binop(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| {
-                Expr::Binary(op, Box::new(l), Box::new(r), pos())
-            }),
+            (unop(), inner.clone()).prop_map(|(op, e)| Expr::Unary(op, Box::new(e), pos())),
+            (binop(), inner.clone(), inner.clone())
+                .prop_map(|(op, l, r)| { Expr::Binary(op, Box::new(l), Box::new(r), pos()) }),
             (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, f)| {
                 Expr::Ternary(Box::new(c), Box::new(t), Box::new(f), pos())
             }),
-            (ident(), proptest::collection::vec(inner.clone(), 0..3)).prop_map(
-                |(name, args)| Expr::Call {
+            (ident(), proptest::collection::vec(inner.clone(), 0..3)).prop_map(|(name, args)| {
+                Expr::Call {
                     name,
                     args,
-                    pos: pos()
+                    pos: pos(),
                 }
-            ),
-            (inner.clone(), inner.clone())
-                .prop_map(|(b, i)| Expr::Index(Box::new(b), Box::new(i), pos())),
+            }),
+            (inner.clone(), inner.clone()).prop_map(|(b, i)| Expr::Index(
+                Box::new(b),
+                Box::new(i),
+                pos()
+            )),
             (inner.clone(), ident(), any::<bool>()).prop_map(|(b, f, arrow)| {
                 Expr::Member {
                     base: Box::new(b),
@@ -85,9 +90,7 @@ fn expr() -> impl Strategy<Value = Expr> {
                     pos: pos(),
                 }
             }),
-            inner
-                .clone()
-                .prop_map(|e| Expr::Malloc(Box::new(e), pos())),
+            inner.clone().prop_map(|e| Expr::Malloc(Box::new(e), pos())),
         ]
     })
 }
@@ -109,14 +112,14 @@ fn stmt() -> impl Strategy<Value = Stmt> {
     ];
     leaf.prop_recursive(3, 16, 3, |inner| {
         prop_oneof![
-            (expr(), inner.clone(), proptest::option::of(inner.clone())).prop_map(
-                |(c, t, e)| Stmt::If {
+            (expr(), inner.clone(), proptest::option::of(inner.clone())).prop_map(|(c, t, e)| {
+                Stmt::If {
                     cond: c,
                     then: Box::new(t),
                     els: e.map(Box::new),
                     pos: pos(),
                 }
-            ),
+            }),
             (expr(), inner.clone()).prop_map(|(c, b)| Stmt::While {
                 cond: c,
                 body: Box::new(b),

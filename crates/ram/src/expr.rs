@@ -102,11 +102,7 @@ impl Expr {
 
     /// Address of a local/parameter slot: `FrameBase + offset`.
     pub fn frame_slot(offset: u32) -> Expr {
-        Expr::binary(
-            BinOp::Add,
-            Expr::FrameBase,
-            Expr::Const(offset as i64),
-        )
+        Expr::binary(BinOp::Add, Expr::FrameBase, Expr::Const(offset as i64))
     }
 
     /// Read of a local/parameter slot.

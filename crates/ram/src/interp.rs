@@ -489,7 +489,10 @@ mod tests {
     #[test]
     fn factorial_loop() {
         let p = factorial_program();
-        assert_eq!(run_main(&p, &[5]), StepOutcome::Finished { value: Some(120) });
+        assert_eq!(
+            run_main(&p, &[5]),
+            StepOutcome::Finished { value: Some(120) }
+        );
         assert_eq!(run_main(&p, &[0]), StepOutcome::Finished { value: Some(1) });
     }
 
@@ -552,9 +555,15 @@ mod tests {
             ..Program::default()
         };
         // x == y: no abort.
-        assert_eq!(run_main(&p, &[3, 3]), StepOutcome::Finished { value: Some(0) });
+        assert_eq!(
+            run_main(&p, &[3, 3]),
+            StepOutcome::Finished { value: Some(0) }
+        );
         // x != y, f(x) != x+10: no abort.
-        assert_eq!(run_main(&p, &[3, 4]), StepOutcome::Finished { value: Some(0) });
+        assert_eq!(
+            run_main(&p, &[3, 4]),
+            StepOutcome::Finished { value: Some(0) }
+        );
         // x = 10, y != 10: abort.
         assert_eq!(
             run_main(&p, &[10, 0]),
@@ -767,9 +776,15 @@ mod tests {
         };
         let mut m = Machine::new(&p, MachineConfig::default());
         m.call(FuncId(0), &[]).unwrap();
-        assert_eq!(m.run(&mut ZeroEnv), StepOutcome::Finished { value: Some(1) });
+        assert_eq!(
+            m.run(&mut ZeroEnv),
+            StepOutcome::Finished { value: Some(1) }
+        );
         m.call(FuncId(0), &[]).unwrap();
-        assert_eq!(m.run(&mut ZeroEnv), StepOutcome::Finished { value: Some(2) });
+        assert_eq!(
+            m.run(&mut ZeroEnv),
+            StepOutcome::Finished { value: Some(2) }
+        );
     }
 
     #[test]

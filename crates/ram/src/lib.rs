@@ -46,5 +46,5 @@ pub use expr::{apply_binop, eval_concrete, BinOp, Expr, MemView, UnOp};
 pub use interp::{Environment, Machine, MachineConfig, StepOutcome, ZeroEnv};
 pub use memory::{Fault, Memory, Region, GLOBAL_BASE, HEAP_BASE, STACK_BASE};
 pub use program::{
-    AllocKind, External, ExtId, FuncId, Function, Label, Program, Statement, ValidateError,
+    AllocKind, ExtId, External, FuncId, Function, Label, Program, Statement, ValidateError,
 };

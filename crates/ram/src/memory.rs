@@ -252,10 +252,7 @@ impl Memory {
     /// The length of the live block at exactly `base`, if any. Useful for
     /// diagnostics and the driver's input registration.
     pub fn block_len(&self, base: i64) -> Option<i64> {
-        self.blocks
-            .get(&base)
-            .filter(|b| b.live)
-            .map(|b| b.len)
+        self.blocks.get(&base).filter(|b| b.live).map(|b| b.len)
     }
 }
 

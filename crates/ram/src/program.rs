@@ -191,7 +191,11 @@ impl fmt::Display for ValidateError {
                 write!(f, "statement {at}: call to undefined external #{}", ext.0)
             }
             ValidateError::ArityOverflow { at, func } => {
-                write!(f, "statement {at}: too many arguments for function #{}", func.0)
+                write!(
+                    f,
+                    "statement {at}: too many arguments for function #{}",
+                    func.0
+                )
             }
             ValidateError::BadEntry { func } => {
                 write!(f, "function #{}: entry label out of range", func.0)
@@ -241,13 +245,11 @@ impl Program {
         }
         for (at, s) in self.stmts.iter().enumerate() {
             match s {
-                Statement::If { target, .. } | Statement::Goto(target) => {
-                    if *target >= n {
-                        return Err(ValidateError::BadLabel {
-                            at,
-                            target: *target,
-                        });
-                    }
+                Statement::If { target, .. } | Statement::Goto(target) if *target >= n => {
+                    return Err(ValidateError::BadLabel {
+                        at,
+                        target: *target,
+                    });
                 }
                 Statement::Call { func, args, .. } => {
                     let Some(meta) = self.funcs.get(func.0 as usize) else {
@@ -257,10 +259,10 @@ impl Program {
                         return Err(ValidateError::ArityOverflow { at, func: *func });
                     }
                 }
-                Statement::CallExternal { ext, .. } => {
-                    if self.externals.get(ext.0 as usize).is_none() {
-                        return Err(ValidateError::BadExt { at, ext: *ext });
-                    }
+                Statement::CallExternal { ext, .. }
+                    if self.externals.get(ext.0 as usize).is_none() =>
+                {
+                    return Err(ValidateError::BadExt { at, ext: *ext });
                 }
                 _ => {}
             }

@@ -11,15 +11,30 @@ use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
 enum Op {
-    AllocHeap { words: i64 },
-    AllocStack { words: i64 },
-    PushFrame { words: u32 },
+    AllocHeap {
+        words: i64,
+    },
+    AllocStack {
+        words: i64,
+    },
+    PushFrame {
+        words: u32,
+    },
     PopNewestFrame,
     /// Store into block `block % live_blocks` at `offset` (may be out of
     /// bounds on purpose).
-    Store { block: usize, offset: i64, value: i64 },
-    Load { block: usize, offset: i64 },
-    LoadRaw { addr: i64 },
+    Store {
+        block: usize,
+        offset: i64,
+        value: i64,
+    },
+    Load {
+        block: usize,
+        offset: i64,
+    },
+    LoadRaw {
+        addr: i64,
+    },
 }
 
 fn op() -> impl Strategy<Value = Op> {
@@ -28,8 +43,11 @@ fn op() -> impl Strategy<Value = Op> {
         (0i64..6).prop_map(|words| Op::AllocStack { words }),
         (1u32..6).prop_map(|words| Op::PushFrame { words }),
         Just(Op::PopNewestFrame),
-        (0usize..8, -2i64..8, -100i64..100)
-            .prop_map(|(block, offset, value)| Op::Store { block, offset, value }),
+        (0usize..8, -2i64..8, -100i64..100).prop_map(|(block, offset, value)| Op::Store {
+            block,
+            offset,
+            value
+        }),
         (0usize..8, -2i64..8).prop_map(|(block, offset)| Op::Load { block, offset }),
         (-5i64..5000).prop_map(|addr| Op::LoadRaw { addr }),
     ]

@@ -1,0 +1,489 @@
+//! Session-wide solver query cache.
+//!
+//! A directed session re-issues near-identical queries constantly: DFS
+//! revisits the same path prefixes run after run, restarts replay whole
+//! query families, and the generational search expands every branch of a
+//! path whose prefix it has already reasoned about. [`QueryCache`]
+//! memoizes solver verdicts across those repeats, with three stores:
+//!
+//! 1. **Unsat verdicts**, keyed by the *canonicalized constraint set*
+//!    alone. An `Unsat` answer is a completed refutation, independent of
+//!    the concrete hint, so any re-encounter of the same set (in any
+//!    order) replays it.
+//! 2. **Sat / Unknown verdicts**, keyed by the canonical set *plus the
+//!    hint's projection onto the query variables*. These outcomes can
+//!    depend on the hint (the feasibility search is hint-guided), so the
+//!    key pins down the solver's exact inputs and a hit is a byte-exact
+//!    replay of what the solver would have recomputed.
+//! 3. A bounded **model pool** for the paper's counterexample-reuse
+//!    trick: a model computed for one query often satisfies a later
+//!    query over a subset/superset constraint system; checking a handful
+//!    of recent models is far cheaper than a fresh solve.
+//!
+//! Determinism contract: with the cache *enabled vs. disabled*, a
+//! directed session must produce a byte-identical [`report`]. Stores 1
+//! and 2 guarantee this by construction — an `Unsat` verdict is
+//! hint-independent, and an exact `(set, hint)` entry replays a
+//! deterministic function. The model pool is different: which model it
+//! returns depends on pool contents, so gating it on the toggle would
+//! let cache-on sessions hand out different (equally valid) models than
+//! cache-off ones. It is therefore **always on**, like constraint
+//! splitting — a solving-strategy layer rather than a memoization layer
+//! — and both modes push and scan identically, so the pool's answers
+//! cannot depend on the toggle. Ordering matters for the same reason:
+//! the pool is scanned *before* the exact store, because a pooled model
+//! can shadow an exact entry and the disabled path consults the pool
+//! first; an exact `Sat` replay is therefore only reachable after the
+//! pool evicted the entry's model, exactly where a fresh deterministic
+//! solve recomputes it. The reuse path also re-runs the solver's own
+//! cheap probes (hint, then zeros) first and declines when either would
+//! fire, so it never shadows a probe answer.
+//!
+//! [`report`]: SolveOutcome
+//!
+//! # Examples
+//!
+//! ```
+//! use dart_solver::{Constraint, LinExpr, QueryCache, RelOp, Solver, Var};
+//!
+//! let solver = Solver::default();
+//! let mut cache = QueryCache::new(true);
+//! // x0 == 3 ∧ x0 == 4 is unsat; the second ask is answered by the cache.
+//! let q = vec![
+//!     Constraint::new(LinExpr::var(Var(0)).offset(-3), RelOp::Eq),
+//!     Constraint::new(LinExpr::var(Var(0)).offset(-4), RelOp::Eq),
+//! ];
+//! assert!(!cache.solve_with_hint(&solver, &q, |_| None).is_sat());
+//! assert!(!cache.solve_with_hint(&solver, &q, |_| None).is_sat());
+//! assert_eq!(cache.stats().hits, 1);
+//! ```
+
+use std::collections::HashMap;
+
+use crate::constraint::Constraint;
+use crate::ilp::{Assignment, SolveInfo, SolveOutcome, Solver};
+use crate::linear::Var;
+
+/// How many recent models the counterexample-reuse pool retains.
+const MODEL_POOL: usize = 64;
+
+/// Canonical fingerprint of a constraint set: one byte string per
+/// constraint (relational operator, then the expression's sorted
+/// `(var, coeff)` terms, then the constant), with the per-constraint
+/// strings sorted so the key is order-insensitive.
+type SetKey = Vec<Vec<u8>>;
+
+/// The hint's projection onto a query's variables, in sorted var order.
+type HintKey = Vec<(u32, Option<i64>)>;
+
+/// Counters describing what the cache did so far; snapshot via
+/// [`QueryCache::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered without a fresh solve while the cache was
+    /// enabled: verdict replays plus pool answers. Always 0 disabled.
+    pub hits: u64,
+    /// Queries answered by re-checking a previously computed model.
+    /// Counted in both modes — the pool is part of the solving strategy
+    /// and runs regardless of the toggle (see the module docs).
+    pub model_reuse: u64,
+    /// Solved queries that decomposed into >1 independent components.
+    pub split_solves: u64,
+    /// Queries that went to the underlying solver.
+    pub misses: u64,
+}
+
+/// A memo table over [`Solver`] verdicts for one engine session. See the
+/// module docs for the key discipline and the determinism contract.
+///
+/// Create one per session (per thread in a sweep) — sharing across
+/// sessions would not be wrong, but per-session scoping keeps eviction
+/// behavior and stats attributable.
+#[derive(Debug, Clone, Default)]
+pub struct QueryCache {
+    enabled: bool,
+    unsat: HashMap<SetKey, ()>,
+    exact: HashMap<(SetKey, HintKey), SolveOutcome>,
+    models: Vec<Assignment>,
+    stats: CacheStats,
+}
+
+impl QueryCache {
+    /// Creates a cache. When `enabled` is false the verdict stores are
+    /// skipped — those queries go to the solver — but the model pool
+    /// still runs: it is kept active in both modes precisely so the
+    /// toggle cannot change which model any query receives. The stats
+    /// still count misses, reuse, and split solves either way, so
+    /// reports stay comparable.
+    pub fn new(enabled: bool) -> QueryCache {
+        QueryCache {
+            enabled,
+            ..QueryCache::default()
+        }
+    }
+
+    /// Whether lookups/stores are active.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Solves `constraints` under `hint`, consulting the cache first and
+    /// recording the verdict on a miss. Semantics match
+    /// [`Solver::solve_with_hint`] exactly.
+    pub fn solve_with_hint<F>(
+        &mut self,
+        solver: &Solver,
+        constraints: &[Constraint],
+        hint: F,
+    ) -> SolveOutcome
+    where
+        F: Fn(Var) -> Option<i64>,
+    {
+        let key = self.enabled.then(|| set_key(constraints.iter()));
+        if let Some(out) = self.shortcut(solver, &key, constraints, &hint) {
+            return out;
+        }
+        let mut info = SolveInfo::default();
+        let out = solver.solve_with_hint_info(constraints, &hint, &mut info);
+        self.record(key, constraints, &hint, &info, &out);
+        out
+    }
+
+    /// Session-based variant of [`QueryCache::solve_with_hint`]: the
+    /// prefix comes from `session`'s incremental state at depth `j`, the
+    /// cache key from the same live constraints, so plain and session
+    /// call sites share verdicts.
+    pub fn solve_query<F>(
+        &mut self,
+        session: &mut crate::ilp::PrefixSession<'_>,
+        j: usize,
+        negated: &Constraint,
+        hint: F,
+    ) -> SolveOutcome
+    where
+        F: Fn(Var) -> Option<i64>,
+    {
+        let full: Vec<Constraint> = session
+            .prefix_live(j)
+            .iter()
+            .chain(std::iter::once(negated))
+            .cloned()
+            .collect();
+        let key = self.enabled.then(|| set_key(full.iter()));
+        if let Some(out) = self.shortcut(session.solver(), &key, &full, &hint) {
+            return out;
+        }
+        let mut info = SolveInfo::default();
+        let out = session.solve_query_info(j, negated, &hint, &mut info);
+        self.record(key, &full, &hint, &info, &out);
+        out
+    }
+
+    /// Everything that can answer a query without a fresh solve, in the
+    /// order the determinism contract requires: unsat store (enabled
+    /// only; hint-independent, and no pooled model can satisfy an unsat
+    /// set, so skipping the pool changes nothing) → model pool (both
+    /// modes) → exact store (enabled only; reachable only where the
+    /// disabled path's fresh solve recomputes the stored answer).
+    fn shortcut<F>(
+        &mut self,
+        solver: &Solver,
+        key: &Option<SetKey>,
+        constraints: &[Constraint],
+        hint: &F,
+    ) -> Option<SolveOutcome>
+    where
+        F: Fn(Var) -> Option<i64>,
+    {
+        if let Some(key) = key {
+            if self.unsat.contains_key(key) {
+                self.stats.hits += 1;
+                return Some(SolveOutcome::Unsat);
+            }
+        }
+        if let Some(m) = self.try_model_reuse(solver, constraints, hint) {
+            self.stats.model_reuse += 1;
+            if self.enabled {
+                self.stats.hits += 1;
+            }
+            return Some(SolveOutcome::Sat(m));
+        }
+        if let Some(key) = key {
+            let full_key = (key.clone(), hint_key(constraints, hint));
+            if let Some(out) = self.exact.get(&full_key).cloned() {
+                self.stats.hits += 1;
+                if let SolveOutcome::Sat(m) = &out {
+                    // The disabled path re-solves and re-pushes here;
+                    // mirror it so the pools stay in lockstep.
+                    self.push_model(m.clone());
+                }
+                return Some(out);
+            }
+        }
+        None
+    }
+
+    /// The counterexample-reuse fast path. Replays the solver's own cheap
+    /// probes first and declines when either would fire, so this path
+    /// only answers queries the solver would have sent to a full search —
+    /// then scans the pool, newest first, for a model that satisfies
+    /// every constraint.
+    fn try_model_reuse<F>(
+        &mut self,
+        solver: &Solver,
+        constraints: &[Constraint],
+        hint: &F,
+    ) -> Option<Assignment>
+    where
+        F: Fn(Var) -> Option<i64>,
+    {
+        let b = solver.config().default_bounds;
+        let probe = |pick: &dyn Fn(Var) -> i64| {
+            constraints
+                .iter()
+                .all(|c| c.satisfied_by(|v| Some(pick(v).clamp(b.lo, b.hi))))
+        };
+        if probe(&|v| hint(v).unwrap_or(0)) || probe(&|_| 0) {
+            return None; // the solver's probes settle this; don't shadow them
+        }
+        for m in self.models.iter().rev() {
+            let pick = |v: Var| m.get(&v).copied().unwrap_or(0);
+            if probe(&pick) {
+                let model: Assignment = constraints
+                    .iter()
+                    .flat_map(|c| c.vars())
+                    .map(|v| (v, pick(v).clamp(b.lo, b.hi)))
+                    .collect();
+                return Some(model);
+            }
+        }
+        None
+    }
+
+    fn push_model(&mut self, m: Assignment) {
+        if self.models.len() == MODEL_POOL {
+            self.models.remove(0);
+        }
+        self.models.push(m);
+    }
+
+    fn record<F>(
+        &mut self,
+        key: Option<SetKey>,
+        constraints: &[Constraint],
+        hint: &F,
+        info: &SolveInfo,
+        out: &SolveOutcome,
+    ) where
+        F: Fn(Var) -> Option<i64>,
+    {
+        self.stats.misses += 1;
+        if info.was_split() {
+            self.stats.split_solves += 1;
+        }
+        // The pool push is unconditional — both modes solve the same
+        // queries with the same outcomes, so unconditional pushes keep
+        // the pools in lockstep and the toggle invisible.
+        if let SolveOutcome::Sat(m) = out {
+            self.push_model(m.clone());
+        }
+        let Some(key) = key else { return };
+        match out {
+            SolveOutcome::Unsat => {
+                self.unsat.insert(key, ());
+            }
+            SolveOutcome::Sat(_) | SolveOutcome::Unknown => {
+                self.exact
+                    .insert((key, hint_key(constraints, hint)), out.clone());
+            }
+        }
+    }
+}
+
+/// Canonical, order-insensitive fingerprint of a constraint set.
+fn set_key<'a>(constraints: impl Iterator<Item = &'a Constraint>) -> SetKey {
+    let mut key: SetKey = constraints.map(fingerprint).collect();
+    key.sort_unstable();
+    key
+}
+
+/// One constraint's byte fingerprint: op tag, then each `(var, coeff)`
+/// term (the expression iterates in sorted var order), then the constant.
+fn fingerprint(c: &Constraint) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.push(c.op as u8);
+    for (v, a) in c.expr.iter() {
+        out.extend_from_slice(&v.0.to_le_bytes());
+        out.extend_from_slice(&a.to_le_bytes());
+    }
+    out.push(0xFF); // terms/constant separator
+    out.extend_from_slice(&c.expr.constant().to_le_bytes());
+    out
+}
+
+/// The hint projected onto the query's variables, sorted and deduplicated.
+fn hint_key<F>(constraints: &[Constraint], hint: &F) -> HintKey
+where
+    F: Fn(Var) -> Option<i64>,
+{
+    let mut key: HintKey = constraints
+        .iter()
+        .flat_map(|c| c.vars())
+        .map(|v| (v.0, hint(v)))
+        .collect();
+    key.sort_unstable();
+    key.dedup();
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::RelOp;
+    use crate::linear::LinExpr;
+
+    fn eq(v: u32, k: i64) -> Constraint {
+        Constraint::new(LinExpr::var(Var(v)).offset(-k), RelOp::Eq)
+    }
+
+    fn ne(v: u32, k: i64) -> Constraint {
+        Constraint::new(LinExpr::var(Var(v)).offset(-k), RelOp::Ne)
+    }
+
+    #[test]
+    fn unsat_replay_is_order_insensitive() {
+        let solver = Solver::default();
+        let mut cache = QueryCache::new(true);
+        let a = vec![eq(0, 3), eq(0, 4)];
+        let b = vec![eq(0, 4), eq(0, 3)];
+        assert_eq!(
+            cache.solve_with_hint(&solver, &a, |_| None),
+            SolveOutcome::Unsat
+        );
+        assert_eq!(
+            cache.solve_with_hint(&solver, &b, |_| None),
+            SolveOutcome::Unsat
+        );
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn sat_repeat_is_answered_from_the_pool_regardless_of_hint() {
+        let solver = Solver::default();
+        let mut cache = QueryCache::new(true);
+        // Forced model; hints 7 and 8 violate it, so neither probe fires.
+        let q = vec![eq(0, 5)];
+        let m1 = cache.solve_with_hint(&solver, &q, |_| Some(7));
+        let m2 = cache.solve_with_hint(&solver, &q, |_| Some(7));
+        let m3 = cache.solve_with_hint(&solver, &q, |_| Some(8));
+        assert!(m1.is_sat());
+        assert_eq!(m1, m2);
+        assert_eq!(m1, m3);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 2);
+        assert_eq!(cache.stats().model_reuse, 2);
+    }
+
+    #[test]
+    fn exact_replay_fires_after_pool_eviction() {
+        let solver = Solver::default();
+        let mut cache = QueryCache::new(true);
+        // Pin x0 = 5, then flood the pool with models that violate it.
+        let q = vec![eq(0, 5)];
+        let first = cache.solve_with_hint(&solver, &q, |_| Some(-1));
+        assert!(first.is_sat());
+        for k in 1000..1000 + super::MODEL_POOL as i64 {
+            assert!(cache
+                .solve_with_hint(&solver, &[eq(0, k)], |_| Some(-1))
+                .is_sat());
+        }
+        let stats = cache.stats();
+        let again = cache.solve_with_hint(&solver, &q, |_| Some(-1));
+        assert_eq!(first, again);
+        assert_eq!(cache.stats().misses, stats.misses, "no fresh solve");
+        assert_eq!(cache.stats().hits, stats.hits + 1);
+        assert_eq!(cache.stats().model_reuse, stats.model_reuse, "pool missed");
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let solver = Solver::default();
+        let mut cache = QueryCache::new(false);
+        let q = vec![eq(0, 3), eq(0, 4)];
+        for _ in 0..3 {
+            assert_eq!(
+                cache.solve_with_hint(&solver, &q, |_| None),
+                SolveOutcome::Unsat
+            );
+        }
+        assert_eq!(cache.stats().hits, 0);
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn toggle_never_changes_an_answer() {
+        let solver = Solver::default();
+        let mut on = QueryCache::new(true);
+        let mut off = QueryCache::new(false);
+        // Repeats, subsets, an unsat set, and shifting hints: every
+        // query must get byte-identical answers from both caches.
+        let queries: Vec<(Vec<Constraint>, i64)> = vec![
+            (vec![eq(0, 5), ne(1, 0)], -1),
+            (vec![eq(0, 5)], -1),
+            (vec![eq(0, 5), ne(1, 0)], -2),
+            (vec![eq(0, 3), eq(0, 4)], 0),
+            (vec![ne(1, 0)], -1),
+            (vec![eq(0, 5), ne(1, 0)], -1),
+        ];
+        for (q, h) in &queries {
+            let a = on.solve_with_hint(&solver, q, |_| Some(*h));
+            let b = off.solve_with_hint(&solver, q, |_| Some(*h));
+            assert_eq!(a, b, "query {q:?} hint {h}");
+        }
+        assert_eq!(off.stats().hits, 0);
+        assert_eq!(on.stats().model_reuse, off.stats().model_reuse);
+        assert!(on.stats().misses <= off.stats().misses);
+    }
+
+    #[test]
+    fn model_reuse_fires_on_subset_query() {
+        let solver = Solver::default();
+        let mut cache = QueryCache::new(true);
+        // First query pins x0 = 5 with a hint that defeats both probes.
+        let full = vec![eq(0, 5), ne(1, 0)];
+        let out = cache.solve_with_hint(&solver, &full, |_| Some(-1));
+        assert!(out.is_sat());
+        // Subset query: same hint defeats the probes again, but the pooled
+        // model satisfies it.
+        let sub = vec![eq(0, 5)];
+        let out = cache.solve_with_hint(&solver, &sub, |_| Some(-1));
+        assert!(out.is_sat());
+        assert_eq!(cache.stats().model_reuse, 1);
+    }
+
+    #[test]
+    fn session_and_plain_call_sites_share_verdicts() {
+        let solver = Solver::default();
+        let mut cache = QueryCache::new(true);
+        let prefix = eq(0, 1);
+        let negated = eq(0, 2);
+        let q = vec![prefix.clone(), negated.clone()];
+        assert_eq!(
+            cache.solve_with_hint(&solver, &q, |_| Some(1)),
+            SolveOutcome::Unsat
+        );
+        let mut sess = solver.session();
+        sess.push(&prefix);
+        assert_eq!(
+            cache.solve_query(&mut sess, 1, &negated, |_| Some(1)),
+            SolveOutcome::Unsat
+        );
+        assert_eq!(cache.stats().hits, 1);
+    }
+}

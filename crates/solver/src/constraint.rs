@@ -136,10 +136,7 @@ impl Constraint {
             RelOp::Lt => NormalForm::Conj(vec![LeZero::new(e.offset(1))]),
             RelOp::Ge => NormalForm::Conj(vec![LeZero::new(e.scaled(-1))]),
             RelOp::Gt => NormalForm::Conj(vec![LeZero::new(e.scaled(-1).offset(1))]),
-            RelOp::Eq => NormalForm::Conj(vec![
-                LeZero::new(e.clone()),
-                LeZero::new(e.scaled(-1)),
-            ]),
+            RelOp::Eq => NormalForm::Conj(vec![LeZero::new(e.clone()), LeZero::new(e.scaled(-1))]),
             RelOp::Ne => NormalForm::Disj(
                 LeZero::new(e.offset(1)),
                 LeZero::new(e.scaled(-1).offset(1)),
@@ -199,14 +196,28 @@ mod tests {
 
     #[test]
     fn negation_is_involution() {
-        for op in [RelOp::Eq, RelOp::Ne, RelOp::Lt, RelOp::Le, RelOp::Gt, RelOp::Ge] {
+        for op in [
+            RelOp::Eq,
+            RelOp::Ne,
+            RelOp::Lt,
+            RelOp::Le,
+            RelOp::Gt,
+            RelOp::Ge,
+        ] {
             assert_eq!(op.negated().negated(), op);
         }
     }
 
     #[test]
     fn negation_flips_satisfaction() {
-        for op in [RelOp::Eq, RelOp::Ne, RelOp::Lt, RelOp::Le, RelOp::Gt, RelOp::Ge] {
+        for op in [
+            RelOp::Eq,
+            RelOp::Ne,
+            RelOp::Lt,
+            RelOp::Le,
+            RelOp::Gt,
+            RelOp::Ge,
+        ] {
             for v in [-2i128, -1, 0, 1, 2] {
                 assert_eq!(op.holds(v), !op.negated().holds(v), "op={op} v={v}");
             }
@@ -235,7 +246,14 @@ mod tests {
     /// Normalization preserves meaning on a grid of integer points.
     #[test]
     fn normalization_semantics() {
-        for op in [RelOp::Eq, RelOp::Ne, RelOp::Lt, RelOp::Le, RelOp::Gt, RelOp::Ge] {
+        for op in [
+            RelOp::Eq,
+            RelOp::Ne,
+            RelOp::Lt,
+            RelOp::Le,
+            RelOp::Gt,
+            RelOp::Ge,
+        ] {
             // 2x - 3 op 0
             let c = Constraint::new(x().scaled(2).offset(-3), op);
             for v in -5..=5i64 {

@@ -11,7 +11,7 @@
 use crate::constraint::{Constraint, NormalForm};
 use crate::linear::Var;
 use crate::rational::{ArithError, Rat};
-use crate::simplex::{feasible_point, Lp, LpRow, LpResult};
+use crate::simplex::{feasible_point, Lp, LpResult, LpRow, LpSession};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Inclusive variable bounds.
@@ -65,6 +65,21 @@ impl SolveOutcome {
     /// Whether this outcome carries a model.
     pub fn is_sat(&self) -> bool {
         matches!(self, SolveOutcome::Sat(_))
+    }
+}
+
+/// Per-query diagnostics filled in by [`Solver::solve_with_hint_info`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveInfo {
+    /// Variable-connected components the query split into (0 when the
+    /// query was settled before partitioning, 1 when it was connected).
+    pub components: usize,
+}
+
+impl SolveInfo {
+    /// Whether independence splitting actually partitioned the query.
+    pub fn was_split(&self) -> bool {
+        self.components > 1
     }
 }
 
@@ -135,6 +150,13 @@ impl Solver {
         &self.config
     }
 
+    /// Starts an incremental prefix session: push the path constraints of a
+    /// run once, then answer each `negated_prefix(j)` query from the shared
+    /// prefix state instead of rebuilding it (see [`PrefixSession`]).
+    pub fn session(&self) -> PrefixSession<'_> {
+        PrefixSession::new(self)
+    }
+
     /// Solves the conjunction of `constraints`.
     pub fn solve(&self, constraints: &[Constraint]) -> SolveOutcome {
         self.solve_with_hint(constraints, |_| None)
@@ -144,6 +166,21 @@ impl Solver {
     /// (DART passes the previous run's input vector so solutions stay close
     /// to the already-explored execution).
     pub fn solve_with_hint<F>(&self, constraints: &[Constraint], hint: F) -> SolveOutcome
+    where
+        F: Fn(Var) -> Option<i64>,
+    {
+        let mut info = SolveInfo::default();
+        self.solve_with_hint_info(constraints, hint, &mut info)
+    }
+
+    /// [`Solver::solve_with_hint`] that also reports per-query diagnostics
+    /// (how many independent components the query split into).
+    pub fn solve_with_hint_info<F>(
+        &self,
+        constraints: &[Constraint],
+        hint: F,
+        info: &mut SolveInfo,
+    ) -> SolveOutcome
     where
         F: Fn(Var) -> Option<i64>,
     {
@@ -161,21 +198,49 @@ impl Solver {
         //    solution unless gcd(a_i) divides k. Detects integrality gaps
         //    that branch & bound would otherwise crawl over.
         for c in &live {
-            if matches!(c.op, crate::constraint::RelOp::Eq) {
-                let g = c
-                    .expr
-                    .iter()
-                    .fold(0i64, |acc, (_, a)| gcd_i64(acc, a));
-                if g != 0 && c.expr.constant() % g != 0 {
-                    return SolveOutcome::Unsat;
-                }
+            if gcd_infeasible(c) {
+                return SolveOutcome::Unsat;
             }
         }
+        if live.is_empty() {
+            return SolveOutcome::Sat(Assignment::new());
+        }
 
-        // 3. Dense variable numbering.
+        // 3. Constraint-independence splitting: partition the conjunction
+        //    into variable-connected components and decide each one on its
+        //    own. A DART `negated_prefix(j)` query only *changes* the
+        //    component containing the negated constraint's variables — every
+        //    other component is already satisfied by the previous run's
+        //    input vector, so its per-component hint probe answers it
+        //    without any search.
+        let components = connected_components(&live);
+        info.components = components.len();
+        if components.len() == 1 {
+            return self.solve_component(&live, &hint);
+        }
+        let mut model = Assignment::new();
+        for comp in &components {
+            let subset: Vec<&Constraint> = comp.iter().map(|&i| live[i]).collect();
+            match self.solve_component(&subset, &hint) {
+                SolveOutcome::Sat(part) => model.extend(part),
+                SolveOutcome::Unsat => return SolveOutcome::Unsat,
+                SolveOutcome::Unknown => return SolveOutcome::Unknown,
+            }
+        }
+        SolveOutcome::Sat(model)
+    }
+
+    /// Decides one variable-connected conjunction of non-trivial
+    /// constraints: cheap probes, normalization, then the lazy `!=` case
+    /// analysis over interval propagation + branch & bound.
+    fn solve_component<F>(&self, live: &[&Constraint], hint: &F) -> SolveOutcome
+    where
+        F: Fn(Var) -> Option<i64>,
+    {
+        // Dense variable numbering.
         let mut vars: Vec<Var> = Vec::new();
         let mut var_idx: HashMap<Var, usize> = HashMap::new();
-        for c in &live {
+        for c in live {
             for v in c.vars() {
                 var_idx.entry(v).or_insert_with(|| {
                     vars.push(v);
@@ -188,8 +253,8 @@ impl Solver {
             return SolveOutcome::Sat(Assignment::new());
         }
 
-        // 3. Cheap probes against the *original* constraints: the hint
-        //    itself, then all-zeros clamped into range.
+        // Cheap probes against the *original* constraints: the hint
+        // itself, then all-zeros clamped into range.
         let b = self.config.default_bounds;
         let probe_sat = |pick: &dyn Fn(Var) -> i64| -> Option<Assignment> {
             let ok = live
@@ -212,54 +277,27 @@ impl Solver {
             return SolveOutcome::Sat(m);
         }
 
-        // 4. Normalize. Single-variable `!=` becomes an excluded point;
-        //    multi-variable `!=` is case-split.
-        let mut rows: Vec<Row> = Vec::new();
-        let mut exclusions: Vec<BTreeSet<i64>> = vec![BTreeSet::new(); n];
-        let mut splits: Vec<NeSplit> = Vec::new();
-        for c in &live {
-            match c.normalize() {
-                NormalForm::Conj(list) => {
-                    for le in list {
-                        rows.push(Row::from_le(&le.expr, &var_idx, n));
-                    }
-                }
-                NormalForm::Disj(a, bside) => {
-                    if c.expr.num_vars() == 1 {
-                        // a*x + k != 0: excluded point when a | -k.
-                        let (v, coeff) = c.expr.iter().next().expect("one var");
-                        let k = c.expr.constant();
-                        if (-k) % coeff == 0 {
-                            exclusions[var_idx[&v]].insert((-k) / coeff);
-                        }
-                        // Otherwise trivially true: skip.
-                    } else {
-                        splits.push(NeSplit {
-                            diff: Row::from_le(&c.expr, &var_idx, n),
-                            lo_side: Row::from_le(&a.expr, &var_idx, n),
-                            hi_side: Row::from_le(&bside.expr, &var_idx, n),
-                        });
-                    }
-                }
-            }
-        }
+        // Normalize. Single-variable `!=` becomes an excluded point;
+        // multi-variable `!=` is case-split.
+        let (mut rows, exclusions, mut splits) = normalize_live(live, &var_idx, n);
 
-        // 5. Lazy splitting over multi-variable `!=`: solve without them,
-        //    and only split on one that the found model violates. Unsat
-        //    without the disequalities settles the query in one step.
+        // Lazy splitting over multi-variable `!=`: solve without them,
+        // and only split on one that the found model violates. Unsat
+        // without the disequalities settles the query in one step.
         let mut leaves_left = self.config.max_ne_leaves.max(1);
         let hint_vals: Vec<i64> = vars.iter().map(|&v| hint(v).unwrap_or(0)).collect();
+        let boxes = vec![(b.lo as i128, b.hi as i128); n];
         let outcome = self.lazy_solve(
             &mut rows,
             &mut splits,
             &exclusions,
             &hint_vals,
+            &boxes,
             &mut leaves_left,
         );
         match outcome {
             Ok(Some(sol)) => {
-                let model: Assignment =
-                    vars.iter().map(|&v| (v, sol[var_idx[&v]])).collect();
+                let model: Assignment = vars.iter().map(|&v| (v, sol[var_idx[&v]])).collect();
                 // Defensive final check of the original constraints.
                 if live
                     .iter()
@@ -286,15 +324,14 @@ impl Solver {
         rows: &[Row],
         exclusions: &[BTreeSet<i64>],
         hint: &[i64],
+        init_boxes: &[(i128, i128)],
         leaves_left: &mut usize,
     ) -> Result<Option<Vec<i64>>, ArithError> {
         if *leaves_left == 0 {
             return Err(ArithError::Overflow); // budget: Unknown upstream
         }
         *leaves_left -= 1;
-        let n = exclusions.len();
-        let b = self.config.default_bounds;
-        let boxes = vec![(b.lo as i128, b.hi as i128); n];
+        let boxes = init_boxes.to_vec();
         let mut fd_budget = self.config.max_fd_nodes;
         if let Some(sol) = self.fd_search(rows, boxes.clone(), exclusions, hint, &mut fd_budget) {
             return Ok(Some(sol));
@@ -314,9 +351,10 @@ impl Solver {
         splits: &mut Vec<NeSplit>,
         exclusions: &[BTreeSet<i64>],
         hint: &[i64],
+        init_boxes: &[(i128, i128)],
         leaves_left: &mut usize,
     ) -> Result<Option<Vec<i64>>, ArithError> {
-        let sol = match self.feasible(rows, exclusions, hint, leaves_left)? {
+        let sol = match self.feasible(rows, exclusions, hint, init_boxes, leaves_left)? {
             Some(sol) => sol,
             None => return Ok(None),
         };
@@ -335,7 +373,7 @@ impl Solver {
         let mut found = None;
         for side in order {
             rows.push(side);
-            let res = self.lazy_solve(rows, splits, exclusions, hint, leaves_left);
+            let res = self.lazy_solve(rows, splits, exclusions, hint, init_boxes, leaves_left);
             rows.pop();
             match res {
                 Ok(Some(sol)) => {
@@ -466,7 +504,7 @@ impl Solver {
                 .zip(&boxes)
                 .map(|(y, &(lo, _))| y.add(Rat::from_int(lo)))
                 .collect::<Result<_, _>>()?;
-            if *budget % 1000 == 0 {
+            if (*budget).is_multiple_of(1000) {
                 debug_log(&format!("bb budget={budget} vertex={xs:?} boxes={boxes:?}"));
             }
 
@@ -548,7 +586,11 @@ impl Solver {
                 let mut min_sum: i128 = 0;
                 for &(j, a) in &row.coeffs {
                     let (lo, hi) = boxes[j];
-                    min_sum += if a > 0 { a as i128 * lo } else { a as i128 * hi };
+                    min_sum += if a > 0 {
+                        a as i128 * lo
+                    } else {
+                        a as i128 * hi
+                    };
                 }
                 if row.coeffs.is_empty() {
                     if row.rhs < 0 {
@@ -561,7 +603,11 @@ impl Solver {
                 }
                 for &(j, a) in &row.coeffs {
                     let (lo, hi) = boxes[j];
-                    let own_min = if a > 0 { a as i128 * lo } else { a as i128 * hi };
+                    let own_min = if a > 0 {
+                        a as i128 * lo
+                    } else {
+                        a as i128 * hi
+                    };
                     let rest_min = min_sum - own_min;
                     let slack = row.rhs as i128 - rest_min; // a*x <= slack
                     if a > 0 {
@@ -591,12 +637,663 @@ impl Solver {
     }
 }
 
+/// Per-push snapshot of a [`PrefixSession`]: the cumulative state after the
+/// corresponding constraint was pushed.
+#[derive(Debug, Clone)]
+struct Frame {
+    live_len: usize,
+    vars_len: usize,
+    rows_len: usize,
+    splits_len: usize,
+    /// This push's contribution to the shared-prefix LP (already shifted to
+    /// nonnegative variables), re-pushed lazily on out-of-order queries.
+    lp_rows: Vec<LpRow>,
+    /// Exclusion sets after this push (one per numbered variable).
+    exclusions: Vec<BTreeSet<i64>>,
+    /// Interval-propagated boxes for the whole prefix up to this push.
+    boxes: Vec<(i128, i128)>,
+    /// The prefix up to this push is known unsatisfiable (trivially false
+    /// constraint, GCD integrality gap, or propagation wipe-out).
+    infeasible: bool,
+}
+
+/// Incremental solving of one run's `negated_prefix(j)` query family.
+///
+/// The directed search (paper Fig. 5) solves, for each candidate branch `j`
+/// of a run, the query `c_0 ∧ … ∧ c_{j-1} ∧ ¬c_j`. A fresh
+/// [`Solver::solve_with_hint`] per query re-screens, re-numbers,
+/// re-normalizes and re-propagates the shared prefix from scratch — O(n²)
+/// constraint work per run. A `PrefixSession` does that work once per
+/// *pushed constraint* instead: [`PrefixSession::push`] extends the dense
+/// numbering, the normalized rows and the interval-propagation fixpoint
+/// incrementally, and [`PrefixSession::solve_query`] starts from the
+/// snapshot at depth `j` — it also screens the query against a shared-prefix
+/// LP ([`LpSession`]) whose tableau and last feasible vertex persist across
+/// the whole query family.
+///
+/// Outcomes are equisatisfiable with `solve_with_hint` on the same
+/// conjunction; the concrete model may differ (the session's tighter warm
+/// boxes can steer the search to a different — equally valid — solution).
+///
+/// # Examples
+///
+/// ```
+/// use dart_solver::{Constraint, LinExpr, RelOp, Solver, Var};
+///
+/// let solver = Solver::default();
+/// let mut sess = solver.session();
+/// // Path: x0 == 1, then x0 != 5.
+/// sess.push(&Constraint::new(LinExpr::var(Var(0)).offset(-1), RelOp::Eq));
+/// sess.push(&Constraint::new(LinExpr::var(Var(0)).offset(-5), RelOp::Ne));
+/// // Query j=1: x0 == 1 ∧ x0 == 5 — unsat.
+/// let neg = Constraint::new(LinExpr::var(Var(0)).offset(-5), RelOp::Eq);
+/// assert!(!sess.solve_query(1, &neg, |_| None).is_sat());
+/// // Query j=0: x0 != 1 — sat.
+/// let neg = Constraint::new(LinExpr::var(Var(0)).offset(-1), RelOp::Ne);
+/// assert!(sess.solve_query(0, &neg, |_| None).is_sat());
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrefixSession<'s> {
+    solver: &'s Solver,
+    /// Non-trivial pushed constraints, in push order.
+    live: Vec<Constraint>,
+    /// Dense variable numbering, append-only across pushes.
+    vars: Vec<Var>,
+    var_idx: HashMap<Var, usize>,
+    /// Normalized `<= 0` rows of the live prefix.
+    rows: Vec<Row>,
+    /// Multi-variable `!=` case splits of the live prefix.
+    splits: Vec<NeSplit>,
+    /// Shared-prefix LP; its frame stack mirrors `frames` up to
+    /// `lp_synced` (queries at shallower depths pop it lazily).
+    lp: LpSession,
+    /// How many leading `frames` the LP currently has pushed.
+    lp_synced: usize,
+    frames: Vec<Frame>,
+}
+
+impl<'s> PrefixSession<'s> {
+    fn new(solver: &'s Solver) -> PrefixSession<'s> {
+        PrefixSession {
+            solver,
+            live: Vec::new(),
+            vars: Vec::new(),
+            var_idx: HashMap::new(),
+            rows: Vec::new(),
+            splits: Vec::new(),
+            lp: LpSession::new(0),
+            lp_synced: 0,
+            frames: Vec::new(),
+        }
+    }
+
+    /// Number of pushed constraints.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// The solver this session runs on.
+    pub fn solver(&self) -> &'s Solver {
+        self.solver
+    }
+
+    /// Pushes the next path constraint, extending the numbering, the
+    /// normalized rows and the propagated boxes incrementally.
+    pub fn push(&mut self, c: &Constraint) {
+        let b = self.solver.config.default_bounds;
+        let prev = self.frames.last();
+        let mut frame = match prev {
+            Some(f) => Frame {
+                live_len: f.live_len,
+                vars_len: f.vars_len,
+                rows_len: f.rows_len,
+                splits_len: f.splits_len,
+                lp_rows: Vec::new(),
+                exclusions: f.exclusions.clone(),
+                boxes: f.boxes.clone(),
+                infeasible: f.infeasible,
+            },
+            None => Frame {
+                live_len: 0,
+                vars_len: 0,
+                rows_len: 0,
+                splits_len: 0,
+                lp_rows: Vec::new(),
+                exclusions: Vec::new(),
+                boxes: Vec::new(),
+                infeasible: false,
+            },
+        };
+        let screened = match c.triviality() {
+            Some(true) => None,
+            Some(false) => {
+                frame.infeasible = true;
+                None
+            }
+            None if gcd_infeasible(c) => {
+                frame.infeasible = true;
+                None
+            }
+            None => Some(c),
+        };
+        if let Some(c) = screened.filter(|_| !frame.infeasible) {
+            self.live.push(c.clone());
+            frame.live_len += 1;
+            let first_new_var = self.vars.len();
+            for v in c.vars() {
+                if let std::collections::hash_map::Entry::Vacant(e) = self.var_idx.entry(v) {
+                    e.insert(self.vars.len());
+                    self.vars.push(v);
+                }
+            }
+            frame.vars_len = self.vars.len();
+            frame.exclusions.resize_with(frame.vars_len, BTreeSet::new);
+            frame
+                .boxes
+                .resize(frame.vars_len, (b.lo as i128, b.hi as i128));
+            normalize_one(
+                c,
+                &self.var_idx,
+                &mut self.rows,
+                &mut frame.exclusions,
+                &mut self.splits,
+            );
+            let new_rows = &self.rows[frame.rows_len..];
+            frame.lp_rows = shift_lp_rows(new_rows, b, first_new_var, frame.vars_len);
+            frame.rows_len = self.rows.len();
+            frame.splits_len = self.splits.len();
+            if !self
+                .solver
+                .propagate(&self.rows[..frame.rows_len], &mut frame.boxes)
+            {
+                frame.infeasible = true;
+            }
+        }
+        self.frames.push(frame);
+    }
+
+    /// Removes the most recently pushed constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session is empty.
+    pub fn pop(&mut self) {
+        self.frames.pop().expect("pop on an empty PrefixSession");
+        let (live_len, vars_len, rows_len, splits_len) = self
+            .frames
+            .last()
+            .map(|f| (f.live_len, f.vars_len, f.rows_len, f.splits_len))
+            .unwrap_or((0, 0, 0, 0));
+        for v in self.vars.drain(vars_len..) {
+            self.var_idx.remove(&v);
+        }
+        self.live.truncate(live_len);
+        self.rows.truncate(rows_len);
+        self.splits.truncate(splits_len);
+        let depth = self.frames.len();
+        if self.lp_synced > depth {
+            self.lp.pop_to(depth);
+            self.lp_synced = depth;
+        }
+    }
+
+    /// Solves `pushed[0] ∧ … ∧ pushed[j-1] ∧ negated` — the directed
+    /// search's `negated_prefix(j)` with the prefix taken from this
+    /// session's snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` exceeds [`PrefixSession::depth`].
+    pub fn solve_query<F>(&mut self, j: usize, negated: &Constraint, hint: F) -> SolveOutcome
+    where
+        F: Fn(Var) -> Option<i64>,
+    {
+        let mut info = SolveInfo::default();
+        self.solve_query_info(j, negated, hint, &mut info)
+    }
+
+    /// The live (non-trivial) prefix constraints visible to a depth-`j`
+    /// query, in push order.
+    pub fn prefix_live(&self, j: usize) -> &[Constraint] {
+        let live_len = if j == 0 {
+            0
+        } else {
+            self.frames[j - 1].live_len
+        };
+        &self.live[..live_len]
+    }
+
+    /// Like [`PrefixSession::solve_query`], additionally reporting how the
+    /// query decomposed into independent components via `info`.
+    pub fn solve_query_info<F>(
+        &mut self,
+        j: usize,
+        negated: &Constraint,
+        hint: F,
+        info: &mut SolveInfo,
+    ) -> SolveOutcome
+    where
+        F: Fn(Var) -> Option<i64>,
+    {
+        assert!(j <= self.frames.len(), "query depth {j} beyond session");
+        let b = self.solver.config.default_bounds;
+        let (live_len, vars_len, rows_len, splits_len, infeasible) = if j == 0 {
+            (0, 0, 0, 0, false)
+        } else {
+            let f = &self.frames[j - 1];
+            (
+                f.live_len,
+                f.vars_len,
+                f.rows_len,
+                f.splits_len,
+                f.infeasible,
+            )
+        };
+        if infeasible {
+            return SolveOutcome::Unsat;
+        }
+
+        // Screen the negated constraint.
+        let neg_live = match negated.triviality() {
+            Some(true) => None,
+            Some(false) => return SolveOutcome::Unsat,
+            None if gcd_infeasible(negated) => return SolveOutcome::Unsat,
+            None => Some(negated),
+        };
+        let q_live: Vec<Constraint> = self.live[..live_len]
+            .iter()
+            .chain(neg_live)
+            .cloned()
+            .collect();
+        let q_live: Vec<&Constraint> = q_live.iter().collect();
+        if q_live.is_empty() {
+            return SolveOutcome::Sat(Assignment::new());
+        }
+
+        // Extend the prefix numbering with the negated constraint's new
+        // variables (session vars numbered deeper than the prefix are
+        // renumbered fresh for this query).
+        let mut q_vars: Vec<Var> = self.vars[..vars_len].to_vec();
+        let mut q_idx: HashMap<Var, usize> =
+            q_vars.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        if let Some(c) = neg_live {
+            for v in c.vars() {
+                if let std::collections::hash_map::Entry::Vacant(e) = q_idx.entry(v) {
+                    e.insert(q_vars.len());
+                    q_vars.push(v);
+                }
+            }
+        }
+        let n = q_vars.len();
+
+        // Cheap probes: the hint, then all-zeros.
+        if let Some(m) = probe_model(&q_live, &q_vars, b, &|v| hint(v).unwrap_or(0)) {
+            return SolveOutcome::Sat(m);
+        }
+        if let Some(m) = probe_model(&q_live, &q_vars, b, &|_| 0) {
+            return SolveOutcome::Sat(m);
+        }
+
+        // Constraint-independence splitting: when the negated constraint's
+        // variable-connected component is independent of the rest of the
+        // query, solve only that component and fill the other components
+        // straight from the hint — they are the previous run's path
+        // constraints, which that run's inputs satisfied by construction.
+        let components = connected_components(&q_live);
+        info.components = components.len();
+        if neg_live.is_some() && components.len() > 1 {
+            let neg_idx = q_live.len() - 1;
+            let pick = |v: Var| hint(v).unwrap_or(0).clamp(b.lo, b.hi);
+            let mut neg_comp: &[usize] = &[];
+            let mut rest_ok = true;
+            let mut fill = Assignment::new();
+            for comp in &components {
+                if comp.contains(&neg_idx) {
+                    neg_comp = comp;
+                    continue;
+                }
+                for &ci in comp {
+                    if q_live[ci].satisfied_by(|v| Some(pick(v))) {
+                        for v in q_live[ci].vars() {
+                            fill.insert(v, pick(v));
+                        }
+                    } else {
+                        rest_ok = false;
+                        break;
+                    }
+                }
+                if !rest_ok {
+                    break;
+                }
+            }
+            if rest_ok {
+                let comp_live: Vec<&Constraint> = neg_comp.iter().map(|&i| q_live[i]).collect();
+                match self.solver.solve_component(&comp_live, &hint) {
+                    SolveOutcome::Sat(part) => {
+                        fill.extend(part);
+                        return SolveOutcome::Sat(fill);
+                    }
+                    SolveOutcome::Unsat => return SolveOutcome::Unsat,
+                    // An unknown component verdict loses no information:
+                    // fall through to the full warm-state solve below.
+                    SolveOutcome::Unknown => {}
+                }
+            }
+        }
+
+        // Query state = prefix snapshots + the negated constraint.
+        let mut q_rows = self.rows[..rows_len].to_vec();
+        let mut q_splits = self.splits[..splits_len].to_vec();
+        let (mut q_excl, mut q_boxes) = if j == 0 {
+            (Vec::new(), Vec::new())
+        } else {
+            let f = &self.frames[j - 1];
+            (f.exclusions.clone(), f.boxes.clone())
+        };
+        q_excl.resize_with(n, BTreeSet::new);
+        q_boxes.resize(n, (b.lo as i128, b.hi as i128));
+        let first_new_row = q_rows.len();
+        if let Some(c) = neg_live {
+            normalize_one(c, &q_idx, &mut q_rows, &mut q_excl, &mut q_splits);
+        }
+
+        // Warm-started interval propagation: the prefix part of `q_boxes`
+        // is already at its fixpoint, so only the negated rows do work.
+        if !self.solver.propagate(&q_rows, &mut q_boxes) {
+            return SolveOutcome::Unsat;
+        }
+
+        // Hint-guided finite-domain pass, from the warm boxes. Path
+        // constraints are mostly unit systems, so this settles the easy
+        // `Sat` queries immediately and keeps incremental queries as
+        // cheap as plain solves — the rational LP machinery below is
+        // reserved for the queries it cannot.
+        let hint_vals: Vec<i64> = q_vars.iter().map(|&v| hint(v).unwrap_or(0)).collect();
+        let mut fd_budget = self.solver.config.max_fd_nodes;
+        if let Some(sol) = self.solver.fd_search(
+            &q_rows,
+            q_boxes.clone(),
+            &q_excl,
+            &hint_vals,
+            &mut fd_budget,
+        ) {
+            if q_splits.iter().all(|ne| !ne.violated_by(&sol)) {
+                let model: Assignment = q_vars
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| (v, sol[i]))
+                    .collect();
+                if q_live
+                    .iter()
+                    .all(|c| c.satisfied_by(|v| model.get(&v).copied()))
+                {
+                    return SolveOutcome::Sat(model);
+                }
+            }
+        }
+
+        // Shared-prefix LP screen: sync the LP to depth `j`, push the
+        // negated rows as a scratch frame, and ask for rational
+        // feasibility. Infeasible relaxation ⇒ integer unsat, settling the
+        // query without any branch & bound. The tableau's cached vertex
+        // survives pops, so sibling queries usually answer by point checks.
+        if self.sync_lp(j) {
+            let neg_lp = shift_lp_rows(&q_rows[first_new_row..], b, vars_len, n);
+            self.lp.grow_vars(n);
+            let mark = self.lp.push_frame(neg_lp);
+            let verdict = self.lp.feasible();
+            self.lp.pop_to(mark);
+            match verdict {
+                Ok(LpResult::Infeasible) => return SolveOutcome::Unsat,
+                Ok(LpResult::Feasible(_)) => {}
+                Err(_) => {} // no information; fall through to the full solve
+            }
+        }
+
+        // Full integer solve from the warm state.
+        let mut leaves_left = self.solver.config.max_ne_leaves.max(1);
+        let outcome = self.solver.lazy_solve(
+            &mut q_rows,
+            &mut q_splits,
+            &q_excl,
+            &hint_vals,
+            &q_boxes,
+            &mut leaves_left,
+        );
+        match outcome {
+            Ok(Some(sol)) => {
+                let model: Assignment = q_vars
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| (v, sol[i]))
+                    .collect();
+                if q_live
+                    .iter()
+                    .all(|c| c.satisfied_by(|v| model.get(&v).copied()))
+                {
+                    SolveOutcome::Sat(model)
+                } else {
+                    SolveOutcome::Unknown
+                }
+            }
+            Ok(None) => SolveOutcome::Unsat,
+            Err(e) => {
+                debug_log(&format!("arithmetic/bb failure (session): {e:?}"));
+                SolveOutcome::Unknown
+            }
+        }
+    }
+
+    /// Brings the shared-prefix LP to exactly the first `j` frames,
+    /// popping or re-pushing stored frame rows as needed. Returns `false`
+    /// when the LP would have to be skipped (never happens today; kept so
+    /// the caller treats the screen as best-effort).
+    fn sync_lp(&mut self, j: usize) -> bool {
+        if self.lp_synced > j {
+            self.lp.pop_to(j);
+            self.lp_synced = j;
+        }
+        while self.lp_synced < j {
+            let f = &self.frames[self.lp_synced];
+            self.lp.grow_vars(f.vars_len.max(self.lp.num_vars()));
+            self.lp.push_frame(f.lp_rows.clone());
+            self.lp_synced += 1;
+        }
+        true
+    }
+}
+
+/// Normalizes one non-trivial constraint into rows / an exclusion point / a
+/// case split, over the numbering `var_idx`.
+fn normalize_one(
+    c: &Constraint,
+    var_idx: &HashMap<Var, usize>,
+    rows: &mut Vec<Row>,
+    exclusions: &mut [BTreeSet<i64>],
+    splits: &mut Vec<NeSplit>,
+) {
+    let n = exclusions.len();
+    match c.normalize() {
+        NormalForm::Conj(list) => {
+            for le in list {
+                rows.push(Row::from_le(&le.expr, var_idx, n));
+            }
+        }
+        NormalForm::Disj(a, bside) => {
+            if c.expr.num_vars() == 1 {
+                let (v, coeff) = c.expr.iter().next().expect("one var");
+                let k = c.expr.constant();
+                if (-k) % coeff == 0 {
+                    exclusions[var_idx[&v]].insert((-k) / coeff);
+                }
+            } else {
+                splits.push(NeSplit {
+                    diff: Row::from_le(&c.expr, var_idx, n),
+                    lo_side: Row::from_le(&a.expr, var_idx, n),
+                    hi_side: Row::from_le(&bside.expr, var_idx, n),
+                });
+            }
+        }
+    }
+}
+
+/// Probes one concrete pick against the original constraints; returns the
+/// model over `vars` (clamped into bounds) when every constraint holds.
+fn probe_model(
+    live: &[&Constraint],
+    vars: &[Var],
+    b: Bounds,
+    pick: &dyn Fn(Var) -> i64,
+) -> Option<Assignment> {
+    let ok = live
+        .iter()
+        .all(|c| c.satisfied_by(|v| Some(pick(v).clamp(b.lo, b.hi))));
+    if ok {
+        Some(
+            vars.iter()
+                .map(|&v| (v, pick(v).clamp(b.lo, b.hi)))
+                .collect(),
+        )
+    } else {
+        None
+    }
+}
+
+/// Shifts integer rows to the LP's nonnegative variables `y = x - lo`
+/// (every variable uses the session-wide default box), and appends the
+/// upper-bound rows `y_v <= hi - lo` for the variables numbered in
+/// `first_new_var..n` (each variable's bound row is emitted exactly once,
+/// by the frame that introduced it).
+fn shift_lp_rows(rows: &[Row], b: Bounds, first_new_var: usize, n: usize) -> Vec<LpRow> {
+    let lo = b.lo as i128;
+    let width = b.hi as i128 - lo;
+    let mut out = Vec::with_capacity(rows.len() + n - first_new_var);
+    for row in rows {
+        let mut coeffs = vec![Rat::ZERO; n];
+        let mut shift: i128 = 0;
+        for &(idx, a) in &row.coeffs {
+            coeffs[idx] = Rat::from_int(a as i128);
+            shift += a as i128 * lo;
+        }
+        out.push(LpRow {
+            coeffs,
+            rhs: Rat::from_int(row.rhs as i128 - shift),
+        });
+    }
+    for v in first_new_var..n {
+        let mut coeffs = vec![Rat::ZERO; n];
+        coeffs[v] = Rat::ONE;
+        out.push(LpRow {
+            coeffs,
+            rhs: Rat::from_int(width),
+        });
+    }
+    out
+}
+
 /// Emits a diagnostic line when `DART_SOLVER_DEBUG` is set; `Unknown`
 /// outcomes are otherwise silent by design.
 fn debug_log(msg: &str) {
     if std::env::var_os("DART_SOLVER_DEBUG").is_some() {
         eprintln!("dart-solver: {msg}");
     }
+}
+
+/// Whether an equality constraint fails the GCD integrality test:
+/// `sum a_i x_i + k == 0` has no integer solution unless gcd(a_i) | k.
+fn gcd_infeasible(c: &Constraint) -> bool {
+    if !matches!(c.op, crate::constraint::RelOp::Eq) {
+        return false;
+    }
+    let g = c.expr.iter().fold(0i64, |acc, (_, a)| gcd_i64(acc, a));
+    g != 0 && c.expr.constant() % g != 0
+}
+
+/// Partitions `live` into variable-connected components (union-find over
+/// the constraints' variables). Components are returned in order of their
+/// first constraint, each listing constraint indices in input order, so the
+/// partition is deterministic.
+fn connected_components(live: &[&Constraint]) -> Vec<Vec<usize>> {
+    // Union-find over constraint indices, joined through shared variables.
+    let mut parent: Vec<usize> = (0..live.len()).collect();
+    fn find(parent: &mut [usize], i: usize) -> usize {
+        let mut root = i;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = i;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    let mut owner: HashMap<Var, usize> = HashMap::new();
+    for (i, c) in live.iter().enumerate() {
+        for v in c.vars() {
+            match owner.entry(v) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(i);
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let a = find(&mut parent, *e.get());
+                    let b = find(&mut parent, i);
+                    if a != b {
+                        // Attach the later root under the earlier one.
+                        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                        parent[hi] = lo;
+                    }
+                }
+            }
+        }
+    }
+    let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for i in 0..live.len() {
+        let root = find(&mut parent, i);
+        groups.entry(root).or_default().push(i);
+    }
+    groups.into_values().collect()
+}
+
+/// Normalizes non-trivial constraints into `<= 0` rows, single-variable
+/// exclusion points, and multi-variable `!=` case splits, over the dense
+/// numbering `var_idx` (`n` variables).
+fn normalize_live(
+    live: &[&Constraint],
+    var_idx: &HashMap<Var, usize>,
+    n: usize,
+) -> (Vec<Row>, Vec<BTreeSet<i64>>, Vec<NeSplit>) {
+    let mut rows: Vec<Row> = Vec::new();
+    let mut exclusions: Vec<BTreeSet<i64>> = vec![BTreeSet::new(); n];
+    let mut splits: Vec<NeSplit> = Vec::new();
+    for c in live {
+        match c.normalize() {
+            NormalForm::Conj(list) => {
+                for le in list {
+                    rows.push(Row::from_le(&le.expr, var_idx, n));
+                }
+            }
+            NormalForm::Disj(a, bside) => {
+                if c.expr.num_vars() == 1 {
+                    // a*x + k != 0: excluded point when a | -k.
+                    let (v, coeff) = c.expr.iter().next().expect("one var");
+                    let k = c.expr.constant();
+                    if (-k) % coeff == 0 {
+                        exclusions[var_idx[&v]].insert((-k) / coeff);
+                    }
+                    // Otherwise trivially true: skip.
+                } else {
+                    splits.push(NeSplit {
+                        diff: Row::from_le(&c.expr, var_idx, n),
+                        lo_side: Row::from_le(&a.expr, var_idx, n),
+                        hi_side: Row::from_le(&bside.expr, var_idx, n),
+                    });
+                }
+            }
+        }
+    }
+    (rows, exclusions, splits)
 }
 
 /// Greatest common divisor over `i64` (absolute values; `gcd(0, a) = |a|`).
@@ -680,11 +1377,7 @@ struct Row {
 
 impl Row {
     /// From a `LeZero` expression `e <= 0`: `terms <= -constant`.
-    fn from_le(
-        expr: &crate::linear::LinExpr,
-        var_idx: &HashMap<Var, usize>,
-        _n: usize,
-    ) -> Row {
+    fn from_le(expr: &crate::linear::LinExpr, var_idx: &HashMap<Var, usize>, _n: usize) -> Row {
         Row {
             coeffs: expr.iter().map(|(v, c)| (var_idx[&v], c)).collect(),
             rhs: -expr.constant(),

@@ -35,13 +35,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod constraint;
 pub mod ilp;
 pub mod linear;
 pub mod rational;
 pub mod simplex;
 
+pub use cache::{CacheStats, QueryCache};
 pub use constraint::{Constraint, LeZero, NormalForm, RelOp};
-pub use ilp::{Assignment, Bounds, SolveOutcome, Solver, SolverConfig};
+pub use ilp::{Assignment, Bounds, PrefixSession, SolveInfo, SolveOutcome, Solver, SolverConfig};
 pub use linear::{LinExpr, Var};
 pub use rational::Rat;
+pub use simplex::LpSession;

@@ -128,25 +128,19 @@ impl Rat {
     /// # Errors
     ///
     /// [`ArithError::Overflow`] if the exact result cannot be represented.
+    // Fallible exact arithmetic returns `ArithResult`, which the std
+    // operator traits cannot express — hence the trait-shadowing names.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Rat) -> ArithResult<Rat> {
         // a/b + c/d = (a*d + c*b) / (b*d); reduce via g = gcd(b, d) first to
         // keep intermediates small.
         let g = gcd(self.den, other.den);
         let db = self.den / g;
         let dd = other.den / g;
-        let lhs = self
-            .num
-            .checked_mul(dd)
-            .ok_or(ArithError::Overflow)?;
-        let rhs = other
-            .num
-            .checked_mul(db)
-            .ok_or(ArithError::Overflow)?;
+        let lhs = self.num.checked_mul(dd).ok_or(ArithError::Overflow)?;
+        let rhs = other.num.checked_mul(db).ok_or(ArithError::Overflow)?;
         let num = lhs.checked_add(rhs).ok_or(ArithError::Overflow)?;
-        let den = self
-            .den
-            .checked_mul(dd)
-            .ok_or(ArithError::Overflow)?;
+        let den = self.den.checked_mul(dd).ok_or(ArithError::Overflow)?;
         Rat::new(num, den)
     }
 
@@ -155,6 +149,7 @@ impl Rat {
     /// # Errors
     ///
     /// [`ArithError::Overflow`] if the exact result cannot be represented.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Rat) -> ArithResult<Rat> {
         self.add(other.neg())
     }
@@ -164,6 +159,7 @@ impl Rat {
     /// # Errors
     ///
     /// [`ArithError::Overflow`] if the exact result cannot be represented.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Rat) -> ArithResult<Rat> {
         // Cross-reduce before multiplying to keep intermediates small.
         let g1 = gcd(self.num, other.den).max(1);
@@ -183,6 +179,7 @@ impl Rat {
     ///
     /// [`ArithError::DivisionByZero`] if `other` is zero;
     /// [`ArithError::Overflow`] if the exact result cannot be represented.
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, other: Rat) -> ArithResult<Rat> {
         if other.is_zero() {
             return Err(ArithError::DivisionByZero);
@@ -194,6 +191,7 @@ impl Rat {
     }
 
     /// Exact negation (never overflows for reduced values built via `new`).
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Rat {
         Rat {
             num: -self.num,
@@ -215,15 +213,12 @@ impl Rat {
     pub fn round(self) -> i128 {
         let f = self.floor();
         let frac = self.sub(Rat::from_int(f)).expect("floor fraction in [0,1)");
-        // frac in [0, 1); compare against 1/2.
-        if 2 * frac.num > frac.den {
+        // frac in [0, 1); compare against 1/2, sending exact halves
+        // toward zero (down for nonnegative values, up for negative).
+        if 2 * frac.num > frac.den || (2 * frac.num == frac.den && self.num < 0) {
             f + 1
-        } else if 2 * frac.num < frac.den {
-            f
-        } else if self.num >= 0 {
-            f
         } else {
-            f + 1
+            f
         }
     }
 }
@@ -345,10 +340,7 @@ mod tests {
 
     #[test]
     fn div_by_zero() {
-        assert_eq!(
-            Rat::ONE.div(Rat::ZERO),
-            Err(ArithError::DivisionByZero)
-        );
+        assert_eq!(Rat::ONE.div(Rat::ZERO), Err(ArithError::DivisionByZero));
     }
 
     #[test]

@@ -69,11 +69,11 @@ impl Dictionary {
         let new_b_r = self.b[r].neg().mul(inv)?;
         let ncols = self.nonbasic.len();
         let mut new_row = vec![Rat::ZERO; ncols];
-        for j in 0..ncols {
+        for (j, slot) in new_row.iter_mut().enumerate() {
             if j == c {
-                new_row[j] = inv; // coefficient of the leaving (old basic) var
+                *slot = inv; // coefficient of the leaving (old basic) var
             } else {
-                new_row[j] = self.a[r][j].neg().mul(inv)?;
+                *slot = self.a[r][j].neg().mul(inv)?;
             }
         }
 
@@ -87,11 +87,11 @@ impl Dictionary {
                 continue;
             }
             self.b[i] = self.b[i].add(k.mul(new_b_r)?)?;
-            for j in 0..ncols {
+            for (j, &nr) in new_row.iter().enumerate() {
                 if j == c {
-                    self.a[i][j] = k.mul(new_row[j])?;
+                    self.a[i][j] = k.mul(nr)?;
                 } else {
-                    self.a[i][j] = self.a[i][j].add(k.mul(new_row[j])?)?;
+                    self.a[i][j] = self.a[i][j].add(k.mul(nr)?)?;
                 }
             }
         }
@@ -100,11 +100,11 @@ impl Dictionary {
         let k = self.obj[c];
         if !k.is_zero() {
             self.obj_const = self.obj_const.add(k.mul(new_b_r)?)?;
-            for j in 0..ncols {
+            for (j, &nr) in new_row.iter().enumerate() {
                 if j == c {
-                    self.obj[j] = k.mul(new_row[j])?;
+                    self.obj[j] = k.mul(nr)?;
                 } else {
-                    self.obj[j] = self.obj[j].add(k.mul(new_row[j])?)?;
+                    self.obj[j] = self.obj[j].add(k.mul(nr)?)?;
                 }
             }
         }
@@ -232,7 +232,7 @@ pub fn feasible_point(lp: &Lp) -> ArithResult<LpResult> {
             })
             .collect(),
         obj: std::iter::once(Rat::from_int(-1))
-            .chain(std::iter::repeat(Rat::ZERO).take(n))
+            .chain(std::iter::repeat_n(Rat::ZERO, n))
             .collect(),
         obj_const: Rat::ZERO,
     };
@@ -259,6 +259,140 @@ pub fn feasible_point(lp: &Lp) -> ArithResult<LpResult> {
     // remaining assignment satisfies the original rows.
     let point = (1..=n).map(|id| dict.value_of(id)).collect();
     Ok(LpResult::Feasible(point))
+}
+
+/// Incremental LP feasibility over a push/pop row stack.
+///
+/// DART's directed search issues, for one run, a family of queries that all
+/// share a prefix of rows; a fresh simplex per query rebuilds the same
+/// tableau over and over. `LpSession` keeps the rows as a stack with frame
+/// markers and caches the last feasible vertex: a pushed frame whose rows
+/// the cached vertex already satisfies is answered by a point check instead
+/// of a phase-1 solve, and *popping* rows never invalidates the cache (a
+/// point satisfying a superset of rows satisfies any subset).
+///
+/// # Examples
+///
+/// ```
+/// use dart_solver::rational::Rat;
+/// use dart_solver::simplex::{LpRow, LpResult, LpSession};
+///
+/// let mut sess = LpSession::new(1);
+/// sess.push_frame(vec![LpRow { coeffs: vec![Rat::from_int(1)], rhs: Rat::from_int(3) }]);
+/// assert!(matches!(sess.feasible()?, LpResult::Feasible(_)));
+/// let mark = sess.push_frame(vec![LpRow { coeffs: vec![Rat::from_int(-1)], rhs: Rat::from_int(-5) }]);
+/// assert!(matches!(sess.feasible()?, LpResult::Infeasible));
+/// sess.pop_to(mark);
+/// assert!(matches!(sess.feasible()?, LpResult::Feasible(_)));
+/// # Ok::<(), dart_solver::rational::ArithError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LpSession {
+    num_vars: usize,
+    rows: Vec<LpRow>,
+    frames: Vec<usize>,
+    /// A vertex known to satisfy some prefix of `rows`; `valid_rows` says
+    /// how many leading rows it was last checked against.
+    last_point: Option<Vec<Rat>>,
+}
+
+impl LpSession {
+    /// An empty session over `num_vars` nonnegative variables.
+    pub fn new(num_vars: usize) -> LpSession {
+        LpSession {
+            num_vars,
+            rows: Vec::new(),
+            frames: Vec::new(),
+            last_point: None,
+        }
+    }
+
+    /// Number of decision variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of pushed frames.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Grows the variable count, zero-padding existing rows and the cached
+    /// point. Shrinking is not supported (pop frames instead).
+    pub fn grow_vars(&mut self, num_vars: usize) {
+        assert!(num_vars >= self.num_vars, "cannot shrink an LpSession");
+        if num_vars == self.num_vars {
+            return;
+        }
+        for row in &mut self.rows {
+            row.coeffs.resize(num_vars, Rat::ZERO);
+        }
+        if let Some(p) = &mut self.last_point {
+            p.resize(num_vars, Rat::ZERO);
+        }
+        self.num_vars = num_vars;
+    }
+
+    /// Pushes a frame of rows; returns the depth to give [`LpSession::pop_to`]
+    /// to undo it. Rows narrower than `num_vars` are zero-padded.
+    pub fn push_frame(&mut self, rows: Vec<LpRow>) -> usize {
+        let mark = self.frames.len();
+        self.frames.push(self.rows.len());
+        for mut row in rows {
+            debug_assert!(row.coeffs.len() <= self.num_vars, "row wider than session");
+            row.coeffs.resize(self.num_vars, Rat::ZERO);
+            self.rows.push(row);
+        }
+        mark
+    }
+
+    /// Pops frames until `depth` frames remain. The cached vertex stays
+    /// valid: it satisfied a superset of the remaining rows.
+    pub fn pop_to(&mut self, depth: usize) {
+        assert!(depth <= self.frames.len(), "pop_to past the stack");
+        if let Some(&row_len) = self.frames.get(depth) {
+            self.rows.truncate(row_len);
+            self.frames.truncate(depth);
+        }
+    }
+
+    /// Whether `point` satisfies every current row.
+    fn satisfies(&self, point: &[Rat]) -> ArithResult<bool> {
+        for row in &self.rows {
+            let mut acc = Rat::ZERO;
+            for (c, v) in row.coeffs.iter().zip(point) {
+                if !c.is_zero() && !v.is_zero() {
+                    acc = acc.add(c.mul(*v)?)?;
+                }
+            }
+            if acc > row.rhs {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// LP feasibility of the current row stack. Answers from the cached
+    /// vertex when it still satisfies every row; otherwise runs the
+    /// two-phase simplex and caches the fresh vertex.
+    pub fn feasible(&mut self) -> ArithResult<LpResult> {
+        if let Some(p) = &self.last_point {
+            if self.satisfies(p)? {
+                return Ok(LpResult::Feasible(p.clone()));
+            }
+        }
+        let lp = Lp {
+            num_vars: self.num_vars,
+            rows: self.rows.clone(),
+        };
+        match feasible_point(&lp)? {
+            LpResult::Feasible(p) => {
+                self.last_point = Some(p.clone());
+                Ok(LpResult::Feasible(p))
+            }
+            LpResult::Infeasible => Ok(LpResult::Infeasible),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -434,10 +568,7 @@ mod tests {
             let mut coeffs = vec![r(0); n];
             coeffs[i] = r(1);
             coeffs[i + 1] = r(-1);
-            rows.push(LpRow {
-                coeffs,
-                rhs: r(-1),
-            });
+            rows.push(LpRow { coeffs, rhs: r(-1) });
         }
         let mut coeffs = vec![r(0); n];
         coeffs[n - 1] = r(1);
@@ -448,17 +579,65 @@ mod tests {
         // Force away from the origin: y0 >= 1.
         let mut coeffs = vec![r(0); n];
         coeffs[0] = r(-1);
-        rows.push(LpRow {
-            coeffs,
-            rhs: r(-1),
-        });
-        let lp = Lp {
-            num_vars: n,
-            rows,
-        };
+        rows.push(LpRow { coeffs, rhs: r(-1) });
+        let lp = Lp { num_vars: n, rows };
         let p = check_feasible(&lp);
         for i in 0..n - 1 {
             assert!(p[i + 1] >= p[i].add(r(1)).unwrap());
+        }
+    }
+
+    #[test]
+    fn session_point_reuse_and_popping() {
+        // Band 2 <= y0 <= 3 split across frames; a third frame makes it
+        // infeasible; popping restores feasibility without a re-solve.
+        let mut sess = LpSession::new(1);
+        sess.push_frame(vec![LpRow {
+            coeffs: vec![r(1)],
+            rhs: r(3),
+        }]);
+        let p1 = match sess.feasible().unwrap() {
+            LpResult::Feasible(p) => p,
+            other => panic!("expected feasible, got {other:?}"),
+        };
+        let mark = sess.push_frame(vec![LpRow {
+            coeffs: vec![r(-1)],
+            rhs: r(0),
+        }]);
+        // The cached vertex already satisfies -y0 <= 0: reuse, same point.
+        match sess.feasible().unwrap() {
+            LpResult::Feasible(p) => assert_eq!(p, p1),
+            other => panic!("expected feasible, got {other:?}"),
+        }
+        sess.push_frame(vec![LpRow {
+            coeffs: vec![r(-1)],
+            rhs: r(-5),
+        }]);
+        assert_eq!(sess.feasible().unwrap(), LpResult::Infeasible);
+        sess.pop_to(mark);
+        assert!(matches!(sess.feasible().unwrap(), LpResult::Feasible(_)));
+        assert_eq!(sess.depth(), 1);
+    }
+
+    #[test]
+    fn session_grow_vars_pads() {
+        let mut sess = LpSession::new(1);
+        sess.push_frame(vec![LpRow {
+            coeffs: vec![r(-1)],
+            rhs: r(-2),
+        }]);
+        assert!(matches!(sess.feasible().unwrap(), LpResult::Feasible(_)));
+        sess.grow_vars(3);
+        sess.push_frame(vec![LpRow {
+            coeffs: vec![r(0), r(-1), r(0)],
+            rhs: r(-1),
+        }]);
+        match sess.feasible().unwrap() {
+            LpResult::Feasible(p) => {
+                assert_eq!(p.len(), 3);
+                assert!(p[0] >= r(2) && p[1] >= r(1));
+            }
+            other => panic!("expected feasible, got {other:?}"),
         }
     }
 

@@ -29,9 +29,7 @@ fn lin_expr() -> impl Strategy<Value = LinExpr> {
         proptest::collection::vec((-5i64..=5, 0u32..NUM_VARS), 0..4),
         -20i64..=20,
     )
-        .prop_map(|(terms, k)| {
-            LinExpr::from_terms(terms.into_iter().map(|(c, v)| (Var(v), c)), k)
-        })
+        .prop_map(|(terms, k)| LinExpr::from_terms(terms.into_iter().map(|(c, v)| (Var(v), c)), k))
 }
 
 fn constraint() -> impl Strategy<Value = Constraint> {
@@ -218,5 +216,117 @@ proptest! {
             }
         }
         prop_assert_eq!(Solver::default().solve(&cs), SolveOutcome::Unsat);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The query cache is transparent: on any random query stream (with
+    /// repeats, so lookups actually fire), the cached and uncached paths
+    /// return byte-identical outcomes query by query — not merely
+    /// equisatisfiable ones — and every `Sat` model verifies.
+    #[test]
+    fn cached_and_uncached_equisatisfiable(
+        queries in proptest::collection::vec(
+            (proptest::collection::vec(constraint(), 1..6),
+             proptest::collection::vec(-30i64..=30, NUM_VARS as usize)),
+            1..8,
+        ),
+        repeat_rounds in 1usize..3,
+    ) {
+        use dart_solver::QueryCache;
+        let solver = Solver::default();
+        let mut cached = QueryCache::new(true);
+        let mut uncached = QueryCache::new(false);
+        for _ in 0..=repeat_rounds {
+            for (cs, hint) in &queries {
+                let lookup = |v: Var| Some(hint[v.index()]);
+                let a = cached.solve_with_hint(&solver, cs, lookup);
+                let b = uncached.solve_with_hint(&solver, cs, lookup);
+                prop_assert_eq!(
+                    &a, &b,
+                    "cache changed an answer on {:?}", cs
+                );
+                if let SolveOutcome::Sat(m) = &a {
+                    for c in cs {
+                        prop_assert!(
+                            c.satisfied_by(|v| m.get(&v).copied()),
+                            "cached model {:?} violates {}", m, c
+                        );
+                    }
+                }
+            }
+        }
+        // The pool runs in both modes and in lockstep; verdict replays
+        // (hits minus pool answers) are what the enabled cache saves.
+        prop_assert_eq!(cached.stats().model_reuse, uncached.stats().model_reuse);
+        prop_assert_eq!(
+            cached.stats().misses,
+            uncached.stats().misses - (cached.stats().hits - cached.stats().model_reuse)
+        );
+    }
+
+    /// An incremental prefix session answers every `negated_prefix(j)`
+    /// query equisatisfiably with a from-scratch solve of the same
+    /// conjunction, and its `Sat` models verify.
+    #[test]
+    fn session_matches_plain_solver(
+        path in proptest::collection::vec(constraint(), 1..7),
+        hint in proptest::collection::vec(-30i64..=30, NUM_VARS as usize),
+    ) {
+        let solver = Solver::default();
+        let mut sess = solver.session();
+        for c in &path {
+            sess.push(c);
+        }
+        let lookup = |v: Var| Some(hint[v.index()]);
+        for j in 0..path.len() {
+            let negated = path[j].negated();
+            let a = sess.solve_query(j, &negated, lookup);
+            let mut query: Vec<Constraint> = path[..j].to_vec();
+            query.push(negated.clone());
+            let b = solver.solve_with_hint(&query, lookup);
+            // `Unknown` is a resource verdict, not a semantic one; the two
+            // code paths may give up at different points, so only compare
+            // definite answers.
+            if a != SolveOutcome::Unknown && b != SolveOutcome::Unknown {
+                prop_assert_eq!(
+                    a.is_sat(), b.is_sat(),
+                    "session diverged from plain solve at j={}: {:?} vs {:?}", j, a, b
+                );
+            }
+            if let SolveOutcome::Sat(m) = &a {
+                for c in &query {
+                    prop_assert!(
+                        c.satisfied_by(|v| m.get(&v).copied()),
+                        "session model {:?} violates {}", m, c
+                    );
+                }
+            }
+        }
+    }
+
+    /// Pushing then popping restores the session exactly: a query after a
+    /// push/pop pair answers the same as before it.
+    #[test]
+    fn session_pop_undoes_push(
+        path in proptest::collection::vec(constraint(), 1..5),
+        extra in constraint(),
+        hint in proptest::collection::vec(-30i64..=30, NUM_VARS as usize),
+    ) {
+        let solver = Solver::default();
+        let mut sess = solver.session();
+        for c in &path {
+            sess.push(c);
+        }
+        let lookup = |v: Var| Some(hint[v.index()]);
+        let j = path.len() - 1;
+        let negated = path[j].negated();
+        let before = sess.solve_query(j, &negated, lookup);
+        sess.push(&extra);
+        sess.pop();
+        let after = sess.solve_query(j, &negated, lookup);
+        prop_assert_eq!(before, after);
     }
 }

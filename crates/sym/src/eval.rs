@@ -245,7 +245,9 @@ mod tests {
     /// State: inputs x at 100 (=7) and y at 101 (=9); plain cell 102 (=5).
     fn setup() -> (FakeMem, SymMemory, Var, Var) {
         let mem = FakeMem {
-            cells: [(100, 7), (101, 9), (102, 5), (103, 101)].into_iter().collect(),
+            cells: [(100, 7), (101, 9), (102, 5), (103, 101)]
+                .into_iter()
+                .collect(),
         };
         let mut sym = SymMemory::new();
         let x = sym.bind_input(100);
@@ -488,7 +490,15 @@ mod tests {
     #[test]
     fn symbolic_generalizes_concrete() {
         let (mem, sym, x, y) = setup();
-        let inputs = move |v: Var| Some(if v == x { 7 } else if v == y { 9 } else { 0 });
+        let inputs = move |v: Var| {
+            Some(if v == x {
+                7
+            } else if v == y {
+                9
+            } else {
+                0
+            })
+        };
         let exprs = vec![
             load(100),
             Expr::binary(BinOp::Add, load(100), load(101)),

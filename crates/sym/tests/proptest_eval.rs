@@ -4,8 +4,8 @@
 //! concrete value, no matter how many fallbacks occurred.
 
 use dart_ram::{eval_concrete, BinOp, Expr, Fault, MemView, UnOp};
-use dart_sym::{eval_predicate, eval_symbolic, Completeness, SymMemory};
 use dart_solver::Var;
+use dart_sym::{eval_predicate, eval_symbolic, Completeness, SymMemory};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -58,14 +58,12 @@ fn unop() -> impl Strategy<Value = UnOp> {
 fn ram_expr() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![
         (-50i64..=50).prop_map(Expr::Const),
-        (0..NUM_INPUTS as i64)
-            .prop_map(|i| Expr::load(Expr::Const(INPUT_BASE + i))),
+        (0..NUM_INPUTS as i64).prop_map(|i| Expr::load(Expr::Const(INPUT_BASE + i))),
     ];
     leaf.prop_recursive(4, 24, 2, |inner| {
         prop_oneof![
             (unop(), inner.clone()).prop_map(|(op, e)| Expr::unary(op, e)),
-            (binop(), inner.clone(), inner.clone())
-                .prop_map(|(op, l, r)| Expr::binary(op, l, r)),
+            (binop(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| Expr::binary(op, l, r)),
         ]
     })
 }

@@ -81,10 +81,7 @@ mod tests {
             .find(|(n, _)| n == "size")
             .map(|&(_, off)| off)
             .unwrap();
-        assert_eq!(
-            m.mem().load(dart_ram::GLOBAL_BASE + size_off as i64),
-            Ok(4)
-        );
+        assert_eq!(m.mem().load(dart_ram::GLOBAL_BASE + size_off as i64), Ok(4));
     }
 
     #[test]

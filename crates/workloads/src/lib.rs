@@ -34,9 +34,7 @@ pub mod paper;
 pub mod sip_uri;
 
 pub use bst::BST_INSERT;
-pub use classics::{
-    BOUNDED_STACK, LOCK_FSM, TCAS_LITE, TRIANGLE_BUGGY, TRIANGLE_FIXED,
-};
+pub use classics::{BOUNDED_STACK, LOCK_FSM, TCAS_LITE, TRIANGLE_BUGGY, TRIANGLE_FIXED};
 pub use needham_schroeder::{needham_schroeder, Intruder, LoweFix};
 pub use osip::{generate as generate_osip, OsipConfig, OsipFn, OsipLibrary, Planted};
 pub use paper::{AC_CONTROLLER, EXAMPLE_2_4, FOOBAR, PAPER_H, STRUCT_CAST};

@@ -107,7 +107,7 @@ pub fn generate(config: OsipConfig) -> OsipLibrary {
     let mut src = String::new();
 
     // A few message-like structs with 2..=5 int fields.
-    let num_structs = 4;
+    let num_structs: usize = 4;
     let mut field_counts = Vec::new();
     for s in 0..num_structs {
         let nf = rng.gen_range(2..=5);
@@ -264,8 +264,8 @@ mod tests {
             num_functions: 60,
             seed: 7,
         });
-        let compiled = compile(&lib.source)
-            .unwrap_or_else(|e| panic!("generated library must compile: {e}"));
+        let compiled =
+            compile(&lib.source).unwrap_or_else(|e| panic!("generated library must compile: {e}"));
         for f in &lib.functions {
             assert!(
                 compiled.fn_sig(&f.name).is_some(),

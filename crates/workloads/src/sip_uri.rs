@@ -129,11 +129,26 @@ mod tests {
 
     #[test]
     fn filters_reject_bad_input() {
-        assert_eq!(call(&[9, 1, 1, 0, 1]), StepOutcome::Finished { value: Some(-400) });
-        assert_eq!(call(&[1, 0, 1, 0, 1]), StepOutcome::Finished { value: Some(-401) });
-        assert_eq!(call(&[1, 1, 999, 0, 1]), StepOutcome::Finished { value: Some(-403) });
-        assert_eq!(call(&[1, 1, 1, 80, 1]), StepOutcome::Finished { value: Some(-404) });
-        assert_eq!(call(&[1, 1, 1, 0, 3]), StepOutcome::Finished { value: Some(-406) });
+        assert_eq!(
+            call(&[9, 1, 1, 0, 1]),
+            StepOutcome::Finished { value: Some(-400) }
+        );
+        assert_eq!(
+            call(&[1, 0, 1, 0, 1]),
+            StepOutcome::Finished { value: Some(-401) }
+        );
+        assert_eq!(
+            call(&[1, 1, 999, 0, 1]),
+            StepOutcome::Finished { value: Some(-403) }
+        );
+        assert_eq!(
+            call(&[1, 1, 1, 80, 1]),
+            StepOutcome::Finished { value: Some(-404) }
+        );
+        assert_eq!(
+            call(&[1, 1, 1, 0, 3]),
+            StepOutcome::Finished { value: Some(-406) }
+        );
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //!   --max-steps N      per-run step budget (non-termination)   [2000000]
 //!   --interface        print the extracted interface and exit
 //!   --print-ir         print the compiled RAM program and exit
+//!   --stats            print detailed solver/cache statistics
+//!   --no-cache         disable the solver query cache (outcomes unchanged)
 //!   --save-bug FILE    write the first bug's input vector to FILE
 //!   --replay FILE      replay a saved input vector instead of searching
 //!   --trace            with --replay: print every executed statement
@@ -43,12 +45,14 @@ struct Options {
     save_bug: Option<String>,
     replay: Option<String>,
     trace: bool,
+    stats: bool,
+    no_cache: bool,
 }
 
 fn usage() -> &'static str {
     "usage: dartc <file.mc> --toplevel NAME [--depth N] [--runs N] [--seed N] \
      [--mode directed|random|symbolic|generational] [--strategy dfs|random-branch] \
-     [--all-bugs] [--max-steps N] [--interface] [--print-ir]"
+     [--all-bugs] [--max-steps N] [--stats] [--no-cache] [--interface] [--print-ir]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -67,10 +71,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         save_bug: None,
         replay: None,
         trace: false,
+        stats: false,
+        no_cache: false,
     };
     let mut it = args.iter().peekable();
     let value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
-                     flag: &str|
+                 flag: &str|
      -> Result<String, String> {
         it.next()
             .cloned()
@@ -119,11 +125,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--save-bug" => opts.save_bug = Some(value(&mut it, "--save-bug")?),
             "--replay" => opts.replay = Some(value(&mut it, "--replay")?),
             "--trace" => opts.trace = true,
+            "--stats" => opts.stats = true,
+            "--no-cache" => opts.no_cache = true,
             "--interface" => opts.interface_only = true,
             "--print-ir" => opts.print_ir = true,
-            other if other.starts_with("--") => {
-                return Err(format!("unknown option `{other}`"))
-            }
+            other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
             file => {
                 if !opts.file.is_empty() {
                     return Err("multiple input files given".into());
@@ -242,11 +248,26 @@ fn main() -> ExitCode {
             max_steps: opts.max_steps,
             ..dart_ram::MachineConfig::default()
         },
+        solver_cache: !opts.no_cache,
         ..DartConfig::default()
     };
     let session = Dart::new(&compiled, &toplevel, config).expect("toplevel checked above");
     let report = session.run();
     println!("\n{report}");
+    if opts.stats {
+        let s = &report.solver;
+        let queries = s.sat + s.unsat + s.unknown;
+        println!("\nsolver statistics:");
+        println!("  queries            {queries}");
+        println!("  sat                {}", s.sat);
+        println!("  unsat              {}", s.unsat);
+        println!("  unknown            {}", s.unknown);
+        println!("  cache hits         {}", s.cache_hits);
+        println!("  model reuse        {}", s.cache_model_reuse);
+        println!("  split solves       {}", s.split_solves);
+        println!("  exec time          {:?}", report.exec_time);
+        println!("  solve time         {:?}", report.solve_time);
+    }
     for bug in &report.bugs {
         println!("\n{bug}");
     }
@@ -285,9 +306,26 @@ mod tests {
     #[test]
     fn full_flag_set() {
         let o = parse(&[
-            "p.mc", "--toplevel", "f", "--depth", "3", "--runs", "42", "--seed", "9",
-            "--mode", "generational", "--strategy", "random-branch", "--all-bugs",
-            "--max-steps", "1000", "--save-bug", "bug.txt", "--replay", "in.txt",
+            "p.mc",
+            "--toplevel",
+            "f",
+            "--depth",
+            "3",
+            "--runs",
+            "42",
+            "--seed",
+            "9",
+            "--mode",
+            "generational",
+            "--strategy",
+            "random-branch",
+            "--all-bugs",
+            "--max-steps",
+            "1000",
+            "--save-bug",
+            "bug.txt",
+            "--replay",
+            "in.txt",
         ])
         .unwrap();
         assert_eq!(o.toplevel.as_deref(), Some("f"));
@@ -300,6 +338,16 @@ mod tests {
         assert_eq!(o.max_steps, 1000);
         assert_eq!(o.save_bug.as_deref(), Some("bug.txt"));
         assert_eq!(o.replay.as_deref(), Some("in.txt"));
+    }
+
+    #[test]
+    fn stats_and_cache_flags() {
+        let o = parse(&["p.mc", "--stats", "--no-cache"]).unwrap();
+        assert!(o.stats);
+        assert!(o.no_cache);
+        let o = parse(&["p.mc"]).unwrap();
+        assert!(!o.stats);
+        assert!(!o.no_cache);
     }
 
     #[test]

@@ -3,9 +3,7 @@
 //! usually provides low code coverage").
 
 use dart::{Dart, DartConfig, EngineMode, Outcome};
-use dart_workloads::{
-    BOUNDED_STACK, LOCK_FSM, TCAS_LITE, TRIANGLE_BUGGY, TRIANGLE_FIXED,
-};
+use dart_workloads::{BOUNDED_STACK, LOCK_FSM, TCAS_LITE, TRIANGLE_BUGGY, TRIANGLE_FIXED};
 
 fn directed(depth: u32, max_runs: u64, seed: u64) -> DartConfig {
     DartConfig {
@@ -19,7 +17,9 @@ fn directed(depth: u32, max_runs: u64, seed: u64) -> DartConfig {
 #[test]
 fn triangle_bug_found_and_fix_verified() {
     let buggy = dart_minic::compile(TRIANGLE_BUGGY).unwrap();
-    let report = Dart::new(&buggy, "check", directed(1, 5000, 1)).unwrap().run();
+    let report = Dart::new(&buggy, "check", directed(1, 5000, 1))
+        .unwrap()
+        .run();
     let bug = report.bug().expect("missing isosceles case found");
     let vals: Vec<i64> = bug.inputs.iter().map(|s| s.value).collect();
     assert_eq!(vals[0], vals[2], "witness must be an a == c triangle");

@@ -38,11 +38,18 @@ fn tempdir() -> std::path::PathBuf {
 fn finds_bug_and_exits_one() {
     let dir = tempdir();
     let demo = write_demo(&dir);
-    let out = dartc().arg(&demo).args(["--toplevel", "h"]).output().unwrap();
+    let out = dartc()
+        .arg(&demo)
+        .args(["--toplevel", "h"])
+        .output()
+        .unwrap();
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert_eq!(out.status.code(), Some(1), "bug found => exit 1\n{stdout}");
     assert!(stdout.contains("BUG FOUND"), "{stdout}");
-    assert!(stdout.contains("toplevel: h"), "interface printed\n{stdout}");
+    assert!(
+        stdout.contains("toplevel: h"),
+        "interface printed\n{stdout}"
+    );
     assert!(stdout.contains("x0 = 10"), "witness printed\n{stdout}");
 }
 
@@ -99,7 +106,11 @@ fn compile_errors_exit_two() {
     let dir = tempdir();
     let path = dir.join("broken.mc");
     std::fs::write(&path, "int f( { }").unwrap();
-    let out = dartc().arg(&path).args(["--toplevel", "f"]).output().unwrap();
+    let out = dartc()
+        .arg(&path)
+        .args(["--toplevel", "f"])
+        .output()
+        .unwrap();
     assert_eq!(out.status.code(), Some(2));
     assert!(!String::from_utf8_lossy(&out.stderr).is_empty());
 }

@@ -95,7 +95,9 @@ fn osip_functions_crash_rate_in_paper_band() {
     let mut crashed = 0;
     let mut expected = 0;
     for f in &lib.functions {
-        let report = Dart::new(&compiled, &f.name, directed(1, 60, 3)).unwrap().run();
+        let report = Dart::new(&compiled, &f.name, directed(1, 60, 3))
+            .unwrap()
+            .run();
         crashed += u32::from(report.found_bug());
         expected += u32::from(f.planted.expected_found());
         if f.planted == Planted::UnguardedNullDeref {

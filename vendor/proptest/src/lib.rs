@@ -1,0 +1,629 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. This crate implements the subset of the proptest 1.x API used by
+//! the DART reproduction: the [`Strategy`] trait with `prop_map`,
+//! `prop_recursive` and `boxed`; range, tuple, [`Just`] and weighted-union
+//! strategies; [`collection::vec`] and [`option::of`]; `any::<T>()`; and the
+//! `proptest!`, `prop_oneof!` and `prop_assert*!` macros.
+//!
+//! Differences from the real crate, acceptable for this workspace's tests:
+//!
+//! * cases are generated from a fixed deterministic seed (no persistence,
+//!   `proptest-regressions` files are ignored);
+//! * there is **no shrinking** — a failing case reports its values via the
+//!   assertion message and the case index.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// Deterministic test-case RNG (xoshiro256**, same algorithm as the
+/// workspace's vendored `rand` stand-in).
+pub mod test_runner {
+    /// The generator handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// A fixed-seed generator; every `proptest!` test starts here, so
+        /// runs are reproducible.
+        pub fn deterministic() -> TestRng {
+            TestRng::from_seed(0x9E3779B97F4A7C15)
+        }
+
+        /// Seeds via SplitMix64 expansion.
+        pub fn from_seed(seed: u64) -> TestRng {
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            TestRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+
+        /// The next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform draw from `[0, n)`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "below(0)");
+            self.next_u64() % n
+        }
+
+        /// Uniform draw from the inclusive `i128` range `[lo, hi]`.
+        pub fn in_range_i128(&mut self, lo: i128, hi: i128) -> i128 {
+            assert!(lo <= hi, "empty range");
+            let width = (hi - lo) as u128 + 1;
+            let draw = ((self.next_u64() as u128) << 64 | self.next_u64() as u128) % width;
+            lo + draw as i128
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Per-test configuration (subset of the real `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was rejected (does not count as a failure).
+    Reject(String),
+    /// The case failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejection (filtered-out case) with the given message.
+    pub fn reject(reason: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "case failed: {r}"),
+        }
+    }
+}
+
+/// Outcome of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Strategy combinators and implementations.
+pub mod strategy {
+    use super::*;
+
+    /// A generator of values of one type (no shrinking in this stand-in).
+    pub trait Strategy: 'static {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T + 'static,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds recursive values: `f` receives a strategy for the
+        /// *smaller* structure and returns the strategy for one more level.
+        /// `depth` bounds the nesting; the extra size parameters of the real
+        /// API are accepted and ignored.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value>,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2 + 'static,
+        {
+            let leaf = self.boxed();
+            let mut level = leaf.clone();
+            for _ in 0..depth {
+                let branch = f(level).boxed();
+                let fallback = leaf.clone();
+                level = BoxedStrategy::from_fn(move |rng| {
+                    // Recurse three times out of four, like the real
+                    // crate's default depth-weighted choice.
+                    if rng.below(4) < 3 {
+                        branch.gen_value(rng)
+                    } else {
+                        fallback.gen_value(rng)
+                    }
+                });
+            }
+            level
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized,
+            Self::Value: 'static,
+        {
+            BoxedStrategy::from_fn(move |rng| self.gen_value(rng))
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T> {
+        gen: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                gen: Rc::clone(&self.gen),
+            }
+        }
+    }
+
+    impl<T: 'static> BoxedStrategy<T> {
+        /// Wraps a generation closure.
+        pub fn from_fn(f: impl Fn(&mut TestRng) -> T + 'static) -> BoxedStrategy<T> {
+            BoxedStrategy { gen: Rc::new(f) }
+        }
+    }
+
+    impl<T: 'static> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            (self.gen)(rng)
+        }
+        fn boxed(self) -> BoxedStrategy<T> {
+            self
+        }
+    }
+
+    /// Always yields a clone of its value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone + 'static> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Mapped strategy (see [`Strategy::prop_map`]).
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, T> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T + 'static,
+        T: 'static,
+    {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    /// Weighted union of same-valued strategies (built by `prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T: 'static> Union<T> {
+        /// Builds a union; weights must not all be zero.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+            let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+            assert!(total > 0, "prop_oneof! needs a positive total weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<T: 'static> Strategy for Union<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            for (w, arm) in &self.arms {
+                if pick < *w as u64 {
+                    return arm.gen_value(rng);
+                }
+                pick -= *w as u64;
+            }
+            unreachable!("weights exhausted")
+        }
+    }
+
+    macro_rules! impl_int_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    rng.in_range_i128(self.start as i128, self.end as i128 - 1) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    rng.in_range_i128(*self.start() as i128, *self.end() as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategies!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.gen_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(S0 0);
+    impl_tuple_strategy!(S0 0, S1 1);
+    impl_tuple_strategy!(S0 0, S1 1, S2 2);
+    impl_tuple_strategy!(S0 0, S1 1, S2 2, S3 3);
+    impl_tuple_strategy!(S0 0, S1 1, S2 2, S3 3, S4 4);
+    impl_tuple_strategy!(S0 0, S1 1, S2 2, S3 3, S4 4, S5 5);
+
+    /// Types with a canonical "any value" strategy (subset of the real
+    /// `Arbitrary`).
+    pub trait Arbitrary: Sized + 'static {
+        /// Strategy yielding arbitrary values of the type.
+        fn arbitrary() -> BoxedStrategy<Self>;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary() -> BoxedStrategy<bool> {
+            BoxedStrategy::from_fn(|rng| rng.next_u64() & 1 == 1)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary() -> BoxedStrategy<$t> {
+                    BoxedStrategy::from_fn(|rng| rng.next_u64() as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+    /// `any::<T>()` — arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+        T::arbitrary()
+    }
+}
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::strategy::{BoxedStrategy, Strategy};
+
+    /// A length specification: fixed or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// `vec(element, size)` — vectors whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S::Value: 'static,
+    {
+        let size = size.into();
+        BoxedStrategy::from_fn(move |rng| {
+            let len = if size.lo == size.hi {
+                size.lo
+            } else {
+                size.lo + rng.below((size.hi - size.lo + 1) as u64) as usize
+            };
+            (0..len).map(|_| element.gen_value(rng)).collect()
+        })
+    }
+}
+
+/// Option strategies (subset of `proptest::option`).
+pub mod option {
+    use super::strategy::{BoxedStrategy, Strategy};
+
+    /// `of(inner)` — `Some` three times out of four, like the real crate's
+    /// default probability.
+    pub fn of<S: Strategy>(inner: S) -> BoxedStrategy<Option<S::Value>>
+    where
+        S::Value: 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| {
+            if rng.below(4) < 3 {
+                Some(inner.gen_value(rng))
+            } else {
+                None
+            }
+        })
+    }
+}
+
+/// The glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::TestRng;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, ProptestConfig,
+        TestCaseError, TestCaseResult,
+    };
+    /// Alias so `prop::collection::vec(..)`-style paths also work.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::strategy;
+    }
+}
+
+/// Weighted / unweighted choice among strategies of one value type.
+/// Arms are `strategy` or `weight => strategy` and may be mixed freely.
+#[macro_export]
+macro_rules! prop_oneof {
+    (@arms [$($acc:tt)*] $w:expr => $s:expr, $($rest:tt)+) => {
+        $crate::prop_oneof!(@arms
+            [$($acc)* (($w) as u32, $crate::strategy::Strategy::boxed($s)),]
+            $($rest)+)
+    };
+    (@arms [$($acc:tt)*] $w:expr => $s:expr $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($acc)* (($w) as u32, $crate::strategy::Strategy::boxed($s)),
+        ])
+    };
+    (@arms [$($acc:tt)*] $s:expr, $($rest:tt)+) => {
+        $crate::prop_oneof!(@arms
+            [$($acc)* (1u32, $crate::strategy::Strategy::boxed($s)),]
+            $($rest)+)
+    };
+    (@arms [$($acc:tt)*] $s:expr $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($acc)* (1u32, $crate::strategy::Strategy::boxed($s)),
+        ])
+    };
+    ($($arms:tt)+) => { $crate::prop_oneof!(@arms [] $($arms)+) };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not the
+/// whole process) with a formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {:?} == {:?}: {}",
+            l,
+            r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts two values differ inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {:?} != {:?}: {}",
+            l,
+            r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            #[allow(unused_imports)]
+            use $crate::strategy::Strategy as _;
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic();
+            for case in 0..config.cases {
+                let ($($arg,)+) = ($(($strat).gen_value(&mut rng),)+);
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!("proptest case {case}/{} failed: {msg}", config.cases);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = TestRng::deterministic();
+        let s = (0i64..10, -5i64..=5);
+        for _ in 0..200 {
+            let (a, b) = s.gen_value(&mut rng);
+            assert!((0..10).contains(&a));
+            assert!((-5..=5).contains(&b));
+        }
+    }
+
+    #[test]
+    fn oneof_respects_arms() {
+        let mut rng = TestRng::deterministic();
+        let s = prop_oneof![Just(1u32), Just(2u32), 3 => Just(7u32)];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(s.gen_value(&mut rng));
+        }
+        assert_eq!(seen, [1u32, 2, 7].into_iter().collect());
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = (0i64..10).prop_map(Tree::Leaf);
+        let tree = leaf.prop_recursive(4, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = TestRng::deterministic();
+        for _ in 0..100 {
+            assert!(depth(&tree.gen_value(&mut rng)) <= 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn the_macro_itself_works(v in crate::collection::vec(0i64..100, 1..8)) {
+            prop_assert!(!v.is_empty());
+            prop_assert!(v.iter().all(|&x| (0..100).contains(&x)), "out of range: {v:?}");
+        }
+    }
+}
