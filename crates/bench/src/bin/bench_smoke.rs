@@ -1,0 +1,291 @@
+//! `bench_smoke` — warn-only regression smoke check for the solver's two
+//! headline optimisations (query cache, incremental prefix sessions).
+//!
+//! The vendored criterion stand-in prints no machine-readable medians, so
+//! this binary re-runs the same workload shapes as `benches/solver.rs`
+//! (`query_cache/*`, `prefix_session/*`), computes a median
+//! nanoseconds-per-iteration for each, and compares against a committed
+//! baseline JSON. Regressions are *reported*, never fatal: timing on
+//! shared CI runners is too noisy to gate merges on, so the check always
+//! exits 0 and CI marks the job `continue-on-error`.
+//!
+//! ```text
+//! bench_smoke [--baseline PATH] [--tolerance PCT] [--write-baseline]
+//! ```
+//!
+//! `--write-baseline` overwrites PATH (default `crates/bench/baseline.json`)
+//! with this machine's medians; run it when a deliberate perf change shifts
+//! the numbers.
+
+use dart_solver::{Constraint, LinExpr, QueryCache, RelOp, Solver, Var};
+use std::time::Instant;
+
+fn v(i: u32) -> LinExpr {
+    LinExpr::var(Var(i))
+}
+
+/// Same shape as `benches/solver.rs::triangle_path`: deepest flip asks for
+/// `x0 != x2` under a chain forcing `x0 == x2` — the verdict-cache win.
+fn triangle_path() -> Vec<Constraint> {
+    vec![
+        Constraint::new(v(0), RelOp::Gt),
+        Constraint::new(v(1), RelOp::Gt),
+        Constraint::new(v(2), RelOp::Gt),
+        Constraint::new(v(0).add(&v(1)).sub(&v(2)), RelOp::Gt),
+        Constraint::new(v(1).add(&v(2)).sub(&v(0)), RelOp::Gt),
+        Constraint::new(v(0).sub(&v(1)), RelOp::Eq),
+        Constraint::new(v(1).sub(&v(2)), RelOp::Eq),
+        Constraint::new(v(0).sub(&v(2)), RelOp::Eq),
+    ]
+}
+
+/// Same shape as `benches/solver.rs::equality_chain(12)`.
+fn equality_chain(len: u32) -> Vec<Constraint> {
+    let mut cs = vec![Constraint::new(v(0).offset(-1001), RelOp::Eq)];
+    for i in 1..len {
+        cs.push(Constraint::new(v(i).sub(&v(i - 1)).offset(-1), RelOp::Eq));
+    }
+    cs
+}
+
+fn negated_prefix_pass(cache: &mut QueryCache, solver: &Solver, path: &[Constraint]) -> usize {
+    let mut sat = 0;
+    for j in 0..path.len() {
+        let mut q: Vec<Constraint> = path[..j].to_vec();
+        q.push(path[j].negated());
+        if cache.solve_with_hint(solver, &q, |_| Some(-1)).is_sat() {
+            sat += 1;
+        }
+    }
+    sat
+}
+
+fn query_cache_workload(enabled: bool) -> usize {
+    let solver = Solver::default();
+    let path = triangle_path();
+    let mut cache = QueryCache::new(enabled);
+    let mut sat = 0;
+    for _ in 0..5 {
+        sat += negated_prefix_pass(&mut cache, &solver, &path);
+    }
+    sat
+}
+
+fn prefix_plain_workload() -> usize {
+    let solver = Solver::default();
+    let path = equality_chain(12);
+    let mut sat = 0;
+    for j in 0..path.len() {
+        let mut q: Vec<Constraint> = path[..j].to_vec();
+        q.push(path[j].negated());
+        if solver.solve_with_hint(&q, |_| Some(-1)).is_sat() {
+            sat += 1;
+        }
+    }
+    sat
+}
+
+fn prefix_session_workload() -> usize {
+    let solver = Solver::default();
+    let path = equality_chain(12);
+    let mut sess = solver.session();
+    for cs in path.iter() {
+        sess.push(cs);
+    }
+    let mut sat = 0;
+    for (j, c) in path.iter().enumerate() {
+        if sess.solve_query(j, &c.negated(), |_| Some(-1)).is_sat() {
+            sat += 1;
+        }
+    }
+    sat
+}
+
+/// Median nanoseconds per iteration: calibrates a batch size that takes a
+/// few milliseconds, then medians over `SAMPLES` batches.
+fn measure(mut work: impl FnMut() -> usize) -> u64 {
+    const SAMPLES: usize = 15;
+    // Warm-up + calibration: grow the batch until it costs >= 2 ms.
+    let mut iters: u64 = 1;
+    loop {
+        let t = Instant::now();
+        let mut sink = 0usize;
+        for _ in 0..iters {
+            sink = sink.wrapping_add(work());
+        }
+        std::hint::black_box(sink);
+        if t.elapsed().as_millis() >= 2 || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut samples: Vec<u64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            let mut sink = 0usize;
+            for _ in 0..iters {
+                sink = sink.wrapping_add(work());
+            }
+            std::hint::black_box(sink);
+            t.elapsed().as_nanos() as u64 / iters
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[SAMPLES / 2]
+}
+
+/// Parses a flat `{"name": integer, ...}` JSON object — the only shape the
+/// baseline file uses, so no JSON library is needed.
+fn parse_baseline(text: &str) -> Result<Vec<(String, u64)>, String> {
+    let body = text
+        .trim()
+        .strip_prefix('{')
+        .and_then(|t| t.strip_suffix('}'))
+        .ok_or("baseline is not a JSON object")?;
+    let mut entries = Vec::new();
+    for part in body.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let (key, value) = part
+            .split_once(':')
+            .ok_or_else(|| format!("malformed entry `{part}`"))?;
+        let key = key
+            .trim()
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| format!("unquoted key in `{part}`"))?;
+        let value: u64 = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("non-integer value in `{part}`"))?;
+        entries.push((key.to_string(), value));
+    }
+    Ok(entries)
+}
+
+fn render_baseline(entries: &[(String, u64)]) -> String {
+    let body: Vec<String> = entries
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v}"))
+        .collect();
+    format!("{{\n{}\n}}\n", body.join(",\n"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let baseline_path =
+        flag_value("--baseline").unwrap_or_else(|| "crates/bench/baseline.json".to_string());
+    let tolerance_pct: u64 = flag_value("--tolerance")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50);
+    let write_baseline = args.iter().any(|a| a == "--write-baseline");
+
+    let current: Vec<(String, u64)> = vec![
+        (
+            "query_cache/negated_prefix_cache_off".to_string(),
+            measure(|| query_cache_workload(false)),
+        ),
+        (
+            "query_cache/negated_prefix_cache_on".to_string(),
+            measure(|| query_cache_workload(true)),
+        ),
+        (
+            "prefix_session/plain_per_query".to_string(),
+            measure(prefix_plain_workload),
+        ),
+        (
+            "prefix_session/incremental_session".to_string(),
+            measure(prefix_session_workload),
+        ),
+    ];
+
+    if write_baseline {
+        std::fs::write(&baseline_path, render_baseline(&current))
+            .unwrap_or_else(|e| panic!("cannot write {baseline_path}: {e}"));
+        println!("baseline written to {baseline_path}");
+        for (name, ns) in &current {
+            println!("  {name}: {ns} ns/iter");
+        }
+        return;
+    }
+
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match parse_baseline(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                println!("WARN: {baseline_path}: {e} — regenerate with --write-baseline");
+                return;
+            }
+        },
+        Err(e) => {
+            println!("WARN: cannot read {baseline_path}: {e} — run with --write-baseline first");
+            return;
+        }
+    };
+
+    println!(
+        "bench smoke vs {baseline_path} (warn at +{tolerance_pct}%; informational only)\n\
+         {:<44} {:>12} {:>12} {:>8}",
+        "benchmark", "baseline", "current", "delta"
+    );
+    let mut regressions = 0usize;
+    for (name, ns) in &current {
+        let Some((_, base)) = baseline.iter().find(|(k, _)| k == name) else {
+            println!("{name:<44} {:>12} {ns:>12} {:>8}", "(missing)", "-");
+            continue;
+        };
+        let delta_pct = (*ns as f64 / *base as f64 - 1.0) * 100.0;
+        let flag = if *ns > base.saturating_mul(100 + tolerance_pct) / 100 {
+            regressions += 1;
+            "  WARN"
+        } else {
+            ""
+        };
+        println!("{name:<44} {base:>10}ns {ns:>10}ns {delta_pct:>+7.1}%{flag}");
+    }
+    if regressions > 0 {
+        println!(
+            "\nWARN: {regressions} benchmark(s) regressed more than {tolerance_pct}% — \
+             investigate, or refresh the baseline with --write-baseline if intentional"
+        );
+    } else {
+        println!("\nall benchmarks within {tolerance_pct}% of baseline");
+    }
+    // Warn-only by design: timing on shared runners must not gate merges.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_roundtrips() {
+        let entries = vec![("a/b".to_string(), 123u64), ("c".to_string(), 9)];
+        let text = render_baseline(&entries);
+        assert_eq!(parse_baseline(&text).unwrap(), entries);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_baseline("[1, 2]").is_err());
+        assert!(parse_baseline("{\"a\": x}").is_err());
+        assert!(parse_baseline("{a: 1}").is_err());
+        assert!(parse_baseline("{}").unwrap().is_empty());
+    }
+
+    #[test]
+    fn workloads_return_expected_sat_counts() {
+        // The workload shapes must stay solvable the way the real benches
+        // assume; a change in sat counts means the benchmark moved.
+        assert_eq!(query_cache_workload(false), query_cache_workload(true));
+        assert_eq!(prefix_plain_workload(), prefix_session_workload());
+    }
+}

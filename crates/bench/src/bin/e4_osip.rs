@@ -53,7 +53,9 @@ fn main() {
     )
     .expect("all sweep toplevels come from the generated library");
     for (f, result) in lib.functions.iter().zip(&results) {
-        let report = &result.report;
+        let report = result
+            .report()
+            .expect("no faults are injected in a plain benchmark sweep");
         if report.found_bug() {
             crashed += 1;
             runs_to_crash.push(report.runs);

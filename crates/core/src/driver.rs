@@ -19,9 +19,10 @@
 //! * [`EngineMode::Generational`] — the SAGE-style frontier search
 //!   (`run_generational`), a sound non-DFS exploration order.
 
-use crate::exec::{run_once, RunResult, RunTermination};
+use crate::exec::{run_once_with_faults, RunResult, RunTermination};
 use crate::report::{Bug, BugKind, Outcome, SessionReport};
-use crate::search::{solve_next, SolveStats, Strategy};
+use crate::search::{solve_next, Strategy};
+use crate::supervise::FaultState;
 use crate::tape::InputTape;
 use dart_minic::{CompiledProgram, FnSig};
 use dart_ram::MachineConfig;
@@ -81,6 +82,24 @@ pub struct DartConfig {
     /// default). Turning it off changes no session outcome — only how
     /// often the solver actually runs; see `SolveStats::cache_hits`.
     pub solver_cache: bool,
+    /// Wall-clock budget for the whole session. When it expires the
+    /// session stops at the next run boundary with
+    /// [`Outcome::DeadlineExceeded`] — partial results intact, never a
+    /// completeness claim. `None` (the default) never expires.
+    pub deadline: Option<std::time::Duration>,
+    /// Report allocation-budget exhaustion
+    /// ([`dart_ram::ResourceBudget::max_alloc_words`]) as an
+    /// [`crate::BugKind::OutOfMemory`] bug; otherwise it is recorded as
+    /// incompleteness, like a solver give-up.
+    pub oom_is_bug: bool,
+    /// How many times [`crate::sweep::sweep`] re-runs a session whose
+    /// engine faulted (panicked), each retry with a reseeded RNG.
+    pub max_retries: u32,
+    /// Deterministic fault-injection plan, consulted by the driver and
+    /// the sweep (tests and the `fault-injection` feature only). The
+    /// default plan injects nothing.
+    #[cfg(any(test, feature = "fault-injection"))]
+    pub faults: crate::supervise::FaultPlan,
 }
 
 impl Default for DartConfig {
@@ -98,6 +117,11 @@ impl Default for DartConfig {
             max_ptr_depth: 32,
             record_paths: false,
             solver_cache: true,
+            deadline: None,
+            oom_is_bug: true,
+            max_retries: 1,
+            #[cfg(any(test, feature = "fault-injection"))]
+            faults: crate::supervise::FaultPlan::default(),
         }
     }
 }
@@ -107,6 +131,9 @@ impl Default for DartConfig {
 pub enum DartError {
     /// The requested toplevel function is not defined in the program.
     UnknownToplevel(String),
+    /// A configuration value makes the request unrunnable (e.g. a
+    /// zero-thread sweep).
+    InvalidConfig(String),
 }
 
 impl fmt::Display for DartError {
@@ -115,6 +142,7 @@ impl fmt::Display for DartError {
             DartError::UnknownToplevel(name) => {
                 write!(f, "toplevel function `{name}` is not defined")
             }
+            DartError::InvalidConfig(reason) => write!(f, "invalid configuration: {reason}"),
         }
     }
 }
@@ -185,22 +213,11 @@ impl<'p> Dart<'p> {
         // session (restarts replay whole query families), never across.
         let mut cache = QueryCache::new(cfg.solver_cache);
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut faults = FaultState::for_config(cfg);
+        let deadline = cfg.deadline.map(|d| std::time::Instant::now() + d);
         let mut coverage: std::collections::HashSet<(usize, bool)> =
             std::collections::HashSet::new();
-        let mut report = SessionReport {
-            outcome: Outcome::Exhausted,
-            runs: 0,
-            bugs: Vec::new(),
-            divergences: 0,
-            restarts: 0,
-            solver: SolveStats::default(),
-            steps: 0,
-            branches_covered: 0,
-            branch_sites: self.branch_sites(),
-            paths: Vec::new(),
-            exec_time: std::time::Duration::ZERO,
-            solve_time: std::time::Duration::ZERO,
-        };
+        let mut report = SessionReport::new(self.branch_sites());
 
         // Outer loop: fresh random restart (the paper's `repeat`).
         'outer: loop {
@@ -222,9 +239,13 @@ impl<'p> Dart<'p> {
                     report.outcome = Outcome::Exhausted;
                     return report;
                 }
+                if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                    report.outcome = Outcome::DeadlineExceeded;
+                    return report;
+                }
                 let (tape, stack) = next_input;
                 let exec_started = std::time::Instant::now();
-                let result = run_once(
+                let result = run_once_with_faults(
                     self.compiled,
                     &self.sig,
                     cfg.depth,
@@ -232,6 +253,7 @@ impl<'p> Dart<'p> {
                     tape,
                     stack,
                     cfg.max_ptr_depth,
+                    &mut faults,
                 );
                 report.exec_time += exec_started.elapsed();
                 report.runs += 1;
@@ -281,6 +303,7 @@ impl<'p> Dart<'p> {
                     cfg.strategy,
                     &mut rng,
                     &mut report.solver,
+                    &mut faults,
                 );
                 report.solve_time += solve_started.elapsed();
                 if report.solver.unknown > unknown_before {
@@ -320,22 +343,11 @@ impl<'p> Dart<'p> {
         let solver = Solver::new(cfg.solver);
         let mut cache = QueryCache::new(cfg.solver_cache);
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut faults = FaultState::for_config(cfg);
+        let deadline = cfg.deadline.map(|d| std::time::Instant::now() + d);
         let mut coverage: std::collections::HashSet<(usize, bool)> =
             std::collections::HashSet::new();
-        let mut report = SessionReport {
-            outcome: Outcome::Exhausted,
-            runs: 0,
-            bugs: Vec::new(),
-            divergences: 0,
-            restarts: 0,
-            solver: SolveStats::default(),
-            steps: 0,
-            branches_covered: 0,
-            branch_sites: self.branch_sites(),
-            paths: Vec::new(),
-            exec_time: std::time::Duration::ZERO,
-            solve_time: std::time::Duration::ZERO,
-        };
+        let mut report = SessionReport::new(self.branch_sites());
 
         'outer: loop {
             report.restarts += 1;
@@ -349,8 +361,12 @@ impl<'p> Dart<'p> {
                     report.outcome = Outcome::Exhausted;
                     return report;
                 }
+                if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                    report.outcome = Outcome::DeadlineExceeded;
+                    return report;
+                }
                 let exec_started = std::time::Instant::now();
-                let result = run_once(
+                let result = run_once_with_faults(
                     self.compiled,
                     &self.sig,
                     cfg.depth,
@@ -358,6 +374,7 @@ impl<'p> Dart<'p> {
                     tape,
                     stack,
                     cfg.max_ptr_depth,
+                    &mut faults,
                 );
                 report.exec_time += exec_started.elapsed();
                 report.runs += 1;
@@ -389,6 +406,11 @@ impl<'p> Dart<'p> {
                 }
                 for j in bound..upper {
                     if result.stack[j].done {
+                        continue;
+                    }
+                    if faults.force_unknown_next_query() {
+                        report.solver.unknown += 1;
+                        session_complete = false;
                         continue;
                     }
                     let negated = result.path.constraints()[j].negated();
@@ -450,6 +472,13 @@ impl<'p> Dart<'p> {
                     return false;
                 }
                 BugKind::NonTermination
+            }
+            RunTermination::OutOfMemory => {
+                if !self.config.oom_is_bug {
+                    *session_complete = false;
+                    return false;
+                }
+                BugKind::OutOfMemory
             }
         };
         let bug = Bug {

@@ -13,6 +13,7 @@
 //! * allocations: the destination becomes concrete (a fresh address).
 
 use crate::run::RunCtx;
+use crate::supervise::FaultState;
 use crate::tape::InputTape;
 use dart_minic::{CompiledProgram, FnSig};
 use dart_ram::{Fault, Machine, MachineConfig, Statement, StepOutcome, GLOBAL_BASE};
@@ -31,6 +32,10 @@ pub enum RunTermination {
     Crash(Fault),
     /// The step budget ran out — potential non-termination.
     OutOfSteps,
+    /// The allocation budget ran out
+    /// ([`dart_ram::ResourceBudget::max_alloc_words`]), or an injected
+    /// fault denied an allocation.
+    OutOfMemory,
 }
 
 /// Everything one run produced.
@@ -81,6 +86,33 @@ pub fn run_once(
         predicted_stack,
         max_ptr_depth,
         None,
+        &mut FaultState::default(),
+    )
+}
+
+/// [`run_once`] consulting a session-wide fault-injection state (a no-op
+/// default state injects nothing; see [`crate::supervise::FaultState`]).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_once_with_faults(
+    compiled: &CompiledProgram,
+    sig: &FnSig,
+    depth: u32,
+    machine_config: MachineConfig,
+    tape: InputTape,
+    predicted_stack: Vec<BranchRecord>,
+    max_ptr_depth: u32,
+    faults: &mut FaultState,
+) -> RunResult {
+    run_once_impl(
+        compiled,
+        sig,
+        depth,
+        machine_config,
+        tape,
+        predicted_stack,
+        max_ptr_depth,
+        None,
+        faults,
     )
 }
 
@@ -106,6 +138,7 @@ pub fn run_once_traced(
         predicted_stack,
         max_ptr_depth,
         Some(trace),
+        &mut FaultState::default(),
     )
 }
 
@@ -119,6 +152,7 @@ fn run_once_impl(
     predicted_stack: Vec<BranchRecord>,
     max_ptr_depth: u32,
     mut trace: Option<&mut Vec<String>>,
+    faults: &mut FaultState,
 ) -> RunResult {
     let mut machine = Machine::new(&compiled.program, machine_config);
     for &(off, v) in &compiled.global_inits {
@@ -167,6 +201,14 @@ fn run_once_impl(
             }
             let planned = plan(&machine, &mut ctx);
             ctx.note_taint();
+            // Injected allocation denial: terminate exactly as the real
+            // allocation budget would, before the statement executes.
+            if matches!(machine.current_statement(), Some(Statement::Alloc { .. }))
+                && faults.deny_next_alloc()
+            {
+                termination = RunTermination::OutOfMemory;
+                break 'driver;
+            }
             let outcome = machine.step(&mut ctx);
             if let StepOutcome::Branched { taken } = outcome {
                 branches.push((pc, taken));
@@ -188,6 +230,10 @@ fn run_once_impl(
                 }
                 StepOutcome::OutOfSteps => {
                     termination = RunTermination::OutOfSteps;
+                    break 'driver;
+                }
+                StepOutcome::OutOfMemory => {
+                    termination = RunTermination::OutOfMemory;
                     break 'driver;
                 }
                 _ => {}

@@ -61,6 +61,7 @@ pub mod replay;
 pub mod report;
 pub mod run;
 pub mod search;
+pub mod supervise;
 pub mod sweep;
 pub mod tape;
 
@@ -70,5 +71,8 @@ pub use interface::{describe_interface, InterfaceReport};
 pub use replay::{parse_inputs, replay, replay_traced, serialize_inputs, ReplayParseError};
 pub use report::{Bug, BugKind, Outcome, SessionReport};
 pub use search::{SolveStats, Strategy};
-pub use sweep::{sweep, SweepResult};
+#[cfg(any(test, feature = "fault-injection"))]
+pub use supervise::FaultPlan;
+pub use supervise::FaultState;
+pub use sweep::{sweep, SweepOutcome, SweepResult};
 pub use tape::{InputKind, InputSlot, InputTape};

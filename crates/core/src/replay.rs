@@ -9,6 +9,7 @@
 //! Format: one slot per line, `kind value  # origin`, where kind is `int`
 //! or `ptr`. Lines starting with `#` and blank lines are ignored.
 
+use crate::driver::DartError;
 use crate::exec::{run_once, run_once_traced, RunTermination};
 use crate::tape::{InputKind, InputSlot, InputTape};
 use dart_minic::CompiledProgram;
@@ -90,9 +91,11 @@ pub fn parse_inputs(text: &str) -> Result<Vec<InputSlot>, ReplayParseError> {
 /// ended. Inputs beyond the recorded vector (if the program consumes more,
 /// e.g. after a code change) are drawn from `seed`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `toplevel` is not a defined function.
+/// [`DartError::UnknownToplevel`] if the function is not defined — a
+/// replay file can outlive the function it was recorded against, so a
+/// stale file must surface as an error, not an engine panic.
 pub fn replay(
     compiled: &CompiledProgram,
     toplevel: &str,
@@ -100,21 +103,21 @@ pub fn replay(
     machine: MachineConfig,
     slots: Vec<InputSlot>,
     seed: u64,
-) -> RunTermination {
+) -> Result<RunTermination, DartError> {
     let sig = compiled
         .fn_sig(toplevel)
-        .unwrap_or_else(|| panic!("no function `{toplevel}`"))
+        .ok_or_else(|| DartError::UnknownToplevel(toplevel.to_string()))?
         .clone();
     let tape = InputTape::from_slots(slots, seed);
-    run_once(compiled, &sig, depth, machine, tape, Vec::new(), 32).termination
+    Ok(run_once(compiled, &sig, depth, machine, tape, Vec::new(), 32).termination)
 }
 
 /// Like [`replay`], but also returns the statement-level execution trace
 /// (one disassembly line per executed statement).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `toplevel` is not a defined function.
+/// [`DartError::UnknownToplevel`] if the function is not defined.
 pub fn replay_traced(
     compiled: &CompiledProgram,
     toplevel: &str,
@@ -122,10 +125,10 @@ pub fn replay_traced(
     machine: MachineConfig,
     slots: Vec<InputSlot>,
     seed: u64,
-) -> (RunTermination, Vec<String>) {
+) -> Result<(RunTermination, Vec<String>), DartError> {
     let sig = compiled
         .fn_sig(toplevel)
-        .unwrap_or_else(|| panic!("no function `{toplevel}`"))
+        .ok_or_else(|| DartError::UnknownToplevel(toplevel.to_string()))?
         .clone();
     let tape = InputTape::from_slots(slots, seed);
     let mut trace = Vec::new();
@@ -139,7 +142,7 @@ pub fn replay_traced(
         32,
         &mut trace,
     );
-    (result.termination, trace)
+    Ok((result.termination, trace))
 }
 
 #[cfg(test)]
@@ -202,11 +205,34 @@ mod tests {
         // Serialize, parse back, replay: same abort.
         let text = serialize_inputs(&bug.inputs);
         let slots = parse_inputs(&text).unwrap();
-        let termination = replay(&compiled, "h", 1, MachineConfig::default(), slots, 0);
+        let termination = replay(&compiled, "h", 1, MachineConfig::default(), slots, 0).unwrap();
         assert!(
             matches!(termination, RunTermination::Abort(_)),
             "replay must reproduce the abort, got {termination:?}"
         );
+    }
+
+    #[test]
+    fn stale_toplevel_is_an_error_not_a_panic() {
+        // A replay file recorded against a function that has since been
+        // removed (or renamed) must fail gracefully.
+        let compiled = dart_minic::compile("void f(int x) { }").unwrap();
+        let slots = vec![InputSlot {
+            kind: InputKind::IntLike,
+            value: 1,
+            name: "x".into(),
+        }];
+        let r = replay(
+            &compiled,
+            "gone",
+            1,
+            MachineConfig::default(),
+            slots.clone(),
+            0,
+        );
+        assert_eq!(r, Err(DartError::UnknownToplevel("gone".into())));
+        let r = replay_traced(&compiled, "gone", 1, MachineConfig::default(), slots, 0);
+        assert!(matches!(r, Err(DartError::UnknownToplevel(_))));
     }
 
     #[test]
@@ -218,7 +244,7 @@ mod tests {
             name: "x".into(),
         }];
         let (termination, trace) =
-            replay_traced(&compiled, "f", 1, MachineConfig::default(), slots, 0);
+            replay_traced(&compiled, "f", 1, MachineConfig::default(), slots, 0).unwrap();
         assert!(matches!(termination, RunTermination::Abort(_)));
         assert!(!trace.is_empty());
         assert!(
@@ -242,7 +268,7 @@ mod tests {
             .run();
         let bug = report.bug().expect("NULL crash found");
         let slots = parse_inputs(&serialize_inputs(&bug.inputs)).unwrap();
-        let termination = replay(&compiled, "f", 1, MachineConfig::default(), slots, 0);
+        let termination = replay(&compiled, "f", 1, MachineConfig::default(), slots, 0).unwrap();
         assert!(matches!(termination, RunTermination::Crash(_)));
     }
 }

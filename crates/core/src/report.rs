@@ -15,6 +15,9 @@ pub enum BugKind {
     Crash(Fault),
     /// The run exceeded its step budget.
     NonTermination,
+    /// The run exceeded its allocation budget
+    /// ([`dart_ram::ResourceBudget::max_alloc_words`]).
+    OutOfMemory,
 }
 
 impl fmt::Display for BugKind {
@@ -23,6 +26,7 @@ impl fmt::Display for BugKind {
             BugKind::Abort(reason) => write!(f, "abort: {reason}"),
             BugKind::Crash(fault) => write!(f, "crash: {fault}"),
             BugKind::NonTermination => write!(f, "non-termination (step budget exhausted)"),
+            BugKind::OutOfMemory => write!(f, "out of memory (allocation budget exhausted)"),
         }
     }
 }
@@ -60,6 +64,11 @@ pub enum Outcome {
     Complete,
     /// The run budget was exhausted without a completeness claim.
     Exhausted,
+    /// The session's wall-clock deadline ([`crate::DartConfig::deadline`])
+    /// expired before the search finished. Like [`Outcome::Exhausted`],
+    /// this is incompleteness, never a completeness claim: partial results
+    /// (runs, bugs, coverage) are still valid.
+    DeadlineExceeded,
 }
 
 /// Summary of one testing session.
@@ -97,6 +106,28 @@ pub struct SessionReport {
 }
 
 impl SessionReport {
+    /// An empty report for a session over a program with `branch_sites`
+    /// coverable branch directions: no runs, no bugs, outcome
+    /// [`Outcome::Exhausted`] until the search loop says otherwise. Both
+    /// search modes start from this single constructor so new fields
+    /// cannot drift between them.
+    pub fn new(branch_sites: usize) -> SessionReport {
+        SessionReport {
+            outcome: Outcome::Exhausted,
+            runs: 0,
+            bugs: Vec::new(),
+            divergences: 0,
+            restarts: 0,
+            solver: SolveStats::default(),
+            steps: 0,
+            branches_covered: 0,
+            branch_sites,
+            paths: Vec::new(),
+            exec_time: std::time::Duration::ZERO,
+            solve_time: std::time::Duration::ZERO,
+        }
+    }
+
     /// The first bug, if any.
     pub fn bug(&self) -> Option<&Bug> {
         self.bugs.first()
@@ -119,6 +150,7 @@ impl fmt::Display for SessionReport {
             Outcome::BugFound(b) => format!("BUG FOUND: {}", b.kind),
             Outcome::Complete => "complete (all feasible paths explored)".into(),
             Outcome::Exhausted => "run budget exhausted".into(),
+            Outcome::DeadlineExceeded => "deadline exceeded (partial results)".into(),
         };
         write!(
             f,

@@ -1,5 +1,6 @@
 //! `solve_path_constraint` (paper Fig. 5) and branch-selection strategies.
 
+use crate::supervise::FaultState;
 use crate::tape::InputTape;
 use dart_solver::{Assignment, QueryCache, SolveOutcome, Solver};
 use dart_sym::{BranchRecord, PathConstraint};
@@ -82,6 +83,7 @@ pub fn solve_next(
     strategy: Strategy,
     rng: &mut SmallRng,
     stats: &mut SolveStats,
+    faults: &mut FaultState,
 ) -> Option<NextStep> {
     let n = stack.len().min(path.len());
     let mut candidates: Vec<usize> = (0..n).filter(|&j| !stack[j].done).collect();
@@ -97,6 +99,12 @@ pub fn solve_next(
     }
     let mut found = None;
     for j in candidates {
+        // Injected solver incompleteness: this query is counted and
+        // skipped exactly as a genuine `Unknown` verdict would be.
+        if faults.force_unknown_next_query() {
+            stats.unknown += 1;
+            continue;
+        }
         let negated = path.constraints()[j].negated();
         match cache.solve_query(&mut session, j, &negated, |v| tape.value_of(v)) {
             SolveOutcome::Sat(model) => {
@@ -153,6 +161,7 @@ mod tests {
             Strategy::Dfs,
             &mut rng,
             &mut stats,
+            &mut FaultState::default(),
         )
         .expect("solvable");
         assert_eq!(step.stack.len(), 2, "deepest candidate keeps full prefix");
@@ -177,6 +186,7 @@ mod tests {
             Strategy::RandomBranch,
             &mut rng,
             &mut stats,
+            &mut FaultState::default(),
         )
         .expect("solvable");
         assert!(step.stack.len() == 1 || step.stack.len() == 2);
@@ -199,6 +209,7 @@ mod tests {
             Strategy::Dfs,
             &mut rng,
             &mut stats,
+            &mut FaultState::default(),
         )
         .expect("solvable");
         assert_eq!(step.stack.len(), 1, "done deepest skipped");
@@ -218,7 +229,8 @@ mod tests {
             &mut QueryCache::new(true),
             Strategy::Dfs,
             &mut rng,
-            &mut stats
+            &mut stats,
+            &mut FaultState::default()
         )
         .is_none());
         assert_eq!(stats, SolveStats::default());
@@ -245,6 +257,7 @@ mod tests {
             Strategy::Dfs,
             &mut rng,
             &mut stats,
+            &mut FaultState::default(),
         )
         .expect("first conditional still flippable");
         assert_eq!(step.stack.len(), 1);
@@ -277,6 +290,7 @@ mod tests {
             Strategy::Dfs,
             &mut rng,
             &mut stats,
+            &mut FaultState::default(),
         )
         .unwrap();
         tape.apply_model(&step.model);

@@ -16,7 +16,7 @@ fn unknown_toplevel_is_a_clean_error() {
     let compiled = dart_minic::compile("int f() { return 0; }").unwrap();
     match Dart::new(&compiled, "missing", directed(10)) {
         Err(DartError::UnknownToplevel(name)) => assert_eq!(name, "missing"),
-        Ok(_) => panic!("expected an error"),
+        other => panic!("expected UnknownToplevel, got {:?}", other.err()),
     }
 }
 

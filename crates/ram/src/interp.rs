@@ -38,6 +38,29 @@ impl Environment for ZeroEnv {
     }
 }
 
+/// Memory-side resource limits, the allocation analogue of the step
+/// budget: the paper's §4.3 sweep *expects* targets that hang or exhaust
+/// memory, and the harness must survive both. `max_steps` bounds time;
+/// this bounds space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceBudget {
+    /// Cap on cumulative words allocated per machine (heap blocks,
+    /// `alloca` blocks and call frames — see
+    /// [`crate::Memory::words_allocated`]). An allocation is admitted iff
+    /// `words_allocated + words <= max_alloc_words`; the first allocation
+    /// over the cap terminates the run with [`StepOutcome::OutOfMemory`].
+    /// The default is `u64::MAX` (no cap), so the budget is opt-in.
+    pub max_alloc_words: u64,
+}
+
+impl Default for ResourceBudget {
+    fn default() -> ResourceBudget {
+        ResourceBudget {
+            max_alloc_words: u64::MAX,
+        }
+    }
+}
+
 /// Interpreter limits.
 #[derive(Debug, Clone, Copy)]
 pub struct MachineConfig {
@@ -48,6 +71,9 @@ pub struct MachineConfig {
     pub stack_budget: i64,
     /// Maximum call depth.
     pub max_frames: usize,
+    /// Allocation budget; exceeding it yields
+    /// [`StepOutcome::OutOfMemory`].
+    pub budget: ResourceBudget,
 }
 
 impl Default for MachineConfig {
@@ -56,6 +82,7 @@ impl Default for MachineConfig {
             max_steps: 2_000_000,
             stack_budget: 1 << 20,
             max_frames: 512,
+            budget: ResourceBudget::default(),
         }
     }
 }
@@ -122,6 +149,9 @@ pub enum StepOutcome {
     Faulted(Fault),
     /// The step budget is exhausted (possible non-termination).
     OutOfSteps,
+    /// The allocation budget ([`ResourceBudget::max_alloc_words`]) would
+    /// be exceeded — the space analogue of [`StepOutcome::OutOfSteps`].
+    OutOfMemory,
     /// The entry function returned; the episode is over.
     Finished {
         /// The entry function's return value, if any.
@@ -138,6 +168,7 @@ impl StepOutcome {
                 | StepOutcome::Aborted { .. }
                 | StepOutcome::Faulted(_)
                 | StepOutcome::OutOfSteps
+                | StepOutcome::OutOfMemory
                 | StepOutcome::Finished { .. }
         )
     }
@@ -333,6 +364,9 @@ impl<'p> Machine<'p> {
                     None => None,
                 };
                 let meta = self.program.func(*func);
+                if self.over_budget(meta.frame_words as i64) {
+                    return self.finish(StepOutcome::OutOfMemory);
+                }
                 let base = try_eval!(self.mem.push_frame(meta.frame_words));
                 for (i, &v) in arg_values.iter().enumerate() {
                     try_eval!(self.mem.store(base + i as i64, v));
@@ -395,6 +429,9 @@ impl<'p> Machine<'p> {
             Statement::Alloc { dst, size, kind } => {
                 let addr = try_eval!(eval_concrete(dst, self));
                 let words = try_eval!(eval_concrete(size, self));
+                if self.over_budget(words) {
+                    return self.finish(StepOutcome::OutOfMemory);
+                }
                 let base = match kind {
                     AllocKind::Heap => self.mem.alloc_heap(words),
                     AllocKind::Stack => self.mem.alloc_stack(words),
@@ -418,6 +455,14 @@ impl<'p> Machine<'p> {
                 return out;
             }
         }
+    }
+
+    /// Whether admitting `words` more allocated words would exceed the
+    /// allocation budget. Boundary: landing exactly on the cap is allowed.
+    fn over_budget(&self, words: i64) -> bool {
+        words > 0
+            && self.mem.words_allocated().saturating_add(words as u64)
+                > self.config.budget.max_alloc_words
     }
 
     /// Ends the episode, unwinding live frames so memory is consistent for
@@ -745,6 +790,122 @@ mod tests {
             ..Program::default()
         };
         assert_eq!(run_main(&p, &[]), StepOutcome::Finished { value: Some(0) });
+    }
+
+    /// main: p = malloc(2); q = malloc(3); return 0 — frame is 2 words.
+    fn two_malloc_program() -> Program {
+        Program {
+            stmts: vec![
+                Statement::Alloc {
+                    dst: Expr::frame_slot(0),
+                    size: Expr::Const(2),
+                    kind: AllocKind::Heap,
+                },
+                Statement::Alloc {
+                    dst: Expr::frame_slot(1),
+                    size: Expr::Const(3),
+                    kind: AllocKind::Stack,
+                },
+                Statement::Ret {
+                    value: Some(Expr::Const(0)),
+                },
+            ],
+            funcs: vec![Function {
+                name: "main".into(),
+                entry: 0,
+                frame_words: 2,
+                num_params: 0,
+            }],
+            ..Program::default()
+        }
+    }
+
+    fn run_with_budget(max_alloc_words: u64) -> StepOutcome {
+        let p = two_malloc_program();
+        let mut m = Machine::new(
+            &p,
+            MachineConfig {
+                budget: ResourceBudget { max_alloc_words },
+                ..MachineConfig::default()
+            },
+        );
+        m.call(p.func_by_name("main").unwrap(), &[]).unwrap();
+        m.run(&mut ZeroEnv)
+    }
+
+    #[test]
+    fn alloc_budget_boundary_is_inclusive() {
+        // Total demand: 2 (frame) + 2 (heap) + 3 (alloca) = 7 words.
+        // Landing exactly on the cap is allowed; one word less is not.
+        assert_eq!(run_with_budget(7), StepOutcome::Finished { value: Some(0) });
+        assert_eq!(run_with_budget(6), StepOutcome::OutOfMemory);
+        // A cap below the first malloc stops at the first malloc.
+        assert_eq!(run_with_budget(3), StepOutcome::OutOfMemory);
+        // The default budget is unbounded.
+        let p = two_malloc_program();
+        assert_eq!(run_main(&p, &[]), StepOutcome::Finished { value: Some(0) });
+    }
+
+    #[test]
+    fn oom_is_terminal_and_unwinds() {
+        let p = two_malloc_program();
+        let mut m = Machine::new(
+            &p,
+            MachineConfig {
+                budget: ResourceBudget { max_alloc_words: 3 },
+                ..MachineConfig::default()
+            },
+        );
+        m.call(p.func_by_name("main").unwrap(), &[]).unwrap();
+        let out = m.run(&mut ZeroEnv);
+        assert_eq!(out, StepOutcome::OutOfMemory);
+        assert!(out.is_terminal());
+        assert!(!m.is_running(), "episode ended, frames unwound");
+    }
+
+    #[test]
+    fn call_frames_count_against_the_alloc_budget() {
+        // main calls leaf (frame of 4 words) with a cap that admits main's
+        // own frame but not the callee's.
+        let p = Program {
+            stmts: vec![
+                // main: 0: call leaf; 1: return 0
+                Statement::Call {
+                    func: FuncId(1),
+                    args: vec![],
+                    dst: None,
+                },
+                Statement::Ret {
+                    value: Some(Expr::Const(0)),
+                },
+                // leaf: 2: return
+                Statement::Ret { value: None },
+            ],
+            funcs: vec![
+                Function {
+                    name: "main".into(),
+                    entry: 0,
+                    frame_words: 1,
+                    num_params: 0,
+                },
+                Function {
+                    name: "leaf".into(),
+                    entry: 2,
+                    frame_words: 4,
+                    num_params: 0,
+                },
+            ],
+            ..Program::default()
+        };
+        let mut m = Machine::new(
+            &p,
+            MachineConfig {
+                budget: ResourceBudget { max_alloc_words: 2 },
+                ..MachineConfig::default()
+            },
+        );
+        m.call(FuncId(0), &[]).unwrap();
+        assert_eq!(m.run(&mut ZeroEnv), StepOutcome::OutOfMemory);
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod memory;
 pub mod program;
 
 pub use expr::{apply_binop, eval_concrete, BinOp, Expr, MemView, UnOp};
-pub use interp::{Environment, Machine, MachineConfig, StepOutcome, ZeroEnv};
+pub use interp::{Environment, Machine, MachineConfig, ResourceBudget, StepOutcome, ZeroEnv};
 pub use memory::{Fault, Memory, Region, GLOBAL_BASE, HEAP_BASE, STACK_BASE};
 pub use program::{
     AllocKind, ExtId, External, FuncId, Function, Label, Program, Statement, ValidateError,

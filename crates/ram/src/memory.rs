@@ -94,6 +94,12 @@ pub struct Memory {
     /// process stack of the paper's oSIP attack; `alloca` beyond this
     /// returns NULL instead of a block).
     stack_budget: i64,
+    /// Cumulative words handed out by `alloc_heap`/`alloc_stack`/
+    /// `push_frame` over this memory's lifetime. Never decremented: dead
+    /// blocks keep their entries in the block table (use-after-return
+    /// detection), so this meters the host memory the machine retains —
+    /// the quantity a [`crate::ResourceBudget`] caps.
+    words_allocated: u64,
 }
 
 /// Number of guard words above NULL that classify as a null dereference
@@ -121,6 +127,7 @@ impl Memory {
             stack_top: STACK_BASE,
             heap_top: HEAP_BASE,
             stack_budget,
+            words_allocated: 0,
         }
     }
 
@@ -171,6 +178,7 @@ impl Memory {
         if words < 0 {
             return 0;
         }
+        self.words_allocated += words as u64;
         let base = self.heap_top;
         self.blocks.insert(
             base,
@@ -196,6 +204,7 @@ impl Memory {
         if words < 0 || words > self.stack_budget {
             return 0;
         }
+        self.words_allocated += words as u64;
         self.stack_budget -= words;
         let base = self.stack_top;
         self.blocks.insert(
@@ -220,6 +229,7 @@ impl Memory {
         if words > self.stack_budget {
             return Err(Fault::StackOverflow);
         }
+        self.words_allocated += words as u64;
         self.stack_budget -= words;
         let base = self.stack_top;
         self.blocks.insert(
@@ -247,6 +257,14 @@ impl Memory {
     /// Remaining `alloca`/frame budget in words.
     pub fn stack_budget(&self) -> i64 {
         self.stack_budget
+    }
+
+    /// Cumulative words ever allocated (heap blocks, `alloca` blocks and
+    /// stack frames). Popped frames do not subtract — their block-table
+    /// entries are retained for use-after-return detection, so this is a
+    /// monotone meter of the machine's memory footprint.
+    pub fn words_allocated(&self) -> u64 {
+        self.words_allocated
     }
 
     /// The length of the live block at exactly `base`, if any. Useful for
@@ -356,6 +374,24 @@ mod tests {
         assert_eq!(m.alloc_stack(64), 0);
         // Small requests still succeed.
         assert_ne!(m.alloc_stack(36), 0);
+    }
+
+    #[test]
+    fn words_allocated_is_a_monotone_meter() {
+        let mut m = Memory::new(0, 100);
+        assert_eq!(m.words_allocated(), 0);
+        m.alloc_heap(5);
+        assert_eq!(m.words_allocated(), 5);
+        let base = m.push_frame(3).unwrap();
+        assert_eq!(m.words_allocated(), 8);
+        m.pop_frame(base);
+        assert_eq!(m.words_allocated(), 8, "popping never refunds the meter");
+        m.alloc_stack(4);
+        assert_eq!(m.words_allocated(), 12);
+        // Failed allocations charge nothing.
+        m.alloc_heap(-1);
+        m.alloc_stack(1_000_000);
+        assert_eq!(m.words_allocated(), 12);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::linear::Var;
 use crate::rational::{ArithError, Rat};
 use crate::simplex::{feasible_point, Lp, LpResult, LpRow, LpSession};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::time::{Duration, Instant};
 
 /// Inclusive variable bounds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,6 +99,12 @@ pub struct SolverConfig {
     pub max_ne_leaves: usize,
     /// Maximum interval-propagation sweeps.
     pub max_propagation_rounds: usize,
+    /// Wall-clock deadline per query. When set, a query that runs past it
+    /// stops at the next search node and returns [`SolveOutcome::Unknown`]
+    /// — sound degradation (DART records `Unknown` as incompleteness,
+    /// never as `Unsat`). `None` (the default) means node budgets alone
+    /// bound the query, with zero timing overhead.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for SolverConfig {
@@ -108,7 +115,42 @@ impl Default for SolverConfig {
             max_fd_nodes: 4_000,
             max_ne_leaves: 512,
             max_propagation_rounds: 100,
+            deadline: None,
         }
+    }
+}
+
+/// Why a search gave up: an arithmetic/budget failure, or the per-query
+/// wall-clock deadline. Both surface as [`SolveOutcome::Unknown`].
+#[derive(Debug)]
+enum Stop {
+    Arith(ArithError),
+    Deadline,
+}
+
+impl From<ArithError> for Stop {
+    fn from(e: ArithError) -> Stop {
+        Stop::Arith(e)
+    }
+}
+
+/// Per-query deadline clock, started when the query enters the solver.
+/// With no deadline configured, [`QueryClock::expired`] never touches the
+/// system clock.
+#[derive(Debug, Clone, Copy)]
+struct QueryClock {
+    deadline: Option<Instant>,
+}
+
+impl QueryClock {
+    fn start(deadline: Option<Duration>) -> QueryClock {
+        QueryClock {
+            deadline: deadline.map(|d| Instant::now() + d),
+        }
+    }
+
+    fn expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 }
 
@@ -213,15 +255,16 @@ impl Solver {
         //    other component is already satisfied by the previous run's
         //    input vector, so its per-component hint probe answers it
         //    without any search.
+        let clock = QueryClock::start(self.config.deadline);
         let components = connected_components(&live);
         info.components = components.len();
         if components.len() == 1 {
-            return self.solve_component(&live, &hint);
+            return self.solve_component(&live, &hint, &clock);
         }
         let mut model = Assignment::new();
         for comp in &components {
             let subset: Vec<&Constraint> = comp.iter().map(|&i| live[i]).collect();
-            match self.solve_component(&subset, &hint) {
+            match self.solve_component(&subset, &hint, &clock) {
                 SolveOutcome::Sat(part) => model.extend(part),
                 SolveOutcome::Unsat => return SolveOutcome::Unsat,
                 SolveOutcome::Unknown => return SolveOutcome::Unknown,
@@ -233,7 +276,7 @@ impl Solver {
     /// Decides one variable-connected conjunction of non-trivial
     /// constraints: cheap probes, normalization, then the lazy `!=` case
     /// analysis over interval propagation + branch & bound.
-    fn solve_component<F>(&self, live: &[&Constraint], hint: &F) -> SolveOutcome
+    fn solve_component<F>(&self, live: &[&Constraint], hint: &F, clock: &QueryClock) -> SolveOutcome
     where
         F: Fn(Var) -> Option<i64>,
     {
@@ -294,6 +337,7 @@ impl Solver {
             &hint_vals,
             &boxes,
             &mut leaves_left,
+            clock,
         );
         match outcome {
             Ok(Some(sol)) => {
@@ -309,7 +353,11 @@ impl Solver {
                 }
             }
             Ok(None) => SolveOutcome::Unsat,
-            Err(e) => {
+            Err(Stop::Deadline) => {
+                debug_log("query deadline expired");
+                SolveOutcome::Unknown
+            }
+            Err(Stop::Arith(e)) => {
                 debug_log(&format!("arithmetic/bb failure: {e:?}"));
                 SolveOutcome::Unknown
             }
@@ -319,6 +367,7 @@ impl Solver {
     /// Decides `rows ∧ exclusions` (no disequalities), using the
     /// hint-guided finite-domain search first and LP branch & bound as the
     /// complete fallback. Consumes one unit of `leaves_left`.
+    #[allow(clippy::too_many_arguments)] // internal; mirrors the search state
     fn feasible(
         &self,
         rows: &[Row],
@@ -326,18 +375,24 @@ impl Solver {
         hint: &[i64],
         init_boxes: &[(i128, i128)],
         leaves_left: &mut usize,
-    ) -> Result<Option<Vec<i64>>, ArithError> {
+        clock: &QueryClock,
+    ) -> Result<Option<Vec<i64>>, Stop> {
         if *leaves_left == 0 {
-            return Err(ArithError::Overflow); // budget: Unknown upstream
+            return Err(ArithError::Overflow.into()); // budget: Unknown upstream
+        }
+        if clock.expired() {
+            return Err(Stop::Deadline);
         }
         *leaves_left -= 1;
         let boxes = init_boxes.to_vec();
         let mut fd_budget = self.config.max_fd_nodes;
-        if let Some(sol) = self.fd_search(rows, boxes.clone(), exclusions, hint, &mut fd_budget) {
+        if let Some(sol) =
+            self.fd_search(rows, boxes.clone(), exclusions, hint, &mut fd_budget, clock)
+        {
             return Ok(Some(sol));
         }
         let mut budget = self.config.max_bb_nodes;
-        self.branch_bound(rows, boxes, exclusions, hint, &mut budget)
+        self.branch_bound(rows, boxes, exclusions, hint, &mut budget, clock)
     }
 
     /// Lazy case analysis over multi-variable `!=` constraints: solve the
@@ -345,6 +400,7 @@ impl Solver {
     /// disequality, branch on *that one* (hint-preferred side first) and
     /// recurse with the chosen side added as a row. Unsat skeletons prune
     /// whole subtrees, so the 2^k eager expansion never materializes.
+    #[allow(clippy::too_many_arguments)] // internal; mirrors the search state
     fn lazy_solve(
         &self,
         rows: &mut Vec<Row>,
@@ -353,8 +409,9 @@ impl Solver {
         hint: &[i64],
         init_boxes: &[(i128, i128)],
         leaves_left: &mut usize,
-    ) -> Result<Option<Vec<i64>>, ArithError> {
-        let sol = match self.feasible(rows, exclusions, hint, init_boxes, leaves_left)? {
+        clock: &QueryClock,
+    ) -> Result<Option<Vec<i64>>, Stop> {
+        let sol = match self.feasible(rows, exclusions, hint, init_boxes, leaves_left, clock)? {
             Some(sol) => sol,
             None => return Ok(None),
         };
@@ -373,7 +430,15 @@ impl Solver {
         let mut found = None;
         for side in order {
             rows.push(side);
-            let res = self.lazy_solve(rows, splits, exclusions, hint, init_boxes, leaves_left);
+            let res = self.lazy_solve(
+                rows,
+                splits,
+                exclusions,
+                hint,
+                init_boxes,
+                leaves_left,
+                clock,
+            );
             rows.pop();
             match res {
                 Ok(Some(sol)) => {
@@ -400,6 +465,7 @@ impl Solver {
     /// vector (DART's `IM + IM'` behaviour) on the small, mostly-unit
     /// systems path constraints produce. It is *incomplete*: `None` means
     /// "not found within budget", never "unsat".
+    #[allow(clippy::too_many_arguments)] // internal; mirrors the search state
     fn fd_search(
         &self,
         rows: &[Row],
@@ -407,8 +473,9 @@ impl Solver {
         exclusions: &[BTreeSet<i64>],
         hint: &[i64],
         budget: &mut usize,
+        clock: &QueryClock,
     ) -> Option<Vec<i64>> {
-        if *budget == 0 {
+        if *budget == 0 || clock.expired() {
             return None;
         }
         *budget -= 1;
@@ -451,7 +518,7 @@ impl Solver {
         for val in candidates {
             let mut sub = boxes.clone();
             sub[i] = (val as i128, val as i128);
-            if let Some(sol) = self.fd_search(rows, sub, exclusions, hint, budget) {
+            if let Some(sol) = self.fd_search(rows, sub, exclusions, hint, budget, clock) {
                 return Some(sol);
             }
             if *budget == 0 {
@@ -466,6 +533,7 @@ impl Solver {
     ///
     /// Iterative depth-first worklist (recursion here can reach thousands of
     /// nodes on 32-bit boxes, which would overflow the call stack).
+    #[allow(clippy::too_many_arguments)] // internal; mirrors the search state
     fn branch_bound(
         &self,
         rows: &[Row],
@@ -473,11 +541,15 @@ impl Solver {
         exclusions: &[BTreeSet<i64>],
         hint: &[i64],
         budget: &mut usize,
-    ) -> Result<Option<Vec<i64>>, ArithError> {
+        clock: &QueryClock,
+    ) -> Result<Option<Vec<i64>>, Stop> {
         let mut work: Vec<Vec<(i128, i128)>> = vec![boxes];
         while let Some(mut boxes) = work.pop() {
+            if clock.expired() {
+                return Err(Stop::Deadline);
+            }
             if *budget == 0 {
-                return Err(ArithError::Overflow); // treated as Unknown upstream
+                return Err(ArithError::Overflow.into()); // treated as Unknown upstream
             }
             *budget -= 1;
 
@@ -876,6 +948,7 @@ impl<'s> PrefixSession<'s> {
         F: Fn(Var) -> Option<i64>,
     {
         assert!(j <= self.frames.len(), "query depth {j} beyond session");
+        let clock = QueryClock::start(self.solver.config.deadline);
         let b = self.solver.config.default_bounds;
         let (live_len, vars_len, rows_len, splits_len, infeasible) = if j == 0 {
             (0, 0, 0, 0, false)
@@ -968,7 +1041,7 @@ impl<'s> PrefixSession<'s> {
             }
             if rest_ok {
                 let comp_live: Vec<&Constraint> = neg_comp.iter().map(|&i| q_live[i]).collect();
-                match self.solver.solve_component(&comp_live, &hint) {
+                match self.solver.solve_component(&comp_live, &hint, &clock) {
                     SolveOutcome::Sat(part) => {
                         fill.extend(part);
                         return SolveOutcome::Sat(fill);
@@ -1016,6 +1089,7 @@ impl<'s> PrefixSession<'s> {
             &q_excl,
             &hint_vals,
             &mut fd_budget,
+            &clock,
         ) {
             if q_splits.iter().all(|ne| !ne.violated_by(&sol)) {
                 let model: Assignment = q_vars
@@ -1059,6 +1133,7 @@ impl<'s> PrefixSession<'s> {
             &hint_vals,
             &q_boxes,
             &mut leaves_left,
+            &clock,
         );
         match outcome {
             Ok(Some(sol)) => {
@@ -1077,7 +1152,11 @@ impl<'s> PrefixSession<'s> {
                 }
             }
             Ok(None) => SolveOutcome::Unsat,
-            Err(e) => {
+            Err(Stop::Deadline) => {
+                debug_log("query deadline expired (session)");
+                SolveOutcome::Unknown
+            }
+            Err(Stop::Arith(e)) => {
                 debug_log(&format!("arithmetic/bb failure (session): {e:?}"));
                 SolveOutcome::Unknown
             }
@@ -1528,6 +1607,36 @@ mod tests {
             Constraint::new(v(1).sub(&v(0)).offset(-10), RelOp::Eq),
         ];
         assert_eq!(solver().solve(&cs), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn zero_deadline_degrades_to_unknown() {
+        // An already-expired deadline must never panic or spin: every
+        // query that reaches the search degrades to Unknown (treated as
+        // incompleteness by the driver), and the same query still solves
+        // once the deadline is lifted.
+        let s = Solver::new(SolverConfig {
+            deadline: Some(Duration::ZERO),
+            ..SolverConfig::default()
+        });
+        let cs = [Constraint::new(v(0).offset(-10), RelOp::Eq)];
+        assert_eq!(s.solve(&cs), SolveOutcome::Unknown);
+        assert!(matches!(solver().solve(&cs), SolveOutcome::Sat(_)));
+    }
+
+    #[test]
+    fn session_zero_deadline_degrades_to_unknown() {
+        let s = Solver::new(SolverConfig {
+            deadline: Some(Duration::ZERO),
+            ..SolverConfig::default()
+        });
+        let mut sess = s.session();
+        sess.push(&Constraint::new(v(0).offset(-3), RelOp::Ge));
+        let negated = Constraint::new(v(0).offset(-10), RelOp::Eq);
+        assert_eq!(
+            sess.solve_query(1, &negated, |_| None),
+            SolveOutcome::Unknown
+        );
     }
 
     #[test]

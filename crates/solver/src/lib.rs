@@ -13,6 +13,11 @@
 //! dereferences) is *not sent here* — the DART engine falls back to concrete
 //! values and clears a completeness flag instead (paper §2.3, Fig. 1).
 //!
+//! Every give-up path is *sound*: node-budget exhaustion, arithmetic
+//! overflow and the optional per-query wall-clock deadline
+//! ([`SolverConfig::deadline`]) all surface as [`SolveOutcome::Unknown`],
+//! which the engine records as incompleteness — never as "unsat".
+//!
 //! ## Quickstart
 //!
 //! ```

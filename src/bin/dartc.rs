@@ -16,6 +16,13 @@
 //!   --strategy S       dfs | random-branch                     [dfs]
 //!   --all-bugs         keep searching after the first bug
 //!   --max-steps N      per-run step budget (non-termination)   [2000000]
+//!   --mem-budget N     per-run allocation budget in words      [unbounded]
+//!   --deadline MS      per-session wall-clock deadline; also caps
+//!                      each solver query                       [none]
+//!   --sweep NAMES      comma-separated toplevels: run one supervised
+//!                      session per function (overrides --toplevel)
+//!   --threads N        sweep parallelism                       [4]
+//!   --max-retries N    reseeded retries per faulted sweep session [1]
 //!   --interface        print the extracted interface and exit
 //!   --print-ir         print the compiled RAM program and exit
 //!   --stats            print detailed solver/cache statistics
@@ -27,7 +34,7 @@
 //!
 //! Exit status: 0 = no bug, 1 = bug found, 2 = usage/compile error.
 
-use dart::{Dart, DartConfig, EngineMode, Strategy};
+use dart::{Dart, DartConfig, EngineMode, Strategy, SweepOutcome};
 use std::process::ExitCode;
 
 struct Options {
@@ -40,6 +47,11 @@ struct Options {
     strategy: Strategy,
     all_bugs: bool,
     max_steps: u64,
+    mem_budget: Option<u64>,
+    deadline_ms: Option<u64>,
+    sweep: Option<String>,
+    threads: usize,
+    max_retries: u32,
     interface_only: bool,
     print_ir: bool,
     save_bug: Option<String>,
@@ -52,7 +64,9 @@ struct Options {
 fn usage() -> &'static str {
     "usage: dartc <file.mc> --toplevel NAME [--depth N] [--runs N] [--seed N] \
      [--mode directed|random|symbolic|generational] [--strategy dfs|random-branch] \
-     [--all-bugs] [--max-steps N] [--stats] [--no-cache] [--interface] [--print-ir]"
+     [--all-bugs] [--max-steps N] [--mem-budget N] [--deadline MS] \
+     [--sweep NAMES --threads N --max-retries N] \
+     [--stats] [--no-cache] [--interface] [--print-ir]"
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -66,6 +80,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         strategy: Strategy::Dfs,
         all_bugs: false,
         max_steps: 2_000_000,
+        mem_budget: None,
+        deadline_ms: None,
+        sweep: None,
+        threads: 4,
+        max_retries: 1,
         interface_only: false,
         print_ir: false,
         save_bug: None,
@@ -104,6 +123,31 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.max_steps = value(&mut it, "--max-steps")?
                     .parse()
                     .map_err(|_| "--max-steps expects an integer".to_string())?
+            }
+            "--mem-budget" => {
+                opts.mem_budget = Some(
+                    value(&mut it, "--mem-budget")?
+                        .parse()
+                        .map_err(|_| "--mem-budget expects a word count".to_string())?,
+                )
+            }
+            "--deadline" => {
+                opts.deadline_ms = Some(
+                    value(&mut it, "--deadline")?
+                        .parse()
+                        .map_err(|_| "--deadline expects milliseconds".to_string())?,
+                )
+            }
+            "--sweep" => opts.sweep = Some(value(&mut it, "--sweep")?),
+            "--threads" => {
+                opts.threads = value(&mut it, "--threads")?
+                    .parse()
+                    .map_err(|_| "--threads expects a positive integer".to_string())?
+            }
+            "--max-retries" => {
+                opts.max_retries = value(&mut it, "--max-retries")?
+                    .parse()
+                    .map_err(|_| "--max-retries expects an integer".to_string())?
             }
             "--mode" => {
                 opts.mode = match value(&mut it, "--mode")?.as_str() {
@@ -144,6 +188,35 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
+fn build_config(opts: &Options) -> DartConfig {
+    let mut config = DartConfig {
+        depth: opts.depth,
+        max_runs: opts.runs,
+        seed: opts.seed,
+        mode: opts.mode,
+        strategy: opts.strategy,
+        stop_at_first_bug: !opts.all_bugs,
+        machine: dart_ram::MachineConfig {
+            max_steps: opts.max_steps,
+            ..dart_ram::MachineConfig::default()
+        },
+        solver_cache: !opts.no_cache,
+        max_retries: opts.max_retries,
+        ..DartConfig::default()
+    };
+    if let Some(words) = opts.mem_budget {
+        config.machine.budget.max_alloc_words = words;
+    }
+    if let Some(ms) = opts.deadline_ms {
+        let d = std::time::Duration::from_millis(ms);
+        config.deadline = Some(d);
+        // Cap each solver query too, so a single runaway query cannot
+        // overshoot the session deadline by an arbitrary amount.
+        config.solver.deadline = Some(d);
+    }
+    config
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_args(&args) {
@@ -172,6 +245,74 @@ fn main() -> ExitCode {
     if opts.print_ir {
         print!("{}", compiled.program);
         return ExitCode::SUCCESS;
+    }
+
+    if let Some(list) = &opts.sweep {
+        let names: Vec<String> = list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+        if names.is_empty() {
+            eprintln!("dartc: --sweep needs at least one function name");
+            return ExitCode::from(2);
+        }
+        for name in &names {
+            if compiled.fn_sig(name).is_none() {
+                eprintln!("dartc: no function `{name}` in {}", opts.file);
+                return ExitCode::from(2);
+            }
+        }
+        let results = match dart::sweep(&compiled, &names, &build_config(&opts), opts.threads) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("dartc: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let mut buggy = 0usize;
+        let mut faulted = 0usize;
+        let mut retried = 0usize;
+        for r in &results {
+            match &r.outcome {
+                SweepOutcome::Finished {
+                    report,
+                    retried: r2,
+                } => {
+                    if report.found_bug() {
+                        buggy += 1;
+                    }
+                    if *r2 {
+                        retried += 1;
+                    }
+                    let note = if *r2 { "  [recovered after retry]" } else { "" };
+                    println!("{:<24} {report}{note}", r.function);
+                }
+                SweepOutcome::EngineFault {
+                    message,
+                    retried: r2,
+                } => {
+                    faulted += 1;
+                    if *r2 {
+                        retried += 1;
+                    }
+                    println!("{:<24} ENGINE FAULT: {message}", r.function);
+                }
+            }
+        }
+        println!(
+            "\nsweep: {} functions | {} with bugs | {} engine faults | {} retried",
+            results.len(),
+            buggy,
+            faulted,
+            retried
+        );
+        return if buggy > 0 || faulted > 0 {
+            ExitCode::from(1)
+        } else {
+            ExitCode::SUCCESS
+        };
     }
 
     let Some(toplevel) = opts.toplevel.as_deref().map(str::to_string).or_else(|| {
@@ -220,15 +361,24 @@ fn main() -> ExitCode {
             max_steps: opts.max_steps,
             ..dart_ram::MachineConfig::default()
         };
-        let termination = if opts.trace {
-            let (termination, trace) =
-                dart::replay_traced(&compiled, &toplevel, opts.depth, machine, slots, opts.seed);
-            for line in &trace {
-                println!("{line}");
-            }
-            termination
+        let replayed = if opts.trace {
+            dart::replay_traced(&compiled, &toplevel, opts.depth, machine, slots, opts.seed).map(
+                |(termination, trace)| {
+                    for line in &trace {
+                        println!("{line}");
+                    }
+                    termination
+                },
+            )
         } else {
             dart::replay(&compiled, &toplevel, opts.depth, machine, slots, opts.seed)
+        };
+        let termination = match replayed {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("dartc: {e}");
+                return ExitCode::from(2);
+            }
         };
         println!("replay: {termination:?}");
         return match termination {
@@ -237,21 +387,8 @@ fn main() -> ExitCode {
         };
     }
 
-    let config = DartConfig {
-        depth: opts.depth,
-        max_runs: opts.runs,
-        seed: opts.seed,
-        mode: opts.mode,
-        strategy: opts.strategy,
-        stop_at_first_bug: !opts.all_bugs,
-        machine: dart_ram::MachineConfig {
-            max_steps: opts.max_steps,
-            ..dart_ram::MachineConfig::default()
-        },
-        solver_cache: !opts.no_cache,
-        ..DartConfig::default()
-    };
-    let session = Dart::new(&compiled, &toplevel, config).expect("toplevel checked above");
+    let session =
+        Dart::new(&compiled, &toplevel, build_config(&opts)).expect("toplevel checked above");
     let report = session.run();
     println!("\n{report}");
     if opts.stats {
@@ -351,10 +488,58 @@ mod tests {
     }
 
     #[test]
+    fn robustness_flags() {
+        let o = parse(&[
+            "p.mc",
+            "--mem-budget",
+            "4096",
+            "--deadline",
+            "250",
+            "--sweep",
+            "f,g,h",
+            "--threads",
+            "8",
+            "--max-retries",
+            "2",
+        ])
+        .unwrap();
+        assert_eq!(o.mem_budget, Some(4096));
+        assert_eq!(o.deadline_ms, Some(250));
+        assert_eq!(o.sweep.as_deref(), Some("f,g,h"));
+        assert_eq!(o.threads, 8);
+        assert_eq!(o.max_retries, 2);
+        let o = parse(&["p.mc"]).unwrap();
+        assert_eq!(o.mem_budget, None);
+        assert_eq!(o.deadline_ms, None);
+        assert!(o.sweep.is_none());
+        assert_eq!(o.threads, 4);
+        assert_eq!(o.max_retries, 1);
+    }
+
+    #[test]
+    fn budget_and_deadline_reach_the_config() {
+        let o = parse(&["p.mc", "--mem-budget", "512", "--deadline", "100"]).unwrap();
+        let config = build_config(&o);
+        assert_eq!(config.machine.budget.max_alloc_words, 512);
+        assert_eq!(config.deadline, Some(std::time::Duration::from_millis(100)));
+        assert_eq!(
+            config.solver.deadline,
+            Some(std::time::Duration::from_millis(100))
+        );
+        // Without the flags, budgets stay unbounded and no deadline is set.
+        let config = build_config(&parse(&["p.mc"]).unwrap());
+        assert_eq!(config.machine.budget.max_alloc_words, u64::MAX);
+        assert_eq!(config.deadline, None);
+        assert_eq!(config.solver.deadline, None);
+    }
+
+    #[test]
     fn errors() {
         assert!(parse(&[]).is_err());
         assert!(parse(&["a.mc", "--mode", "quantum"]).is_err());
         assert!(parse(&["a.mc", "--depth"]).is_err());
+        assert!(parse(&["a.mc", "--deadline"]).is_err());
+        assert!(parse(&["a.mc", "--mem-budget", "lots"]).is_err());
         assert!(parse(&["a.mc", "b.mc"]).is_err());
         assert!(parse(&["a.mc", "--frobnicate"]).is_err());
     }
