@@ -1,23 +1,40 @@
-//! `bench_smoke` — warn-only regression smoke check for the solver's two
-//! headline optimisations (query cache, incremental prefix sessions).
+//! `bench_smoke` — regression smoke check for the solver's headline
+//! optimisations: query cache, incremental prefix sessions, parallel
+//! candidate fan-out and the cross-session shared verdict store.
 //!
 //! The vendored criterion stand-in prints no machine-readable medians, so
 //! this binary re-runs the same workload shapes as `benches/solver.rs`
-//! (`query_cache/*`, `prefix_session/*`), computes a median
+//! (`query_cache/*`, `prefix_session/*`) plus the parallel-solving
+//! workloads (`parallel_solve/*`, `shared_store/*`), computes a median
 //! nanoseconds-per-iteration for each, and compares against a committed
-//! baseline JSON. Regressions are *reported*, never fatal: timing on
-//! shared CI runners is too noisy to gate merges on, so the check always
-//! exits 0 and CI marks the job `continue-on-error`.
+//! baseline JSON.
 //!
 //! ```text
-//! bench_smoke [--baseline PATH] [--tolerance PCT] [--write-baseline]
+//! bench_smoke [--baseline PATH] [--tolerance PCT] [--write-baseline] [--gate]
 //! ```
 //!
+//! By default regressions are *reported*, never fatal. With `--gate`,
+//! any benchmark more than `--tolerance` percent over its baseline
+//! median fails the process (exit 1) — CI runs this mode with a wide
+//! 50% (1.5× median) tolerance so only real regressions trip it.
 //! `--write-baseline` overwrites PATH (default `crates/bench/baseline.json`)
 //! with this machine's medians; run it when a deliberate perf change shifts
 //! the numbers.
+//!
+//! Note on the `parallel_solve` pair: the speedup of `candidates_4_threads`
+//! over `candidates_1_threads` is hardware-bound — on a single-core
+//! machine the two are expected to tie (speculation is then pure
+//! overhead bounded by the wasted-work accounting), so the printed
+//! speedup line reports whatever the host delivers rather than
+//! asserting a ratio.
 
-use dart_solver::{Constraint, LinExpr, QueryCache, RelOp, Solver, Var};
+use dart::search::{solve_next, SolveStats};
+use dart::{DartConfig, FaultState, InputKind, InputTape, Strategy};
+use dart_solver::{Constraint, LinExpr, QueryCache, RelOp, Solver, SolverConfig, Var};
+use dart_sym::{BranchRecord, PathConstraint};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
 use std::time::Instant;
 
 fn v(i: u32) -> LinExpr {
@@ -101,6 +118,92 @@ fn prefix_session_workload() -> usize {
     sat
 }
 
+/// A nine-candidate `solve_next` walk where every deep flip asks the
+/// parity-infeasible `2x_j - 2y_j + z == 1` under `z == 0` (bounded
+/// Unknown/Unsat work per candidate) and only the shallowest flip
+/// (`z != 0`) is satisfiable — the worst case for a sequential walk,
+/// the best case for the speculative fan-out.
+fn parallel_walk_inputs() -> (PathConstraint, Vec<BranchRecord>, InputTape) {
+    let mut pc = PathConstraint::new();
+    pc.push(Constraint::new(v(0), RelOp::Eq)); // z == 0 (taken)
+    for j in 1..=8u32 {
+        let e = v(2 * j - 1)
+            .scaled(2)
+            .sub(&v(2 * j).scaled(2))
+            .add(&v(0))
+            .offset(-1);
+        pc.push(Constraint::new(e, RelOp::Ne)); // 2x_j - 2y_j + z != 1
+    }
+    let mut tape = InputTape::new(0);
+    for _ in 0..17 {
+        let _ = tape.take(InputKind::IntLike, || "i".into());
+    }
+    let stack = (0..9)
+        .map(|_| BranchRecord {
+            branch: true,
+            done: false,
+        })
+        .collect();
+    (pc, stack, tape)
+}
+
+fn parallel_solve_workload(threads: usize) -> usize {
+    // Small budgets bound each candidate's give-up, so one walk stays in
+    // the tens-of-milliseconds range while every candidate still does
+    // real solver work for the workers to speculate on.
+    let solver = Solver::new(SolverConfig {
+        max_bb_nodes: 150,
+        max_fd_nodes: 500,
+        max_ne_leaves: 8,
+        ..SolverConfig::default()
+    });
+    let (pc, stack, tape) = parallel_walk_inputs();
+    let mut cache = QueryCache::new(true);
+    let mut rng = SmallRng::seed_from_u64(0);
+    let mut stats = SolveStats::default();
+    let step = solve_next(
+        &pc,
+        &stack,
+        &tape,
+        &solver,
+        &mut cache,
+        Strategy::Dfs,
+        &mut rng,
+        &mut stats,
+        &mut FaultState::default(),
+        threads,
+    );
+    usize::from(step.is_some())
+}
+
+/// A sweep over `n` identical two-branch functions. Every session
+/// refutes the same flip (`[2x - 2y == 8, x - y != 4]`), so with the
+/// shared store on, only the first session pays for it.
+fn sweep_library(n: usize) -> dart_minic::CompiledProgram {
+    let mut src = String::new();
+    for i in 0..n {
+        src.push_str(&format!(
+            "int g{i}(int x, int y) {{ if (2*x - 2*y == 8) {{ if (x - y != 4) {{ return 1; }} return 2; }} return 0; }}\n"
+        ));
+    }
+    dart_minic::compile(&src).expect("generated sweep library compiles")
+}
+
+fn shared_store_workload(
+    compiled: &dart_minic::CompiledProgram,
+    names: &[String],
+    shared: bool,
+) -> usize {
+    let config = DartConfig {
+        max_runs: 8,
+        shared_cache: shared,
+        solve_threads: 1,
+        ..DartConfig::default()
+    };
+    let results = dart::sweep(compiled, names, &config, 1).expect("sweep names are valid");
+    results.iter().filter(|r| r.report().is_some()).count()
+}
+
 /// Median nanoseconds per iteration: calibrates a batch size that takes a
 /// few milliseconds, then medians over `SAMPLES` batches.
 fn measure(mut work: impl FnMut() -> usize) -> u64 {
@@ -173,7 +276,7 @@ fn render_baseline(entries: &[(String, u64)]) -> String {
     format!("{{\n{}\n}}\n", body.join(",\n"))
 }
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let flag_value = |flag: &str| {
         args.iter()
@@ -187,6 +290,11 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(50);
     let write_baseline = args.iter().any(|a| a == "--write-baseline");
+    let gate = args.iter().any(|a| a == "--gate");
+
+    let sweep_fns = 600usize;
+    let library = sweep_library(sweep_fns);
+    let names: Vec<String> = (0..sweep_fns).map(|i| format!("g{i}")).collect();
 
     let current: Vec<(String, u64)> = vec![
         (
@@ -205,7 +313,43 @@ fn main() {
             "prefix_session/incremental_session".to_string(),
             measure(prefix_session_workload),
         ),
+        (
+            "parallel_solve/candidates_1_threads".to_string(),
+            measure(|| parallel_solve_workload(1)),
+        ),
+        (
+            "parallel_solve/candidates_4_threads".to_string(),
+            measure(|| parallel_solve_workload(4)),
+        ),
+        (
+            "shared_store/sweep_600_off".to_string(),
+            measure(|| shared_store_workload(&library, &names, false)),
+        ),
+        (
+            "shared_store/sweep_600_on".to_string(),
+            measure(|| shared_store_workload(&library, &names, true)),
+        ),
     ];
+
+    let ratio = |num: &str, den: &str| -> Option<f64> {
+        let get = |k: &str| {
+            current
+                .iter()
+                .find(|(n, _)| n == k)
+                .map(|(_, ns)| *ns as f64)
+        };
+        Some(get(num)? / get(den)?)
+    };
+    if let Some(s) = ratio(
+        "parallel_solve/candidates_1_threads",
+        "parallel_solve/candidates_4_threads",
+    ) {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        println!("parallel solve speedup (1 -> 4 threads): {s:.2}x on {cores} core(s)");
+    }
+    if let Some(s) = ratio("shared_store/sweep_600_off", "shared_store/sweep_600_on") {
+        println!("shared store speedup (600-function sweep): {s:.2}x");
+    }
 
     if write_baseline {
         std::fs::write(&baseline_path, render_baseline(&current))
@@ -214,7 +358,7 @@ fn main() {
         for (name, ns) in &current {
             println!("  {name}: {ns} ns/iter");
         }
-        return;
+        return ExitCode::SUCCESS;
     }
 
     let baseline = match std::fs::read_to_string(&baseline_path) {
@@ -222,17 +366,22 @@ fn main() {
             Ok(b) => b,
             Err(e) => {
                 println!("WARN: {baseline_path}: {e} — regenerate with --write-baseline");
-                return;
+                return ExitCode::SUCCESS;
             }
         },
         Err(e) => {
             println!("WARN: cannot read {baseline_path}: {e} — run with --write-baseline first");
-            return;
+            return ExitCode::SUCCESS;
         }
     };
 
+    let mode = if gate {
+        "gating: fails the build"
+    } else {
+        "informational only"
+    };
     println!(
-        "bench smoke vs {baseline_path} (warn at +{tolerance_pct}%; informational only)\n\
+        "bench smoke vs {baseline_path} (flag at +{tolerance_pct}%; {mode})\n\
          {:<44} {:>12} {:>12} {:>8}",
         "benchmark", "baseline", "current", "delta"
     );
@@ -253,13 +402,17 @@ fn main() {
     }
     if regressions > 0 {
         println!(
-            "\nWARN: {regressions} benchmark(s) regressed more than {tolerance_pct}% — \
-             investigate, or refresh the baseline with --write-baseline if intentional"
+            "\n{}: {regressions} benchmark(s) regressed more than {tolerance_pct}% — \
+             investigate, or refresh the baseline with --write-baseline if intentional",
+            if gate { "FAIL" } else { "WARN" }
         );
+        if gate {
+            return ExitCode::from(1);
+        }
     } else {
         println!("\nall benchmarks within {tolerance_pct}% of baseline");
     }
-    // Warn-only by design: timing on shared runners must not gate merges.
+    ExitCode::SUCCESS
 }
 
 #[cfg(test)]
@@ -287,5 +440,21 @@ mod tests {
         // assume; a change in sat counts means the benchmark moved.
         assert_eq!(query_cache_workload(false), query_cache_workload(true));
         assert_eq!(prefix_plain_workload(), prefix_session_workload());
+    }
+
+    #[test]
+    fn parallel_workload_is_thread_count_independent() {
+        // The fan-out must not change what the walk finds — otherwise
+        // the 1-vs-4 comparison measures different work.
+        assert_eq!(parallel_solve_workload(1), 1, "the shallow flip wins");
+        assert_eq!(parallel_solve_workload(1), parallel_solve_workload(4));
+    }
+
+    #[test]
+    fn shared_store_workload_completes_all_sessions() {
+        let compiled = sweep_library(8);
+        let names: Vec<String> = (0..8).map(|i| format!("g{i}")).collect();
+        assert_eq!(shared_store_workload(&compiled, &names, false), 8);
+        assert_eq!(shared_store_workload(&compiled, &names, true), 8);
     }
 }

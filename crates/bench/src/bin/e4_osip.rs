@@ -9,7 +9,10 @@
 //! This binary sweeps the synthetic library (same defect distribution;
 //! see DESIGN.md), prints the crash rate and per-class detection table
 //! (including the classes DART is *expected* to miss), and reproduces the
-//! parser attack. `--functions N` controls the sweep size.
+//! parser attack. `--functions N` controls the sweep size;
+//! `--shared-cache` shares solver verdicts across the sweep's sessions
+//! and `--solve-threads N` fans each session's candidate queries out —
+//! both leave every report identical and only change wall-clock.
 
 use dart::{Dart, DartConfig};
 use dart_bench::{fmt_dur, header, seed_from_args};
@@ -26,6 +29,14 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(200);
+    let shared_cache = args.iter().any(|a| a == "--shared-cache");
+    let solve_threads: usize = args
+        .iter()
+        .position(|a| a == "--solve-threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1);
 
     let lib = generate_osip(OsipConfig {
         num_functions,
@@ -47,6 +58,8 @@ fn main() {
         &DartConfig {
             max_runs: 1000, // the paper's per-function cap
             seed,
+            shared_cache,
+            solve_threads,
             ..DartConfig::default()
         },
         threads,
@@ -92,6 +105,11 @@ fn main() {
         );
     }
     println!("sweep time | {} | (not reported)", fmt_dur(elapsed));
+    println!(
+        "solver sharing | shared-cache {}, solve-threads {} | (n/a)",
+        if shared_cache { "on" } else { "off" },
+        solve_threads,
+    );
 
     header(
         "E4: detection by defect class (ground truth from the generator)",

@@ -82,6 +82,23 @@ pub struct DartConfig {
     /// default). Turning it off changes no session outcome — only how
     /// often the solver actually runs; see `SolveStats::cache_hits`.
     pub solver_cache: bool,
+    /// Worker threads for each run's candidate fan-out in
+    /// [`crate::search::solve_next`]. `1` (the default) solves on the
+    /// calling thread; higher values speculate on candidate queries
+    /// concurrently and commit deterministically, so the session report
+    /// is byte-identical either way (only the
+    /// [`crate::SolveStats::parallel_wasted`] diagnostic varies). The
+    /// default honors the `DART_SOLVE_THREADS` environment variable when
+    /// set, so an unmodified test suite can be exercised under parallel
+    /// solving.
+    pub solve_threads: usize,
+    /// Share solver verdicts across sessions through a
+    /// [`dart_solver::SharedVerdictStore`] (off by default). In a
+    /// [`crate::sweep::sweep`] one store spans all sessions, so functions
+    /// with shared constraint structure replay each other's verdicts;
+    /// accounting is as-if-fresh, so each session's deterministic stats
+    /// are unchanged (see [`crate::SolveStats::shared_hits`]).
+    pub shared_cache: bool,
     /// Wall-clock budget for the whole session. When it expires the
     /// session stops at the next run boundary with
     /// [`Outcome::DeadlineExceeded`] — partial results intact, never a
@@ -117,6 +134,8 @@ impl Default for DartConfig {
             max_ptr_depth: 32,
             record_paths: false,
             solver_cache: true,
+            solve_threads: solve_threads_default(),
+            shared_cache: false,
             deadline: None,
             oom_is_bug: true,
             max_retries: 1,
@@ -124,6 +143,18 @@ impl Default for DartConfig {
             faults: crate::supervise::FaultPlan::default(),
         }
     }
+}
+
+/// The [`DartConfig::solve_threads`] default: `DART_SOLVE_THREADS` when
+/// set to a positive integer, else `1`. An environment hook rather than
+/// a constant so CI can run the unmodified tier-1 suite under parallel
+/// solving — byte-identical reports make that a pure re-exercise.
+fn solve_threads_default() -> usize {
+    std::env::var("DART_SOLVE_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 /// Error constructing a [`Dart`] session.
@@ -173,6 +204,7 @@ pub struct Dart<'p> {
     compiled: &'p CompiledProgram,
     sig: FnSig,
     config: DartConfig,
+    shared: Option<std::sync::Arc<dart_solver::SharedVerdictStore>>,
 }
 
 impl<'p> Dart<'p> {
@@ -194,12 +226,38 @@ impl<'p> Dart<'p> {
             compiled,
             sig,
             config,
+            shared: None,
         })
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &DartConfig {
         &self.config
+    }
+
+    /// Attaches a cross-session verdict store (and implies
+    /// [`DartConfig::shared_cache`] semantics for this session). The
+    /// sweep calls this with one store per sweep so sessions replay each
+    /// other's verdicts; a caller driving sessions by hand may do the
+    /// same. All sessions sharing a store must use the same
+    /// [`SolverConfig`].
+    pub fn with_shared_store(
+        mut self,
+        store: std::sync::Arc<dart_solver::SharedVerdictStore>,
+    ) -> Self {
+        self.shared = Some(store);
+        self
+    }
+
+    /// The store to attach for this session: an explicitly provided one,
+    /// else a fresh private store when `shared_cache` asks for one (so a
+    /// solo session behaves the same with or without a sweep around it).
+    fn shared_store(&self) -> Option<std::sync::Arc<dart_solver::SharedVerdictStore>> {
+        self.shared.clone().or_else(|| {
+            self.config
+                .shared_cache
+                .then(|| std::sync::Arc::new(dart_solver::SharedVerdictStore::new()))
+        })
     }
 
     /// Runs the session to completion (Fig. 2's `run_DART`).
@@ -210,8 +268,12 @@ impl<'p> Dart<'p> {
         let cfg = &self.config;
         let solver = Solver::new(cfg.solver);
         // One query cache per session: queries repeat massively within a
-        // session (restarts replay whole query families), never across.
+        // session (restarts replay whole query families). Cross-session
+        // reuse goes through the attached shared store, if any.
         let mut cache = QueryCache::new(cfg.solver_cache);
+        if let Some(store) = self.shared_store() {
+            cache.attach_shared(store);
+        }
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
         let mut faults = FaultState::for_config(cfg);
         let deadline = cfg.deadline.map(|d| std::time::Instant::now() + d);
@@ -304,6 +366,7 @@ impl<'p> Dart<'p> {
                     &mut rng,
                     &mut report.solver,
                     &mut faults,
+                    cfg.solve_threads,
                 );
                 report.solve_time += solve_started.elapsed();
                 if report.solver.unknown > unknown_before {
@@ -341,7 +404,13 @@ impl<'p> Dart<'p> {
 
         let cfg = &self.config;
         let solver = Solver::new(cfg.solver);
+        // The generational frontier solves candidates sequentially (its
+        // queries all spawn children, so there is no winner to cut at);
+        // it still shares verdicts through the attached store.
         let mut cache = QueryCache::new(cfg.solver_cache);
+        if let Some(store) = self.shared_store() {
+            cache.attach_shared(store);
+        }
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
         let mut faults = FaultState::for_config(cfg);
         let deadline = cfg.deadline.map(|d| std::time::Instant::now() + d);

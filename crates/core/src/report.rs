@@ -156,7 +156,7 @@ impl fmt::Display for SessionReport {
             f,
             "{outcome} | runs {} | bugs {} | divergences {} | restarts {} | \
              solver sat/unsat/unknown {}/{}/{} | cache hits/reuse/splits {}/{}/{} | \
-             branch cov {}/{}",
+             shared/wasted {}/{} | branch cov {}/{}",
             self.runs,
             self.bugs.len(),
             self.divergences,
@@ -167,6 +167,8 @@ impl fmt::Display for SessionReport {
             self.solver.cache_hits,
             self.solver.cache_model_reuse,
             self.solver.split_solves,
+            self.solver.shared_hits,
+            self.solver.parallel_wasted,
             self.branches_covered,
             self.branch_sites,
         )

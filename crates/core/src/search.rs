@@ -1,11 +1,35 @@
 //! `solve_path_constraint` (paper Fig. 5) and branch-selection strategies.
+//!
+//! # Parallel candidate fan-out
+//!
+//! One run's candidate queries are independent conjunctions
+//! (`c_0 ∧ … ∧ c_{j-1} ∧ ¬c_j` for different `j`), so with
+//! `solve_threads > 1` [`solve_next`] speculates on them concurrently and
+//! then *commits* sequentially, producing a byte-identical [`NextStep`]
+//! and byte-identical stats. The scheme rests on one invariant: within a
+//! single `solve_next` walk, every query before the winner is
+//! `Unsat`/`Unknown`, and those verdicts push no models into the cache's
+//! reuse pool — so each candidate's verdict is a function of the cache
+//! state *at walk entry*, which is exactly the state the workers
+//! speculate against. The commit walk then re-runs the real shortcut
+//! chain per position in strategy order, consumes a worker's fresh
+//! verdict only where a synchronous solve would have happened, counts
+//! fault-injection slots in the exact sequential order, and stops at the
+//! first `Sat` — the same winner the sequential walk picks. Workers past
+//! the lowest `Sat` position are cancelled through an atomic high-water
+//! mark (positions are claimed in increasing order, so nothing the
+//! commit walk can reach is ever skipped).
 
 use crate::supervise::FaultState;
 use crate::tape::InputTape;
-use dart_solver::{Assignment, QueryCache, SolveOutcome, Solver};
+use dart_solver::{
+    Assignment, CacheStats, PrefixSession, QueryCache, SolveInfo, SolveOutcome, Solver,
+};
 use dart_sym::{BranchRecord, PathConstraint};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Which unexplored branch to force next (the paper's footnote 4: "a
 /// depth-first search is used for exposition, but the next branch to be
@@ -43,16 +67,39 @@ pub struct SolveStats {
     pub cache_model_reuse: u64,
     /// Solved queries that split into independent variable components.
     pub split_solves: u64,
+    /// Speculative worker solves the deterministic commit walk never
+    /// consumed (cancelled past the winner, duplicated by a fault shift,
+    /// or shadowed by a commit-time cache hit). Scheduling-dependent by
+    /// nature: a diagnostic, excluded from the determinism contract.
+    pub parallel_wasted: u64,
+    /// Queries answered by replaying another session's verdict from an
+    /// attached [`dart_solver::SharedVerdictStore`]. Deterministic within
+    /// one session; across a sweep it depends on which session published
+    /// first — a diagnostic, excluded from cross-session determinism
+    /// comparisons.
+    pub shared_hits: u64,
 }
 
 impl SolveStats {
-    /// Copies the cache-side counters out of `cache` (they are
-    /// session-cumulative, so this is an assignment, not an addition).
+    /// Copies the cache-side counters out of `cache`.
+    ///
+    /// Session-cumulative invariant: one `QueryCache` lives for the whole
+    /// session and its counters only grow, so copying them (assignment,
+    /// **not** addition) yields correct session totals no matter how often
+    /// this runs — calling it once per `solve_next` must equal calling it
+    /// once at session end. Anything *not* session-cumulative must merge
+    /// into the cache before this copy: per-worker speculative shards fold
+    /// in through [`QueryCache::absorb_shard`] (`CacheStats: AddAssign`),
+    /// so the assignment can no longer silently drop them. The one
+    /// counter this method deliberately leaves alone is
+    /// [`SolveStats::parallel_wasted`], which `solve_next` owns and
+    /// accumulates additively.
     pub fn absorb_cache(&mut self, cache: &QueryCache) {
         let cs = cache.stats();
         self.cache_hits = cs.hits;
         self.cache_model_reuse = cs.model_reuse;
         self.split_solves = cs.split_solves;
+        self.shared_hits = cs.shared_hits;
     }
 }
 
@@ -73,6 +120,12 @@ pub struct NextStep {
 /// prefix; the first satisfiable one wins. Returns `None` when every
 /// candidate is done or unsatisfiable — the directed search is over
 /// (Fig. 5's `j == -1` case).
+///
+/// With `solve_threads > 1` the candidates are speculatively solved on a
+/// bounded scoped-thread pool first, then committed in strategy order —
+/// the returned step, the cache contents and every deterministic stat are
+/// byte-identical to the sequential walk (see the module docs). Passing
+/// `0` or `1` keeps everything on the calling thread.
 #[allow(clippy::too_many_arguments)] // one spot, mirrors Fig. 5's state
 pub fn solve_next(
     path: &PathConstraint,
@@ -84,9 +137,12 @@ pub fn solve_next(
     rng: &mut SmallRng,
     stats: &mut SolveStats,
     faults: &mut FaultState,
+    solve_threads: usize,
 ) -> Option<NextStep> {
     let n = stack.len().min(path.len());
     let mut candidates: Vec<usize> = (0..n).filter(|&j| !stack[j].done).collect();
+    // The RNG advances identically whatever `solve_threads` says: thread
+    // count must never leak into the random sequence.
     match strategy {
         Strategy::Dfs => candidates.reverse(),
         Strategy::RandomBranch => candidates.shuffle(rng),
@@ -97,16 +153,32 @@ pub fn solve_next(
     for c in &path.constraints()[..n] {
         session.push(c);
     }
+    let mut speculated = if solve_threads > 1 && candidates.len() > 1 {
+        speculate(path, &candidates, &session, tape, cache, solve_threads)
+    } else {
+        Speculation::none(candidates.len())
+    };
+    // The commit walk: sequential, in strategy order. Identical to the
+    // plain walk except that positions the workers fresh-solved consume
+    // the precomputed verdict instead of re-running the solver.
     let mut found = None;
-    for j in candidates {
+    let mut consumed: u64 = 0;
+    for (pos, &j) in candidates.iter().enumerate() {
         // Injected solver incompleteness: this query is counted and
-        // skipped exactly as a genuine `Unknown` verdict would be.
+        // skipped exactly as a genuine `Unknown` verdict would be — and
+        // the fault slot is consumed at the same logical index as in the
+        // sequential walk, so a speculative verdict for this position is
+        // simply discarded (it never touched the cache).
         if faults.force_unknown_next_query() {
             stats.unknown += 1;
             continue;
         }
         let negated = path.constraints()[j].negated();
-        match cache.solve_query(&mut session, j, &negated, |v| tape.value_of(v)) {
+        let pre = speculated.verdicts[pos].take();
+        let (out, used) =
+            cache.solve_query_precomputed(&mut session, j, &negated, |v| tape.value_of(v), pre);
+        consumed += u64::from(used);
+        match out {
             SolveOutcome::Sat(model) => {
                 stats.sat += 1;
                 let mut new_stack: Vec<BranchRecord> = stack[..=j].to_vec();
@@ -121,8 +193,98 @@ pub fn solve_next(
             SolveOutcome::Unknown => stats.unknown += 1,
         }
     }
+    if speculated.fresh > 0 {
+        // Solver invocations the commit never replayed: count the extra
+        // work honestly (`misses` is total solver invocations), and
+        // surface it as the wasted-speculation diagnostic.
+        stats.parallel_wasted += speculated.fresh - consumed;
+        cache.absorb_shard(CacheStats {
+            misses: speculated.fresh - consumed,
+            ..CacheStats::default()
+        });
+    }
     stats.absorb_cache(cache);
     found
+}
+
+/// Results of the speculative fan-out: per-position fresh verdicts
+/// (`None` where the worker's read-only peek already had an answer, the
+/// position was cancelled, or no worker reached it) and how many fresh
+/// solves the workers performed.
+struct Speculation {
+    verdicts: Vec<Option<(SolveOutcome, SolveInfo)>>,
+    fresh: u64,
+}
+
+impl Speculation {
+    fn none(len: usize) -> Speculation {
+        Speculation {
+            verdicts: (0..len).map(|_| None).collect(),
+            fresh: 0,
+        }
+    }
+}
+
+/// Fans the candidate queries out over a bounded scoped-thread pool (the
+/// `sweep` pattern: atomic work claiming, no extra deps). Each worker
+/// clones the pristine prefix `session` — queries before the winner
+/// cannot mutate the pool, so the walk-entry cache state every worker
+/// peeks against is the state the commit walk will see for any position
+/// whose verdict it consumes. Positions are claimed in increasing
+/// (strategy) order; the first `Sat` lowers the atomic high-water mark,
+/// and since the mark only decreases, a worker bailing at `p >
+/// high_water` can only skip positions strictly past the final winner —
+/// never one the commit walk needs (absent fault injection, which the
+/// commit walk covers with a synchronous fallback solve).
+fn speculate(
+    path: &PathConstraint,
+    candidates: &[usize],
+    session: &PrefixSession<'_>,
+    tape: &InputTape,
+    cache: &QueryCache,
+    threads: usize,
+) -> Speculation {
+    let m = candidates.len();
+    let slots: Vec<OnceLock<Option<(SolveOutcome, SolveInfo)>>> =
+        (0..m).map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    let high_water = AtomicUsize::new(usize::MAX);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(m) {
+            scope.spawn(|| {
+                let mut sess = session.clone();
+                loop {
+                    let p = next.fetch_add(1, Ordering::Relaxed);
+                    if p >= m || p > high_water.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let j = candidates[p];
+                    let negated = path.constraints()[j].negated();
+                    let (sat, fresh) = match cache
+                        .peek_query(&sess, j, &negated, |v| tape.value_of(v))
+                    {
+                        Some(out) => (out.is_sat(), None),
+                        None => {
+                            let mut info = SolveInfo::default();
+                            let out =
+                                sess.solve_query_info(j, &negated, |v| tape.value_of(v), &mut info);
+                            (out.is_sat(), Some((out, info)))
+                        }
+                    };
+                    if sat {
+                        high_water.fetch_min(p, Ordering::AcqRel);
+                    }
+                    let _ = slots[p].set(fresh);
+                }
+            });
+        }
+    });
+    let verdicts: Vec<Option<(SolveOutcome, SolveInfo)>> = slots
+        .into_iter()
+        .map(|s| s.into_inner().flatten())
+        .collect();
+    let fresh = verdicts.iter().filter(|v| v.is_some()).count() as u64;
+    Speculation { verdicts, fresh }
 }
 
 #[cfg(test)]
@@ -162,6 +324,7 @@ mod tests {
             &mut rng,
             &mut stats,
             &mut FaultState::default(),
+            1,
         )
         .expect("solvable");
         assert_eq!(step.stack.len(), 2, "deepest candidate keeps full prefix");
@@ -187,6 +350,7 @@ mod tests {
             &mut rng,
             &mut stats,
             &mut FaultState::default(),
+            1,
         )
         .expect("solvable");
         assert!(step.stack.len() == 1 || step.stack.len() == 2);
@@ -210,6 +374,7 @@ mod tests {
             &mut rng,
             &mut stats,
             &mut FaultState::default(),
+            1,
         )
         .expect("solvable");
         assert_eq!(step.stack.len(), 1, "done deepest skipped");
@@ -230,7 +395,8 @@ mod tests {
             Strategy::Dfs,
             &mut rng,
             &mut stats,
-            &mut FaultState::default()
+            &mut FaultState::default(),
+            1,
         )
         .is_none());
         assert_eq!(stats, SolveStats::default());
@@ -258,6 +424,7 @@ mod tests {
             &mut rng,
             &mut stats,
             &mut FaultState::default(),
+            1,
         )
         .expect("first conditional still flippable");
         assert_eq!(step.stack.len(), 1);
@@ -265,6 +432,138 @@ mod tests {
         assert_eq!(stats.unsat, 1);
         assert_eq!(stats.sat, 1);
         assert_ne!(step.model[&Var(0)], 1);
+    }
+
+    /// Runs `solve_next` with the given thread count on a three-deep
+    /// path whose deepest two flips are unsatisfiable, returning the
+    /// step plus stats — the parallel walks must match the sequential
+    /// one field for field (minus the wasted-speculation diagnostic).
+    fn run_mixed_path(threads: usize) -> (Option<NextStep>, SolveStats, QueryCache) {
+        // path: x == 1 (taken), x < 100 (taken), x != 5.
+        let mut pc = PathConstraint::new();
+        pc.push(Constraint::new(LinExpr::var(Var(0)).offset(-1), RelOp::Eq));
+        pc.push(Constraint::new(
+            LinExpr::var(Var(0)).offset(-100),
+            RelOp::Lt,
+        ));
+        pc.push(Constraint::new(LinExpr::var(Var(0)).offset(-5), RelOp::Ne));
+        let mut tape = InputTape::new(0);
+        let _ = tape.take(InputKind::IntLike, || "x".into());
+        let stack = vec![
+            record(true, false),
+            record(true, false),
+            record(false, false),
+        ];
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut stats = SolveStats::default();
+        let mut cache = QueryCache::new(true);
+        let step = solve_next(
+            &pc,
+            &stack,
+            &tape,
+            &Solver::default(),
+            &mut cache,
+            Strategy::Dfs,
+            &mut rng,
+            &mut stats,
+            &mut FaultState::default(),
+            threads,
+        );
+        (step, stats, cache)
+    }
+
+    #[test]
+    fn parallel_walk_matches_sequential_walk() {
+        let (seq_step, mut seq_stats, seq_cache) = run_mixed_path(1);
+        for threads in [2, 4, 8] {
+            let (par_step, mut par_stats, par_cache) = run_mixed_path(threads);
+            let (s, p) = (seq_step.as_ref().unwrap(), par_step.as_ref().unwrap());
+            assert_eq!(s.stack, p.stack, "{threads} threads: same flip");
+            assert_eq!(s.model, p.model, "{threads} threads: same model");
+            seq_stats.parallel_wasted = 0;
+            par_stats.parallel_wasted = 0;
+            assert_eq!(seq_stats, par_stats, "{threads} threads: same stats");
+            // The committed cache contents match too: a rerun of the same
+            // walk hits identically on both.
+            assert_eq!(
+                seq_cache.stats().hits,
+                par_cache.stats().hits,
+                "{threads} threads"
+            );
+        }
+        // The deepest two flips (x==1 ∧ x<100 ∧ x==5, x==1 ∧ ¬(x<100))
+        // are unsat; the shallowest (x != 1) wins.
+        assert_eq!(seq_stats.unsat, 2);
+        assert_eq!(seq_stats.sat, 1);
+    }
+
+    #[test]
+    fn parallel_walk_under_fault_matches_sequential_walk() {
+        // Force query k Unknown for every k: the fault slot must land on
+        // the same logical query whatever the thread count, including
+        // when it shifts the winner past the speculation high-water mark.
+        for k in 0..3u64 {
+            let mut outcomes = Vec::new();
+            for threads in [1usize, 4] {
+                let mut pc = PathConstraint::new();
+                pc.push(Constraint::new(LinExpr::var(Var(0)).offset(-1), RelOp::Ne));
+                pc.push(Constraint::new(LinExpr::var(Var(0)).offset(-2), RelOp::Ne));
+                pc.push(Constraint::new(LinExpr::var(Var(0)).offset(-3), RelOp::Ne));
+                let mut tape = InputTape::new(0);
+                let _ = tape.take(InputKind::IntLike, || "x".into());
+                let stack = vec![
+                    record(false, false),
+                    record(false, false),
+                    record(false, false),
+                ];
+                let mut rng = SmallRng::seed_from_u64(0);
+                let mut stats = SolveStats::default();
+                let config = crate::DartConfig {
+                    faults: crate::supervise::FaultPlan {
+                        unknown_on_query: Some(k),
+                        ..crate::supervise::FaultPlan::default()
+                    },
+                    ..crate::DartConfig::default()
+                };
+                let mut faults = FaultState::for_config(&config);
+                let step = solve_next(
+                    &pc,
+                    &stack,
+                    &tape,
+                    &Solver::default(),
+                    &mut QueryCache::new(true),
+                    Strategy::Dfs,
+                    &mut rng,
+                    &mut stats,
+                    &mut faults,
+                    threads,
+                );
+                let step = step.expect("some candidate is satisfiable");
+                stats.parallel_wasted = 0;
+                outcomes.push((step.stack, step.model, stats));
+            }
+            assert_eq!(outcomes[0], outcomes[1], "fault on query {k}");
+            // Only a fault slot consumed before the winner registers: with
+            // every flip satisfiable the sequential winner is position 0,
+            // so only `k == 0` fires — and shifts the winner to position 1,
+            // past the speculation high-water mark.
+            assert_eq!(
+                outcomes[0].2.unknown,
+                u64::from(k == 0),
+                "fault on query {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn wasted_speculation_is_counted() {
+        // Sequential: never speculates, never wastes.
+        let (_, stats, _) = run_mixed_path(1);
+        assert_eq!(stats.parallel_wasted, 0);
+        // Parallel: whatever the scheduling, fresh speculative solves
+        // minus commits is non-negative and bounded by the candidates.
+        let (_, stats, _) = run_mixed_path(4);
+        assert!(stats.parallel_wasted <= 3);
     }
 
     #[test]
@@ -291,6 +590,7 @@ mod tests {
             &mut rng,
             &mut stats,
             &mut FaultState::default(),
+            1,
         )
         .unwrap();
         tape.apply_model(&step.model);

@@ -10,7 +10,9 @@ use crate::driver::{Dart, DartConfig, DartError};
 use crate::report::SessionReport;
 use crate::supervise;
 use dart_minic::CompiledProgram;
+use dart_solver::SharedVerdictStore;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// How one function's supervised session ended.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,6 +92,15 @@ pub fn sweep(
     let mut slots: Vec<Option<SweepResult>> = Vec::new();
     slots.resize_with(toplevels.len(), || None);
     let slots_ref = std::sync::Mutex::new(&mut slots);
+    // One verdict store for the whole sweep: sessions over a generated or
+    // validation-heavy API re-solve near-identical constraint sets, and
+    // the store lets them replay each other's verdicts. Store hits are
+    // accounted as-if-fresh, so each session's report-visible counters
+    // stay scheduling-independent (only the `shared_hits` diagnostic
+    // varies — see `SweepOutcome` comparisons in the tests).
+    let store = config
+        .shared_cache
+        .then(|| Arc::new(SharedVerdictStore::new()));
 
     std::thread::scope(|scope| {
         for _ in 0..threads.min(toplevels.len().max(1)) {
@@ -100,7 +111,7 @@ pub fn sweep(
                 };
                 let result = SweepResult {
                     function: name.clone(),
-                    outcome: run_supervised(compiled, name, i, config),
+                    outcome: run_supervised(compiled, name, i, config, store.as_ref()),
                 };
                 slots_ref.lock().expect("worker panics are caught")[i] = Some(result);
             });
@@ -114,12 +125,15 @@ pub fn sweep(
 }
 
 /// One function's session under supervision: run, catch engine panics,
-/// retry with a reseeded RNG up to `config.max_retries` times.
+/// retry with a reseeded RNG up to `config.max_retries` times. Retries
+/// reuse the same shared store: its verdicts are input-independent facts
+/// about constraint sets, so a reseeded run may still replay them.
 fn run_supervised(
     compiled: &CompiledProgram,
     name: &str,
     index: usize,
     config: &DartConfig,
+    store: Option<&Arc<SharedVerdictStore>>,
 ) -> SweepOutcome {
     let base_seed = config.seed ^ name_hash(name);
     let mut attempt: u32 = 0;
@@ -130,9 +144,12 @@ fn run_supervised(
         };
         let run = supervise::run_caught(|| {
             supervise::maybe_panic(&cfg, index);
-            Dart::new(compiled, name, cfg)
-                .expect("toplevels validated before spawning")
-                .run()
+            let mut dart =
+                Dart::new(compiled, name, cfg).expect("toplevels validated before spawning");
+            if let Some(store) = store {
+                dart = dart.with_shared_store(store.clone());
+            }
+            dart.run()
         });
         let retried = attempt > 0;
         match run {
@@ -208,13 +225,18 @@ mod tests {
         r.report().expect("session finished")
     }
 
-    /// Scrubs the wall-clock fields so outcomes compare deterministically.
+    /// Scrubs the wall-clock fields plus the two scheduling-dependent
+    /// diagnostics (`parallel_wasted` counts speculative solves past the
+    /// winner; cross-session `shared_hits` depend on which sweep session
+    /// published a verdict first) so outcomes compare deterministically.
     fn scrubbed(o: &SweepOutcome) -> SweepOutcome {
         match o {
             SweepOutcome::Finished { report, retried } => {
                 let mut report = report.clone();
                 report.exec_time = Duration::ZERO;
                 report.solve_time = Duration::ZERO;
+                report.solver.parallel_wasted = 0;
+                report.solver.shared_hits = 0;
                 SweepOutcome::Finished {
                     report,
                     retried: *retried,
@@ -244,6 +266,55 @@ mod tests {
             assert_eq!(a.function, b.function);
             assert_eq!(scrubbed(&a.outcome), scrubbed(&b.outcome));
         }
+    }
+
+    /// With the cross-session verdict store on, a wide sweep still equals
+    /// a sequential one (scrubbed of the store-dependent diagnostics),
+    /// and both equal the storeless sweep: as-if-fresh accounting keeps
+    /// every report-visible counter scheduling-independent.
+    #[test]
+    fn shared_store_does_not_change_verdicts() {
+        let compiled = library();
+        let shared = DartConfig {
+            shared_cache: true,
+            ..config()
+        };
+        let wide = sweep(&compiled, &names(), &shared, 4).unwrap();
+        let narrow = sweep(&compiled, &names(), &shared, 1).unwrap();
+        let plain = sweep(&compiled, &names(), &config(), 1).unwrap();
+        for ((a, b), c) in wide.iter().zip(&narrow).zip(&plain) {
+            assert_eq!(a.function, b.function);
+            assert_eq!(scrubbed(&a.outcome), scrubbed(&b.outcome));
+            assert_eq!(scrubbed(&b.outcome), scrubbed(&c.outcome));
+        }
+    }
+
+    /// Sessions over same-shaped functions actually reuse each other's
+    /// verdicts: per-session variable numbering is dense, so the cloned
+    /// functions below produce byte-identical constraint systems, and a
+    /// sequential sweep records shared hits after the first session.
+    #[test]
+    fn shared_store_is_hit_across_sessions() {
+        let mut src = String::new();
+        let mut names = Vec::new();
+        for i in 0..6 {
+            // The inner condition is implied by the outer guard, so every
+            // session refutes the same flip: [2x-2y==8, x-y!=4] is the
+            // sweep-wide shared unsat query.
+            src.push_str(&format!(
+                "int g{i}(int x, int y) {{ if (2*x - 2*y == 8) {{ if (x - y != 4) {{ return 1; }} return 2; }} return 0; }}\n"
+            ));
+            names.push(format!("g{i}"));
+        }
+        let compiled = dart_minic::compile(&src).unwrap();
+        let shared = DartConfig {
+            max_runs: 20,
+            shared_cache: true,
+            ..DartConfig::default()
+        };
+        let results = sweep(&compiled, &names, &shared, 1).unwrap();
+        let total: u64 = results.iter().map(|r| rep(r).solver.shared_hits).sum();
+        assert!(total > 0, "same-shaped sessions should replay verdicts");
     }
 
     #[test]

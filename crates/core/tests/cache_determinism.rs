@@ -2,8 +2,17 @@
 //! session with the cache on vs. off produces the *same report* — same
 //! runs, same bugs, same restarts, same outcome, same per-verdict solver
 //! counts. Only the cache counters and wall-clock may differ.
+//!
+//! The same contract extends to the parallel solving layer: any
+//! combination of `solve_threads` and `shared_cache` must leave the
+//! report byte-identical (wall-clock and the two scheduling diagnostics
+//! `parallel_wasted`/`shared_hits` excepted) — see the randomized
+//! determinism proptest at the bottom.
 
 use dart::{Dart, DartConfig, EngineMode, SessionReport, Strategy};
+use proptest::prelude::*;
+// `dart::Strategy` shadows the prelude's trait of the same name.
+use proptest::strategy::Strategy as _;
 
 /// Fig. 1 / §2.1 — the `h` example.
 const PAPER_H: &str = r#"
@@ -153,4 +162,120 @@ fn cache_hits_observed_on_fig1_example() {
         "fresh hints over known constraint sets should reuse pooled models, got {:?}",
         report.solver
     );
+}
+
+// ---------------------------------------------------------------------
+// Randomized parallel-solving determinism
+// ---------------------------------------------------------------------
+
+/// One random linear conditional over the two parameters, with small
+/// coefficients so queries stay well inside the solver's budgets.
+fn cond_strategy() -> impl proptest::strategy::Strategy<Value = String> {
+    (1i64..=3, any::<bool>(), 1i64..=3, 0i64..=8, 0usize..6).prop_map(|(a, minus, b, c, op)| {
+        let sign = if minus { '-' } else { '+' };
+        let op = ["==", "!=", "<", ">", "<=", ">="][op];
+        format!("{a}*x {sign} {b}*y {op} {c}")
+    })
+}
+
+/// A random two-parameter MiniC function: 2–4 linear conditionals,
+/// either nested (deep paths — many flip candidates per `solve_next`,
+/// the parallel walk's stress case) or sequential (wide coverage), with
+/// an optional reachable `abort()`.
+fn program_strategy() -> impl proptest::strategy::Strategy<Value = String> {
+    (
+        proptest::collection::vec(cond_strategy(), 2..=4),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|(conds, nested, aborts)| {
+            let inner = if aborts { "abort();" } else { "return 9;" };
+            let mut body = String::new();
+            if nested {
+                for c in &conds {
+                    body.push_str(&format!("if ({c}) {{ "));
+                }
+                body.push_str(inner);
+                for _ in &conds {
+                    body.push_str(" }");
+                }
+            } else {
+                for (i, c) in conds.iter().enumerate() {
+                    body.push_str(&format!("if ({c}) {{ r = r + {}; }} ", i + 1));
+                }
+                if aborts {
+                    body.push_str("if (r == 1) { abort(); } ");
+                }
+            }
+            format!("int f(int x, int y) {{ int r; r = 0; {body} return r; }}")
+        })
+}
+
+/// Runs the generated program under one `(solve_threads, shared_cache)`
+/// combination. `unknown_on_query` injects solver incompleteness at a
+/// random logical query index when the `fault-injection` feature is on
+/// (plain builds exercise the fault-free path of the same contract).
+fn run_parallel_cfg(
+    compiled: &dart_minic::CompiledProgram,
+    solve_threads: usize,
+    shared_cache: bool,
+    seed: u64,
+    unknown_on_query: Option<u64>,
+) -> SessionReport {
+    #[cfg(not(feature = "fault-injection"))]
+    let _ = unknown_on_query;
+    let config = DartConfig {
+        max_runs: 24,
+        seed,
+        stop_at_first_bug: false,
+        record_paths: true,
+        solve_threads,
+        shared_cache,
+        #[cfg(feature = "fault-injection")]
+        faults: dart::FaultPlan {
+            unknown_on_query,
+            ..dart::FaultPlan::default()
+        },
+        ..DartConfig::default()
+    };
+    Dart::new(compiled, "f", config).unwrap().run()
+}
+
+/// Zeroes wall-clock plus the two scheduling diagnostics the parallel
+/// layer explicitly excludes from its determinism contract.
+fn scrub(mut r: SessionReport) -> SessionReport {
+    r.exec_time = std::time::Duration::ZERO;
+    r.solve_time = std::time::Duration::ZERO;
+    r.solver.parallel_wasted = 0;
+    r.solver.shared_hits = 0;
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The tentpole's acceptance property: for random programs, random
+    /// seeds and random injected-Unknown positions, every combination of
+    /// `solve_threads` ∈ {1, 4} × `shared_cache` ∈ {off, on} produces a
+    /// byte-identical `SessionReport` after scrubbing.
+    #[test]
+    fn parallel_and_shared_solving_preserve_reports(
+        source in program_strategy(),
+        seed in 0u64..1024,
+        unknown_on_query in proptest::option::of(0u64..8),
+    ) {
+        let compiled = dart_minic::compile(&source).expect("generated source compiles");
+        let baseline = scrub(run_parallel_cfg(&compiled, 1, false, seed, unknown_on_query));
+        for (threads, shared) in [(4, false), (1, true), (4, true)] {
+            let got = scrub(run_parallel_cfg(&compiled, threads, shared, seed, unknown_on_query));
+            prop_assert_eq!(
+                &baseline,
+                &got,
+                "threads={} shared={} source={}",
+                threads,
+                shared,
+                source
+            );
+        }
+    }
 }

@@ -39,6 +39,15 @@
 //! cheap probes (hint, then zeros) first and declines when either would
 //! fire, so it never shadows a probe answer.
 //!
+//! A [`SharedVerdictStore`] may be layered *under* the session stores
+//! (see [`QueryCache::attach_shared`]): it is consulted only after every
+//! session-local shortcut misses — exactly where a fresh solve would
+//! happen — and a hit is recorded with **as-if-fresh accounting**
+//! ([`QueryCache::record`] runs as if the session had solved the query
+//! itself, and `misses`/`split_solves` move identically), so every
+//! report-visible counter stays independent of what other sessions
+//! published. Only [`CacheStats::shared_hits`] reveals the reuse.
+//!
 //! [`report`]: SolveOutcome
 //!
 //! # Examples
@@ -59,10 +68,12 @@
 //! ```
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::constraint::Constraint;
 use crate::ilp::{Assignment, SolveInfo, SolveOutcome, Solver};
 use crate::linear::Var;
+use crate::shared::SharedVerdictStore;
 
 /// How many recent models the counterexample-reuse pool retains.
 const MODEL_POOL: usize = 64;
@@ -70,11 +81,13 @@ const MODEL_POOL: usize = 64;
 /// Canonical fingerprint of a constraint set: one byte string per
 /// constraint (relational operator, then the expression's sorted
 /// `(var, coeff)` terms, then the constant), with the per-constraint
-/// strings sorted so the key is order-insensitive.
-type SetKey = Vec<Vec<u8>>;
+/// strings sorted so the key is order-insensitive. [`seq_key`] builds the
+/// same fingerprints *without* the final sort — an order-sensitive
+/// variant for stores whose entries replay order-dependent solver runs.
+pub(crate) type SetKey = Vec<Vec<u8>>;
 
 /// The hint's projection onto a query's variables, in sorted var order.
-type HintKey = Vec<(u32, Option<i64>)>;
+pub(crate) type HintKey = Vec<(u32, Option<i64>)>;
 
 /// Counters describing what the cache did so far; snapshot via
 /// [`QueryCache::stats`].
@@ -89,8 +102,37 @@ pub struct CacheStats {
     pub model_reuse: u64,
     /// Solved queries that decomposed into >1 independent components.
     pub split_solves: u64,
-    /// Queries that went to the underlying solver.
+    /// Queries that went to the underlying solver — including, once
+    /// per-worker shards are merged in ([`QueryCache::absorb_shard`]),
+    /// speculative solves performed off the main walk.
     pub misses: u64,
+    /// Queries answered by replaying a verdict another session published
+    /// to an attached [`SharedVerdictStore`]. Counted *in addition to*
+    /// the as-if-fresh accounting of such a hit (which bumps `misses`,
+    /// not `hits`), so every other counter stays independent of what the
+    /// rest of a sweep did. Inherently scheduling-dependent across a
+    /// sweep — a diagnostic, not part of the determinism contract.
+    pub shared_hits: u64,
+}
+
+/// Shard merging: fold a per-worker counter block into a cumulative one.
+/// The exhaustive destructuring makes adding a `CacheStats` field without
+/// deciding its merge behavior a compile error.
+impl std::ops::AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: CacheStats) {
+        let CacheStats {
+            hits,
+            model_reuse,
+            split_solves,
+            misses,
+            shared_hits,
+        } = rhs;
+        self.hits += hits;
+        self.model_reuse += model_reuse;
+        self.split_solves += split_solves;
+        self.misses += misses;
+        self.shared_hits += shared_hits;
+    }
 }
 
 /// A memo table over [`Solver`] verdicts for one engine session. See the
@@ -106,6 +148,11 @@ pub struct QueryCache {
     exact: HashMap<(SetKey, HintKey), SolveOutcome>,
     models: Vec<Assignment>,
     stats: CacheStats,
+    /// Cross-session verdict store, consulted after every session-local
+    /// shortcut misses; `None` (the default) keeps the cache
+    /// session-private. Independent of `enabled`: the store replays
+    /// fresh solves, not session memoization.
+    shared: Option<Arc<SharedVerdictStore>>,
 }
 
 impl QueryCache {
@@ -132,6 +179,30 @@ impl QueryCache {
         self.stats
     }
 
+    /// Layers `store` under this cache: once every session-local shortcut
+    /// misses, the store is consulted before (and fresh verdicts are
+    /// published after) the solver runs. All caches sharing one store
+    /// must drive solvers with the same configuration — see the
+    /// [`crate::shared`] module docs for the determinism discipline.
+    pub fn attach_shared(&mut self, store: Arc<SharedVerdictStore>) {
+        self.shared = Some(store);
+    }
+
+    /// The attached cross-session store, if any.
+    pub fn shared(&self) -> Option<&Arc<SharedVerdictStore>> {
+        self.shared.as_ref()
+    }
+
+    /// Folds a per-worker counter shard into this cache's cumulative
+    /// stats. Speculative workers count their fresh solves as `misses`;
+    /// merging keeps `misses` an honest count of solver invocations
+    /// while every report-visible counter (which [`CacheStats`]'s
+    /// `AddAssign` would equally merge) is only ever produced by the
+    /// deterministic commit walk, so merging cannot skew reports.
+    pub fn absorb_shard(&mut self, shard: CacheStats) {
+        self.stats += shard;
+    }
+
     /// Solves `constraints` under `hint`, consulting the cache first and
     /// recording the verdict on a miss. Semantics match
     /// [`Solver::solve_with_hint`] exactly.
@@ -148,9 +219,13 @@ impl QueryCache {
         if let Some(out) = self.shortcut(solver, &key, constraints, &hint) {
             return out;
         }
+        if let Some(out) = self.shared_replay(&key, constraints, &hint) {
+            return out;
+        }
         let mut info = SolveInfo::default();
         let out = solver.solve_with_hint_info(constraints, &hint, &mut info);
-        self.record(key, constraints, &hint, &info, &out);
+        self.record(key, constraints, &hint, info.was_split(), &out);
+        self.publish_shared(constraints, &hint, info.was_split(), &out);
         out
     }
 
@@ -168,6 +243,37 @@ impl QueryCache {
     where
         F: Fn(Var) -> Option<i64>,
     {
+        self.solve_query_precomputed(session, j, negated, hint, None)
+            .0
+    }
+
+    /// [`QueryCache::solve_query`] with an optional precomputed verdict
+    /// from a speculative worker. The shortcut chain runs unchanged —
+    /// session stores, then the shared store — and only where a fresh
+    /// solve would happen is the precomputed `(outcome, info)` consumed
+    /// in its place (recorded and published exactly as a fresh solve
+    /// would be). Returns the outcome and whether the precomputed value
+    /// was consumed; with `None` precomputed, the fallback is a
+    /// synchronous solve, so this is exactly `solve_query`.
+    ///
+    /// Determinism: a consumed speculative verdict must equal what the
+    /// synchronous solve would have produced. That holds because workers
+    /// solve on clones of the same prefix session with the same hint,
+    /// and because no query *before* the walk's winner can push a model
+    /// (they are all `Unsat`/`Unknown`) — so the cache state a worker
+    /// speculated against answers shortcuts identically to the commit
+    /// walk's state for every position that actually consumes one.
+    pub fn solve_query_precomputed<F>(
+        &mut self,
+        session: &mut crate::ilp::PrefixSession<'_>,
+        j: usize,
+        negated: &Constraint,
+        hint: F,
+        precomputed: Option<(SolveOutcome, SolveInfo)>,
+    ) -> (SolveOutcome, bool)
+    where
+        F: Fn(Var) -> Option<i64>,
+    {
         let full: Vec<Constraint> = session
             .prefix_live(j)
             .iter()
@@ -176,12 +282,122 @@ impl QueryCache {
             .collect();
         let key = self.enabled.then(|| set_key(full.iter()));
         if let Some(out) = self.shortcut(session.solver(), &key, &full, &hint) {
-            return out;
+            return (out, false);
+        }
+        if let Some(out) = self.shared_replay(&key, &full, &hint) {
+            return (out, false);
+        }
+        if let Some((out, info)) = precomputed {
+            self.record(key, &full, &hint, info.was_split(), &out);
+            self.publish_shared(&full, &hint, info.was_split(), &out);
+            return (out, true);
         }
         let mut info = SolveInfo::default();
         let out = session.solve_query_info(j, negated, &hint, &mut info);
-        self.record(key, &full, &hint, &info, &out);
-        out
+        self.record(key, &full, &hint, info.was_split(), &out);
+        self.publish_shared(&full, &hint, info.was_split(), &out);
+        (out, false)
+    }
+
+    /// Read-only preview of a depth-`j` query for speculative workers:
+    /// would the session stores, model pool or shared store answer it
+    /// without a fresh solve? Mutates nothing and counts nothing — the
+    /// deterministic commit walk re-runs the real shortcut chain — so a
+    /// worker can both skip solving already-answered queries and learn a
+    /// candidate's satisfiability for the high-water mark.
+    pub fn peek_query<F>(
+        &self,
+        session: &crate::ilp::PrefixSession<'_>,
+        j: usize,
+        negated: &Constraint,
+        hint: F,
+    ) -> Option<SolveOutcome>
+    where
+        F: Fn(Var) -> Option<i64>,
+    {
+        let full: Vec<Constraint> = session
+            .prefix_live(j)
+            .iter()
+            .chain(std::iter::once(negated))
+            .cloned()
+            .collect();
+        let key = self.enabled.then(|| set_key(full.iter()));
+        if let Some(key) = &key {
+            if self.unsat.contains_key(key) {
+                return Some(SolveOutcome::Unsat);
+            }
+        }
+        if let Some(m) = self.try_model_reuse(session.solver(), &full, &hint) {
+            return Some(SolveOutcome::Sat(m));
+        }
+        if let Some(key) = &key {
+            let full_key = (key.clone(), hint_key(&full, &hint));
+            if let Some(out) = self.exact.get(&full_key).cloned() {
+                return Some(out);
+            }
+        }
+        let store = self.shared.as_ref()?;
+        let set = key.unwrap_or_else(|| set_key(full.iter()));
+        if store.lookup_unsat(&set).is_some() {
+            return Some(SolveOutcome::Unsat);
+        }
+        store
+            .lookup_exact(&seq_key(full.iter()), &hint_key(&full, &hint))
+            .map(|(out, _)| out)
+    }
+
+    /// Shared-store consult, placed exactly where a fresh solve would
+    /// happen. A hit replays the publisher's verdict with as-if-fresh
+    /// accounting: [`QueryCache::record`] runs as if this session had
+    /// solved the query (pool push, session-store promotion, `misses`
+    /// and `split_solves`), plus the `shared_hits` diagnostic.
+    fn shared_replay<F>(
+        &mut self,
+        key: &Option<SetKey>,
+        constraints: &[Constraint],
+        hint: &F,
+    ) -> Option<SolveOutcome>
+    where
+        F: Fn(Var) -> Option<i64>,
+    {
+        let store = self.shared.clone()?;
+        let set = match key {
+            Some(k) => k.clone(),
+            None => set_key(constraints.iter()),
+        };
+        let (out, was_split) = match store.lookup_unsat(&set) {
+            Some(was_split) => (SolveOutcome::Unsat, was_split),
+            None => {
+                store.lookup_exact(&seq_key(constraints.iter()), &hint_key(constraints, hint))?
+            }
+        };
+        self.record(key.clone(), constraints, hint, was_split, &out);
+        self.stats.shared_hits += 1;
+        Some(out)
+    }
+
+    /// Publishes a fresh verdict to the attached store (no-op without
+    /// one): refutations to the hint-free canonical unsat tier,
+    /// `Sat`/`Unknown` to the ordered exact tier.
+    fn publish_shared<F>(
+        &mut self,
+        constraints: &[Constraint],
+        hint: &F,
+        was_split: bool,
+        out: &SolveOutcome,
+    ) where
+        F: Fn(Var) -> Option<i64>,
+    {
+        let Some(store) = &self.shared else { return };
+        match out {
+            SolveOutcome::Unsat => store.publish_unsat(set_key(constraints.iter()), was_split),
+            SolveOutcome::Sat(_) | SolveOutcome::Unknown => store.publish_exact(
+                seq_key(constraints.iter()),
+                hint_key(constraints, hint),
+                out.clone(),
+                was_split,
+            ),
+        }
     }
 
     /// Everything that can answer a query without a fresh solve, in the
@@ -234,7 +450,7 @@ impl QueryCache {
     /// then scans the pool, newest first, for a model that satisfies
     /// every constraint.
     fn try_model_reuse<F>(
-        &mut self,
+        &self,
         solver: &Solver,
         constraints: &[Constraint],
         hint: &F,
@@ -272,18 +488,22 @@ impl QueryCache {
         self.models.push(m);
     }
 
+    /// Accounts for and stores one solved query's verdict. Runs for fresh
+    /// solves *and* for shared-store replays (with the publisher's
+    /// `was_split`), which is what keeps every counter it touches
+    /// independent of whether another session did the solving.
     fn record<F>(
         &mut self,
         key: Option<SetKey>,
         constraints: &[Constraint],
         hint: &F,
-        info: &SolveInfo,
+        was_split: bool,
         out: &SolveOutcome,
     ) where
         F: Fn(Var) -> Option<i64>,
     {
         self.stats.misses += 1;
-        if info.was_split() {
+        if was_split {
             self.stats.split_solves += 1;
         }
         // The pool push is unconditional — both modes solve the same
@@ -306,10 +526,18 @@ impl QueryCache {
 }
 
 /// Canonical, order-insensitive fingerprint of a constraint set.
-fn set_key<'a>(constraints: impl Iterator<Item = &'a Constraint>) -> SetKey {
+pub(crate) fn set_key<'a>(constraints: impl Iterator<Item = &'a Constraint>) -> SetKey {
     let mut key: SetKey = constraints.map(fingerprint).collect();
     key.sort_unstable();
     key
+}
+
+/// Order-*sensitive* fingerprint of a constraint sequence: the same
+/// per-constraint bytes as [`set_key`], unsorted. Used for the shared
+/// store's exact tier, whose entries replay hint-guided solver runs that
+/// walk constraints in sequence order.
+pub(crate) fn seq_key<'a>(constraints: impl Iterator<Item = &'a Constraint>) -> SetKey {
+    constraints.map(fingerprint).collect()
 }
 
 /// One constraint's byte fingerprint: op tag, then each `(var, coeff)`
@@ -327,7 +555,7 @@ fn fingerprint(c: &Constraint) -> Vec<u8> {
 }
 
 /// The hint projected onto the query's variables, sorted and deduplicated.
-fn hint_key<F>(constraints: &[Constraint], hint: &F) -> HintKey
+pub(crate) fn hint_key<F>(constraints: &[Constraint], hint: &F) -> HintKey
 where
     F: Fn(Var) -> Option<i64>,
 {
@@ -465,6 +693,146 @@ mod tests {
         let out = cache.solve_with_hint(&solver, &sub, |_| Some(-1));
         assert!(out.is_sat());
         assert_eq!(cache.stats().model_reuse, 1);
+    }
+
+    #[test]
+    fn shared_store_replays_across_caches_with_as_if_fresh_accounting() {
+        let solver = Solver::default();
+        let store = Arc::new(SharedVerdictStore::new());
+        let q = vec![eq(0, 3), eq(0, 4)];
+        let mut a = QueryCache::new(true);
+        a.attach_shared(store.clone());
+        assert_eq!(
+            a.solve_with_hint(&solver, &q, |_| None),
+            SolveOutcome::Unsat
+        );
+        // A solitary cache solving the same query, for reference stats.
+        let mut solo = QueryCache::new(true);
+        assert_eq!(
+            solo.solve_with_hint(&solver, &q, |_| None),
+            SolveOutcome::Unsat
+        );
+
+        let mut b = QueryCache::new(true);
+        b.attach_shared(store);
+        assert_eq!(
+            b.solve_with_hint(&solver, &q, |_| None),
+            SolveOutcome::Unsat
+        );
+        let (bs, ss) = (b.stats(), solo.stats());
+        assert_eq!(bs.shared_hits, 1, "answered by the store");
+        // Every other counter matches a session that solved it itself.
+        assert_eq!(
+            (bs.hits, bs.model_reuse, bs.split_solves, bs.misses),
+            (ss.hits, ss.model_reuse, ss.split_solves, ss.misses)
+        );
+        // The replay also promoted the verdict into b's own unsat store.
+        assert_eq!(
+            b.solve_with_hint(&solver, &q, |_| None),
+            SolveOutcome::Unsat
+        );
+        assert_eq!(b.stats().hits, 1);
+        assert_eq!(b.stats().shared_hits, 1, "no second store consult hit");
+    }
+
+    #[test]
+    fn shared_sat_replay_feeds_the_model_pool() {
+        let solver = Solver::default();
+        let store = Arc::new(SharedVerdictStore::new());
+        // Hint -1 defeats both probes, so the query takes a real solve.
+        let q = vec![eq(0, 5)];
+        let mut a = QueryCache::new(true);
+        a.attach_shared(store.clone());
+        let first = a.solve_with_hint(&solver, &q, |_| Some(-1));
+        assert!(first.is_sat());
+
+        let mut b = QueryCache::new(true);
+        b.attach_shared(store);
+        let replay = b.solve_with_hint(&solver, &q, |_| Some(-1));
+        assert_eq!(first, replay, "exact-tier replay of the same solve");
+        assert_eq!(b.stats().shared_hits, 1);
+        // The replayed model entered b's pool: a superset query that the
+        // probes cannot settle is now answered by model reuse.
+        let sub = vec![eq(0, 5), ne(1, 7)];
+        assert!(b.solve_with_hint(&solver, &sub, |_| Some(-1)).is_sat());
+        assert_eq!(b.stats().model_reuse, 1);
+    }
+
+    #[test]
+    fn shared_store_works_with_session_stores_disabled() {
+        let solver = Solver::default();
+        let store = Arc::new(SharedVerdictStore::new());
+        let q = vec![eq(0, 3), eq(0, 4)];
+        let mut a = QueryCache::new(false);
+        a.attach_shared(store.clone());
+        assert_eq!(
+            a.solve_with_hint(&solver, &q, |_| None),
+            SolveOutcome::Unsat
+        );
+        let mut b = QueryCache::new(false);
+        b.attach_shared(store);
+        for _ in 0..2 {
+            assert_eq!(
+                b.solve_with_hint(&solver, &q, |_| None),
+                SolveOutcome::Unsat
+            );
+        }
+        assert_eq!(b.stats().hits, 0, "session memoization stays off");
+        assert_eq!(b.stats().shared_hits, 2);
+    }
+
+    #[test]
+    fn peek_agrees_with_shortcut_and_mutates_nothing() {
+        let solver = Solver::default();
+        let mut cache = QueryCache::new(true);
+        let prefix = eq(0, 1);
+        let negated = eq(0, 2);
+        let mut sess = solver.session();
+        sess.push(&prefix);
+        assert_eq!(
+            cache.peek_query(&sess, 1, &negated, |_| Some(1)),
+            None,
+            "cold cache has no answer"
+        );
+        assert_eq!(
+            cache.solve_query(&mut sess, 1, &negated, |_| Some(1)),
+            SolveOutcome::Unsat
+        );
+        let stats = cache.stats();
+        assert_eq!(
+            cache.peek_query(&sess, 1, &negated, |_| Some(1)),
+            Some(SolveOutcome::Unsat)
+        );
+        assert_eq!(cache.stats(), stats, "peeking counts nothing");
+    }
+
+    #[test]
+    fn cache_stats_add_assign_merges_every_field() {
+        let mut a = CacheStats {
+            hits: 1,
+            model_reuse: 2,
+            split_solves: 3,
+            misses: 4,
+            shared_hits: 5,
+        };
+        let b = CacheStats {
+            hits: 10,
+            model_reuse: 20,
+            split_solves: 30,
+            misses: 40,
+            shared_hits: 50,
+        };
+        a += b;
+        assert_eq!(
+            a,
+            CacheStats {
+                hits: 11,
+                model_reuse: 22,
+                split_solves: 33,
+                misses: 44,
+                shared_hits: 55,
+            }
+        );
     }
 
     #[test]

@@ -1113,7 +1113,10 @@ impl<'s> PrefixSession<'s> {
         // survives pops, so sibling queries usually answer by point checks.
         if self.sync_lp(j) {
             let neg_lp = shift_lp_rows(&q_rows[first_new_row..], b, vars_len, n);
-            self.lp.grow_vars(n);
+            // A deeper earlier query may have widened the LP past this
+            // query's `n`; keep the wider width — the extra columns are
+            // zero in every live row, so feasibility is unchanged.
+            self.lp.grow_vars(n.max(self.lp.num_vars()));
             let mark = self.lp.push_frame(neg_lp);
             let verdict = self.lp.feasible();
             self.lp.pop_to(mark);
@@ -1622,6 +1625,46 @@ mod tests {
         let cs = [Constraint::new(v(0).offset(-10), RelOp::Eq)];
         assert_eq!(s.solve(&cs), SolveOutcome::Unknown);
         assert!(matches!(solver().solve(&cs), SolveOutcome::Sat(_)));
+    }
+
+    #[test]
+    fn session_queries_in_decreasing_depth_shrink_the_query() {
+        // Regression: the shared-prefix LP screen grows the LP session to
+        // the query's variable count. A DFS walk issues deepest queries
+        // first, so a *shallower* follow-up query has fewer variables —
+        // growing the already-widened LP "down" must be a no-op, not a
+        // panic. Budgets are pinned tiny so every query falls through the
+        // probes and the finite-domain pass into the LP screen.
+        let s = Solver::new(SolverConfig {
+            max_fd_nodes: 1,
+            max_bb_nodes: 4,
+            max_ne_leaves: 4,
+            ..SolverConfig::default()
+        });
+        let mut sess = s.session();
+        // z == 0, then 2x - 2y + z != 1 (three variables at depth 2).
+        sess.push(&Constraint::new(v(0), RelOp::Eq));
+        sess.push(&Constraint::new(
+            v(1).scaled(2).sub(&v(2).scaled(2)).add(&v(0)).offset(-1),
+            RelOp::Ne,
+        ));
+        // Deepest flip first: parity-infeasible, reaches the LP screen
+        // and widens the shared LP to all three variables.
+        let deep = Constraint::new(
+            v(1).scaled(2).sub(&v(2).scaled(2)).add(&v(0)).offset(-1),
+            RelOp::Eq,
+        );
+        let out = sess.solve_query(1, &deep, |_| None);
+        assert!(!out.is_sat(), "2x - 2y == 1 under z == 0 has no model");
+        // Shallower flip second: a single-variable query against the
+        // now-wider LP.
+        let shallow = Constraint::new(v(0), RelOp::Ne);
+        let out = sess.solve_query(0, &shallow, |_| None);
+        match out {
+            SolveOutcome::Sat(m) => assert_ne!(m[&Var(0)], 0),
+            SolveOutcome::Unknown => {}
+            SolveOutcome::Unsat => panic!("z != 0 alone is satisfiable"),
+        }
     }
 
     #[test]

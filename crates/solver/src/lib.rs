@@ -45,6 +45,7 @@ pub mod constraint;
 pub mod ilp;
 pub mod linear;
 pub mod rational;
+pub mod shared;
 pub mod simplex;
 
 pub use cache::{CacheStats, QueryCache};
@@ -52,4 +53,5 @@ pub use constraint::{Constraint, LeZero, NormalForm, RelOp};
 pub use ilp::{Assignment, Bounds, PrefixSession, SolveInfo, SolveOutcome, Solver, SolverConfig};
 pub use linear::{LinExpr, Var};
 pub use rational::Rat;
+pub use shared::SharedVerdictStore;
 pub use simplex::LpSession;

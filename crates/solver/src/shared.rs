@@ -1,0 +1,272 @@
+//! Cross-session verdict store for sweeps.
+//!
+//! A sweep over a library's functions re-solves near-identical constraint
+//! sets again and again: generated or hand-written APIs share validation
+//! prefixes, and per-session variable numbering is dense, so two functions
+//! with the same branch structure produce byte-identical constraint
+//! systems. [`SharedVerdictStore`] is a read-mostly store layered *under*
+//! every session's [`QueryCache`](crate::QueryCache) so those sessions hit
+//! each other's verdicts.
+//!
+//! Two tiers, with deliberately different key discipline:
+//!
+//! 1. **Unsat tier** — keyed by the *canonical* (order-insensitive)
+//!    constraint-set fingerprint, hint-free. An `Unsat` verdict is a
+//!    completed refutation of the set, so any session encountering the
+//!    same set (in any push order, under any hint) may replay it. The
+//!    entry carries the publisher's `was_split` diagnostic so the
+//!    consumer's split accounting mirrors a fresh solve.
+//! 2. **Exact tier** — keyed by the *ordered* constraint sequence plus
+//!    the hint's projection onto the query variables. `Sat` models and
+//!    `Unknown` give-ups are only deterministic replays when the solver's
+//!    exact inputs match — the feasibility search is hint-guided and
+//!    walks constraints in sequence order — so this tier's key pins both
+//!    down. In-engine, every query reaches the store through the same
+//!    session code path, so publishers and consumers agree on order.
+//!
+//! **Determinism.** A store hit is accounted *as if the session had
+//! solved the query itself* (see `QueryCache::record`): the session's
+//! report-visible counters (`cache_hits`, `cache_model_reuse`,
+//! `split_solves`) stay scheduling-independent, and only the
+//! `shared_hits` diagnostic reveals that the work was reused. All
+//! sessions sharing a store must run the same
+//! [`SolverConfig`](crate::SolverConfig) — verdicts replay solver runs,
+//! and budgets are part of the solver's inputs. As with the per-session
+//! exact store, replays of `Unknown` verdicts assume budget-bounded (not
+//! wall-clock-deadline) give-ups; a per-query deadline already makes
+//! fresh solves time-dependent, so it is outside the determinism
+//! contract with or without this store.
+//!
+//! The store is sharded by an FNV-1a hash of the key bytes across a
+//! fixed number of `RwLock`-protected shards: lookups (the common case
+//! in a warmed-up sweep) take a read lock only.
+
+use std::collections::HashMap;
+use std::sync::RwLock;
+
+use crate::cache::{CacheStats, HintKey, SetKey};
+use crate::ilp::SolveOutcome;
+
+/// Number of `RwLock` shards. A small fixed power of two: enough to keep
+/// sweep threads from serializing on one lock, cheap to scan for stats.
+const SHARDS: usize = 16;
+
+/// One shard's maps. `unsat` values are the publisher's `was_split`
+/// diagnostic; `exact` values carry the verdict plus the same flag.
+#[derive(Debug, Default)]
+struct Shard {
+    unsat: HashMap<SetKey, bool>,
+    exact: HashMap<(SetKey, HintKey), (SolveOutcome, bool)>,
+    stats: CacheStats,
+}
+
+/// A cross-session verdict store; see the module docs for the tier and
+/// determinism discipline. Create one per sweep (wrapped in an
+/// [`Arc`](std::sync::Arc)) and attach it to every session's cache via
+/// [`QueryCache::attach_shared`](crate::QueryCache::attach_shared).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use dart_solver::{Constraint, LinExpr, QueryCache, RelOp, SharedVerdictStore, Solver, Var};
+///
+/// let solver = Solver::default();
+/// let store = Arc::new(SharedVerdictStore::new());
+/// let q = vec![
+///     Constraint::new(LinExpr::var(Var(0)).offset(-3), RelOp::Eq),
+///     Constraint::new(LinExpr::var(Var(0)).offset(-4), RelOp::Eq),
+/// ];
+/// // Session A pays for the refutation…
+/// let mut a = QueryCache::new(true);
+/// a.attach_shared(store.clone());
+/// assert!(!a.solve_with_hint(&solver, &q, |_| None).is_sat());
+/// // …session B replays it from the shared store.
+/// let mut b = QueryCache::new(true);
+/// b.attach_shared(store);
+/// assert!(!b.solve_with_hint(&solver, &q, |_| None).is_sat());
+/// assert_eq!(b.stats().shared_hits, 1);
+/// ```
+#[derive(Debug)]
+pub struct SharedVerdictStore {
+    shards: [RwLock<Shard>; SHARDS],
+}
+
+impl Default for SharedVerdictStore {
+    fn default() -> SharedVerdictStore {
+        SharedVerdictStore::new()
+    }
+}
+
+impl SharedVerdictStore {
+    /// Creates an empty store.
+    pub fn new() -> SharedVerdictStore {
+        SharedVerdictStore {
+            shards: std::array::from_fn(|_| RwLock::new(Shard::default())),
+        }
+    }
+
+    /// Total verdicts stored, across both tiers.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                let s = s.read().expect("store lock poisoned");
+                s.unsat.len() + s.exact.len()
+            })
+            .sum()
+    }
+
+    /// Whether the store holds no verdicts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Aggregate lookup counters across all shards (`hits` = lookups
+    /// answered, `misses` = lookups that fell through to the session):
+    /// store-level diagnostics, scheduling-dependent by nature.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for s in &self.shards {
+            total += s.read().expect("store lock poisoned").stats;
+        }
+        total
+    }
+
+    /// Unsat-tier lookup by canonical set key; returns the publisher's
+    /// `was_split` flag on a hit.
+    pub(crate) fn lookup_unsat(&self, set: &SetKey) -> Option<bool> {
+        let shard = &self.shards[shard_index(set)];
+        let hit = shard
+            .read()
+            .expect("store lock poisoned")
+            .unsat
+            .get(set)
+            .copied();
+        self.count(shard, hit.is_some());
+        hit
+    }
+
+    /// Exact-tier lookup by ordered sequence + hint projection.
+    pub(crate) fn lookup_exact(
+        &self,
+        seq: &SetKey,
+        hint: &HintKey,
+    ) -> Option<(SolveOutcome, bool)> {
+        let shard = &self.shards[shard_index(seq)];
+        let hit = shard
+            .read()
+            .expect("store lock poisoned")
+            .exact
+            .get(&(seq.clone(), hint.clone()))
+            .cloned();
+        self.count(shard, hit.is_some());
+        hit
+    }
+
+    /// Publishes an `Unsat` refutation of the canonical set.
+    pub(crate) fn publish_unsat(&self, set: SetKey, was_split: bool) {
+        self.shards[shard_index(&set)]
+            .write()
+            .expect("store lock poisoned")
+            .unsat
+            .entry(set)
+            .or_insert(was_split);
+    }
+
+    /// Publishes a `Sat`/`Unknown` verdict for the ordered sequence under
+    /// the given hint projection. First publisher wins (all publishers of
+    /// one key compute the same verdict — see the module docs).
+    pub(crate) fn publish_exact(
+        &self,
+        seq: SetKey,
+        hint: HintKey,
+        out: SolveOutcome,
+        was_split: bool,
+    ) {
+        self.shards[shard_index(&seq)]
+            .write()
+            .expect("store lock poisoned")
+            .exact
+            .entry((seq, hint))
+            .or_insert((out, was_split));
+    }
+
+    fn count(&self, shard: &RwLock<Shard>, hit: bool) {
+        let mut s = shard.write().expect("store lock poisoned");
+        if hit {
+            s.stats.hits += 1;
+        } else {
+            s.stats.misses += 1;
+        }
+    }
+}
+
+/// FNV-1a over the key's constraint fingerprints — stable across runs and
+/// platforms, like the sweep's per-function seed hash.
+fn shard_index(key: &SetKey) -> usize {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for part in key {
+        for &b in part {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h ^= 0xFE; // constraint separator
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h % SHARDS as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::set_key;
+    use crate::constraint::{Constraint, RelOp};
+    use crate::linear::{LinExpr, Var};
+
+    fn eq(v: u32, k: i64) -> Constraint {
+        Constraint::new(LinExpr::var(Var(v)).offset(-k), RelOp::Eq)
+    }
+
+    #[test]
+    fn unsat_tier_is_order_insensitive() {
+        let store = SharedVerdictStore::new();
+        let a = set_key([eq(0, 1), eq(0, 2)].iter());
+        let b = set_key([eq(0, 2), eq(0, 1)].iter());
+        assert_eq!(a, b, "canonical keys agree");
+        store.publish_unsat(a, true);
+        assert_eq!(store.lookup_unsat(&b), Some(true));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn exact_tier_distinguishes_hints() {
+        let store = SharedVerdictStore::new();
+        let seq: SetKey = vec![vec![1, 2, 3]];
+        let h1: HintKey = vec![(0, Some(5))];
+        let h2: HintKey = vec![(0, Some(6))];
+        store.publish_exact(seq.clone(), h1.clone(), SolveOutcome::Unknown, false);
+        assert!(store.lookup_exact(&seq, &h1).is_some());
+        assert!(store.lookup_exact(&seq, &h2).is_none());
+    }
+
+    #[test]
+    fn first_publisher_wins() {
+        let store = SharedVerdictStore::new();
+        let set: SetKey = vec![vec![7]];
+        store.publish_unsat(set.clone(), false);
+        store.publish_unsat(set.clone(), true);
+        assert_eq!(store.lookup_unsat(&set), Some(false));
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let store = SharedVerdictStore::new();
+        let set: SetKey = vec![vec![9]];
+        assert_eq!(store.lookup_unsat(&set), None);
+        store.publish_unsat(set.clone(), false);
+        assert_eq!(store.lookup_unsat(&set), Some(false));
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+}

@@ -23,6 +23,10 @@
 //!                      session per function (overrides --toplevel)
 //!   --threads N        sweep parallelism                       [4]
 //!   --max-retries N    reseeded retries per faulted sweep session [1]
+//!   --solve-threads N  per-run candidate-query fan-out; results are
+//!                      byte-identical to N=1       [$DART_SOLVE_THREADS or 1]
+//!   --shared-cache     share solver verdicts across sweep sessions
+//!                      (reports unchanged; only wall-clock improves)
 //!   --interface        print the extracted interface and exit
 //!   --print-ir         print the compiled RAM program and exit
 //!   --stats            print detailed solver/cache statistics
@@ -52,6 +56,8 @@ struct Options {
     sweep: Option<String>,
     threads: usize,
     max_retries: u32,
+    solve_threads: Option<usize>,
+    shared_cache: bool,
     interface_only: bool,
     print_ir: bool,
     save_bug: Option<String>,
@@ -66,6 +72,7 @@ fn usage() -> &'static str {
      [--mode directed|random|symbolic|generational] [--strategy dfs|random-branch] \
      [--all-bugs] [--max-steps N] [--mem-budget N] [--deadline MS] \
      [--sweep NAMES --threads N --max-retries N] \
+     [--solve-threads N] [--shared-cache] \
      [--stats] [--no-cache] [--interface] [--print-ir]"
 }
 
@@ -85,6 +92,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         sweep: None,
         threads: 4,
         max_retries: 1,
+        solve_threads: None,
+        shared_cache: false,
         interface_only: false,
         print_ir: false,
         save_bug: None,
@@ -149,6 +158,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--max-retries expects an integer".to_string())?
             }
+            "--solve-threads" => {
+                opts.solve_threads = Some(
+                    value(&mut it, "--solve-threads")?
+                        .parse()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| "--solve-threads expects a positive integer".to_string())?,
+                )
+            }
+            "--shared-cache" => opts.shared_cache = true,
             "--mode" => {
                 opts.mode = match value(&mut it, "--mode")?.as_str() {
                     "directed" => EngineMode::Directed,
@@ -202,8 +221,13 @@ fn build_config(opts: &Options) -> DartConfig {
         },
         solver_cache: !opts.no_cache,
         max_retries: opts.max_retries,
+        shared_cache: opts.shared_cache,
         ..DartConfig::default()
     };
+    if let Some(n) = opts.solve_threads {
+        // Unset, the default stands: $DART_SOLVE_THREADS, else 1.
+        config.solve_threads = n;
+    }
     if let Some(words) = opts.mem_budget {
         config.machine.budget.max_alloc_words = words;
     }
@@ -402,6 +426,8 @@ fn main() -> ExitCode {
         println!("  cache hits         {}", s.cache_hits);
         println!("  model reuse        {}", s.cache_model_reuse);
         println!("  split solves       {}", s.split_solves);
+        println!("  shared hits        {}", s.shared_hits);
+        println!("  parallel wasted    {}", s.parallel_wasted);
         println!("  exec time          {:?}", report.exec_time);
         println!("  solve time         {:?}", report.solve_time);
     }
@@ -514,6 +540,23 @@ mod tests {
         assert!(o.sweep.is_none());
         assert_eq!(o.threads, 4);
         assert_eq!(o.max_retries, 1);
+    }
+
+    #[test]
+    fn parallel_solving_flags() {
+        let o = parse(&["p.mc", "--solve-threads", "4", "--shared-cache"]).unwrap();
+        assert_eq!(o.solve_threads, Some(4));
+        assert!(o.shared_cache);
+        let config = build_config(&o);
+        assert_eq!(config.solve_threads, 4);
+        assert!(config.shared_cache);
+        // Unset, the flag defers to the DartConfig default (which reads
+        // $DART_SOLVE_THREADS) rather than pinning 1.
+        let o = parse(&["p.mc"]).unwrap();
+        assert_eq!(o.solve_threads, None);
+        assert!(!o.shared_cache);
+        assert!(parse(&["p.mc", "--solve-threads", "0"]).is_err());
+        assert!(parse(&["p.mc", "--solve-threads", "many"]).is_err());
     }
 
     #[test]
