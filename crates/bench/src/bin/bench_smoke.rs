@@ -21,15 +21,20 @@
 //! with this machine's medians; run it when a deliberate perf change shifts
 //! the numbers.
 //!
-//! Note on the `parallel_solve` pair: the speedup of `candidates_4_threads`
-//! over `candidates_1_threads` is hardware-bound — on a single-core
-//! machine the two are expected to tie (speculation is then pure
-//! overhead bounded by the wasted-work accounting), so the printed
-//! speedup line reports whatever the host delivers rather than
-//! asserting a ratio.
+//! Note on the `parallel_solve`, `work_steal` and `pool` groups: their
+//! speedups are hardware-bound — on a single-core machine the paired
+//! workloads are expected to tie (speculation is then pure overhead
+//! bounded by the wasted-work accounting), so the printed speedup lines
+//! report whatever the host delivers rather than asserting a ratio. The
+//! `work_steal/skewed_*` pair runs the same skewed-cost walk (two
+//! budget-capped parity flips packed into the chunk static scheduling
+//! hands one worker, plus light fast-Unsat flips) under static
+//! contiguous chunking vs the work-stealing pool; `pool/spawn_scoped`
+//! vs `pool/dispatch_pooled` isolates per-walk thread-spawn overhead on
+//! a tiny walk where dispatch cost dominates solving.
 
 use dart::search::{solve_next, SolveStats};
-use dart::{DartConfig, FaultState, InputKind, InputTape, Strategy};
+use dart::{DartConfig, FaultState, InputKind, InputTape, Scheduler, SolvePool, Strategy};
 use dart_solver::{Constraint, LinExpr, QueryCache, RelOp, Solver, SolverConfig, Var};
 use dart_sym::{BranchRecord, PathConstraint};
 use rand::rngs::SmallRng;
@@ -147,33 +152,121 @@ fn parallel_walk_inputs() -> (PathConstraint, Vec<BranchRecord>, InputTape) {
     (pc, stack, tape)
 }
 
-fn parallel_solve_workload(threads: usize) -> usize {
-    // Small budgets bound each candidate's give-up, so one walk stays in
-    // the tens-of-milliseconds range while every candidate still does
-    // real solver work for the workers to speculate on.
-    let solver = Solver::new(SolverConfig {
-        max_bb_nodes: 150,
-        max_fd_nodes: 500,
-        max_ne_leaves: 8,
-        ..SolverConfig::default()
-    });
-    let (pc, stack, tape) = parallel_walk_inputs();
+/// Runs one `solve_next` walk over fixed inputs with a fresh cache and
+/// RNG, under the given scheduler. Returns 1 if a next step was found.
+fn run_walk(
+    solver: &Solver,
+    pc: &PathConstraint,
+    stack: &[BranchRecord],
+    tape: &InputTape,
+    scheduler: Scheduler<'_>,
+) -> usize {
     let mut cache = QueryCache::new(true);
     let mut rng = SmallRng::seed_from_u64(0);
     let mut stats = SolveStats::default();
     let step = solve_next(
-        &pc,
-        &stack,
-        &tape,
-        &solver,
+        pc,
+        stack,
+        tape,
+        solver,
         &mut cache,
         Strategy::Dfs,
         &mut rng,
         &mut stats,
         &mut FaultState::default(),
-        threads,
+        scheduler,
     );
     usize::from(step.is_some())
+}
+
+/// Small budgets bound each candidate's give-up, so one walk stays in
+/// the tens-of-milliseconds range while every candidate still does
+/// real solver work for the workers to speculate on.
+fn bounded_solver() -> Solver {
+    Solver::new(SolverConfig {
+        max_bb_nodes: 150,
+        max_fd_nodes: 500,
+        max_ne_leaves: 8,
+        ..SolverConfig::default()
+    })
+}
+
+fn parallel_solve_workload(scheduler: Scheduler<'_>) -> usize {
+    let solver = bounded_solver();
+    let (pc, stack, tape) = parallel_walk_inputs();
+    run_walk(&solver, &pc, &stack, &tape, scheduler)
+}
+
+/// A ten-candidate walk with *skewed* per-candidate costs: the two
+/// deepest flips are budget-capped parity queries (`2a - 2b + z == 1`
+/// under `z == 0` burns the whole branch-and-bound budget), the six
+/// middle flips contradict `w == 3` directly (fast Unsat), and the
+/// shallow `w != 3` flip is the satisfiable winner. DFS candidate order
+/// is deepest-first, so static contiguous chunking hands *both* heavy
+/// queries to worker 0 (makespan ≈ 2 heavy solves) while the
+/// work-stealing pool lets an idle worker steal the second one
+/// (makespan ≈ 1) — the adversarial-placement case for static chunking.
+fn skewed_walk_inputs() -> (PathConstraint, Vec<BranchRecord>, InputTape) {
+    let mut pc = PathConstraint::new();
+    pc.push(Constraint::new(v(0), RelOp::Eq)); // z == 0
+    pc.push(Constraint::new(v(1).offset(-3), RelOp::Eq)); // w == 3
+    for k in 2..=7i64 {
+        // k*w == 3k is implied by w == 3, so its flip is a fast Unsat.
+        pc.push(Constraint::new(v(1).scaled(k).offset(-3 * k), RelOp::Eq));
+    }
+    for a in [2u32, 4] {
+        let e = v(a)
+            .scaled(2)
+            .sub(&v(a + 1).scaled(2))
+            .add(&v(0))
+            .offset(-1);
+        pc.push(Constraint::new(e, RelOp::Ne)); // 2a - 2b + z != 1 (taken)
+    }
+    let mut tape = InputTape::new(0);
+    for _ in 0..6 {
+        let _ = tape.take(InputKind::IntLike, || "i".into());
+    }
+    let stack = (0..10)
+        .map(|_| BranchRecord {
+            branch: true,
+            done: false,
+        })
+        .collect();
+    (pc, stack, tape)
+}
+
+fn skewed_workload(scheduler: Scheduler<'_>) -> usize {
+    let solver = bounded_solver();
+    let (pc, stack, tape) = skewed_walk_inputs();
+    run_walk(&solver, &pc, &stack, &tape, scheduler)
+}
+
+/// A four-candidate walk where every query is trivial (three fast
+/// Unsats and one easy Sat), so the measured time is dominated by the
+/// scheduler's fixed dispatch cost: per-walk OS thread spawns for the
+/// scoped scheduler vs. queue pushes into already-running workers for
+/// the persistent pool.
+fn tiny_walk_inputs() -> (PathConstraint, Vec<BranchRecord>, InputTape) {
+    let mut pc = PathConstraint::new();
+    pc.push(Constraint::new(v(0).offset(-5), RelOp::Eq)); // w == 5
+    for k in 2..=4i64 {
+        pc.push(Constraint::new(v(0).scaled(k).offset(-5 * k), RelOp::Eq));
+    }
+    let mut tape = InputTape::new(0);
+    let _ = tape.take(InputKind::IntLike, || "w".into());
+    let stack = (0..4)
+        .map(|_| BranchRecord {
+            branch: true,
+            done: false,
+        })
+        .collect();
+    (pc, stack, tape)
+}
+
+fn dispatch_workload(scheduler: Scheduler<'_>) -> usize {
+    let solver = bounded_solver();
+    let (pc, stack, tape) = tiny_walk_inputs();
+    run_walk(&solver, &pc, &stack, &tape, scheduler)
 }
 
 /// A sweep over `n` identical two-branch functions. Every session
@@ -295,6 +388,9 @@ fn main() -> ExitCode {
     let sweep_fns = 600usize;
     let library = sweep_library(sweep_fns);
     let names: Vec<String> = (0..sweep_fns).map(|i| format!("g{i}")).collect();
+    // One persistent pool shared by every pooled workload below — the
+    // whole point of `SolvePool` is that its spawn cost is paid once.
+    let pool4 = SolvePool::new(4);
 
     let current: Vec<(String, u64)> = vec![
         (
@@ -315,11 +411,27 @@ fn main() -> ExitCode {
         ),
         (
             "parallel_solve/candidates_1_threads".to_string(),
-            measure(|| parallel_solve_workload(1)),
+            measure(|| parallel_solve_workload(Scheduler::Sequential)),
         ),
         (
             "parallel_solve/candidates_4_threads".to_string(),
-            measure(|| parallel_solve_workload(4)),
+            measure(|| parallel_solve_workload(Scheduler::Pool(&pool4))),
+        ),
+        (
+            "work_steal/skewed_static".to_string(),
+            measure(|| skewed_workload(Scheduler::Scoped(4))),
+        ),
+        (
+            "work_steal/skewed_stealing".to_string(),
+            measure(|| skewed_workload(Scheduler::Pool(&pool4))),
+        ),
+        (
+            "pool/spawn_scoped".to_string(),
+            measure(|| dispatch_workload(Scheduler::Scoped(4))),
+        ),
+        (
+            "pool/dispatch_pooled".to_string(),
+            measure(|| dispatch_workload(Scheduler::Pool(&pool4))),
         ),
         (
             "shared_store/sweep_600_off".to_string(),
@@ -340,12 +452,18 @@ fn main() -> ExitCode {
         };
         Some(get(num)? / get(den)?)
     };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     if let Some(s) = ratio(
         "parallel_solve/candidates_1_threads",
         "parallel_solve/candidates_4_threads",
     ) {
-        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
         println!("parallel solve speedup (1 -> 4 threads): {s:.2}x on {cores} core(s)");
+    }
+    if let Some(s) = ratio("work_steal/skewed_static", "work_steal/skewed_stealing") {
+        println!("work-stealing speedup on skewed candidate costs (static -> stealing): {s:.2}x on {cores} core(s)");
+    }
+    if let Some(s) = ratio("pool/spawn_scoped", "pool/dispatch_pooled") {
+        println!("persistent pool vs per-walk scoped spawn (tiny walk): {s:.2}x");
     }
     if let Some(s) = ratio("shared_store/sweep_600_off", "shared_store/sweep_600_on") {
         println!("shared store speedup (600-function sweep): {s:.2}x");
@@ -443,11 +561,46 @@ mod tests {
     }
 
     #[test]
-    fn parallel_workload_is_thread_count_independent() {
+    fn parallel_workload_is_scheduler_independent() {
         // The fan-out must not change what the walk finds — otherwise
-        // the 1-vs-4 comparison measures different work.
-        assert_eq!(parallel_solve_workload(1), 1, "the shallow flip wins");
-        assert_eq!(parallel_solve_workload(1), parallel_solve_workload(4));
+        // the paired comparisons measure different work.
+        let pool = SolvePool::new(4);
+        assert_eq!(
+            parallel_solve_workload(Scheduler::Sequential),
+            1,
+            "the shallow flip wins"
+        );
+        assert_eq!(
+            parallel_solve_workload(Scheduler::Sequential),
+            parallel_solve_workload(Scheduler::Pool(&pool))
+        );
+        assert_eq!(
+            parallel_solve_workload(Scheduler::Sequential),
+            parallel_solve_workload(Scheduler::Scoped(4))
+        );
+    }
+
+    #[test]
+    fn skewed_and_tiny_workloads_are_scheduler_independent() {
+        let pool = SolvePool::new(4);
+        assert_eq!(
+            skewed_workload(Scheduler::Sequential),
+            1,
+            "the shallow w != 3 flip wins"
+        );
+        assert_eq!(
+            skewed_workload(Scheduler::Scoped(4)),
+            skewed_workload(Scheduler::Pool(&pool))
+        );
+        assert_eq!(
+            dispatch_workload(Scheduler::Sequential),
+            1,
+            "the shallow w != 5 flip wins"
+        );
+        assert_eq!(
+            dispatch_workload(Scheduler::Scoped(4)),
+            dispatch_workload(Scheduler::Pool(&pool))
+        );
     }
 
     #[test]

@@ -13,8 +13,12 @@
 //! `--shared-cache` shares solver verdicts across the sweep's sessions
 //! and `--solve-threads N` fans each session's candidate queries out —
 //! both leave every report identical and only change wall-clock.
+//! `--scheduler stealing|scoped` picks between the persistent
+//! work-stealing pool (shared by every session of the sweep) and the
+//! per-walk statically-chunked scope — the pool-vs-scope overhead
+//! comparison EXPERIMENTS.md E9 runs.
 
-use dart::{Dart, DartConfig};
+use dart::{Dart, DartConfig, SchedulerMode};
 use dart_bench::{fmt_dur, header, seed_from_args};
 use dart_workloads::{generate_osip, OsipConfig, Planted};
 use std::collections::BTreeMap;
@@ -37,6 +41,19 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .filter(|&n| n >= 1)
         .unwrap_or(1);
+    let scheduler = match args
+        .iter()
+        .position(|a| a == "--scheduler")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        None | Some("stealing") => SchedulerMode::WorkStealing,
+        Some("scoped") => SchedulerMode::StaticScoped,
+        Some(other) => {
+            eprintln!("unknown --scheduler `{other}` (expected `stealing` or `scoped`)");
+            std::process::exit(2);
+        }
+    };
 
     let lib = generate_osip(OsipConfig {
         num_functions,
@@ -60,6 +77,7 @@ fn main() {
             seed,
             shared_cache,
             solve_threads,
+            scheduler,
             ..DartConfig::default()
         },
         threads,
@@ -106,9 +124,13 @@ fn main() {
     }
     println!("sweep time | {} | (not reported)", fmt_dur(elapsed));
     println!(
-        "solver sharing | shared-cache {}, solve-threads {} | (n/a)",
+        "solver sharing | shared-cache {}, solve-threads {}, scheduler {} | (n/a)",
         if shared_cache { "on" } else { "off" },
         solve_threads,
+        match scheduler {
+            SchedulerMode::WorkStealing => "stealing",
+            SchedulerMode::StaticScoped => "scoped",
+        },
     );
 
     header(

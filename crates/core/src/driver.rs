@@ -20,8 +20,9 @@
 //!   (`run_generational`), a sound non-DFS exploration order.
 
 use crate::exec::{run_once_with_faults, RunResult, RunTermination};
+use crate::pool::SolvePool;
 use crate::report::{Bug, BugKind, Outcome, SessionReport};
-use crate::search::{solve_next, Strategy};
+use crate::search::{solve_next, Scheduler, Strategy};
 use crate::supervise::FaultState;
 use crate::tape::InputTape;
 use dart_minic::{CompiledProgram, FnSig};
@@ -49,6 +50,21 @@ pub enum EngineMode {
     /// and it also supports the Theorem 1(b) completeness claim, because
     /// the generation bound partitions the execution tree exactly.
     Generational,
+}
+
+/// How `solve_threads > 1` is scheduled (see [`Scheduler`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerMode {
+    /// The persistent work-stealing [`SolvePool`] (the default): one
+    /// pool per session — or one per sweep, shared — with long-lived
+    /// workers and stealing between their deques.
+    #[default]
+    WorkStealing,
+    /// PR 3's per-call scoped fan-out with static contiguous chunking.
+    /// Kept as the ablation baseline for benchmarks and experiments
+    /// (`dartc --scheduler scoped`, EXPERIMENTS.md E9); pays a thread
+    /// spawn/teardown per walk and cannot rebalance skewed query costs.
+    StaticScoped,
 }
 
 /// Driver configuration.
@@ -86,12 +102,17 @@ pub struct DartConfig {
     /// [`crate::search::solve_next`]. `1` (the default) solves on the
     /// calling thread; higher values speculate on candidate queries
     /// concurrently and commit deterministically, so the session report
-    /// is byte-identical either way (only the
-    /// [`crate::SolveStats::parallel_wasted`] diagnostic varies). The
-    /// default honors the `DART_SOLVE_THREADS` environment variable when
-    /// set, so an unmodified test suite can be exercised under parallel
-    /// solving.
+    /// is byte-identical either way (only the scheduling diagnostics
+    /// vary — see [`crate::SolveStats::scrub_scheduling`]). The default
+    /// honors the `DART_SOLVE_THREADS` environment variable when set, so
+    /// an unmodified test suite can be exercised under parallel solving;
+    /// a malformed or zero value there is rejected by [`Dart::new`] with
+    /// [`DartError::InvalidConfig`], never silently ignored.
     pub solve_threads: usize,
+    /// How the `solve_threads` workers are scheduled: the persistent
+    /// work-stealing pool (default) or the per-call scoped fan-out kept
+    /// as an ablation baseline. Irrelevant when `solve_threads` is 1.
+    pub scheduler: SchedulerMode,
     /// Share solver verdicts across sessions through a
     /// [`dart_solver::SharedVerdictStore`] (off by default). In a
     /// [`crate::sweep::sweep`] one store spans all sessions, so functions
@@ -135,6 +156,7 @@ impl Default for DartConfig {
             record_paths: false,
             solver_cache: true,
             solve_threads: solve_threads_default(),
+            scheduler: SchedulerMode::default(),
             shared_cache: false,
             deadline: None,
             oom_is_bug: true,
@@ -150,11 +172,25 @@ impl Default for DartConfig {
 /// a constant so CI can run the unmodified tier-1 suite under parallel
 /// solving — byte-identical reports make that a pure re-exercise.
 fn solve_threads_default() -> usize {
-    std::env::var("DART_SOLVE_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or(1)
+    parse_solve_threads(std::env::var("DART_SOLVE_THREADS").ok().as_deref())
+}
+
+/// Parses a `DART_SOLVE_THREADS` value. Unset means the sequential
+/// default (`1`); a set-but-invalid value — `0`, non-numeric, empty —
+/// parses to the `0` sentinel, which [`Dart::new`] and
+/// [`crate::sweep::sweep`] reject with [`DartError::InvalidConfig`]
+/// instead of silently falling back to sequential solving: a typo'd
+/// parallel run must not masquerade as a passing sequential one.
+fn parse_solve_threads(env: Option<&str>) -> usize {
+    match env {
+        None => 1,
+        Some(v) => v
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or(0),
+    }
 }
 
 /// Error constructing a [`Dart`] session.
@@ -205,6 +241,7 @@ pub struct Dart<'p> {
     sig: FnSig,
     config: DartConfig,
     shared: Option<std::sync::Arc<dart_solver::SharedVerdictStore>>,
+    pool: Option<std::sync::Arc<SolvePool>>,
 }
 
 impl<'p> Dart<'p> {
@@ -212,12 +249,23 @@ impl<'p> Dart<'p> {
     ///
     /// # Errors
     ///
-    /// [`DartError::UnknownToplevel`] if the function is not defined.
+    /// [`DartError::UnknownToplevel`] if the function is not defined;
+    /// [`DartError::InvalidConfig`] if `solve_threads` is 0 — which is
+    /// also what a malformed `DART_SOLVE_THREADS` environment value
+    /// parses to, so a typo'd parallel run errors out instead of
+    /// silently running sequentially.
     pub fn new(
         compiled: &'p CompiledProgram,
         toplevel: &str,
         config: DartConfig,
     ) -> Result<Dart<'p>, DartError> {
+        if config.solve_threads == 0 {
+            return Err(DartError::InvalidConfig(
+                "solve_threads must be at least 1 (set via DartConfig::solve_threads \
+                 or a valid positive DART_SOLVE_THREADS)"
+                    .to_string(),
+            ));
+        }
         let sig = compiled
             .fn_sig(toplevel)
             .cloned()
@@ -227,6 +275,7 @@ impl<'p> Dart<'p> {
             sig,
             config,
             shared: None,
+            pool: None,
         })
     }
 
@@ -249,6 +298,32 @@ impl<'p> Dart<'p> {
         self
     }
 
+    /// Attaches a pre-built solver pool for this session's speculative
+    /// candidate solving instead of creating a private one. The sweep
+    /// calls this with one pool per sweep so the *total* number of
+    /// solver workers stays at [`DartConfig::solve_threads`] no matter
+    /// how many sessions run concurrently — without it, `sweep(threads
+    /// = T)` would spawn `T` private pools (`T × solve_threads` workers
+    /// in all). The pool's worker count takes precedence over
+    /// `solve_threads` for scheduling; it only kicks in when
+    /// `solve_threads > 1` and the [`SchedulerMode::WorkStealing`]
+    /// scheduler is selected.
+    pub fn with_pool(mut self, pool: std::sync::Arc<SolvePool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// The scheduler for this session's runs, plus the owning handle
+    /// that keeps a session-private pool alive for the whole `run()`.
+    fn solve_pool(&self) -> Option<std::sync::Arc<SolvePool>> {
+        (self.config.solve_threads > 1 && self.config.scheduler == SchedulerMode::WorkStealing)
+            .then(|| {
+                self.pool.clone().unwrap_or_else(|| {
+                    std::sync::Arc::new(SolvePool::new(self.config.solve_threads))
+                })
+            })
+    }
+
     /// The store to attach for this session: an explicitly provided one,
     /// else a fresh private store when `shared_cache` asks for one (so a
     /// solo session behaves the same with or without a sweep around it).
@@ -267,6 +342,15 @@ impl<'p> Dart<'p> {
         }
         let cfg = &self.config;
         let solver = Solver::new(cfg.solver);
+        // The scheduler for every `solve_next` of this session: one
+        // persistent pool for the whole session (attached by the sweep,
+        // or private), created *once* — not a thread scope per walk.
+        let pool = self.solve_pool();
+        let scheduler = match &pool {
+            Some(p) => Scheduler::Pool(p),
+            None if cfg.solve_threads > 1 => Scheduler::Scoped(cfg.solve_threads),
+            None => Scheduler::Sequential,
+        };
         // One query cache per session: queries repeat massively within a
         // session (restarts replay whole query families). Cross-session
         // reuse goes through the attached shared store, if any.
@@ -366,7 +450,7 @@ impl<'p> Dart<'p> {
                     &mut rng,
                     &mut report.solver,
                     &mut faults,
-                    cfg.solve_threads,
+                    scheduler,
                 );
                 report.solve_time += solve_started.elapsed();
                 if report.solver.unknown > unknown_before {
@@ -562,5 +646,78 @@ impl<'p> Dart<'p> {
         } else {
             false
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `DART_SOLVE_THREADS` parsing: unset is the sequential default;
+    /// any set-but-invalid value parses to the `0` sentinel that
+    /// `Dart::new` / `sweep` reject — never a silent fallback.
+    #[test]
+    fn solve_threads_env_parsing_is_strict() {
+        assert_eq!(parse_solve_threads(None), 1);
+        assert_eq!(parse_solve_threads(Some("1")), 1);
+        assert_eq!(parse_solve_threads(Some("4")), 4);
+        assert_eq!(parse_solve_threads(Some(" 8 ")), 8);
+        assert_eq!(parse_solve_threads(Some("0")), 0);
+        assert_eq!(parse_solve_threads(Some("")), 0);
+        assert_eq!(parse_solve_threads(Some("four")), 0);
+        assert_eq!(parse_solve_threads(Some("-2")), 0);
+        assert_eq!(parse_solve_threads(Some("2.5")), 0);
+    }
+
+    #[test]
+    fn zero_solve_threads_rejected_at_session_construction() {
+        let compiled = dart_minic::compile("int f(int x) { return x; }").unwrap();
+        let config = DartConfig {
+            solve_threads: 0,
+            ..DartConfig::default()
+        };
+        match Dart::new(&compiled, "f", config) {
+            Err(DartError::InvalidConfig(reason)) => {
+                assert!(reason.contains("solve_threads"), "{reason}");
+            }
+            other => panic!("expected InvalidConfig, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    /// The scheduler knob changes nothing observable: pooled,
+    /// static-scoped and sequential sessions over the same program and
+    /// seed produce byte-identical reports after scrubbing scheduling
+    /// diagnostics.
+    #[test]
+    fn scheduler_mode_is_report_invisible() {
+        let compiled = dart_minic::compile(
+            r#"
+            int f(int x, int y) {
+                if (x + y > 10)
+                    if (x - y < 3)
+                        if (2 * x == y + 14)
+                            abort();
+                return 0;
+            }
+            "#,
+        )
+        .unwrap();
+        let run = |threads: usize, scheduler: SchedulerMode| {
+            let config = DartConfig {
+                max_runs: 60,
+                stop_at_first_bug: false,
+                solve_threads: threads,
+                scheduler,
+                ..DartConfig::default()
+            };
+            let mut report = Dart::new(&compiled, "f", config).unwrap().run();
+            report.exec_time = std::time::Duration::ZERO;
+            report.solve_time = std::time::Duration::ZERO;
+            report.solver.scrub_scheduling();
+            report
+        };
+        let sequential = run(1, SchedulerMode::WorkStealing);
+        assert_eq!(sequential, run(4, SchedulerMode::WorkStealing), "pooled");
+        assert_eq!(sequential, run(4, SchedulerMode::StaticScoped), "scoped");
     }
 }

@@ -57,6 +57,7 @@
 pub mod driver;
 pub mod exec;
 pub mod interface;
+pub mod pool;
 pub mod replay;
 pub mod report;
 pub mod run;
@@ -65,12 +66,13 @@ pub mod supervise;
 pub mod sweep;
 pub mod tape;
 
-pub use driver::{Dart, DartConfig, DartError, EngineMode};
+pub use driver::{Dart, DartConfig, DartError, EngineMode, SchedulerMode};
 pub use exec::{run_once, run_once_traced, RunResult, RunTermination};
 pub use interface::{describe_interface, InterfaceReport};
+pub use pool::{SolvePool, WalkItem, WalkRequest, WalkVerdicts};
 pub use replay::{parse_inputs, replay, replay_traced, serialize_inputs, ReplayParseError};
 pub use report::{Bug, BugKind, Outcome, SessionReport};
-pub use search::{SolveStats, Strategy};
+pub use search::{Scheduler, SolveStats, Strategy};
 #[cfg(any(test, feature = "fault-injection"))]
 pub use supervise::FaultPlan;
 pub use supervise::FaultState;

@@ -156,7 +156,7 @@ impl fmt::Display for SessionReport {
             f,
             "{outcome} | runs {} | bugs {} | divergences {} | restarts {} | \
              solver sat/unsat/unknown {}/{}/{} | cache hits/reuse/splits {}/{}/{} | \
-             shared/wasted {}/{} | branch cov {}/{}",
+             shared/wasted {}/{} | steals {} | branch cov {}/{}",
             self.runs,
             self.bugs.len(),
             self.divergences,
@@ -169,6 +169,7 @@ impl fmt::Display for SessionReport {
             self.solver.split_solves,
             self.solver.shared_hits,
             self.solver.parallel_wasted,
+            self.solver.steals,
             self.branches_covered,
             self.branch_sites,
         )

@@ -3,33 +3,62 @@
 //! # Parallel candidate fan-out
 //!
 //! One run's candidate queries are independent conjunctions
-//! (`c_0 ∧ … ∧ c_{j-1} ∧ ¬c_j` for different `j`), so with
-//! `solve_threads > 1` [`solve_next`] speculates on them concurrently and
+//! (`c_0 ∧ … ∧ c_{j-1} ∧ ¬c_j` for different `j`), so with a parallel
+//! [`Scheduler`] [`solve_next`] speculates on them concurrently and
 //! then *commits* sequentially, producing a byte-identical [`NextStep`]
 //! and byte-identical stats. The scheme rests on one invariant: within a
 //! single `solve_next` walk, every query before the winner is
 //! `Unsat`/`Unknown`, and those verdicts push no models into the cache's
 //! reuse pool — so each candidate's verdict is a function of the cache
 //! state *at walk entry*, which is exactly the state the workers
-//! speculate against. The commit walk then re-runs the real shortcut
-//! chain per position in strategy order, consumes a worker's fresh
-//! verdict only where a synchronous solve would have happened, counts
-//! fault-injection slots in the exact sequential order, and stops at the
-//! first `Sat` — the same winner the sequential walk picks. Workers past
-//! the lowest `Sat` position are cancelled through an atomic high-water
-//! mark (positions are claimed in increasing order, so nothing the
-//! commit walk can reach is ever skipped).
+//! speculate against ([`Scheduler::Scoped`] workers peek it read-only;
+//! [`Scheduler::Pool`] workers never touch it at all — the committing
+//! thread pre-peeks and only dispatches cache misses). The commit walk
+//! then re-runs the real shortcut chain per position in strategy order,
+//! consumes a worker's fresh verdict only where a synchronous solve
+//! would have happened, counts fault-injection slots in the exact
+//! sequential order, and stops at the first `Sat` — the same winner the
+//! sequential walk picks. Workers past the lowest `Sat` position are
+//! cancelled through an atomic high-water mark; since the mark only
+//! decreases, a cancelled position is strictly past the final winner,
+//! and any position missing a speculative verdict — cancelled, never
+//! scheduled, or lost to a worker panic — is covered by the commit
+//! walk's synchronous fallback solve, so *which* jobs ran never affects
+//! what the walk returns.
 
+use crate::pool::{SolvePool, WalkItem, WalkRequest};
 use crate::supervise::FaultState;
 use crate::tape::InputTape;
 use dart_solver::{
-    Assignment, CacheStats, PrefixSession, QueryCache, SolveInfo, SolveOutcome, Solver,
+    Assignment, CacheStats, Constraint, PrefixSession, QueryCache, SolveInfo, SolveOutcome, Solver,
 };
 use dart_sym::{BranchRecord, PathConstraint};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
+
+/// How [`solve_next`] fans a run's candidate queries out.
+///
+/// The scheduler never changes what the walk *returns* — every variant
+/// produces a byte-identical [`NextStep`] and byte-identical
+/// deterministic stats (see the module docs) — only how the speculative
+/// solving is distributed over threads.
+#[derive(Debug, Clone, Copy)]
+pub enum Scheduler<'a> {
+    /// Solve every candidate on the calling thread (`solve_threads = 1`).
+    Sequential,
+    /// PR 3's per-call scoped fan-out, now with static contiguous
+    /// chunking: thread `t` of `n` owns candidates `[t·⌈m/n⌉, …)`. Kept
+    /// as the ablation baseline the work-stealing bench compares
+    /// against ([`crate::SchedulerMode::StaticScoped`]); a worker stuck
+    /// on one hard query strands the rest of its chunk.
+    Scoped(usize),
+    /// A persistent work-stealing [`SolvePool`]: long-lived workers,
+    /// per-worker deques plus stealing, no per-walk thread spawns. The
+    /// production default for `solve_threads > 1`.
+    Pool(&'a SolvePool),
+}
 
 /// Which unexplored branch to force next (the paper's footnote 4: "a
 /// depth-first search is used for exposition, but the next branch to be
@@ -52,7 +81,7 @@ pub enum Strategy {
 }
 
 /// Cumulative solver statistics for a session.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SolveStats {
     /// Queries answered with a model.
     pub sat: u64,
@@ -78,6 +107,21 @@ pub struct SolveStats {
     /// first — a diagnostic, excluded from cross-session determinism
     /// comparisons.
     pub shared_hits: u64,
+    /// Pool jobs executed by a worker other than the one they were
+    /// queued on. Scheduling-dependent; excluded from the determinism
+    /// contract like every counter below.
+    pub steals: u64,
+    /// Nanoseconds the committing thread spent blocked waiting on the
+    /// pool for a walk's last speculative verdict.
+    pub pool_idle_ns: u64,
+    /// Deepest any pool worker deque got while this session's walks were
+    /// being enqueued (a max, not a sum).
+    pub max_queue_depth: u64,
+    /// Fresh speculative solves per pool worker (index = worker id;
+    /// empty unless the session ran on a [`SolvePool`]). On a pool
+    /// shared across a sweep these count the whole pool's work as seen
+    /// by this session's walks.
+    pub per_worker_solves: Vec<u64>,
 }
 
 impl SolveStats {
@@ -101,6 +145,20 @@ impl SolveStats {
         self.split_solves = cs.split_solves;
         self.shared_hits = cs.shared_hits;
     }
+
+    /// Zeroes every scheduling-dependent diagnostic — the counters the
+    /// determinism contract explicitly excludes (`parallel_wasted`,
+    /// `shared_hits`, `steals`, `pool_idle_ns`, `max_queue_depth`,
+    /// `per_worker_solves`). After this, two reports of the same session
+    /// under any scheduler × shared-cache combination compare equal.
+    pub fn scrub_scheduling(&mut self) {
+        self.parallel_wasted = 0;
+        self.shared_hits = 0;
+        self.steals = 0;
+        self.pool_idle_ns = 0;
+        self.max_queue_depth = 0;
+        self.per_worker_solves.clear();
+    }
 }
 
 /// The next directed step: a branch prediction stack and the input updates
@@ -121,11 +179,12 @@ pub struct NextStep {
 /// candidate is done or unsatisfiable — the directed search is over
 /// (Fig. 5's `j == -1` case).
 ///
-/// With `solve_threads > 1` the candidates are speculatively solved on a
-/// bounded scoped-thread pool first, then committed in strategy order —
-/// the returned step, the cache contents and every deterministic stat are
-/// byte-identical to the sequential walk (see the module docs). Passing
-/// `0` or `1` keeps everything on the calling thread.
+/// With a parallel [`Scheduler`] the candidates are speculatively solved
+/// first — on the persistent work-stealing pool or on a per-call scoped
+/// fan-out — then committed in strategy order: the returned step, the
+/// cache contents and every deterministic stat are byte-identical to the
+/// sequential walk (see the module docs). [`Scheduler::Sequential`]
+/// keeps everything on the calling thread.
 #[allow(clippy::too_many_arguments)] // one spot, mirrors Fig. 5's state
 pub fn solve_next(
     path: &PathConstraint,
@@ -137,11 +196,11 @@ pub fn solve_next(
     rng: &mut SmallRng,
     stats: &mut SolveStats,
     faults: &mut FaultState,
-    solve_threads: usize,
+    scheduler: Scheduler<'_>,
 ) -> Option<NextStep> {
     let n = stack.len().min(path.len());
     let mut candidates: Vec<usize> = (0..n).filter(|&j| !stack[j].done).collect();
-    // The RNG advances identically whatever `solve_threads` says: thread
+    // The RNG advances identically whatever the scheduler says: thread
     // count must never leak into the random sequence.
     match strategy {
         Strategy::Dfs => candidates.reverse(),
@@ -149,14 +208,26 @@ pub fn solve_next(
     }
     // All of this run's queries share prefixes of one path constraint, so
     // push it once and let each query start from the shared factorization.
+    let prefix = &path.constraints()[..n];
     let mut session = solver.session();
-    for c in &path.constraints()[..n] {
+    for c in prefix {
         session.push(c);
     }
-    let mut speculated = if solve_threads > 1 && candidates.len() > 1 {
-        speculate(path, &candidates, &session, tape, cache, solve_threads)
-    } else {
-        Speculation::none(candidates.len())
+    let mut speculated = match scheduler {
+        Scheduler::Pool(pool) if candidates.len() > 1 => speculate_pooled(
+            prefix,
+            path,
+            &candidates,
+            &session,
+            tape,
+            cache,
+            solver,
+            pool,
+        ),
+        Scheduler::Scoped(threads) if threads > 1 && candidates.len() > 1 => {
+            speculate_scoped(path, &candidates, &session, tape, cache, threads)
+        }
+        _ => Speculation::none(candidates.len()),
     };
     // The commit walk: sequential, in strategy order. Identical to the
     // plain walk except that positions the workers fresh-solved consume
@@ -203,17 +274,41 @@ pub fn solve_next(
             ..CacheStats::default()
         });
     }
+    // Scheduler observability: all diagnostics, outside the determinism
+    // contract (see `SolveStats::scrub_scheduling`).
+    stats.steals += speculated.steals;
+    stats.pool_idle_ns += speculated.idle_ns;
+    stats.max_queue_depth = stats.max_queue_depth.max(speculated.max_queue_depth);
+    if !speculated.per_worker.is_empty() {
+        if stats.per_worker_solves.len() < speculated.per_worker.len() {
+            stats
+                .per_worker_solves
+                .resize(speculated.per_worker.len(), 0);
+        }
+        for (acc, w) in stats
+            .per_worker_solves
+            .iter_mut()
+            .zip(&speculated.per_worker)
+        {
+            *acc += w;
+        }
+    }
     stats.absorb_cache(cache);
     found
 }
 
 /// Results of the speculative fan-out: per-position fresh verdicts
-/// (`None` where the worker's read-only peek already had an answer, the
-/// position was cancelled, or no worker reached it) and how many fresh
-/// solves the workers performed.
+/// (`None` where a read-only cache peek already had an answer, the
+/// position was cancelled, or no worker reached it), how many fresh
+/// solves the workers performed, and the scheduler diagnostics (all zero
+/// for the sequential and scoped paths except `fresh`).
 struct Speculation {
     verdicts: Vec<Option<(SolveOutcome, SolveInfo)>>,
     fresh: u64,
+    steals: u64,
+    idle_ns: u64,
+    max_queue_depth: u64,
+    per_worker: Vec<u64>,
 }
 
 impl Speculation {
@@ -221,22 +316,29 @@ impl Speculation {
         Speculation {
             verdicts: (0..len).map(|_| None).collect(),
             fresh: 0,
+            steals: 0,
+            idle_ns: 0,
+            max_queue_depth: 0,
+            per_worker: Vec::new(),
         }
     }
 }
 
-/// Fans the candidate queries out over a bounded scoped-thread pool (the
-/// `sweep` pattern: atomic work claiming, no extra deps). Each worker
-/// clones the pristine prefix `session` — queries before the winner
-/// cannot mutate the pool, so the walk-entry cache state every worker
-/// peeks against is the state the commit walk will see for any position
-/// whose verdict it consumes. Positions are claimed in increasing
-/// (strategy) order; the first `Sat` lowers the atomic high-water mark,
-/// and since the mark only decreases, a worker bailing at `p >
-/// high_water` can only skip positions strictly past the final winner —
-/// never one the commit walk needs (absent fault injection, which the
-/// commit walk covers with a synchronous fallback solve).
-fn speculate(
+/// Fans the candidate queries out over a per-call scoped fan-out with
+/// *static contiguous chunking*: worker `t` owns positions
+/// `[t·⌈m/n⌉, (t+1)·⌈m/n⌉)`, no rebalancing. This is the ablation
+/// baseline [`Scheduler::Pool`] is measured against (`bench_smoke`'s
+/// `work_steal/skewed_*` workloads): one hard query strands the rest of
+/// the owning worker's chunk behind it. Each worker clones the pristine
+/// prefix `session` — queries before the winner cannot mutate the cache's
+/// model pool, so the walk-entry cache state every worker peeks against
+/// is the state the commit walk will see for any position whose verdict
+/// it consumes. The first `Sat` lowers the atomic high-water mark, and
+/// since the mark only decreases, a worker skipping `p > high_water`
+/// can only skip positions strictly past the final winner — never one
+/// the commit walk needs (absent fault injection, which the commit walk
+/// covers with a synchronous fallback solve).
+fn speculate_scoped(
     path: &PathConstraint,
     candidates: &[usize],
     session: &PrefixSession<'_>,
@@ -247,16 +349,20 @@ fn speculate(
     let m = candidates.len();
     let slots: Vec<OnceLock<Option<(SolveOutcome, SolveInfo)>>> =
         (0..m).map(|_| OnceLock::new()).collect();
-    let next = AtomicUsize::new(0);
     let high_water = AtomicUsize::new(usize::MAX);
+    let workers = threads.min(m);
+    let chunk = m.div_ceil(workers);
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(m) {
-            scope.spawn(|| {
+        let slots = &slots;
+        let high_water = &high_water;
+        for t in 0..workers {
+            scope.spawn(move || {
                 let mut sess = session.clone();
-                loop {
-                    let p = next.fetch_add(1, Ordering::Relaxed);
-                    if p >= m || p > high_water.load(Ordering::Acquire) {
-                        return;
+                let lo = t * chunk;
+                let hi = m.min(lo + chunk);
+                for p in lo..hi {
+                    if p > high_water.load(Ordering::Acquire) {
+                        continue;
                     }
                     let j = candidates[p];
                     let negated = path.constraints()[j].negated();
@@ -284,7 +390,80 @@ fn speculate(
         .map(|s| s.into_inner().flatten())
         .collect();
     let fresh = verdicts.iter().filter(|v| v.is_some()).count() as u64;
-    Speculation { verdicts, fresh }
+    Speculation {
+        verdicts,
+        fresh,
+        steals: 0,
+        idle_ns: 0,
+        max_queue_depth: 0,
+        per_worker: Vec::new(),
+    }
+}
+
+/// Fans the candidate queries out over the persistent work-stealing
+/// [`SolvePool`]. Unlike the scoped path, pool workers never see the
+/// session's [`QueryCache`] — the committing thread pre-peeks every
+/// candidate here, in strategy order, and only enqueues positions no
+/// cache tier can answer, so a worker's verdict is a pure function of
+/// `(solver config, prefix, negated constraint, hint)` — exactly what a
+/// synchronous solve at the same position would compute against
+/// walk-entry cache state. A peek that answers `Sat` at position `p`
+/// caps speculation at `p` (nothing past it is enqueued); a worker `Sat`
+/// may lower the walk's high-water mark further mid-flight. Cancelled or
+/// panicked jobs simply leave their slot empty and the commit walk falls
+/// back to a synchronous solve, so correctness never depends on which
+/// jobs actually ran.
+#[allow(clippy::too_many_arguments)] // mirrors solve_next's walk state
+fn speculate_pooled(
+    prefix: &[Constraint],
+    path: &PathConstraint,
+    candidates: &[usize],
+    session: &PrefixSession<'_>,
+    tape: &InputTape,
+    cache: &QueryCache,
+    solver: &Solver,
+    pool: &SolvePool,
+) -> Speculation {
+    let m = candidates.len();
+    let mut items = Vec::new();
+    let mut initial_cap = usize::MAX;
+    for (pos, &j) in candidates.iter().enumerate() {
+        if pos > initial_cap {
+            break;
+        }
+        let negated = path.constraints()[j].negated();
+        match cache.peek_query(session, j, &negated, |v| tape.value_of(v)) {
+            Some(out) => {
+                if out.is_sat() {
+                    initial_cap = pos;
+                }
+            }
+            None => items.push(WalkItem { pos, j, negated }),
+        }
+    }
+    if items.len() < 2 {
+        // Nothing worth dispatching: the commit walk solves at most one
+        // fresh query anyway.
+        return Speculation::none(m);
+    }
+    let out = pool.run_walk(
+        WalkRequest {
+            prefix: prefix.to_vec(),
+            items,
+            tape: tape.clone(),
+            config: *solver.config(),
+            initial_cap,
+        },
+        m,
+    );
+    Speculation {
+        verdicts: out.verdicts,
+        fresh: out.fresh,
+        steals: out.steals,
+        idle_ns: out.idle_ns,
+        max_queue_depth: out.max_queue_depth,
+        per_worker: out.per_worker,
+    }
 }
 
 #[cfg(test)]
@@ -324,7 +503,7 @@ mod tests {
             &mut rng,
             &mut stats,
             &mut FaultState::default(),
-            1,
+            Scheduler::Sequential,
         )
         .expect("solvable");
         assert_eq!(step.stack.len(), 2, "deepest candidate keeps full prefix");
@@ -350,7 +529,7 @@ mod tests {
             &mut rng,
             &mut stats,
             &mut FaultState::default(),
-            1,
+            Scheduler::Sequential,
         )
         .expect("solvable");
         assert!(step.stack.len() == 1 || step.stack.len() == 2);
@@ -374,7 +553,7 @@ mod tests {
             &mut rng,
             &mut stats,
             &mut FaultState::default(),
-            1,
+            Scheduler::Sequential,
         )
         .expect("solvable");
         assert_eq!(step.stack.len(), 1, "done deepest skipped");
@@ -396,7 +575,7 @@ mod tests {
             &mut rng,
             &mut stats,
             &mut FaultState::default(),
-            1,
+            Scheduler::Sequential,
         )
         .is_none());
         assert_eq!(stats, SolveStats::default());
@@ -424,7 +603,7 @@ mod tests {
             &mut rng,
             &mut stats,
             &mut FaultState::default(),
-            1,
+            Scheduler::Sequential,
         )
         .expect("first conditional still flippable");
         assert_eq!(step.stack.len(), 1);
@@ -434,11 +613,11 @@ mod tests {
         assert_ne!(step.model[&Var(0)], 1);
     }
 
-    /// Runs `solve_next` with the given thread count on a three-deep
+    /// Runs `solve_next` with the given scheduler on a three-deep
     /// path whose deepest two flips are unsatisfiable, returning the
     /// step plus stats — the parallel walks must match the sequential
-    /// one field for field (minus the wasted-speculation diagnostic).
-    fn run_mixed_path(threads: usize) -> (Option<NextStep>, SolveStats, QueryCache) {
+    /// one field for field (minus the scheduling diagnostics).
+    fn run_mixed_path(scheduler: Scheduler<'_>) -> (Option<NextStep>, SolveStats, QueryCache) {
         // path: x == 1 (taken), x < 100 (taken), x != 5.
         let mut pc = PathConstraint::new();
         pc.push(Constraint::new(LinExpr::var(Var(0)).offset(-1), RelOp::Eq));
@@ -467,28 +646,37 @@ mod tests {
             &mut rng,
             &mut stats,
             &mut FaultState::default(),
-            threads,
+            scheduler,
         );
         (step, stats, cache)
     }
 
     #[test]
     fn parallel_walk_matches_sequential_walk() {
-        let (seq_step, mut seq_stats, seq_cache) = run_mixed_path(1);
-        for threads in [2, 4, 8] {
-            let (par_step, mut par_stats, par_cache) = run_mixed_path(threads);
+        let (seq_step, mut seq_stats, seq_cache) = run_mixed_path(Scheduler::Sequential);
+        let pool2 = SolvePool::new(2);
+        let pool4 = SolvePool::new(4);
+        let schedulers = [
+            Scheduler::Scoped(2),
+            Scheduler::Scoped(4),
+            Scheduler::Scoped(8),
+            Scheduler::Pool(&pool2),
+            Scheduler::Pool(&pool4),
+        ];
+        for scheduler in schedulers {
+            let (par_step, mut par_stats, par_cache) = run_mixed_path(scheduler);
             let (s, p) = (seq_step.as_ref().unwrap(), par_step.as_ref().unwrap());
-            assert_eq!(s.stack, p.stack, "{threads} threads: same flip");
-            assert_eq!(s.model, p.model, "{threads} threads: same model");
-            seq_stats.parallel_wasted = 0;
-            par_stats.parallel_wasted = 0;
-            assert_eq!(seq_stats, par_stats, "{threads} threads: same stats");
+            assert_eq!(s.stack, p.stack, "{scheduler:?}: same flip");
+            assert_eq!(s.model, p.model, "{scheduler:?}: same model");
+            seq_stats.scrub_scheduling();
+            par_stats.scrub_scheduling();
+            assert_eq!(seq_stats, par_stats, "{scheduler:?}: same stats");
             // The committed cache contents match too: a rerun of the same
             // walk hits identically on both.
             assert_eq!(
                 seq_cache.stats().hits,
                 par_cache.stats().hits,
-                "{threads} threads"
+                "{scheduler:?}"
             );
         }
         // The deepest two flips (x==1 ∧ x<100 ∧ x==5, x==1 ∧ ¬(x<100))
@@ -497,14 +685,37 @@ mod tests {
         assert_eq!(seq_stats.sat, 1);
     }
 
+    /// One pool instance serving many walks in a row keeps producing the
+    /// sequential walk's answer — the persistent-worker reuse leaks no
+    /// state from one walk into the next.
+    #[test]
+    fn pooled_walks_stay_sequential_equal_across_reuse() {
+        let (seq_step, mut seq_stats, _) = run_mixed_path(Scheduler::Sequential);
+        seq_stats.scrub_scheduling();
+        let pool = SolvePool::new(3);
+        for round in 0..10 {
+            let (step, mut stats, _) = run_mixed_path(Scheduler::Pool(&pool));
+            let (s, p) = (seq_step.as_ref().unwrap(), step.as_ref().unwrap());
+            assert_eq!(s.stack, p.stack, "round {round}");
+            assert_eq!(s.model, p.model, "round {round}");
+            stats.scrub_scheduling();
+            assert_eq!(seq_stats, stats, "round {round}");
+        }
+    }
+
     #[test]
     fn parallel_walk_under_fault_matches_sequential_walk() {
         // Force query k Unknown for every k: the fault slot must land on
-        // the same logical query whatever the thread count, including
+        // the same logical query whatever the scheduler, including
         // when it shifts the winner past the speculation high-water mark.
+        let pool = SolvePool::new(4);
         for k in 0..3u64 {
             let mut outcomes = Vec::new();
-            for threads in [1usize, 4] {
+            for scheduler in [
+                Scheduler::Sequential,
+                Scheduler::Scoped(4),
+                Scheduler::Pool(&pool),
+            ] {
                 let mut pc = PathConstraint::new();
                 pc.push(Constraint::new(LinExpr::var(Var(0)).offset(-1), RelOp::Ne));
                 pc.push(Constraint::new(LinExpr::var(Var(0)).offset(-2), RelOp::Ne));
@@ -536,13 +747,14 @@ mod tests {
                     &mut rng,
                     &mut stats,
                     &mut faults,
-                    threads,
+                    scheduler,
                 );
                 let step = step.expect("some candidate is satisfiable");
-                stats.parallel_wasted = 0;
+                stats.scrub_scheduling();
                 outcomes.push((step.stack, step.model, stats));
             }
             assert_eq!(outcomes[0], outcomes[1], "fault on query {k}");
+            assert_eq!(outcomes[0], outcomes[2], "fault on query {k} (pool)");
             // Only a fault slot consumed before the winner registers: with
             // every flip satisfiable the sequential winner is position 0,
             // so only `k == 0` fires — and shifts the winner to position 1,
@@ -558,12 +770,19 @@ mod tests {
     #[test]
     fn wasted_speculation_is_counted() {
         // Sequential: never speculates, never wastes.
-        let (_, stats, _) = run_mixed_path(1);
+        let (_, stats, _) = run_mixed_path(Scheduler::Sequential);
         assert_eq!(stats.parallel_wasted, 0);
+        assert!(stats.per_worker_solves.is_empty());
         // Parallel: whatever the scheduling, fresh speculative solves
         // minus commits is non-negative and bounded by the candidates.
-        let (_, stats, _) = run_mixed_path(4);
+        let (_, stats, _) = run_mixed_path(Scheduler::Scoped(4));
         assert!(stats.parallel_wasted <= 3);
+        // Pooled: the per-worker partition accounts for every fresh
+        // speculative solve the pool performed for this walk.
+        let pool = SolvePool::new(4);
+        let (_, stats, _) = run_mixed_path(Scheduler::Pool(&pool));
+        assert!(stats.parallel_wasted <= 3);
+        assert_eq!(stats.per_worker_solves.len(), 4);
     }
 
     #[test]
@@ -590,7 +809,7 @@ mod tests {
             &mut rng,
             &mut stats,
             &mut FaultState::default(),
-            1,
+            Scheduler::Sequential,
         )
         .unwrap();
         tape.apply_model(&step.model);

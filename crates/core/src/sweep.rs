@@ -6,7 +6,8 @@
 //! results are returned in input order and are identical to a sequential
 //! sweep (each session's randomness is seeded from its own function name).
 
-use crate::driver::{Dart, DartConfig, DartError};
+use crate::driver::{Dart, DartConfig, DartError, SchedulerMode};
+use crate::pool::SolvePool;
 use crate::report::SessionReport;
 use crate::supervise;
 use dart_minic::CompiledProgram;
@@ -71,7 +72,24 @@ impl SweepResult {
 ///
 /// [`DartError::UnknownToplevel`] if any name is not a defined function
 /// (the whole list is validated up front, before any session runs);
-/// [`DartError::InvalidConfig`] if `threads` is 0.
+/// [`DartError::InvalidConfig`] if `threads` is 0, or if
+/// [`DartConfig::solve_threads`] is 0 (which is also what a malformed
+/// `DART_SOLVE_THREADS` environment value parses to).
+///
+/// # Nested parallelism
+///
+/// A sweep has two thread knobs: `threads` session workers × each
+/// session's `solve_threads` candidate workers. With the per-call scoped
+/// scheduler these multiplied — `sweep(threads = T)` with `solve_threads
+/// = S` could run up to `T × S` solver threads at once, oversubscribing
+/// the machine. Under [`SchedulerMode::WorkStealing`] (the default) the
+/// sweep instead builds **one** [`SolvePool`] with `solve_threads`
+/// workers and attaches it to every session, so concurrent sessions
+/// *share* the pool's capacity — total solver threads stay capped at
+/// `solve_threads` (plus the `threads` committing sessions) regardless
+/// of `T`. Determinism is unaffected either way: a walk's verdicts are
+/// pure functions of its owned inputs, whichever session's walk a worker
+/// happens to pick up.
 pub fn sweep(
     compiled: &CompiledProgram,
     toplevels: &[String],
@@ -81,6 +99,13 @@ pub fn sweep(
     if threads == 0 {
         return Err(DartError::InvalidConfig(
             "sweep needs at least one thread".to_string(),
+        ));
+    }
+    if config.solve_threads == 0 {
+        return Err(DartError::InvalidConfig(
+            "solve_threads must be at least 1 (set via DartConfig::solve_threads \
+             or a valid positive DART_SOLVE_THREADS)"
+                .to_string(),
         ));
     }
     for name in toplevels {
@@ -101,6 +126,11 @@ pub fn sweep(
     let store = config
         .shared_cache
         .then(|| Arc::new(SharedVerdictStore::new()));
+    // One solver pool for the whole sweep (see "Nested parallelism"
+    // above): every session's speculative walks share these
+    // `solve_threads` workers instead of spawning their own.
+    let pool = (config.solve_threads > 1 && config.scheduler == SchedulerMode::WorkStealing)
+        .then(|| Arc::new(SolvePool::new(config.solve_threads)));
 
     std::thread::scope(|scope| {
         for _ in 0..threads.min(toplevels.len().max(1)) {
@@ -111,7 +141,14 @@ pub fn sweep(
                 };
                 let result = SweepResult {
                     function: name.clone(),
-                    outcome: run_supervised(compiled, name, i, config, store.as_ref()),
+                    outcome: run_supervised(
+                        compiled,
+                        name,
+                        i,
+                        config,
+                        store.as_ref(),
+                        pool.as_ref(),
+                    ),
                 };
                 slots_ref.lock().expect("worker panics are caught")[i] = Some(result);
             });
@@ -134,6 +171,7 @@ fn run_supervised(
     index: usize,
     config: &DartConfig,
     store: Option<&Arc<SharedVerdictStore>>,
+    pool: Option<&Arc<SolvePool>>,
 ) -> SweepOutcome {
     let base_seed = config.seed ^ name_hash(name);
     let mut attempt: u32 = 0;
@@ -144,10 +182,13 @@ fn run_supervised(
         };
         let run = supervise::run_caught(|| {
             supervise::maybe_panic(&cfg, index);
-            let mut dart =
-                Dart::new(compiled, name, cfg).expect("toplevels validated before spawning");
+            let mut dart = Dart::new(compiled, name, cfg)
+                .expect("toplevels and solve_threads validated before spawning");
             if let Some(store) = store {
                 dart = dart.with_shared_store(store.clone());
+            }
+            if let Some(pool) = pool {
+                dart = dart.with_pool(pool.clone());
             }
             dart.run()
         });
@@ -225,18 +266,17 @@ mod tests {
         r.report().expect("session finished")
     }
 
-    /// Scrubs the wall-clock fields plus the two scheduling-dependent
-    /// diagnostics (`parallel_wasted` counts speculative solves past the
-    /// winner; cross-session `shared_hits` depend on which sweep session
-    /// published a verdict first) so outcomes compare deterministically.
+    /// Scrubs the wall-clock fields plus every scheduling-dependent
+    /// diagnostic (wasted speculation, cross-session shared hits, pool
+    /// steal/idle/depth counters — see `SolveStats::scrub_scheduling`)
+    /// so outcomes compare deterministically.
     fn scrubbed(o: &SweepOutcome) -> SweepOutcome {
         match o {
             SweepOutcome::Finished { report, retried } => {
                 let mut report = report.clone();
                 report.exec_time = Duration::ZERO;
                 report.solve_time = Duration::ZERO;
-                report.solver.parallel_wasted = 0;
-                report.solver.shared_hits = 0;
+                report.solver.scrub_scheduling();
                 SweepOutcome::Finished {
                     report,
                     retried: *retried,
@@ -342,6 +382,50 @@ mod tests {
         match sweep(&compiled, &names(), &config(), 0) {
             Err(DartError::InvalidConfig(reason)) => assert!(reason.contains("thread")),
             other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    /// The strict-validation satellite: a zero `solve_threads` (the
+    /// parse sentinel for a malformed `DART_SOLVE_THREADS`) fails the
+    /// sweep up front, before any session spawns — never a silent
+    /// sequential fallback, never a worker panic.
+    #[test]
+    fn zero_solve_threads_is_an_error_not_a_panic() {
+        let compiled = library();
+        let bad = DartConfig {
+            solve_threads: 0,
+            ..config()
+        };
+        match sweep(&compiled, &names(), &bad, 2) {
+            Err(DartError::InvalidConfig(reason)) => assert!(reason.contains("solve_threads")),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    /// The oversubscription fix, observed: a wide sweep with pooled
+    /// parallel solving produces the same scrubbed outcomes as the
+    /// sequential-session, sequential-solving sweep — sessions share one
+    /// pool and their reports stay byte-identical.
+    #[test]
+    fn shared_pool_sweep_equals_sequential_sweep() {
+        let compiled = library();
+        let pooled = DartConfig {
+            solve_threads: 4,
+            scheduler: SchedulerMode::WorkStealing,
+            ..config()
+        };
+        let scoped = DartConfig {
+            solve_threads: 4,
+            scheduler: SchedulerMode::StaticScoped,
+            ..config()
+        };
+        let wide_pooled = sweep(&compiled, &names(), &pooled, 3).unwrap();
+        let wide_scoped = sweep(&compiled, &names(), &scoped, 3).unwrap();
+        let narrow_seq = sweep(&compiled, &names(), &config(), 1).unwrap();
+        for ((a, b), c) in wide_pooled.iter().zip(&wide_scoped).zip(&narrow_seq) {
+            assert_eq!(a.function, c.function);
+            assert_eq!(scrubbed(&a.outcome), scrubbed(&c.outcome), "{}", a.function);
+            assert_eq!(scrubbed(&b.outcome), scrubbed(&c.outcome), "{}", b.function);
         }
     }
 

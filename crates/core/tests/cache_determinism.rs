@@ -9,7 +9,7 @@
 //! `parallel_wasted`/`shared_hits` excepted) — see the randomized
 //! determinism proptest at the bottom.
 
-use dart::{Dart, DartConfig, EngineMode, SessionReport, Strategy};
+use dart::{Dart, DartConfig, EngineMode, SchedulerMode, SessionReport, Strategy};
 use proptest::prelude::*;
 // `dart::Strategy` shadows the prelude's trait of the same name.
 use proptest::strategy::Strategy as _;
@@ -211,13 +211,15 @@ fn program_strategy() -> impl proptest::strategy::Strategy<Value = String> {
         })
 }
 
-/// Runs the generated program under one `(solve_threads, shared_cache)`
-/// combination. `unknown_on_query` injects solver incompleteness at a
-/// random logical query index when the `fault-injection` feature is on
-/// (plain builds exercise the fault-free path of the same contract).
+/// Runs the generated program under one `(solve_threads, scheduler,
+/// shared_cache)` combination. `unknown_on_query` injects solver
+/// incompleteness at a random logical query index when the
+/// `fault-injection` feature is on (plain builds exercise the fault-free
+/// path of the same contract).
 fn run_parallel_cfg(
     compiled: &dart_minic::CompiledProgram,
     solve_threads: usize,
+    scheduler: SchedulerMode,
     shared_cache: bool,
     seed: u64,
     unknown_on_query: Option<u64>,
@@ -230,6 +232,7 @@ fn run_parallel_cfg(
         stop_at_first_bug: false,
         record_paths: true,
         solve_threads,
+        scheduler,
         shared_cache,
         #[cfg(feature = "fault-injection")]
         faults: dart::FaultPlan {
@@ -241,13 +244,14 @@ fn run_parallel_cfg(
     Dart::new(compiled, "f", config).unwrap().run()
 }
 
-/// Zeroes wall-clock plus the two scheduling diagnostics the parallel
-/// layer explicitly excludes from its determinism contract.
+/// Zeroes wall-clock plus every scheduling diagnostic the parallel
+/// layer explicitly excludes from its determinism contract
+/// (`parallel_wasted`, `shared_hits`, `steals`, `pool_idle_ns`,
+/// `max_queue_depth`, `per_worker_solves`).
 fn scrub(mut r: SessionReport) -> SessionReport {
     r.exec_time = std::time::Duration::ZERO;
     r.solve_time = std::time::Duration::ZERO;
-    r.solver.parallel_wasted = 0;
-    r.solver.shared_hits = 0;
+    r.solver.scrub_scheduling();
     r
 }
 
@@ -256,7 +260,8 @@ proptest! {
 
     /// The tentpole's acceptance property: for random programs, random
     /// seeds and random injected-Unknown positions, every combination of
-    /// `solve_threads` ∈ {1, 4} × `shared_cache` ∈ {off, on} produces a
+    /// `solve_threads` ∈ {1, 4} × scheduler ∈ {work-stealing pool,
+    /// per-call static scope} × `shared_cache` ∈ {off, on} produces a
     /// byte-identical `SessionReport` after scrubbing.
     #[test]
     fn parallel_and_shared_solving_preserve_reports(
@@ -264,15 +269,27 @@ proptest! {
         seed in 0u64..1024,
         unknown_on_query in proptest::option::of(0u64..8),
     ) {
+        use SchedulerMode::{StaticScoped, WorkStealing};
         let compiled = dart_minic::compile(&source).expect("generated source compiles");
-        let baseline = scrub(run_parallel_cfg(&compiled, 1, false, seed, unknown_on_query));
-        for (threads, shared) in [(4, false), (1, true), (4, true)] {
-            let got = scrub(run_parallel_cfg(&compiled, threads, shared, seed, unknown_on_query));
+        let baseline = scrub(run_parallel_cfg(
+            &compiled, 1, WorkStealing, false, seed, unknown_on_query,
+        ));
+        for (threads, scheduler, shared) in [
+            (4, WorkStealing, false),
+            (4, StaticScoped, false),
+            (1, WorkStealing, true),
+            (4, WorkStealing, true),
+            (4, StaticScoped, true),
+        ] {
+            let got = scrub(run_parallel_cfg(
+                &compiled, threads, scheduler, shared, seed, unknown_on_query,
+            ));
             prop_assert_eq!(
                 &baseline,
                 &got,
-                "threads={} shared={} source={}",
+                "threads={} scheduler={:?} shared={} source={}",
                 threads,
+                scheduler,
                 shared,
                 source
             );

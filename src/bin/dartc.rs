@@ -25,6 +25,10 @@
 //!   --max-retries N    reseeded retries per faulted sweep session [1]
 //!   --solve-threads N  per-run candidate-query fan-out; results are
 //!                      byte-identical to N=1       [$DART_SOLVE_THREADS or 1]
+//!   --scheduler S      stealing | scoped: how N solver workers are
+//!                      scheduled — persistent work-stealing pool, or
+//!                      the per-walk scoped fan-out kept as an ablation
+//!                      baseline (reports unchanged either way) [stealing]
 //!   --shared-cache     share solver verdicts across sweep sessions
 //!                      (reports unchanged; only wall-clock improves)
 //!   --interface        print the extracted interface and exit
@@ -38,7 +42,7 @@
 //!
 //! Exit status: 0 = no bug, 1 = bug found, 2 = usage/compile error.
 
-use dart::{Dart, DartConfig, EngineMode, Strategy, SweepOutcome};
+use dart::{Dart, DartConfig, EngineMode, SchedulerMode, Strategy, SweepOutcome};
 use std::process::ExitCode;
 
 struct Options {
@@ -57,6 +61,7 @@ struct Options {
     threads: usize,
     max_retries: u32,
     solve_threads: Option<usize>,
+    scheduler: SchedulerMode,
     shared_cache: bool,
     interface_only: bool,
     print_ir: bool,
@@ -72,7 +77,7 @@ fn usage() -> &'static str {
      [--mode directed|random|symbolic|generational] [--strategy dfs|random-branch] \
      [--all-bugs] [--max-steps N] [--mem-budget N] [--deadline MS] \
      [--sweep NAMES --threads N --max-retries N] \
-     [--solve-threads N] [--shared-cache] \
+     [--solve-threads N] [--scheduler stealing|scoped] [--shared-cache] \
      [--stats] [--no-cache] [--interface] [--print-ir]"
 }
 
@@ -93,6 +98,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         threads: 4,
         max_retries: 1,
         solve_threads: None,
+        scheduler: SchedulerMode::WorkStealing,
         shared_cache: false,
         interface_only: false,
         print_ir: false,
@@ -167,6 +173,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                         .ok_or_else(|| "--solve-threads expects a positive integer".to_string())?,
                 )
             }
+            "--scheduler" => {
+                opts.scheduler = match value(&mut it, "--scheduler")?.as_str() {
+                    "stealing" => SchedulerMode::WorkStealing,
+                    "scoped" => SchedulerMode::StaticScoped,
+                    other => return Err(format!("unknown scheduler `{other}`")),
+                }
+            }
             "--shared-cache" => opts.shared_cache = true,
             "--mode" => {
                 opts.mode = match value(&mut it, "--mode")?.as_str() {
@@ -221,6 +234,7 @@ fn build_config(opts: &Options) -> DartConfig {
         },
         solver_cache: !opts.no_cache,
         max_retries: opts.max_retries,
+        scheduler: opts.scheduler,
         shared_cache: opts.shared_cache,
         ..DartConfig::default()
     };
@@ -411,8 +425,15 @@ fn main() -> ExitCode {
         };
     }
 
-    let session =
-        Dart::new(&compiled, &toplevel, build_config(&opts)).expect("toplevel checked above");
+    // The toplevel was checked above, but `Dart::new` can still reject the
+    // config (e.g. an invalid `DART_SOLVE_THREADS` in the environment).
+    let session = match Dart::new(&compiled, &toplevel, build_config(&opts)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("dartc: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let report = session.run();
     println!("\n{report}");
     if opts.stats {
@@ -428,6 +449,16 @@ fn main() -> ExitCode {
         println!("  split solves       {}", s.split_solves);
         println!("  shared hits        {}", s.shared_hits);
         println!("  parallel wasted    {}", s.parallel_wasted);
+        println!("  steals             {}", s.steals);
+        println!(
+            "  pool idle          {:?}",
+            std::time::Duration::from_nanos(s.pool_idle_ns)
+        );
+        println!("  max queue depth    {}", s.max_queue_depth);
+        if !s.per_worker_solves.is_empty() {
+            let solves: Vec<String> = s.per_worker_solves.iter().map(u64::to_string).collect();
+            println!("  per-worker solves  [{}]", solves.join(", "));
+        }
         println!("  exec time          {:?}", report.exec_time);
         println!("  solve time         {:?}", report.solve_time);
     }
@@ -550,6 +581,7 @@ mod tests {
         let config = build_config(&o);
         assert_eq!(config.solve_threads, 4);
         assert!(config.shared_cache);
+        assert_eq!(config.scheduler, SchedulerMode::WorkStealing);
         // Unset, the flag defers to the DartConfig default (which reads
         // $DART_SOLVE_THREADS) rather than pinning 1.
         let o = parse(&["p.mc"]).unwrap();
@@ -557,6 +589,20 @@ mod tests {
         assert!(!o.shared_cache);
         assert!(parse(&["p.mc", "--solve-threads", "0"]).is_err());
         assert!(parse(&["p.mc", "--solve-threads", "many"]).is_err());
+    }
+
+    #[test]
+    fn scheduler_flag() {
+        let o = parse(&["p.mc", "--scheduler", "scoped"]).unwrap();
+        assert_eq!(o.scheduler, SchedulerMode::StaticScoped);
+        assert_eq!(build_config(&o).scheduler, SchedulerMode::StaticScoped);
+        let o = parse(&["p.mc", "--scheduler", "stealing"]).unwrap();
+        assert_eq!(o.scheduler, SchedulerMode::WorkStealing);
+        // The default is the work-stealing pool.
+        let o = parse(&["p.mc"]).unwrap();
+        assert_eq!(o.scheduler, SchedulerMode::WorkStealing);
+        assert!(parse(&["p.mc", "--scheduler", "chunked"]).is_err());
+        assert!(parse(&["p.mc", "--scheduler"]).is_err());
     }
 
     #[test]
