@@ -34,7 +34,10 @@
 //! a tiny walk where dispatch cost dominates solving.
 
 use dart::search::{solve_next, SolveStats};
-use dart::{DartConfig, FaultState, InputKind, InputTape, Scheduler, SolvePool, Strategy};
+use dart::{
+    Dart, DartConfig, EngineMode, FaultState, FrontierOrder, InputKind, InputTape, Scheduler,
+    SolvePool, Strategy,
+};
 use dart_solver::{Constraint, LinExpr, QueryCache, RelOp, Solver, SolverConfig, Var};
 use dart_sym::{BranchRecord, PathConstraint};
 use rand::rngs::SmallRng;
@@ -297,6 +300,58 @@ fn shared_store_workload(
     results.iter().filter(|r| r.report().is_some()).count()
 }
 
+/// The redundant-path program for the generational groups. The leading
+/// `x*x` guard is outside the linear theory, so its run taints and the
+/// session can never claim completeness: it restarts until the run
+/// budget, and every restart re-derives the same children — two
+/// satisfiable flips plus two budget-burning lazy-`!=` unsat proofs
+/// (`a != 4` under `2a == 8`). With path-prefix dedup on, restarts skip
+/// all of those solver queries; with it off, every restart pays full
+/// price — the `gen_dedup/{off,on}` comparison. The query cache is
+/// disabled so the measured gap is dedup's own, not the cache's.
+fn gen_program() -> dart_minic::CompiledProgram {
+    dart_minic::compile(
+        r#"
+        int gen_target(int x, int a, int b) {
+            if (x*x == 999983) { return 7; }
+            if (2*a == 8) { if (a != 4) { return 1; } return 2; }
+            if (2*b == 8) { if (b != 4) { return 3; } return 4; }
+            return 0;
+        }
+        "#,
+    )
+    .expect("generational workload compiles")
+}
+
+fn generational_report(
+    compiled: &dart_minic::CompiledProgram,
+    order: FrontierOrder,
+    dedup: bool,
+) -> dart::SessionReport {
+    let config = DartConfig {
+        mode: EngineMode::Generational,
+        frontier_order: order,
+        frontier_dedup: dedup,
+        max_runs: 60,
+        seed: 0,
+        stop_at_first_bug: false,
+        solver_cache: false,
+        solve_threads: 1,
+        ..DartConfig::default()
+    };
+    Dart::new(compiled, "gen_target", config)
+        .expect("generational workload config is valid")
+        .run()
+}
+
+fn generational_workload(
+    compiled: &dart_minic::CompiledProgram,
+    order: FrontierOrder,
+    dedup: bool,
+) -> usize {
+    generational_report(compiled, order, dedup).runs as usize
+}
+
 /// Median nanoseconds per iteration: calibrates a batch size that takes a
 /// few milliseconds, then medians over `SAMPLES` batches.
 fn measure(mut work: impl FnMut() -> usize) -> u64 {
@@ -388,6 +443,7 @@ fn main() -> ExitCode {
     let sweep_fns = 600usize;
     let library = sweep_library(sweep_fns);
     let names: Vec<String> = (0..sweep_fns).map(|i| format!("g{i}")).collect();
+    let gen_lib = gen_program();
     // One persistent pool shared by every pooled workload below — the
     // whole point of `SolvePool` is that its spawn cost is paid once.
     let pool4 = SolvePool::new(4);
@@ -441,6 +497,22 @@ fn main() -> ExitCode {
             "shared_store/sweep_600_on".to_string(),
             measure(|| shared_store_workload(&library, &names, true)),
         ),
+        (
+            "gen/fifo".to_string(),
+            measure(|| generational_workload(&gen_lib, FrontierOrder::Fifo, true)),
+        ),
+        (
+            "gen/scored".to_string(),
+            measure(|| generational_workload(&gen_lib, FrontierOrder::Scored, true)),
+        ),
+        (
+            "gen_dedup/off".to_string(),
+            measure(|| generational_workload(&gen_lib, FrontierOrder::Scored, false)),
+        ),
+        (
+            "gen_dedup/on".to_string(),
+            measure(|| generational_workload(&gen_lib, FrontierOrder::Scored, true)),
+        ),
     ];
 
     let ratio = |num: &str, den: &str| -> Option<f64> {
@@ -467,6 +539,12 @@ fn main() -> ExitCode {
     }
     if let Some(s) = ratio("shared_store/sweep_600_off", "shared_store/sweep_600_on") {
         println!("shared store speedup (600-function sweep): {s:.2}x");
+    }
+    if let Some(s) = ratio("gen/fifo", "gen/scored") {
+        println!("generational frontier order (fifo -> scored): {s:.2}x");
+    }
+    if let Some(s) = ratio("gen_dedup/off", "gen_dedup/on") {
+        println!("generational path-prefix dedup (off -> on): {s:.2}x");
     }
 
     if write_baseline {
@@ -609,5 +687,43 @@ mod tests {
         let names: Vec<String> = (0..8).map(|i| format!("g{i}")).collect();
         assert_eq!(shared_store_workload(&compiled, &names, false), 8);
         assert_eq!(shared_store_workload(&compiled, &names, true), 8);
+    }
+
+    #[test]
+    fn generational_workload_restarts_to_its_budget() {
+        // The tainting `x*x` guard must keep the session incomplete so it
+        // restarts until max_runs — that redundancy is what the dedup
+        // comparison measures. If this stops holding, the bench went dead.
+        let compiled = gen_program();
+        let on = generational_report(&compiled, FrontierOrder::Scored, true);
+        let off = generational_report(&compiled, FrontierOrder::Scored, false);
+        assert_eq!(on.runs, 60, "dedup-on session exhausts the run budget");
+        assert_eq!(off.runs, 60, "dedup-off session exhausts the run budget");
+        assert!(on.restarts > 1, "the taint forces restarts");
+        assert!(on.dedup_hits > 0, "restarts re-derive deduped children");
+        assert_eq!(off.dedup_hits, 0);
+        let queries = |r: &dart::SessionReport| r.solver.sat + r.solver.unsat + r.solver.unknown;
+        assert!(
+            queries(&off) > queries(&on),
+            "dedup must actually skip solver work ({} vs {})",
+            queries(&off),
+            queries(&on)
+        );
+    }
+
+    #[test]
+    fn generational_workload_is_order_and_dedup_invariant() {
+        // All four measured variants must explore the same branch set —
+        // otherwise the paired comparisons measure different work.
+        let compiled = gen_program();
+        let cov: Vec<usize> = [
+            (FrontierOrder::Fifo, true),
+            (FrontierOrder::Scored, true),
+            (FrontierOrder::Scored, false),
+        ]
+        .into_iter()
+        .map(|(order, dedup)| generational_report(&compiled, order, dedup).branches_covered)
+        .collect();
+        assert!(cov.iter().all(|&c| c == cov[0]), "branch coverage {cov:?}");
     }
 }

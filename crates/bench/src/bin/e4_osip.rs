@@ -16,9 +16,13 @@
 //! `--scheduler stealing|scoped` picks between the persistent
 //! work-stealing pool (shared by every session of the sweep) and the
 //! per-walk statically-chunked scope — the pool-vs-scope overhead
-//! comparison EXPERIMENTS.md E9 runs.
+//! comparison EXPERIMENTS.md E9 runs. `--engine directed|generational`
+//! selects the search engine; under `generational`,
+//! `--frontier-order scored|fifo` and `--frontier-budget N` expose the
+//! scored frontier's knobs (EXPERIMENTS.md E10) and the sweep line
+//! reports the aggregate dedup/eviction/peak counters.
 
-use dart::{Dart, DartConfig, SchedulerMode};
+use dart::{Dart, DartConfig, EngineMode, FrontierOrder, SchedulerMode};
 use dart_bench::{fmt_dur, header, seed_from_args};
 use dart_workloads::{generate_osip, OsipConfig, Planted};
 use std::collections::BTreeMap;
@@ -54,6 +58,37 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let engine = match args
+        .iter()
+        .position(|a| a == "--engine")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        None | Some("directed") => EngineMode::Directed,
+        Some("generational") => EngineMode::Generational,
+        Some(other) => {
+            eprintln!("unknown --engine `{other}` (expected `directed` or `generational`)");
+            std::process::exit(2);
+        }
+    };
+    let frontier_order = match args
+        .iter()
+        .position(|a| a == "--frontier-order")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        None | Some("scored") => FrontierOrder::Scored,
+        Some("fifo") => FrontierOrder::Fifo,
+        Some(other) => {
+            eprintln!("unknown --frontier-order `{other}` (expected `scored` or `fifo`)");
+            std::process::exit(2);
+        }
+    };
+    let frontier_budget: Option<usize> = args
+        .iter()
+        .position(|a| a == "--frontier-budget")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok());
 
     let lib = generate_osip(OsipConfig {
         num_functions,
@@ -78,6 +113,9 @@ fn main() {
             shared_cache,
             solve_threads,
             scheduler,
+            mode: engine,
+            frontier_order,
+            frontier_budget,
             ..DartConfig::default()
         },
         threads,
@@ -132,6 +170,31 @@ fn main() {
             SchedulerMode::StaticScoped => "scoped",
         },
     );
+    if engine == EngineMode::Generational {
+        let (dedup, evicted, peak) =
+            results
+                .iter()
+                .filter_map(|r| r.report())
+                .fold((0u64, 0u64, 0u64), |(d, e, p), rep| {
+                    (
+                        d + rep.dedup_hits,
+                        e + rep.frontier_evicted,
+                        p.max(rep.frontier_peak),
+                    )
+                });
+        println!(
+            "generational frontier | order {}, budget {}, dedup hits {}, \
+             evicted {}, peak {} | (n/a)",
+            match frontier_order {
+                FrontierOrder::Scored => "scored",
+                FrontierOrder::Fifo => "fifo",
+            },
+            frontier_budget.map_or("unbounded".to_string(), |b| b.to_string()),
+            dedup,
+            evicted,
+            peak,
+        );
+    }
 
     header(
         "E4: detection by defect class (ground truth from the generator)",

@@ -20,9 +20,10 @@
 //!   (`run_generational`), a sound non-DFS exploration order.
 
 use crate::exec::{run_once_with_faults, RunResult, RunTermination};
+use crate::frontier::{child_key, derive_seed, Checkpoint, Frontier, FrontierOrder};
 use crate::pool::SolvePool;
 use crate::report::{Bug, BugKind, Outcome, SessionReport};
-use crate::search::{solve_next, Scheduler, Strategy};
+use crate::search::{solve_next, speculate_all, Scheduler, Strategy};
 use crate::supervise::FaultState;
 use crate::tape::InputTape;
 use dart_minic::{CompiledProgram, FnSig};
@@ -45,10 +46,11 @@ pub enum EngineMode {
     SymbolicOnly,
     /// Generational search (the strategy of DART's descendant SAGE): each
     /// run expands *every* branch after its generation bound into a child
-    /// work item, and the frontier is explored breadth-first. Unlike the
-    /// stack-based DFS, this supports sound non-depth-first exploration —
-    /// and it also supports the Theorem 1(b) completeness claim, because
-    /// the generation bound partitions the execution tree exactly.
+    /// work item on a scored priority frontier
+    /// ([`crate::frontier::FrontierOrder`]). Unlike the stack-based DFS,
+    /// this supports sound non-depth-first exploration — and it also
+    /// supports the Theorem 1(b) completeness claim, because the
+    /// generation bound partitions the execution tree exactly.
     Generational,
 }
 
@@ -133,6 +135,35 @@ pub struct DartConfig {
     /// How many times [`crate::sweep::sweep`] re-runs a session whose
     /// engine faulted (panicked), each retry with a reseeded RNG.
     pub max_retries: u32,
+    /// Exploration order of the generational frontier: coverage-novelty
+    /// scored (the default) or plain FIFO (the pre-scoring behaviour,
+    /// kept as the `--frontier-order fifo` ablation). Ignored outside
+    /// [`EngineMode::Generational`].
+    pub frontier_order: FrontierOrder,
+    /// Memory bound on the generational frontier: when the queue would
+    /// exceed this many items, the lowest-scored (then newest) item is
+    /// evicted, counted in [`SessionReport::frontier_evicted`], and the
+    /// session can no longer claim [`Outcome::Complete`]. `None` (the
+    /// default) never evicts; `Some(0)` is rejected with
+    /// [`DartError::InvalidConfig`].
+    pub frontier_budget: Option<usize>,
+    /// Deduplicate generational child derivations across restarts (on by
+    /// default): a candidate whose solver query was already posed is
+    /// skipped — query and all — and counted in
+    /// [`SessionReport::dedup_hits`]. Sound because every skip clears
+    /// the completeness flag (and a restart only happens after an
+    /// incomplete pass anyway); `false` re-derives everything, kept as
+    /// the bench ablation (`gen_dedup/off`).
+    pub frontier_dedup: bool,
+    /// Checkpoint file for the generational engine: the frontier,
+    /// coverage and RNG position are written here after every completed
+    /// work item, and a session constructed with the same seed and an
+    /// existing file resumes from it instead of starting fresh. `None`
+    /// (the default) never touches disk. Setting it with a
+    /// non-generational [`DartConfig::mode`] is rejected with
+    /// [`DartError::InvalidConfig`], as is a malformed file or a seed
+    /// mismatch.
+    pub checkpoint: Option<std::path::PathBuf>,
     /// Deterministic fault-injection plan, consulted by the driver and
     /// the sweep (tests and the `fault-injection` feature only). The
     /// default plan injects nothing.
@@ -161,6 +192,10 @@ impl Default for DartConfig {
             deadline: None,
             oom_is_bug: true,
             max_retries: 1,
+            frontier_order: FrontierOrder::default(),
+            frontier_budget: None,
+            frontier_dedup: true,
+            checkpoint: None,
             #[cfg(any(test, feature = "fault-injection"))]
             faults: crate::supervise::FaultPlan::default(),
         }
@@ -242,6 +277,9 @@ pub struct Dart<'p> {
     config: DartConfig,
     shared: Option<std::sync::Arc<dart_solver::SharedVerdictStore>>,
     pool: Option<std::sync::Arc<SolvePool>>,
+    /// A parsed resume point, loaded by [`Dart::new`] when
+    /// [`DartConfig::checkpoint`] names an existing file.
+    checkpoint: Option<Checkpoint>,
 }
 
 impl<'p> Dart<'p> {
@@ -253,7 +291,11 @@ impl<'p> Dart<'p> {
     /// [`DartError::InvalidConfig`] if `solve_threads` is 0 — which is
     /// also what a malformed `DART_SOLVE_THREADS` environment value
     /// parses to, so a typo'd parallel run errors out instead of
-    /// silently running sequentially.
+    /// silently running sequentially — if `frontier_budget` is
+    /// `Some(0)` (a frontier that can hold nothing can run nothing), or
+    /// if `checkpoint` is set outside the generational engine, names an
+    /// unreadable or malformed file, or was recorded under a different
+    /// seed (resuming it would splice two unrelated random sequences).
     pub fn new(
         compiled: &'p CompiledProgram,
         toplevel: &str,
@@ -266,6 +308,49 @@ impl<'p> Dart<'p> {
                     .to_string(),
             ));
         }
+        if config.frontier_budget == Some(0) {
+            return Err(DartError::InvalidConfig(
+                "frontier_budget must be at least 1 (omit it for an unbounded frontier)"
+                    .to_string(),
+            ));
+        }
+        let checkpoint = match &config.checkpoint {
+            None => None,
+            Some(path) => {
+                if config.mode != EngineMode::Generational {
+                    return Err(DartError::InvalidConfig(
+                        "checkpoint requires the generational engine (--engine generational)"
+                            .to_string(),
+                    ));
+                }
+                match std::fs::read_to_string(path) {
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+                    Err(e) => {
+                        return Err(DartError::InvalidConfig(format!(
+                            "cannot read checkpoint {}: {e}",
+                            path.display()
+                        )))
+                    }
+                    Ok(text) => {
+                        let cp = Checkpoint::parse(&text).map_err(|e| {
+                            DartError::InvalidConfig(format!(
+                                "malformed checkpoint {}: {e}",
+                                path.display()
+                            ))
+                        })?;
+                        if cp.seed != config.seed {
+                            return Err(DartError::InvalidConfig(format!(
+                                "checkpoint {} was recorded with seed {}, not {}",
+                                path.display(),
+                                cp.seed,
+                                config.seed
+                            )));
+                        }
+                        Some(cp)
+                    }
+                }
+            }
+        };
         let sig = compiled
             .fn_sig(toplevel)
             .cloned()
@@ -276,6 +361,7 @@ impl<'p> Dart<'p> {
             config,
             shared: None,
             pool: None,
+            checkpoint,
         })
     }
 
@@ -476,21 +562,36 @@ impl<'p> Dart<'p> {
         }
     }
 
-    /// The generational (SAGE-style) search loop: a FIFO frontier of
-    /// `(inputs, prediction, generation bound)` work items. Every executed
-    /// run spawns one child per solvable branch negation at an index at or
-    /// beyond its bound; the child's bound excludes the shared prefix, so
-    /// no path is derived twice. An empty frontier with clean flags means
-    /// every feasible path was executed.
+    /// The generational (SAGE-style) search loop, rebuilt around
+    /// [`crate::frontier::Frontier`]: a scored priority frontier
+    /// (coverage-novelty first; [`DartConfig::frontier_order`] selects
+    /// the FIFO ablation), path-prefix dedup so no input is derived
+    /// twice across generations, an optional budget that evicts the
+    /// lowest-scored items (soundly clearing the completeness claim),
+    /// speculative candidate solving through the same
+    /// [`Scheduler`]/[`SolvePool`] machinery as the directed engine, and
+    /// a kill-safe resume file ([`DartConfig::checkpoint`]).
+    ///
+    /// Every executed run spawns one child per satisfiable branch
+    /// negation at or beyond its generation bound; the child's bound
+    /// excludes the shared prefix, so within one restart no path is
+    /// derived twice (the dedup set catches the cross-restart repeats).
+    /// An empty frontier with clean flags means every feasible path was
+    /// executed.
     fn run_generational(&self) -> SessionReport {
-        use dart_solver::SolveOutcome;
-        use std::collections::VecDeque;
+        use dart_solver::{CacheStats, SolveOutcome};
 
         let cfg = &self.config;
         let solver = Solver::new(cfg.solver);
-        // The generational frontier solves candidates sequentially (its
-        // queries all spawn children, so there is no winner to cut at);
-        // it still shares verdicts through the attached store.
+        // The same per-session scheduler as the directed engine — the
+        // generational expansion fans its candidate negations out through
+        // `speculate_all` and commits them in `j` order.
+        let pool = self.solve_pool();
+        let scheduler = match &pool {
+            Some(p) => Scheduler::Pool(p),
+            None if cfg.solve_threads > 1 => Scheduler::Scoped(cfg.solve_threads),
+            None => Scheduler::Sequential,
+        };
         let mut cache = QueryCache::new(cfg.solver_cache);
         if let Some(store) = self.shared_store() {
             cache.attach_shared(store);
@@ -501,15 +602,48 @@ impl<'p> Dart<'p> {
         let mut coverage: std::collections::HashSet<(usize, bool)> =
             std::collections::HashSet::new();
         let mut report = SessionReport::new(self.branch_sites());
+        // The frontier (and its dedup set) outlives restarts: a child an
+        // earlier restart already derived is worthless to re-derive.
+        let mut frontier =
+            Frontier::new(cfg.frontier_order, cfg.frontier_budget, cfg.frontier_dedup);
+
+        // Resume: replay the checkpointed session state, then fast-forward
+        // the session RNG past the root draws the checkpointed restarts
+        // consumed (children never draw from it, so the restart count is
+        // exactly the number of draws).
+        let mut resumed_complete = None;
+        if let Some(cp) = &self.checkpoint {
+            report.restarts = cp.restarts;
+            report.runs = cp.runs;
+            report.steps = cp.steps;
+            report.divergences = cp.divergences;
+            coverage.extend(cp.coverage.iter().copied());
+            report.branches_covered = coverage.len();
+            for _ in 0..cp.restarts {
+                let _: u64 = rng.gen();
+            }
+            frontier.restore(cp);
+            resumed_complete = Some(cp.session_complete);
+        }
 
         'outer: loop {
-            report.restarts += 1;
-            let mut session_complete = true;
-            let mut frontier: VecDeque<(InputTape, Vec<dart_sym::BranchRecord>, usize)> =
-                VecDeque::new();
-            frontier.push_back((InputTape::new(rng.gen()), Vec::new(), 0));
+            // One completeness flag per restart — except on resume, which
+            // continues the interrupted restart's claim.
+            let mut session_complete = match resumed_complete.take() {
+                Some(flag) => flag,
+                None => {
+                    report.restarts += 1;
+                    let root_seed: u64 = rng.gen();
+                    frontier.push_root(InputTape::new(root_seed), root_seed);
+                    self.write_checkpoint(&frontier, &coverage, &report, true);
+                    true
+                }
+            };
 
-            while let Some((tape, stack, bound)) = frontier.pop_front() {
+            loop {
+                report.dedup_hits = frontier.dedup_hits;
+                report.frontier_evicted = frontier.evicted;
+                report.frontier_peak = frontier.peak;
                 if report.runs >= cfg.max_runs {
                     report.outcome = Outcome::Exhausted;
                     return report;
@@ -518,21 +652,30 @@ impl<'p> Dart<'p> {
                     report.outcome = Outcome::DeadlineExceeded;
                     return report;
                 }
+                let Some(item) = frontier.pop() else { break };
+                let bound = item.bound;
                 let exec_started = std::time::Instant::now();
                 let result = run_once_with_faults(
                     self.compiled,
                     &self.sig,
                     cfg.depth,
                     cfg.machine,
-                    tape,
-                    stack,
+                    item.tape,
+                    item.stack,
                     cfg.max_ptr_depth,
                     &mut faults,
                 );
                 report.exec_time += exec_started.elapsed();
                 report.runs += 1;
                 report.steps += result.steps;
-                coverage.extend(result.branches.iter().copied());
+                // Coverage novelty — the count of `(site, direction)`
+                // pairs this run discovered — scores its children.
+                let mut new_pairs: u64 = 0;
+                for b in &result.branches {
+                    if coverage.insert(*b) {
+                        new_pairs += 1;
+                    }
+                }
                 report.branches_covered = coverage.len();
                 if cfg.record_paths {
                     report.paths.push(result.branches.clone());
@@ -546,46 +689,159 @@ impl<'p> Dart<'p> {
                 if result.diverged {
                     report.divergences += 1;
                     session_complete = false;
-                    continue; // drop the divergent item
+                    // Drop the divergent item, and persist the drop so a
+                    // resume does not replay it.
+                    self.write_checkpoint(&frontier, &coverage, &report, session_complete);
+                    continue;
                 }
 
                 let solve_started = std::time::Instant::now();
                 let upper = result.stack.len().min(result.path.len());
+                let constraints = result.path.constraints();
                 // One incremental prefix session per run: the `j` queries
                 // below all share prefixes of this run's path constraint.
                 let mut session = solver.session();
-                for c in &result.path.constraints()[..upper] {
+                for c in &constraints[..upper] {
                     session.push(c);
                 }
+                // Candidate collection, dedup first: a fingerprint already
+                // derived (this restart or an earlier one) skips its
+                // solver query entirely, at the sound cost of the
+                // completeness claim.
+                let mut candidates = Vec::new();
+                let mut keys = Vec::new();
                 for j in bound..upper {
                     if result.stack[j].done {
                         continue;
                     }
-                    if faults.force_unknown_next_query() {
-                        report.solver.unknown += 1;
+                    let key = child_key(constraints, j);
+                    if !frontier.note_candidate(key) {
                         session_complete = false;
                         continue;
                     }
-                    let negated = result.path.constraints()[j].negated();
-                    match cache.solve_query(&mut session, j, &negated, |v| result.tape.value_of(v))
-                    {
+                    candidates.push(j);
+                    keys.push(key);
+                }
+                // Speculative fan-out under the session scheduler, then a
+                // sequential commit in `j` order — the same two-phase
+                // scheme as `solve_next`, minus first-Sat cancellation
+                // (every satisfiable negation spawns a child).
+                let mut speculated = speculate_all(
+                    &constraints[..upper],
+                    &result.path,
+                    &candidates,
+                    &session,
+                    &result.tape,
+                    &cache,
+                    &solver,
+                    scheduler,
+                );
+                let mut consumed: u64 = 0;
+                let mut deadline_hit = false;
+                for (pos, &j) in candidates.iter().enumerate() {
+                    // The deadline is also checked per candidate, so a
+                    // long expansion cannot overshoot it by a whole item's
+                    // worth of solving; partial results remain valid.
+                    if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                        deadline_hit = true;
+                        break;
+                    }
+                    if faults.force_unknown_next_query() {
+                        report.solver.unknown += 1;
+                        session_complete = false;
+                        frontier.forget_candidate(keys[pos]);
+                        continue;
+                    }
+                    let negated = constraints[j].negated();
+                    let pre = speculated.verdicts[pos].take();
+                    let (out, used) = cache.solve_query_precomputed(
+                        &mut session,
+                        j,
+                        &negated,
+                        |v| result.tape.value_of(v),
+                        pre,
+                    );
+                    consumed += u64::from(used);
+                    match out {
                         SolveOutcome::Sat(model) => {
                             report.solver.sat += 1;
-                            let mut child_tape = result.tape.clone();
+                            // A pristine derived-seed tape (not a clone of
+                            // the parent's spent RNG state) so a
+                            // checkpointed child round-trips exactly.
+                            let child_seed = derive_seed(cfg.seed, frontier.next_seq());
+                            let mut child_tape =
+                                InputTape::from_slots(result.tape.snapshot(), child_seed);
                             child_tape.apply_model(&model);
                             let mut child_stack = result.stack[..=j].to_vec();
                             child_stack[j].branch = !child_stack[j].branch;
-                            frontier.push_back((child_tape, child_stack, j + 1));
+                            if frontier.push_child(
+                                child_tape,
+                                child_stack,
+                                j + 1,
+                                new_pairs,
+                                child_seed,
+                                keys[pos],
+                            ) {
+                                // The budget evicted unexplored work.
+                                session_complete = false;
+                            }
                         }
                         SolveOutcome::Unsat => report.solver.unsat += 1,
                         SolveOutcome::Unknown => {
                             report.solver.unknown += 1;
                             session_complete = false;
+                            // No verdict was established: release the
+                            // fingerprint so a later restart may retry.
+                            frontier.forget_candidate(keys[pos]);
                         }
+                    }
+                }
+                if speculated.fresh > 0 {
+                    // Same honest accounting as `solve_next`: speculative
+                    // solves the commit never replayed are still solver
+                    // invocations, surfaced as wasted speculation.
+                    report.solver.parallel_wasted += speculated.fresh - consumed;
+                    cache.absorb_shard(CacheStats {
+                        misses: speculated.fresh - consumed,
+                        ..CacheStats::default()
+                    });
+                }
+                report.solver.steals += speculated.steals;
+                report.solver.pool_idle_ns += speculated.idle_ns;
+                report.solver.max_queue_depth = report
+                    .solver
+                    .max_queue_depth
+                    .max(speculated.max_queue_depth);
+                if !speculated.per_worker.is_empty() {
+                    if report.solver.per_worker_solves.len() < speculated.per_worker.len() {
+                        report
+                            .solver
+                            .per_worker_solves
+                            .resize(speculated.per_worker.len(), 0);
+                    }
+                    for (acc, w) in report
+                        .solver
+                        .per_worker_solves
+                        .iter_mut()
+                        .zip(&speculated.per_worker)
+                    {
+                        *acc += w;
                     }
                 }
                 report.solver.absorb_cache(&cache);
                 report.solve_time += solve_started.elapsed();
+                report.dedup_hits = frontier.dedup_hits;
+                report.frontier_evicted = frontier.evicted;
+                report.frontier_peak = frontier.peak;
+                if deadline_hit {
+                    // No checkpoint here: the abandoned candidates'
+                    // fingerprints entered the dedup set, and persisting
+                    // them would make a resume skip their children
+                    // forever. The previous snapshot stays consistent.
+                    report.outcome = Outcome::DeadlineExceeded;
+                    return report;
+                }
+                self.write_checkpoint(&frontier, &coverage, &report, session_complete);
             }
 
             if session_complete {
@@ -593,6 +849,41 @@ impl<'p> Dart<'p> {
                 return report;
             }
             continue 'outer; // incomplete: fresh random restart
+        }
+    }
+
+    /// Persists the generational session state to
+    /// [`DartConfig::checkpoint`] (a no-op without one): write a `.tmp`
+    /// sibling, then rename over the target, so a kill mid-write leaves
+    /// the previous consistent snapshot in place. Write failures are
+    /// deliberately swallowed — checkpointing is crash insurance, and a
+    /// full disk must not turn a healthy session into a failed one.
+    fn write_checkpoint(
+        &self,
+        frontier: &Frontier,
+        coverage: &std::collections::HashSet<(usize, bool)>,
+        report: &SessionReport,
+        session_complete: bool,
+    ) {
+        let Some(path) = &self.config.checkpoint else {
+            return;
+        };
+        let mut cov: Vec<(usize, bool)> = coverage.iter().copied().collect();
+        cov.sort_unstable();
+        let cp = frontier.to_checkpoint(
+            self.config.seed,
+            report.restarts,
+            report.runs,
+            report.steps,
+            report.divergences,
+            session_complete,
+            cov,
+        );
+        let mut tmp = path.clone().into_os_string();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        if std::fs::write(&tmp, cp.render()).is_ok() {
+            let _ = std::fs::rename(&tmp, path);
         }
     }
 
@@ -679,6 +970,37 @@ mod tests {
         match Dart::new(&compiled, "f", config) {
             Err(DartError::InvalidConfig(reason)) => {
                 assert!(reason.contains("solve_threads"), "{reason}");
+            }
+            other => panic!("expected InvalidConfig, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn zero_frontier_budget_rejected_at_session_construction() {
+        let compiled = dart_minic::compile("int f(int x) { return x; }").unwrap();
+        let config = DartConfig {
+            mode: EngineMode::Generational,
+            frontier_budget: Some(0),
+            ..DartConfig::default()
+        };
+        match Dart::new(&compiled, "f", config) {
+            Err(DartError::InvalidConfig(reason)) => {
+                assert!(reason.contains("frontier_budget"), "{reason}");
+            }
+            other => panic!("expected InvalidConfig, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn checkpoint_rejected_outside_generational_mode() {
+        let compiled = dart_minic::compile("int f(int x) { return x; }").unwrap();
+        let config = DartConfig {
+            checkpoint: Some(std::path::PathBuf::from("/nonexistent/dir/cp.txt")),
+            ..DartConfig::default()
+        };
+        match Dart::new(&compiled, "f", config) {
+            Err(DartError::InvalidConfig(reason)) => {
+                assert!(reason.contains("generational"), "{reason}");
             }
             other => panic!("expected InvalidConfig, got {:?}", other.map(|_| ())),
         }

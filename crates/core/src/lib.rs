@@ -56,6 +56,7 @@
 
 pub mod driver;
 pub mod exec;
+pub mod frontier;
 pub mod interface;
 pub mod pool;
 pub mod replay;
@@ -68,6 +69,7 @@ pub mod tape;
 
 pub use driver::{Dart, DartConfig, DartError, EngineMode, SchedulerMode};
 pub use exec::{run_once, run_once_traced, RunResult, RunTermination};
+pub use frontier::{CheckpointParseError, FrontierOrder};
 pub use interface::{describe_interface, InterfaceReport};
 pub use pool::{SolvePool, WalkItem, WalkRequest, WalkVerdicts};
 pub use replay::{parse_inputs, replay, replay_traced, serialize_inputs, ReplayParseError};

@@ -31,12 +31,16 @@
 //!
 //! Each walk carries an atomic high-water mark, initialised to the first
 //! position the cache already knows to be satisfiable (or `usize::MAX`).
-//! A worker finding `Sat` at position `p` lowers the mark to `p`; a
-//! worker popping a job past the mark abandons it without solving. The
-//! mark only ever decreases, so an abandoned position is strictly past
-//! the final mark, which is at or past the committed winner — the commit
-//! walk can never reach it (absent fault injection, which the commit walk
-//! covers with a synchronous fallback solve; see `search::solve_next`).
+//! In a first-Sat-wins walk ([`WalkRequest::cancel_on_sat`] set, as
+//! `solve_next` submits), a worker finding `Sat` at position `p` lowers
+//! the mark to `p`, and a worker popping a job past the mark abandons it
+//! without solving. The mark only ever decreases, so an abandoned
+//! position is strictly past the final mark, which is at or past the
+//! committed winner — the commit walk can never reach it (absent fault
+//! injection, which the commit walk covers with a synchronous fallback
+//! solve; see `search::solve_next`). A generational expansion walk
+//! (`cancel_on_sat` clear) commits *every* candidate, so `Sat` cancels
+//! nothing and all enqueued jobs run to a verdict.
 //!
 //! # Observability
 //!
@@ -90,6 +94,12 @@ pub struct WalkRequest {
     /// satisfiable, `usize::MAX` if none. Candidates past it are never
     /// enqueued, but a worker `Sat` may lower it further mid-walk.
     pub initial_cap: usize,
+    /// Whether a worker `Sat` cancels positions past it. `true` for a
+    /// first-Sat-wins `solve_next` walk (only the winner is committed);
+    /// `false` for a generational expansion, where *every* satisfiable
+    /// candidate spawns a child and cancelling would throw away work the
+    /// commit loop must then redo synchronously.
+    pub cancel_on_sat: bool,
 }
 
 /// What one walk's speculation produced, plus scheduler diagnostics.
@@ -121,6 +131,9 @@ struct Walk {
     config: SolverConfig,
     /// Lowest position found satisfiable so far; only ever decreases.
     high_water: AtomicUsize,
+    /// Whether `Sat` verdicts move the mark / abandon later jobs (see
+    /// [`WalkRequest::cancel_on_sat`]).
+    cancel_on_sat: bool,
     /// One verdict slot per candidate position (not per item: the
     /// committing walk indexes by position).
     slots: Vec<std::sync::OnceLock<(SolveOutcome, SolveInfo)>>,
@@ -255,6 +268,7 @@ impl SolvePool {
             tape: req.tape,
             config: req.config,
             high_water: AtomicUsize::new(req.initial_cap),
+            cancel_on_sat: req.cancel_on_sat,
             slots: (0..positions).map(|_| std::sync::OnceLock::new()).collect(),
             remaining: AtomicUsize::new(jobs),
             finished: Mutex::new(jobs == 0),
@@ -414,7 +428,7 @@ fn worker_loop(inner: &Inner, me: usize) {
 /// the solve panicked (the job is still marked finished, verdict-less).
 fn execute(session: &mut dart_solver::PrefixSession<'_>, job: &Job, me: usize) -> bool {
     let walk = &job.walk;
-    if job.pos > walk.high_water.load(Ordering::Acquire) {
+    if walk.cancel_on_sat && job.pos > walk.high_water.load(Ordering::Acquire) {
         walk.finish_one();
         return true;
     }
@@ -430,7 +444,7 @@ fn execute(session: &mut dart_solver::PrefixSession<'_>, job: &Job, me: usize) -
     }));
     let ok = solved.is_ok();
     if let Ok((out, info)) = solved {
-        if out.is_sat() {
+        if walk.cancel_on_sat && out.is_sat() {
             walk.high_water.fetch_min(job.pos, Ordering::AcqRel);
         }
         walk.per_worker[me].fetch_add(1, Ordering::Relaxed);
@@ -484,6 +498,7 @@ mod tests {
                 tape,
                 config: SolverConfig::default(),
                 initial_cap,
+                cancel_on_sat: true,
             },
             3,
         )
@@ -520,6 +535,19 @@ mod tests {
         assert!(out.verdicts[0].is_some());
         assert!(out.verdicts[1].is_none());
         assert!(out.verdicts[2].is_none());
+    }
+
+    #[test]
+    fn uncancellable_walk_solves_every_candidate() {
+        // A generational expansion commits every candidate, so with
+        // `cancel_on_sat` clear no Sat may abandon later jobs.
+        let pool = SolvePool::new(2);
+        let (mut req, positions) = walk_request(usize::MAX);
+        req.cancel_on_sat = false;
+        let out = pool.run_walk(req, positions);
+        assert!(out.verdicts.iter().all(Option::is_some), "no job abandoned");
+        assert_eq!(out.fresh, 3);
+        assert!(out.verdicts.iter().flatten().all(|(o, _)| o.is_sat()));
     }
 
     #[test]

@@ -94,6 +94,16 @@ pub struct SessionReport {
     pub branches_covered: usize,
     /// Total coverable directions in the program (2 × conditionals).
     pub branch_sites: usize,
+    /// Generational child derivations suppressed by the frontier's
+    /// path-prefix dedup ([`crate::frontier::FrontierOrder`] engine
+    /// only; 0 elsewhere). Each suppression skips a whole solver query.
+    pub dedup_hits: u64,
+    /// Generational frontier items evicted by
+    /// [`crate::DartConfig::frontier_budget`] before they could run.
+    /// Every eviction clears the completeness claim.
+    pub frontier_evicted: u64,
+    /// High-water mark of the generational frontier's queue length.
+    pub frontier_peak: u64,
     /// Executed branch sequences, one per run, when
     /// `DartConfig::record_paths` is set (empty otherwise). On a session
     /// that terminates [`Outcome::Complete`], these are exactly the leaves
@@ -122,6 +132,9 @@ impl SessionReport {
             steps: 0,
             branches_covered: 0,
             branch_sites,
+            dedup_hits: 0,
+            frontier_evicted: 0,
+            frontier_peak: 0,
             paths: Vec::new(),
             exec_time: std::time::Duration::ZERO,
             solve_time: std::time::Duration::ZERO,
@@ -156,7 +169,8 @@ impl fmt::Display for SessionReport {
             f,
             "{outcome} | runs {} | bugs {} | divergences {} | restarts {} | \
              solver sat/unsat/unknown {}/{}/{} | cache hits/reuse/splits {}/{}/{} | \
-             shared/wasted {}/{} | steals {} | branch cov {}/{}",
+             shared/wasted {}/{} | steals {} | frontier dedup/evict/peak {}/{}/{} | \
+             branch cov {}/{}",
             self.runs,
             self.bugs.len(),
             self.divergences,
@@ -170,6 +184,9 @@ impl fmt::Display for SessionReport {
             self.solver.shared_hits,
             self.solver.parallel_wasted,
             self.solver.steals,
+            self.dedup_hits,
+            self.frontier_evicted,
+            self.frontier_peak,
             self.branches_covered,
             self.branch_sites,
         )

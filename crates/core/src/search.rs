@@ -225,7 +225,7 @@ pub fn solve_next(
             pool,
         ),
         Scheduler::Scoped(threads) if threads > 1 && candidates.len() > 1 => {
-            speculate_scoped(path, &candidates, &session, tape, cache, threads)
+            speculate_scoped(path, &candidates, &session, tape, cache, threads, true)
         }
         _ => Speculation::none(candidates.len()),
     };
@@ -302,17 +302,17 @@ pub fn solve_next(
 /// position was cancelled, or no worker reached it), how many fresh
 /// solves the workers performed, and the scheduler diagnostics (all zero
 /// for the sequential and scoped paths except `fresh`).
-struct Speculation {
-    verdicts: Vec<Option<(SolveOutcome, SolveInfo)>>,
-    fresh: u64,
-    steals: u64,
-    idle_ns: u64,
-    max_queue_depth: u64,
-    per_worker: Vec<u64>,
+pub(crate) struct Speculation {
+    pub(crate) verdicts: Vec<Option<(SolveOutcome, SolveInfo)>>,
+    pub(crate) fresh: u64,
+    pub(crate) steals: u64,
+    pub(crate) idle_ns: u64,
+    pub(crate) max_queue_depth: u64,
+    pub(crate) per_worker: Vec<u64>,
 }
 
 impl Speculation {
-    fn none(len: usize) -> Speculation {
+    pub(crate) fn none(len: usize) -> Speculation {
         Speculation {
             verdicts: (0..len).map(|_| None).collect(),
             fresh: 0,
@@ -338,6 +338,11 @@ impl Speculation {
 /// can only skip positions strictly past the final winner — never one
 /// the commit walk needs (absent fault injection, which the commit walk
 /// covers with a synchronous fallback solve).
+/// `cancel` selects first-Sat-wins semantics (a `Sat` abandons every
+/// deeper position — `solve_next`'s walks) vs. solve-everything
+/// semantics (a generational expansion commits every candidate, so
+/// nothing is abandoned).
+#[allow(clippy::too_many_arguments)] // mirrors solve_next's walk state
 fn speculate_scoped(
     path: &PathConstraint,
     candidates: &[usize],
@@ -345,6 +350,7 @@ fn speculate_scoped(
     tape: &InputTape,
     cache: &QueryCache,
     threads: usize,
+    cancel: bool,
 ) -> Speculation {
     let m = candidates.len();
     let slots: Vec<OnceLock<Option<(SolveOutcome, SolveInfo)>>> =
@@ -361,7 +367,7 @@ fn speculate_scoped(
                 let lo = t * chunk;
                 let hi = m.min(lo + chunk);
                 for p in lo..hi {
-                    if p > high_water.load(Ordering::Acquire) {
+                    if cancel && p > high_water.load(Ordering::Acquire) {
                         continue;
                     }
                     let j = candidates[p];
@@ -377,7 +383,7 @@ fn speculate_scoped(
                             (out.is_sat(), Some((out, info)))
                         }
                     };
-                    if sat {
+                    if cancel && sat {
                         high_water.fetch_min(p, Ordering::AcqRel);
                     }
                     let _ = slots[p].set(fresh);
@@ -453,6 +459,7 @@ fn speculate_pooled(
             tape: tape.clone(),
             config: *solver.config(),
             initial_cap,
+            cancel_on_sat: true,
         },
         m,
     );
@@ -463,6 +470,73 @@ fn speculate_pooled(
         idle_ns: out.idle_ns,
         max_queue_depth: out.max_queue_depth,
         per_worker: out.per_worker,
+    }
+}
+
+/// Fans out a generational expansion's candidate queries under
+/// `scheduler` and returns their speculative verdicts, indexed by
+/// candidate position. Unlike `solve_next`'s first-Sat-wins walks, a
+/// generational run commits *every* candidate (each satisfiable negation
+/// spawns a child), so no high-water cancellation applies: every cache
+/// miss is dispatched and solved. The commit loop in
+/// `Dart::run_generational` re-runs the real shortcut chain per
+/// candidate in `j` order and consumes a fresh verdict only where a
+/// synchronous solve would have happened, so reports are byte-identical
+/// to the sequential expansion — same contract as `solve_next`.
+#[allow(clippy::too_many_arguments)] // mirrors solve_next's walk state
+pub(crate) fn speculate_all(
+    prefix: &[Constraint],
+    path: &PathConstraint,
+    candidates: &[usize],
+    session: &PrefixSession<'_>,
+    tape: &InputTape,
+    cache: &QueryCache,
+    solver: &Solver,
+    scheduler: Scheduler<'_>,
+) -> Speculation {
+    let m = candidates.len();
+    match scheduler {
+        Scheduler::Pool(pool) if m > 1 => {
+            // Pre-peek every candidate read-only; only cache misses are
+            // dispatched (pool workers never see the cache). No Sat cap:
+            // every candidate's verdict is wanted.
+            let mut items = Vec::new();
+            for (pos, &j) in candidates.iter().enumerate() {
+                let negated = path.constraints()[j].negated();
+                if cache
+                    .peek_query(session, j, &negated, |v| tape.value_of(v))
+                    .is_none()
+                {
+                    items.push(WalkItem { pos, j, negated });
+                }
+            }
+            if items.len() < 2 {
+                return Speculation::none(m);
+            }
+            let out = pool.run_walk(
+                WalkRequest {
+                    prefix: prefix.to_vec(),
+                    items,
+                    tape: tape.clone(),
+                    config: *solver.config(),
+                    initial_cap: usize::MAX,
+                    cancel_on_sat: false,
+                },
+                m,
+            );
+            Speculation {
+                verdicts: out.verdicts,
+                fresh: out.fresh,
+                steals: out.steals,
+                idle_ns: out.idle_ns,
+                max_queue_depth: out.max_queue_depth,
+                per_worker: out.per_worker,
+            }
+        }
+        Scheduler::Scoped(threads) if threads > 1 && m > 1 => {
+            speculate_scoped(path, candidates, session, tape, cache, threads, false)
+        }
+        _ => Speculation::none(m),
     }
 }
 

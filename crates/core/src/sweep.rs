@@ -6,7 +6,7 @@
 //! results are returned in input order and are identical to a sequential
 //! sweep (each session's randomness is seeded from its own function name).
 
-use crate::driver::{Dart, DartConfig, DartError, SchedulerMode};
+use crate::driver::{Dart, DartConfig, DartError, EngineMode, SchedulerMode};
 use crate::pool::SolvePool;
 use crate::report::SessionReport;
 use crate::supervise;
@@ -72,9 +72,20 @@ impl SweepResult {
 ///
 /// [`DartError::UnknownToplevel`] if any name is not a defined function
 /// (the whole list is validated up front, before any session runs);
-/// [`DartError::InvalidConfig`] if `threads` is 0, or if
+/// [`DartError::InvalidConfig`] if `threads` is 0, if
 /// [`DartConfig::solve_threads`] is 0 (which is also what a malformed
-/// `DART_SOLVE_THREADS` environment value parses to).
+/// `DART_SOLVE_THREADS` environment value parses to), if
+/// [`DartConfig::frontier_budget`] is `Some(0)`, or if
+/// [`DartConfig::checkpoint`] is set outside the generational engine.
+///
+/// # Checkpoints
+///
+/// When [`DartConfig::checkpoint`] names a base path, every session in
+/// the sweep writes its own seed-qualified file
+/// (`<base>.<function>-<seed in hex>`): functions must not clobber each
+/// other's resume points, and a reseeded retry must not resume the very
+/// state that faulted (a checkpoint is only valid under the seed that
+/// recorded it).
 ///
 /// # Nested parallelism
 ///
@@ -106,6 +117,16 @@ pub fn sweep(
             "solve_threads must be at least 1 (set via DartConfig::solve_threads \
              or a valid positive DART_SOLVE_THREADS)"
                 .to_string(),
+        ));
+    }
+    if config.frontier_budget == Some(0) {
+        return Err(DartError::InvalidConfig(
+            "frontier_budget must be at least 1 (omit it for an unbounded frontier)".to_string(),
+        ));
+    }
+    if config.checkpoint.is_some() && config.mode != EngineMode::Generational {
+        return Err(DartError::InvalidConfig(
+            "checkpoint requires the generational engine (--engine generational)".to_string(),
         ));
     }
     for name in toplevels {
@@ -176,8 +197,18 @@ fn run_supervised(
     let base_seed = config.seed ^ name_hash(name);
     let mut attempt: u32 = 0;
     loop {
+        let seed = retry_seed(base_seed, attempt);
+        // Seed-qualified checkpoint file (see `sweep`'s doc): one per
+        // function *and* per retry seed, since a checkpoint is only
+        // loadable under the exact seed that recorded it.
+        let checkpoint = config.checkpoint.as_ref().map(|base| {
+            let mut qualified = base.clone().into_os_string();
+            qualified.push(format!(".{name}-{seed:016x}"));
+            std::path::PathBuf::from(qualified)
+        });
         let cfg = DartConfig {
-            seed: retry_seed(base_seed, attempt),
+            seed,
+            checkpoint,
             ..config.clone()
         };
         let run = supervise::run_caught(|| {
@@ -398,6 +429,31 @@ mod tests {
         };
         match sweep(&compiled, &names(), &bad, 2) {
             Err(DartError::InvalidConfig(reason)) => assert!(reason.contains("solve_threads")),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    /// The new frontier knobs are validated up front, like
+    /// `solve_threads`: a zero budget and a checkpoint outside the
+    /// generational engine both fail before any session spawns.
+    #[test]
+    fn frontier_misconfigurations_are_errors_not_panics() {
+        let compiled = library();
+        let zero_budget = DartConfig {
+            mode: crate::EngineMode::Generational,
+            frontier_budget: Some(0),
+            ..config()
+        };
+        match sweep(&compiled, &names(), &zero_budget, 2) {
+            Err(DartError::InvalidConfig(reason)) => assert!(reason.contains("frontier_budget")),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        let misplaced_checkpoint = DartConfig {
+            checkpoint: Some(std::path::PathBuf::from("cp.txt")),
+            ..config()
+        };
+        match sweep(&compiled, &names(), &misplaced_checkpoint, 2) {
+            Err(DartError::InvalidConfig(reason)) => assert!(reason.contains("generational")),
             other => panic!("expected InvalidConfig, got {other:?}"),
         }
     }

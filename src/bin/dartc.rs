@@ -13,7 +13,15 @@
 //!   --runs N           maximum instrumented runs               [100000]
 //!   --seed N           RNG seed                                [0]
 //!   --mode M           directed | random | symbolic | generational [directed]
+//!   --engine M         alias of --mode
 //!   --strategy S       dfs | random-branch                     [dfs]
+//!   --frontier-order O scored | fifo: generational frontier discipline —
+//!                      coverage-novelty priority, or the insertion-order
+//!                      ablation baseline                       [scored]
+//!   --frontier-budget N  cap the generational frontier at N queued items,
+//!                      evicting the lowest-scored (0 is rejected) [unbounded]
+//!   --checkpoint FILE  persist the generational session after every work
+//!                      item; an existing FILE with the same seed resumes it
 //!   --all-bugs         keep searching after the first bug
 //!   --max-steps N      per-run step budget (non-termination)   [2000000]
 //!   --mem-budget N     per-run allocation budget in words      [unbounded]
@@ -42,7 +50,7 @@
 //!
 //! Exit status: 0 = no bug, 1 = bug found, 2 = usage/compile error.
 
-use dart::{Dart, DartConfig, EngineMode, SchedulerMode, Strategy, SweepOutcome};
+use dart::{Dart, DartConfig, EngineMode, FrontierOrder, SchedulerMode, Strategy, SweepOutcome};
 use std::process::ExitCode;
 
 struct Options {
@@ -53,6 +61,9 @@ struct Options {
     seed: u64,
     mode: EngineMode,
     strategy: Strategy,
+    frontier_order: FrontierOrder,
+    frontier_budget: Option<usize>,
+    checkpoint: Option<String>,
     all_bugs: bool,
     max_steps: u64,
     mem_budget: Option<u64>,
@@ -74,7 +85,9 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: dartc <file.mc> --toplevel NAME [--depth N] [--runs N] [--seed N] \
-     [--mode directed|random|symbolic|generational] [--strategy dfs|random-branch] \
+     [--mode|--engine directed|random|symbolic|generational] \
+     [--strategy dfs|random-branch] [--frontier-order scored|fifo] \
+     [--frontier-budget N] [--checkpoint FILE] \
      [--all-bugs] [--max-steps N] [--mem-budget N] [--deadline MS] \
      [--sweep NAMES --threads N --max-retries N] \
      [--solve-threads N] [--scheduler stealing|scoped] [--shared-cache] \
@@ -90,6 +103,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         seed: 0,
         mode: EngineMode::Directed,
         strategy: Strategy::Dfs,
+        frontier_order: FrontierOrder::Scored,
+        frontier_budget: None,
+        checkpoint: None,
         all_bugs: false,
         max_steps: 2_000_000,
         mem_budget: None,
@@ -181,8 +197,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 }
             }
             "--shared-cache" => opts.shared_cache = true,
-            "--mode" => {
-                opts.mode = match value(&mut it, "--mode")?.as_str() {
+            "--mode" | "--engine" => {
+                opts.mode = match value(&mut it, arg)?.as_str() {
                     "directed" => EngineMode::Directed,
                     "random" => EngineMode::RandomOnly,
                     "symbolic" => EngineMode::SymbolicOnly,
@@ -190,6 +206,23 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     other => return Err(format!("unknown mode `{other}`")),
                 }
             }
+            "--frontier-order" => {
+                opts.frontier_order = match value(&mut it, "--frontier-order")?.as_str() {
+                    "scored" => FrontierOrder::Scored,
+                    "fifo" => FrontierOrder::Fifo,
+                    other => return Err(format!("unknown frontier order `{other}`")),
+                }
+            }
+            "--frontier-budget" => {
+                // 0 parses fine and is rejected by the engine as an
+                // invalid config, like a zero DART_SOLVE_THREADS.
+                opts.frontier_budget = Some(
+                    value(&mut it, "--frontier-budget")?
+                        .parse()
+                        .map_err(|_| "--frontier-budget expects an integer".to_string())?,
+                )
+            }
+            "--checkpoint" => opts.checkpoint = Some(value(&mut it, "--checkpoint")?),
             "--strategy" => {
                 opts.strategy = match value(&mut it, "--strategy")?.as_str() {
                     "dfs" => Strategy::Dfs,
@@ -233,6 +266,9 @@ fn build_config(opts: &Options) -> DartConfig {
             ..dart_ram::MachineConfig::default()
         },
         solver_cache: !opts.no_cache,
+        frontier_order: opts.frontier_order,
+        frontier_budget: opts.frontier_budget,
+        checkpoint: opts.checkpoint.as_ref().map(std::path::PathBuf::from),
         max_retries: opts.max_retries,
         scheduler: opts.scheduler,
         shared_cache: opts.shared_cache,
@@ -459,6 +495,9 @@ fn main() -> ExitCode {
             let solves: Vec<String> = s.per_worker_solves.iter().map(u64::to_string).collect();
             println!("  per-worker solves  [{}]", solves.join(", "));
         }
+        println!("  dedup hits         {}", report.dedup_hits);
+        println!("  frontier evicted   {}", report.frontier_evicted);
+        println!("  frontier peak      {}", report.frontier_peak);
         println!("  exec time          {:?}", report.exec_time);
         println!("  solve time         {:?}", report.solve_time);
     }
@@ -603,6 +642,42 @@ mod tests {
         assert_eq!(o.scheduler, SchedulerMode::WorkStealing);
         assert!(parse(&["p.mc", "--scheduler", "chunked"]).is_err());
         assert!(parse(&["p.mc", "--scheduler"]).is_err());
+    }
+
+    #[test]
+    fn frontier_flags() {
+        let o = parse(&[
+            "p.mc",
+            "--engine",
+            "generational",
+            "--frontier-order",
+            "fifo",
+            "--frontier-budget",
+            "64",
+            "--checkpoint",
+            "cp.txt",
+        ])
+        .unwrap();
+        assert_eq!(o.mode, EngineMode::Generational);
+        assert_eq!(o.frontier_order, FrontierOrder::Fifo);
+        assert_eq!(o.frontier_budget, Some(64));
+        assert_eq!(o.checkpoint.as_deref(), Some("cp.txt"));
+        let config = build_config(&o);
+        assert_eq!(config.frontier_order, FrontierOrder::Fifo);
+        assert_eq!(config.frontier_budget, Some(64));
+        assert_eq!(config.checkpoint, Some(std::path::PathBuf::from("cp.txt")));
+        // Defaults: scored order, unbounded frontier, no checkpoint.
+        let o = parse(&["p.mc"]).unwrap();
+        assert_eq!(o.frontier_order, FrontierOrder::Scored);
+        assert_eq!(o.frontier_budget, None);
+        assert!(o.checkpoint.is_none());
+        // A zero budget parses; the engine rejects it as InvalidConfig.
+        let o = parse(&["p.mc", "--frontier-budget", "0"]).unwrap();
+        assert_eq!(o.frontier_budget, Some(0));
+        assert!(parse(&["p.mc", "--frontier-order", "lifo"]).is_err());
+        assert!(parse(&["p.mc", "--frontier-budget", "many"]).is_err());
+        assert!(parse(&["p.mc", "--checkpoint"]).is_err());
+        assert!(parse(&["p.mc", "--engine", "quantum"]).is_err());
     }
 
     #[test]
