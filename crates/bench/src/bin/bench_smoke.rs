@@ -5,9 +5,11 @@
 //! The vendored criterion stand-in prints no machine-readable medians, so
 //! this binary re-runs the same workload shapes as `benches/solver.rs`
 //! (`query_cache/*`, `prefix_session/*`) plus the parallel-solving
-//! workloads (`parallel_solve/*`, `shared_store/*`), computes a median
-//! nanoseconds-per-iteration for each, and compares against a committed
-//! baseline JSON.
+//! workloads (`parallel_solve/*`, `shared_store/*`) and the execution
+//! tiers (`exec/{interp,compiled}` — one loop-dense run under the
+//! tree-walking interpreter vs. the pre-decoded compiled tier; see
+//! EXPERIMENTS.md E11), computes a median nanoseconds-per-iteration for
+//! each, and compares against a committed baseline JSON.
 //!
 //! ```text
 //! bench_smoke [--baseline PATH] [--tolerance PCT] [--write-baseline] [--gate]
@@ -35,9 +37,10 @@
 
 use dart::search::{solve_next, SolveStats};
 use dart::{
-    Dart, DartConfig, EngineMode, FaultState, FrontierOrder, InputKind, InputTape, Scheduler,
-    SolvePool, Strategy,
+    run_once_in_tier, Dart, DartConfig, EngineMode, FaultState, FrontierOrder, InputKind,
+    InputTape, Scheduler, SolvePool, Strategy,
 };
+use dart_ram::{DecodedProgram, MachineConfig};
 use dart_solver::{Constraint, LinExpr, QueryCache, RelOp, Solver, SolverConfig, Var};
 use dart_sym::{BranchRecord, PathConstraint};
 use rand::rngs::SmallRng;
@@ -352,6 +355,52 @@ fn generational_workload(
     generational_report(compiled, order, dedup).runs as usize
 }
 
+/// The execution-tier workload program: ~10k statements of concrete
+/// loop arithmetic with a single symbolic comparison at the end.
+/// Symbolic mirroring is pure overhead on all but a handful of steps,
+/// so this is the shape the compiled tier's taint-gated shadow targets
+/// — CPU-bound code whose inputs only matter at a few branch points.
+fn exec_program() -> dart_minic::CompiledProgram {
+    dart_minic::compile(
+        r#"
+        int exec_hot(int n) {
+            int i; int acc;
+            i = 0;
+            acc = 1;
+            while (i < 4000) {
+                acc = acc + 3*i - acc/7;
+                if (acc > 100000) { acc = acc - 100000; }
+                i = i + 1;
+            }
+            if (acc == n) { return 1; }
+            return acc;
+        }
+        "#,
+    )
+    .expect("exec workload compiles")
+}
+
+/// One fixed-tape run of [`exec_program`]. `decoded == None` selects the
+/// tree-walking interpreter; `Some` selects the compiled tier over the
+/// pre-decoded form — the `exec/{interp,compiled}` pair.
+fn exec_workload(
+    compiled: &dart_minic::CompiledProgram,
+    decoded: Option<&DecodedProgram>,
+) -> usize {
+    let sig = compiled.fn_sig("exec_hot").expect("toplevel exists");
+    let result = run_once_in_tier(
+        compiled,
+        sig,
+        1,
+        MachineConfig::default(),
+        InputTape::new(0),
+        Vec::new(),
+        32,
+        decoded,
+    );
+    result.steps as usize
+}
+
 /// Median nanoseconds per iteration: calibrates a batch size that takes a
 /// few milliseconds, then medians over `SAMPLES` batches.
 fn measure(mut work: impl FnMut() -> usize) -> u64 {
@@ -444,6 +493,9 @@ fn main() -> ExitCode {
     let library = sweep_library(sweep_fns);
     let names: Vec<String> = (0..sweep_fns).map(|i| format!("g{i}")).collect();
     let gen_lib = gen_program();
+    let exec_lib = exec_program();
+    // Decoded once, like `Dart::new` does for a compiled-tier session.
+    let exec_decoded = DecodedProgram::new(&exec_lib.program);
     // One persistent pool shared by every pooled workload below — the
     // whole point of `SolvePool` is that its spawn cost is paid once.
     let pool4 = SolvePool::new(4);
@@ -513,6 +565,14 @@ fn main() -> ExitCode {
             "gen_dedup/on".to_string(),
             measure(|| generational_workload(&gen_lib, FrontierOrder::Scored, true)),
         ),
+        (
+            "exec/interp".to_string(),
+            measure(|| exec_workload(&exec_lib, None)),
+        ),
+        (
+            "exec/compiled".to_string(),
+            measure(|| exec_workload(&exec_lib, Some(&exec_decoded))),
+        ),
     ];
 
     let ratio = |num: &str, den: &str| -> Option<f64> {
@@ -545,6 +605,9 @@ fn main() -> ExitCode {
     }
     if let Some(s) = ratio("gen_dedup/off", "gen_dedup/on") {
         println!("generational path-prefix dedup (off -> on): {s:.2}x");
+    }
+    if let Some(s) = ratio("exec/interp", "exec/compiled") {
+        println!("compiled execution tier (interp -> compiled): {s:.2}x");
     }
 
     if write_baseline {
@@ -708,6 +771,23 @@ mod tests {
             "dedup must actually skip solver work ({} vs {})",
             queries(&off),
             queries(&on)
+        );
+    }
+
+    #[test]
+    fn exec_workload_is_tier_invariant() {
+        // Both tiers must execute the same run — otherwise the
+        // `exec/{interp,compiled}` pair compares different work. The
+        // loop runs long enough that a skipped-statement bug would show
+        // up as a step-count or terminal divergence.
+        let compiled = exec_program();
+        let decoded = DecodedProgram::new(&compiled.program);
+        let interp = exec_workload(&compiled, None);
+        let fast = exec_workload(&compiled, Some(&decoded));
+        assert_eq!(interp, fast, "step counts diverge across tiers");
+        assert!(
+            interp > 4000,
+            "the workload must be loop-dense, got {interp}"
         );
     }
 

@@ -21,8 +21,11 @@
 //! `--frontier-order scored|fifo` and `--frontier-budget N` expose the
 //! scored frontier's knobs (EXPERIMENTS.md E10) and the sweep line
 //! reports the aggregate dedup/eviction/peak counters.
+//! `--exec-tier interp|compiled` picks the execution tier (reports
+//! unchanged; the compiled tier only improves throughput — see
+//! EXPERIMENTS.md E11).
 
-use dart::{Dart, DartConfig, EngineMode, FrontierOrder, SchedulerMode};
+use dart::{Dart, DartConfig, EngineMode, ExecTier, FrontierOrder, SchedulerMode};
 use dart_bench::{fmt_dur, header, seed_from_args};
 use dart_workloads::{generate_osip, OsipConfig, Planted};
 use std::collections::BTreeMap;
@@ -55,6 +58,21 @@ fn main() {
         Some("scoped") => SchedulerMode::StaticScoped,
         Some(other) => {
             eprintln!("unknown --scheduler `{other}` (expected `stealing` or `scoped`)");
+            std::process::exit(2);
+        }
+    };
+    let exec_tier = match args
+        .iter()
+        .position(|a| a == "--exec-tier")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+    {
+        // Unset defers to the DartConfig default ($DART_EXEC_TIER).
+        None => None,
+        Some("interp") => Some(ExecTier::Interp),
+        Some("compiled") => Some(ExecTier::Compiled),
+        Some(other) => {
+            eprintln!("unknown --exec-tier `{other}` (expected `interp` or `compiled`)");
             std::process::exit(2);
         }
     };
@@ -107,16 +125,22 @@ fn main() {
     let results = dart::sweep(
         &compiled,
         &names,
-        &DartConfig {
-            max_runs: 1000, // the paper's per-function cap
-            seed,
-            shared_cache,
-            solve_threads,
-            scheduler,
-            mode: engine,
-            frontier_order,
-            frontier_budget,
-            ..DartConfig::default()
+        &{
+            let mut config = DartConfig {
+                max_runs: 1000, // the paper's per-function cap
+                seed,
+                shared_cache,
+                solve_threads,
+                scheduler,
+                mode: engine,
+                frontier_order,
+                frontier_budget,
+                ..DartConfig::default()
+            };
+            if let Some(tier) = exec_tier {
+                config.exec_tier = tier;
+            }
+            config
         },
         threads,
     )

@@ -27,7 +27,7 @@ use crate::search::{solve_next, speculate_all, Scheduler, Strategy};
 use crate::supervise::FaultState;
 use crate::tape::InputTape;
 use dart_minic::{CompiledProgram, FnSig};
-use dart_ram::MachineConfig;
+use dart_ram::{DecodedProgram, MachineConfig};
 use dart_solver::{QueryCache, Solver, SolverConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -67,6 +67,29 @@ pub enum SchedulerMode {
     /// (`dartc --scheduler scoped`, EXPERIMENTS.md E9); pays a thread
     /// spawn/teardown per walk and cannot rebalance skewed query costs.
     StaticScoped,
+}
+
+/// Which execution tier runs the instrumented program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecTier {
+    /// The tree-walking interpreter ([`dart_ram::Machine`]) — the
+    /// reference semantics, and the differential oracle for the
+    /// compiled tier.
+    #[default]
+    Interp,
+    /// The pre-decoded compiled tier ([`dart_ram::FastMachine`]):
+    /// the program is lowered once into a flat decoded instruction
+    /// array (postfix-flattened expressions, resolved operand
+    /// offsets), and symbolic mirroring runs only on steps whose
+    /// mirrored operands touch input-tainted state. Observables are
+    /// identical to the interpreter — pinned by differential
+    /// proptests at the RAM and driver layers.
+    Compiled,
+    /// The sentinel a malformed `DART_EXEC_TIER` environment value
+    /// parses to; rejected by [`Dart::new`] and
+    /// [`crate::sweep::sweep`] with [`DartError::InvalidConfig`]
+    /// instead of silently falling back to the interpreter.
+    Invalid,
 }
 
 /// Driver configuration.
@@ -164,6 +187,16 @@ pub struct DartConfig {
     /// [`DartError::InvalidConfig`], as is a malformed file or a seed
     /// mismatch.
     pub checkpoint: Option<std::path::PathBuf>,
+    /// Which execution tier runs the instrumented program: the
+    /// tree-walking interpreter (the default) or the pre-decoded
+    /// compiled tier. Observables are identical; only throughput
+    /// differs (see `bench_smoke`'s `exec/{interp,compiled}`). The
+    /// default honors the `DART_EXEC_TIER` environment variable
+    /// (`interp` / `compiled`) when set, so the unmodified test suite
+    /// can be exercised on the compiled tier; a malformed value there
+    /// is rejected by [`Dart::new`] with [`DartError::InvalidConfig`],
+    /// never silently ignored.
+    pub exec_tier: ExecTier,
     /// Deterministic fault-injection plan, consulted by the driver and
     /// the sweep (tests and the `fault-injection` feature only). The
     /// default plan injects nothing.
@@ -196,6 +229,7 @@ impl Default for DartConfig {
             frontier_budget: None,
             frontier_dedup: true,
             checkpoint: None,
+            exec_tier: exec_tier_default(),
             #[cfg(any(test, feature = "fault-injection"))]
             faults: crate::supervise::FaultPlan::default(),
         }
@@ -225,6 +259,32 @@ fn parse_solve_threads(env: Option<&str>) -> usize {
             .ok()
             .filter(|&n| n >= 1)
             .unwrap_or(0),
+    }
+}
+
+/// The [`DartConfig::exec_tier`] default: `DART_EXEC_TIER` when set to
+/// `interp` or `compiled`, else the interpreter. An environment hook for
+/// the same reason as [`solve_threads_default`]: CI runs the unmodified
+/// tier-1 suite on the compiled tier, and identical results make that a
+/// pure re-exercise of the differential-oracle claim.
+fn exec_tier_default() -> ExecTier {
+    parse_exec_tier(std::env::var("DART_EXEC_TIER").ok().as_deref())
+}
+
+/// Parses a `DART_EXEC_TIER` value. Unset means the interpreter; a
+/// set-but-unrecognized value parses to [`ExecTier::Invalid`], which
+/// [`Dart::new`] and [`crate::sweep::sweep`] reject with
+/// [`DartError::InvalidConfig`] instead of silently interpreting: a
+/// typo'd compiled-tier run must not masquerade as a passing
+/// interpreter one.
+fn parse_exec_tier(env: Option<&str>) -> ExecTier {
+    match env {
+        None => ExecTier::Interp,
+        Some(v) => match v.trim() {
+            "interp" => ExecTier::Interp,
+            "compiled" => ExecTier::Compiled,
+            _ => ExecTier::Invalid,
+        },
     }
 }
 
@@ -280,6 +340,9 @@ pub struct Dart<'p> {
     /// A parsed resume point, loaded by [`Dart::new`] when
     /// [`DartConfig::checkpoint`] names an existing file.
     checkpoint: Option<Checkpoint>,
+    /// The program lowered once for the compiled tier — `None` on the
+    /// interpreter tier, so interpreter sessions pay nothing.
+    decoded: Option<DecodedProgram>,
 }
 
 impl<'p> Dart<'p> {
@@ -311,6 +374,12 @@ impl<'p> Dart<'p> {
         if config.frontier_budget == Some(0) {
             return Err(DartError::InvalidConfig(
                 "frontier_budget must be at least 1 (omit it for an unbounded frontier)"
+                    .to_string(),
+            ));
+        }
+        if config.exec_tier == ExecTier::Invalid {
+            return Err(DartError::InvalidConfig(
+                "exec_tier is unrecognized (DART_EXEC_TIER must be `interp` or `compiled`)"
                     .to_string(),
             ));
         }
@@ -355,6 +424,8 @@ impl<'p> Dart<'p> {
             .fn_sig(toplevel)
             .cloned()
             .ok_or_else(|| DartError::UnknownToplevel(toplevel.to_string()))?;
+        let decoded = (config.exec_tier == ExecTier::Compiled)
+            .then(|| DecodedProgram::new(&compiled.program));
         Ok(Dart {
             compiled,
             sig,
@@ -362,6 +433,7 @@ impl<'p> Dart<'p> {
             shared: None,
             pool: None,
             checkpoint,
+            decoded,
         })
     }
 
@@ -485,6 +557,7 @@ impl<'p> Dart<'p> {
                     tape,
                     stack,
                     cfg.max_ptr_depth,
+                    self.decoded.as_ref(),
                     &mut faults,
                 );
                 report.exec_time += exec_started.elapsed();
@@ -663,6 +736,7 @@ impl<'p> Dart<'p> {
                     item.tape,
                     item.stack,
                     cfg.max_ptr_depth,
+                    self.decoded.as_ref(),
                     &mut faults,
                 );
                 report.exec_time += exec_started.elapsed();
@@ -960,6 +1034,36 @@ mod tests {
         assert_eq!(parse_solve_threads(Some("2.5")), 0);
     }
 
+    /// `DART_EXEC_TIER` parsing: unset is the interpreter; any
+    /// set-but-unrecognized value parses to the `Invalid` sentinel that
+    /// `Dart::new` / `sweep` reject — never a silent fallback.
+    #[test]
+    fn exec_tier_env_parsing_is_strict() {
+        assert_eq!(parse_exec_tier(None), ExecTier::Interp);
+        assert_eq!(parse_exec_tier(Some("interp")), ExecTier::Interp);
+        assert_eq!(parse_exec_tier(Some("compiled")), ExecTier::Compiled);
+        assert_eq!(parse_exec_tier(Some(" compiled ")), ExecTier::Compiled);
+        assert_eq!(parse_exec_tier(Some("")), ExecTier::Invalid);
+        assert_eq!(parse_exec_tier(Some("fast")), ExecTier::Invalid);
+        assert_eq!(parse_exec_tier(Some("Compiled")), ExecTier::Invalid);
+        assert_eq!(parse_exec_tier(Some("jit")), ExecTier::Invalid);
+    }
+
+    #[test]
+    fn invalid_exec_tier_rejected_at_session_construction() {
+        let compiled = dart_minic::compile("int f(int x) { return x; }").unwrap();
+        let config = DartConfig {
+            exec_tier: ExecTier::Invalid,
+            ..DartConfig::default()
+        };
+        match Dart::new(&compiled, "f", config) {
+            Err(DartError::InvalidConfig(reason)) => {
+                assert!(reason.contains("DART_EXEC_TIER"), "{reason}");
+            }
+            other => panic!("expected InvalidConfig, got {:?}", other.map(|_| ())),
+        }
+    }
+
     #[test]
     fn zero_solve_threads_rejected_at_session_construction() {
         let compiled = dart_minic::compile("int f(int x) { return x; }").unwrap();
@@ -1041,5 +1145,53 @@ mod tests {
         let sequential = run(1, SchedulerMode::WorkStealing);
         assert_eq!(sequential, run(4, SchedulerMode::WorkStealing), "pooled");
         assert_eq!(sequential, run(4, SchedulerMode::StaticScoped), "scoped");
+    }
+
+    /// The execution-tier knob changes nothing observable either: over
+    /// the same program and seed, interpreter and compiled sessions
+    /// produce byte-identical reports after zeroing wall-clock times —
+    /// across engine modes, including bug discovery and completeness.
+    #[test]
+    fn exec_tier_is_report_invisible() {
+        let compiled = dart_minic::compile(
+            r#"
+            int f(int x, int y) {
+                int acc;
+                acc = 0;
+                while (x > 0) {
+                    acc = acc + y;
+                    x = x - 1;
+                }
+                if (acc == 12)
+                    if (y == 4)
+                        abort();
+                return acc;
+            }
+            "#,
+        )
+        .unwrap();
+        for mode in [EngineMode::Directed, EngineMode::Generational] {
+            let run = |tier: ExecTier| {
+                let config = DartConfig {
+                    max_runs: 25,
+                    stop_at_first_bug: false,
+                    mode,
+                    exec_tier: tier,
+                    // A tight step budget: random `x` makes the loop spin
+                    // to the budget, and the default 2M steps per run
+                    // makes a debug-mode session take minutes.
+                    machine: dart_ram::MachineConfig {
+                        max_steps: 2_000,
+                        ..dart_ram::MachineConfig::default()
+                    },
+                    ..DartConfig::default()
+                };
+                let mut report = Dart::new(&compiled, "f", config).unwrap().run();
+                report.exec_time = std::time::Duration::ZERO;
+                report.solve_time = std::time::Duration::ZERO;
+                report
+            };
+            assert_eq!(run(ExecTier::Interp), run(ExecTier::Compiled), "{mode:?}");
+        }
     }
 }

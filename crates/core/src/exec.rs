@@ -16,10 +16,52 @@ use crate::run::RunCtx;
 use crate::supervise::FaultState;
 use crate::tape::InputTape;
 use dart_minic::{CompiledProgram, FnSig};
-use dart_ram::{Fault, Machine, MachineConfig, Statement, StepOutcome, GLOBAL_BASE};
+use dart_ram::{
+    DecodedProgram, FastMachine, Fault, FuncId, Machine, MachineConfig, MemView, Memory, Statement,
+    StepOutcome, GLOBAL_BASE,
+};
 use dart_solver::Constraint;
 use dart_solver::LinExpr;
 use dart_sym::{eval_predicate, eval_symbolic, BranchRecord, Completeness, PathConstraint};
+
+/// The concrete engine driving one run: the tree-walking interpreter
+/// (always fully mirrored — the reference semantics) or the pre-decoded
+/// compiled tier, whose probe/commit split lets the loop skip symbolic
+/// mirroring on statements that touch no tracked state.
+enum ExecMachine<'p> {
+    Interp(Machine<'p>),
+    Compiled(FastMachine<'p>),
+}
+
+impl<'p> ExecMachine<'p> {
+    fn pc(&self) -> usize {
+        match self {
+            ExecMachine::Interp(m) => m.pc(),
+            ExecMachine::Compiled(m) => m.pc(),
+        }
+    }
+
+    fn steps_taken(&self) -> u64 {
+        match self {
+            ExecMachine::Interp(m) => m.steps_taken(),
+            ExecMachine::Compiled(m) => m.steps_taken(),
+        }
+    }
+
+    fn call(&mut self, func: FuncId, args: &[i64]) -> Result<i64, Fault> {
+        match self {
+            ExecMachine::Interp(m) => m.call(func, args),
+            ExecMachine::Compiled(m) => m.call(func, args),
+        }
+    }
+
+    fn mem_mut(&mut self) -> &mut Memory {
+        match self {
+            ExecMachine::Interp(m) => m.mem_mut(),
+            ExecMachine::Compiled(m) => m.mem_mut(),
+        }
+    }
+}
 
 /// How a run ended.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,12 +128,44 @@ pub fn run_once(
         predicted_stack,
         max_ptr_depth,
         None,
+        None,
+        &mut FaultState::default(),
+    )
+}
+
+/// [`run_once`] on an explicit execution tier: pass the program's decoded
+/// form ([`DecodedProgram::new`] of `compiled.program`) to run on the
+/// compiled tier, or `None` for the interpreter. Both tiers produce
+/// byte-identical [`RunResult`]s — the interpreter is the compiled tier's
+/// differential oracle.
+#[allow(clippy::too_many_arguments)]
+pub fn run_once_in_tier(
+    compiled: &CompiledProgram,
+    sig: &FnSig,
+    depth: u32,
+    machine_config: MachineConfig,
+    tape: InputTape,
+    predicted_stack: Vec<BranchRecord>,
+    max_ptr_depth: u32,
+    decoded: Option<&DecodedProgram>,
+) -> RunResult {
+    run_once_impl(
+        compiled,
+        sig,
+        depth,
+        machine_config,
+        tape,
+        predicted_stack,
+        max_ptr_depth,
+        decoded,
+        None,
         &mut FaultState::default(),
     )
 }
 
 /// [`run_once`] consulting a session-wide fault-injection state (a no-op
-/// default state injects nothing; see [`crate::supervise::FaultState`]).
+/// default state injects nothing; see [`crate::supervise::FaultState`]) and
+/// an optional decoded program selecting the compiled tier.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_once_with_faults(
     compiled: &CompiledProgram,
@@ -101,6 +175,7 @@ pub(crate) fn run_once_with_faults(
     tape: InputTape,
     predicted_stack: Vec<BranchRecord>,
     max_ptr_depth: u32,
+    decoded: Option<&DecodedProgram>,
     faults: &mut FaultState,
 ) -> RunResult {
     run_once_impl(
@@ -111,6 +186,7 @@ pub(crate) fn run_once_with_faults(
         tape,
         predicted_stack,
         max_ptr_depth,
+        decoded,
         None,
         faults,
     )
@@ -137,6 +213,7 @@ pub fn run_once_traced(
         tape,
         predicted_stack,
         max_ptr_depth,
+        None,
         Some(trace),
         &mut FaultState::default(),
     )
@@ -151,10 +228,14 @@ fn run_once_impl(
     tape: InputTape,
     predicted_stack: Vec<BranchRecord>,
     max_ptr_depth: u32,
+    decoded: Option<&DecodedProgram>,
     mut trace: Option<&mut Vec<String>>,
     faults: &mut FaultState,
 ) -> RunResult {
-    let mut machine = Machine::new(&compiled.program, machine_config);
+    let mut machine = match decoded {
+        Some(d) => ExecMachine::Compiled(FastMachine::new(&compiled.program, d, machine_config)),
+        None => ExecMachine::Interp(Machine::new(&compiled.program, machine_config)),
+    };
     for &(off, v) in &compiled.global_inits {
         machine
             .mem_mut()
@@ -179,6 +260,15 @@ fn run_once_impl(
 
     let mut termination = RunTermination::Ok;
     let mut branches: Vec<(usize, bool)> = Vec::new();
+    // The injected-allocation-denial pre-check below must consult the
+    // *source* statement every step; programs that never allocate (the
+    // common case) skip it wholesale — on the compiled tier that fetch
+    // is the only per-step touch of the source tree.
+    let has_alloc = compiled
+        .program
+        .stmts
+        .iter()
+        .any(|s| matches!(s, Statement::Alloc { .. }));
     'driver: for iter in 0..depth {
         // Fresh inputs for the toplevel arguments (Fig. 7's loop body).
         let base = match machine.call(sig.id, &vec![0; sig.params.len()]) {
@@ -199,17 +289,57 @@ fn run_once_impl(
             if let Some(t) = trace.as_deref_mut() {
                 t.push(format!("{pc:5}: {}", compiled.program.render_stmt(pc)));
             }
-            let planned = plan(&machine, &mut ctx);
-            ctx.note_taint();
-            // Injected allocation denial: terminate exactly as the real
-            // allocation budget would, before the statement executes.
-            if matches!(machine.current_statement(), Some(Statement::Alloc { .. }))
-                && faults.deny_next_alloc()
-            {
-                termination = RunTermination::OutOfMemory;
-                break 'driver;
-            }
-            let outcome = machine.step(&mut ctx);
+            let (planned, outcome) = match &mut machine {
+                // The interpreter tier always mirrors — reference behavior.
+                ExecMachine::Interp(m) => {
+                    let planned = plan(m.current_statement(), m, &mut ctx);
+                    ctx.note_taint();
+                    // Injected allocation denial: terminate exactly as the
+                    // real allocation budget would, before the statement
+                    // executes.
+                    if has_alloc
+                        && matches!(m.current_statement(), Some(Statement::Alloc { .. }))
+                        && faults.deny_next_alloc()
+                    {
+                        termination = RunTermination::OutOfMemory;
+                        break 'driver;
+                    }
+                    let outcome = m.step(&mut ctx);
+                    (planned, outcome)
+                }
+                // The compiled tier stages the step first; concrete-only
+                // self-contained steps commit in the same pass (the plan
+                // is a provable no-op there). Everything else — tainted
+                // operands, terminal steps (the symbolic evaluator may
+                // look past a concrete fault point), external calls and
+                // allocations — defers, mirroring the interpreter's
+                // plan/deny/step order exactly.
+                ExecMachine::Compiled(m) => {
+                    let sym = &ctx.sym;
+                    match m.step_concrete(|addr| sym.tracks(addr)) {
+                        Ok(outcome) => {
+                            ctx.note_taint();
+                            (Planned::Skipped, outcome)
+                        }
+                        Err(summary) => {
+                            let planned = if summary.needs_mirror() {
+                                plan(m.current_statement(), m, &mut ctx)
+                            } else {
+                                Planned::Skipped
+                            };
+                            ctx.note_taint();
+                            if has_alloc
+                                && matches!(m.current_statement(), Some(Statement::Alloc { .. }))
+                                && faults.deny_next_alloc()
+                            {
+                                termination = RunTermination::OutOfMemory;
+                                break 'driver;
+                            }
+                            (planned, m.commit(&mut ctx))
+                        }
+                    }
+                }
+            };
             if let StepOutcome::Branched { taken } = outcome {
                 branches.push((pc, taken));
             }
@@ -266,28 +396,33 @@ enum Planned {
     CallArgs(Vec<LinExpr>),
     RetVal(Option<LinExpr>),
     Nothing,
+    /// The compiled tier proved the plan a no-op (no mirrored operand read
+    /// tracked state) and skipped it. [`apply`] still erases overwritten
+    /// symbolic cells: a skipped plan would have produced constants, and
+    /// `SymMemory::set` with a constant is exactly `forget`.
+    Skipped,
 }
 
-fn plan(machine: &Machine<'_>, ctx: &mut RunCtx<'_>) -> Planned {
-    let Some(stmt) = machine.current_statement() else {
+fn plan(stmt: Option<&Statement>, view: &dyn MemView, ctx: &mut RunCtx<'_>) -> Planned {
+    let Some(stmt) = stmt else {
         return Planned::Nothing;
     };
     match stmt {
         Statement::Assign { src, .. } => {
-            Planned::AssignSrc(eval_symbolic(src, machine, &ctx.sym, &mut ctx.flags))
+            Planned::AssignSrc(eval_symbolic(src, view, &ctx.sym, &mut ctx.flags))
         }
         Statement::If { cond, .. } => {
-            Planned::Branch(eval_predicate(cond, machine, &ctx.sym, &mut ctx.flags))
+            Planned::Branch(eval_predicate(cond, view, &ctx.sym, &mut ctx.flags))
         }
         Statement::Call { args, .. } => Planned::CallArgs(
             args.iter()
-                .map(|a| eval_symbolic(a, machine, &ctx.sym, &mut ctx.flags))
+                .map(|a| eval_symbolic(a, view, &ctx.sym, &mut ctx.flags))
                 .collect(),
         ),
         Statement::Ret { value } => Planned::RetVal(
             value
                 .as_ref()
-                .map(|v| eval_symbolic(v, machine, &ctx.sym, &mut ctx.flags)),
+                .map(|v| eval_symbolic(v, view, &ctx.sym, &mut ctx.flags)),
         ),
         _ => Planned::Nothing,
     }
@@ -310,6 +445,22 @@ fn apply(ctx: &mut RunCtx<'_>, planned: Planned, outcome: &StepOutcome) {
         }
         (Planned::RetVal(Some(v)), StepOutcome::Returned { dst: Some(d), .. }) => {
             ctx.sym.set(*d, v);
+        }
+        // Skipped-plan fix-ups: the concrete store overwrote the cell with
+        // an untainted value, so any stale symbolic entry must go. (Called
+        // needs no arm: fresh frame addresses are never previously tracked
+        // — the stack allocator is monotone.)
+        (Planned::Skipped, StepOutcome::Assigned { dst, .. }) => {
+            ctx.sym.forget(*dst);
+        }
+        (
+            Planned::Skipped,
+            StepOutcome::Returned {
+                dst: Some(d),
+                value: Some(_),
+            },
+        ) => {
+            ctx.sym.forget(*d);
         }
         (_, StepOutcome::ExternalReturned { dst, .. }) => {
             if let (Some(d), Some(var)) = (dst, ctx.pending_ext.take()) {
@@ -580,5 +731,105 @@ mod tests {
         let (r, _) = run(src, "f", 1);
         assert_eq!(r.termination, RunTermination::Ok);
         assert_eq!(r.path.len(), 1, "NULL check must be symbolic");
+    }
+
+    /// The compiled tier is observationally identical to the interpreter
+    /// at the instrumented-run level: over every test program above and a
+    /// spread of seeds, the full [`RunResult`] — tape (including RNG
+    /// position), branch stack, path constraint, flags, termination,
+    /// steps, coverage — matches field for field. Compared via `Debug`
+    /// (the tape holds an RNG without `PartialEq`), which covers every
+    /// field.
+    #[test]
+    fn compiled_tier_run_results_match_interpreter() {
+        let sources = [
+            "int f(int x) { return x + 1; }",
+            "int f(int x) { if (x == 77777777) return 1; return 0; }",
+            r#"
+                int f(int x) { return 2 * x; }
+                int h(int x, int y) {
+                    if (x != y)
+                        if (f(x) == x + 10)
+                            abort();
+                    return 0;
+                }
+            "#,
+            "void f(int x) { abort(); }",
+            "int f(int x) { return x / 0; }",
+            "void f(int x) { while (1) { } }",
+            "int f(int x, int y) { if (x * y == 12) return 1; return 0; }",
+            r#"
+                int g = 0;
+                void f(int x) {
+                    g = g + 1;
+                    if (g == 2) abort();
+                }
+            "#,
+            r#"
+                extern int sensor();
+                int f(int x) {
+                    int a = sensor();
+                    if (a == 123456) return 1;
+                    return 0;
+                }
+            "#,
+            r#"
+                struct s { int v; };
+                int f(struct s *p) {
+                    if (p == NULL) return -1;
+                    return p->v;
+                }
+            "#,
+            r#"
+                int f(int x, int y) {
+                    int acc;
+                    acc = 0;
+                    while (x > 0) {
+                        acc = acc + y;
+                        x = x - 1;
+                    }
+                    return acc;
+                }
+            "#,
+        ];
+        let config = MachineConfig {
+            max_steps: 500,
+            ..MachineConfig::default()
+        };
+        for src in sources {
+            let c = compiled(src);
+            let decoded = DecodedProgram::new(&c.program);
+            let toplevel = if c.fn_sig("h").is_some() { "h" } else { "f" };
+            let sig = c.fn_sig(toplevel).unwrap().clone();
+            for seed in 0..8u64 {
+                for depth in [1, 2] {
+                    let interp = run_once_in_tier(
+                        &c,
+                        &sig,
+                        depth,
+                        config,
+                        InputTape::new(seed),
+                        Vec::new(),
+                        32,
+                        None,
+                    );
+                    let fast = run_once_in_tier(
+                        &c,
+                        &sig,
+                        depth,
+                        config,
+                        InputTape::new(seed),
+                        Vec::new(),
+                        32,
+                        Some(&decoded),
+                    );
+                    assert_eq!(
+                        format!("{interp:?}"),
+                        format!("{fast:?}"),
+                        "tier divergence: {src} seed {seed} depth {depth}"
+                    );
+                }
+            }
+        }
     }
 }

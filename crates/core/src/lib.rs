@@ -67,8 +67,8 @@ pub mod supervise;
 pub mod sweep;
 pub mod tape;
 
-pub use driver::{Dart, DartConfig, DartError, EngineMode, SchedulerMode};
-pub use exec::{run_once, run_once_traced, RunResult, RunTermination};
+pub use driver::{Dart, DartConfig, DartError, EngineMode, ExecTier, SchedulerMode};
+pub use exec::{run_once, run_once_in_tier, run_once_traced, RunResult, RunTermination};
 pub use frontier::{CheckpointParseError, FrontierOrder};
 pub use interface::{describe_interface, InterfaceReport};
 pub use pool::{SolvePool, WalkItem, WalkRequest, WalkVerdicts};

@@ -551,6 +551,46 @@ mod tests {
         BranchRecord { branch, done }
     }
 
+    /// `scrub_scheduling` zeroes exactly the scheduling-dependent
+    /// diagnostics and leaves every deterministic counter alone. Both
+    /// struct literals are exhaustive (no `..Default::default()`) on
+    /// purpose: adding a `SolveStats` field breaks this test at compile
+    /// time, forcing a decision about which side of the determinism
+    /// contract the new counter falls on.
+    #[test]
+    fn scrub_scheduling_covers_every_diagnostic_and_nothing_else() {
+        let mut stats = SolveStats {
+            sat: 1,
+            unsat: 2,
+            unknown: 3,
+            cache_hits: 4,
+            cache_model_reuse: 5,
+            split_solves: 6,
+            parallel_wasted: 7,
+            shared_hits: 8,
+            steals: 9,
+            pool_idle_ns: 10,
+            max_queue_depth: 11,
+            per_worker_solves: vec![12, 13],
+        };
+        stats.scrub_scheduling();
+        let expected = SolveStats {
+            sat: 1,
+            unsat: 2,
+            unknown: 3,
+            cache_hits: 4,
+            cache_model_reuse: 5,
+            split_solves: 6,
+            parallel_wasted: 0,
+            shared_hits: 0,
+            steals: 0,
+            pool_idle_ns: 0,
+            max_queue_depth: 0,
+            per_worker_solves: Vec::new(),
+        };
+        assert_eq!(stats, expected);
+    }
+
     /// path: x != 1 (from branch not taken), x != 2.
     fn simple_path() -> (PathConstraint, InputTape) {
         let mut pc = PathConstraint::new();

@@ -129,6 +129,11 @@ pub fn sweep(
             "checkpoint requires the generational engine (--engine generational)".to_string(),
         ));
     }
+    if config.exec_tier == crate::driver::ExecTier::Invalid {
+        return Err(DartError::InvalidConfig(
+            "exec_tier is unrecognized (DART_EXEC_TIER must be `interp` or `compiled`)".to_string(),
+        ));
+    }
     for name in toplevels {
         if compiled.fn_sig(name).is_none() {
             return Err(DartError::UnknownToplevel(name.clone()));
@@ -458,6 +463,21 @@ mod tests {
         }
     }
 
+    /// The `Invalid` exec-tier sentinel (a malformed `DART_EXEC_TIER`)
+    /// fails the sweep up front, like the other sentinels.
+    #[test]
+    fn invalid_exec_tier_is_an_error_not_a_panic() {
+        let compiled = library();
+        let bad = DartConfig {
+            exec_tier: crate::ExecTier::Invalid,
+            ..config()
+        };
+        match sweep(&compiled, &names(), &bad, 2) {
+            Err(DartError::InvalidConfig(reason)) => assert!(reason.contains("DART_EXEC_TIER")),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
     /// The oversubscription fix, observed: a wide sweep with pooled
     /// parallel solving produces the same scrubbed outcomes as the
     /// sequential-session, sequential-solving sweep — sessions share one
@@ -505,13 +525,21 @@ mod tests {
                 return 0;
             }
             int hog(int x) {
+                int lo;
+                int hi;
+                int mid;
                 int i;
+                lo = 0;
+                hi = 1;
+                i = 0;
+                while (i < 40) { hi = hi + hi; i = i + 1; }
                 i = 0;
                 while (i < 40) {
-                    if (x == i) { x = x + 1; }
+                    mid = (lo + hi) / 2;
+                    if (x < mid) { hi = mid; } else { lo = mid; }
                     i = i + 1;
                 }
-                return 0;
+                return lo;
             }
             "#,
         )

@@ -9,7 +9,7 @@
 //! `parallel_wasted`/`shared_hits` excepted) — see the randomized
 //! determinism proptest at the bottom.
 
-use dart::{Dart, DartConfig, EngineMode, SchedulerMode, SessionReport, Strategy};
+use dart::{Dart, DartConfig, EngineMode, ExecTier, SchedulerMode, SessionReport, Strategy};
 use proptest::prelude::*;
 // `dart::Strategy` shadows the prelude's trait of the same name.
 use proptest::strategy::Strategy as _;
@@ -216,11 +216,13 @@ fn program_strategy() -> impl proptest::strategy::Strategy<Value = String> {
 /// incompleteness at a random logical query index when the
 /// `fault-injection` feature is on (plain builds exercise the fault-free
 /// path of the same contract).
+#[allow(clippy::too_many_arguments)]
 fn run_parallel_cfg(
     compiled: &dart_minic::CompiledProgram,
     solve_threads: usize,
     scheduler: SchedulerMode,
     shared_cache: bool,
+    exec_tier: ExecTier,
     seed: u64,
     unknown_on_query: Option<u64>,
 ) -> SessionReport {
@@ -234,6 +236,7 @@ fn run_parallel_cfg(
         solve_threads,
         scheduler,
         shared_cache,
+        exec_tier,
         #[cfg(feature = "fault-injection")]
         faults: dart::FaultPlan {
             unknown_on_query,
@@ -258,10 +261,11 @@ fn scrub(mut r: SessionReport) -> SessionReport {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
-    /// The tentpole's acceptance property: for random programs, random
+    /// The determinism acceptance property: for random programs, random
     /// seeds and random injected-Unknown positions, every combination of
     /// `solve_threads` ∈ {1, 4} × scheduler ∈ {work-stealing pool,
-    /// per-call static scope} × `shared_cache` ∈ {off, on} produces a
+    /// per-call static scope} × `shared_cache` ∈ {off, on} ×
+    /// execution tier ∈ {interpreter, compiled} produces a
     /// byte-identical `SessionReport` after scrubbing.
     #[test]
     fn parallel_and_shared_solving_preserve_reports(
@@ -269,28 +273,32 @@ proptest! {
         seed in 0u64..1024,
         unknown_on_query in proptest::option::of(0u64..8),
     ) {
+        use ExecTier::{Compiled, Interp};
         use SchedulerMode::{StaticScoped, WorkStealing};
         let compiled = dart_minic::compile(&source).expect("generated source compiles");
         let baseline = scrub(run_parallel_cfg(
-            &compiled, 1, WorkStealing, false, seed, unknown_on_query,
+            &compiled, 1, WorkStealing, false, Interp, seed, unknown_on_query,
         ));
-        for (threads, scheduler, shared) in [
-            (4, WorkStealing, false),
-            (4, StaticScoped, false),
-            (1, WorkStealing, true),
-            (4, WorkStealing, true),
-            (4, StaticScoped, true),
+        for (threads, scheduler, shared, tier) in [
+            (4, WorkStealing, false, Interp),
+            (4, StaticScoped, false, Interp),
+            (1, WorkStealing, true, Interp),
+            (4, WorkStealing, true, Interp),
+            (4, StaticScoped, true, Interp),
+            (1, WorkStealing, false, Compiled),
+            (4, WorkStealing, true, Compiled),
         ] {
             let got = scrub(run_parallel_cfg(
-                &compiled, threads, scheduler, shared, seed, unknown_on_query,
+                &compiled, threads, scheduler, shared, tier, seed, unknown_on_query,
             ));
             prop_assert_eq!(
                 &baseline,
                 &got,
-                "threads={} scheduler={:?} shared={} source={}",
+                "threads={} scheduler={:?} shared={} tier={:?} source={}",
                 threads,
                 scheduler,
                 shared,
+                tier,
                 source
             );
         }

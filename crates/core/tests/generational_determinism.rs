@@ -15,7 +15,7 @@
 //!    restarts, steps, coverage, bug set and outcome as an uninterrupted
 //!    session of the same seed.
 
-use dart::{Dart, DartConfig, EngineMode, FrontierOrder, SchedulerMode, SessionReport};
+use dart::{Dart, DartConfig, EngineMode, ExecTier, FrontierOrder, SchedulerMode, SessionReport};
 use proptest::prelude::*;
 
 /// Fig. 1 / §2.1 — the `h` example.
@@ -113,6 +113,7 @@ fn run_generational_cfg(
     solve_threads: usize,
     scheduler: SchedulerMode,
     shared_cache: bool,
+    exec_tier: ExecTier,
     seed: u64,
     unknown_on_query: Option<u64>,
 ) -> SessionReport {
@@ -129,6 +130,7 @@ fn run_generational_cfg(
         solve_threads,
         scheduler,
         shared_cache,
+        exec_tier,
         #[cfg(feature = "fault-injection")]
         faults: dart::FaultPlan {
             unknown_on_query,
@@ -168,30 +170,33 @@ proptest! {
         fifo in any::<bool>(),
         unknown_on_query in proptest::option::of(0u64..8),
     ) {
+        use ExecTier::{Compiled, Interp};
         use SchedulerMode::{StaticScoped, WorkStealing};
         let order = if fifo { FrontierOrder::Fifo } else { FrontierOrder::Scored };
         let compiled = dart_minic::compile(&source).expect("generated source compiles");
         let baseline = scrub(run_generational_cfg(
-            &compiled, order, true, 1, WorkStealing, false, seed, unknown_on_query,
+            &compiled, order, true, 1, WorkStealing, false, Interp, seed, unknown_on_query,
         ));
-        for (threads, scheduler, shared) in [
-            (4, WorkStealing, false),
-            (4, StaticScoped, false),
-            (1, WorkStealing, true),
-            (4, WorkStealing, true),
-            (4, StaticScoped, true),
+        for (threads, scheduler, shared, tier) in [
+            (4, WorkStealing, false, Interp),
+            (4, StaticScoped, false, Interp),
+            (1, WorkStealing, true, Interp),
+            (4, WorkStealing, true, Interp),
+            (4, StaticScoped, true, Interp),
+            (1, WorkStealing, false, Compiled),
         ] {
             let got = scrub(run_generational_cfg(
-                &compiled, order, true, threads, scheduler, shared, seed, unknown_on_query,
+                &compiled, order, true, threads, scheduler, shared, tier, seed, unknown_on_query,
             ));
             prop_assert_eq!(
                 &baseline,
                 &got,
-                "order={:?} threads={} scheduler={:?} shared={} source={}",
+                "order={:?} threads={} scheduler={:?} shared={} tier={:?} source={}",
                 order,
                 threads,
                 scheduler,
                 shared,
+                tier,
                 &source
             );
         }
@@ -211,10 +216,12 @@ proptest! {
         use SchedulerMode::WorkStealing;
         let compiled = dart_minic::compile(&source).expect("generated source compiles");
         let on = run_generational_cfg(
-            &compiled, FrontierOrder::Scored, true, 1, WorkStealing, false, seed, unknown_on_query,
+            &compiled, FrontierOrder::Scored, true, 1, WorkStealing, false,
+            ExecTier::Interp, seed, unknown_on_query,
         );
         let off = run_generational_cfg(
-            &compiled, FrontierOrder::Scored, false, 1, WorkStealing, false, seed, unknown_on_query,
+            &compiled, FrontierOrder::Scored, false, 1, WorkStealing, false,
+            ExecTier::Interp, seed, unknown_on_query,
         );
         prop_assert_eq!(
             covered_and_bugs(&on),
@@ -355,6 +362,52 @@ fn killed_and_resumed_session_matches_uninterrupted() {
                 );
             }
         }
+    }
+}
+
+/// Checkpoints are tier-agnostic: a session interrupted on one execution
+/// tier resumes on the other without observable difference, because both
+/// tiers produce identical run results. Legs alternate interpreter and
+/// compiled; the chain must match the uninterrupted interpreter session.
+#[test]
+fn checkpoint_resume_is_tier_agnostic() {
+    let compiled = dart_minic::compile(AC_CONTROLLER).unwrap();
+    for seed in 0..3u64 {
+        let full = Dart::new(&compiled, "ac_controller", gen_config(seed, 500))
+            .unwrap()
+            .run();
+        assert!(full.runs < 500, "uninterrupted session must finish");
+
+        let scratch = ScratchFile::new(&format!("tier-{seed}"));
+        let mut bugs = Vec::new();
+        let mut budget = 2u64;
+        let mut leg_index = 0;
+        let resumed = loop {
+            let config = DartConfig {
+                checkpoint: Some(scratch.0.clone()),
+                exec_tier: if leg_index % 2 == 0 {
+                    ExecTier::Interp
+                } else {
+                    ExecTier::Compiled
+                },
+                ..gen_config(seed, budget)
+            };
+            let leg = Dart::new(&compiled, "ac_controller", config).unwrap().run();
+            bugs.extend(leg.bugs.iter().cloned());
+            if leg.outcome != dart::Outcome::Exhausted {
+                break leg;
+            }
+            assert!(budget < 500, "resume chain failed to converge");
+            budget += 2;
+            leg_index += 1;
+        };
+
+        assert_eq!(
+            resume_observable(&resumed),
+            resume_observable(&full),
+            "seed={seed}"
+        );
+        assert_eq!(bugs, full.bugs, "seed={seed}");
     }
 }
 

@@ -1,0 +1,1253 @@
+//! The pre-decoded (compiled) execution tier.
+//!
+//! [`crate::Machine`] re-walks tree-structured [`Expr`]s on every step; for
+//! DART workloads that re-execute the same program thousands of times, the
+//! decode work dominates. [`DecodedProgram`] lowers a [`Program`] once into a
+//! flat array of decoded statements whose operands are postfix op sequences
+//! ([`FlatExpr`]) with the common shapes fused (`bp + k`, `*(bp + k)`,
+//! `*(const)`), and [`FastMachine`] dispatches over that array with a
+//! reusable evaluation stack — no per-step allocation, no tree recursion.
+//!
+//! The tier is split into a pure [`FastMachine::probe`] and a mutating
+//! [`FastMachine::commit`] so the concolic driver can decide *per statement*
+//! whether symbolic mirroring is needed: the probe stages the step's entire
+//! effect, reports whether any mirrored operand read a symbolically-tracked
+//! address (and whether the step ends the episode), and only then does the
+//! driver run the expensive symbolic plan. Concrete-only stretches pay for
+//! the probe and nothing else.
+//!
+//! Semantics are pinned to the interpreter — same statement order, same
+//! fault points, same budget boundaries ([`crate::MachineConfig::max_steps`]
+//! is checked before the step, so a budget of N executes exactly N
+//! statements), same [`StepOutcome`]s. The interpreter stays the reference:
+//! a differential proptest drives both machines in lockstep over random
+//! programs, which is what makes this tier safe to trust.
+
+use crate::expr::{apply_binop, BinOp, Expr, MemView, UnOp};
+use crate::interp::{Environment, MachineConfig, StepOutcome};
+use crate::memory::{Fault, Memory};
+use crate::program::{AllocKind, ExtId, FuncId, Label, Program, Statement};
+
+/// One postfix operation of a flattened expression.
+#[derive(Debug, Clone, Copy)]
+enum FlatOp {
+    /// Push a constant.
+    Const(i64),
+    /// Push the current frame base.
+    FrameBase,
+    /// Fused `bp + k`: push the address of frame slot `k`.
+    FrameSlot(i64),
+    /// Fused `*(bp + k)`: load frame slot `k`.
+    LoadLocal(i64),
+    /// Fused `*(c)`: load a fixed address (globals).
+    LoadConst(i64),
+    /// Pop an address, push the loaded word.
+    Load,
+    /// Pop one operand, push the result.
+    Unary(UnOp),
+    /// Pop two operands (right on top), push the result.
+    Binary(BinOp),
+}
+
+/// Recognizes the frame-slot address shape `FrameBase + Const(k)` that
+/// [`Expr::frame_slot`] produces.
+fn frame_slot_offset(e: &Expr) -> Option<i64> {
+    match e {
+        Expr::Binary(BinOp::Add, l, r) => match (l.as_ref(), r.as_ref()) {
+            (Expr::FrameBase, Expr::Const(k)) => Some(*k),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn flatten(e: &Expr, out: &mut Vec<FlatOp>) {
+    if let Some(k) = frame_slot_offset(e) {
+        out.push(FlatOp::FrameSlot(k));
+        return;
+    }
+    match e {
+        Expr::Const(c) => out.push(FlatOp::Const(*c)),
+        Expr::FrameBase => out.push(FlatOp::FrameBase),
+        Expr::Load(a) => {
+            if let Some(k) = frame_slot_offset(a) {
+                out.push(FlatOp::LoadLocal(k));
+            } else if let Expr::Const(c) = a.as_ref() {
+                out.push(FlatOp::LoadConst(*c));
+            } else {
+                flatten(a, out);
+                out.push(FlatOp::Load);
+            }
+        }
+        Expr::Unary(op, inner) => {
+            flatten(inner, out);
+            out.push(FlatOp::Unary(*op));
+        }
+        Expr::Binary(op, l, r) => {
+            flatten(l, out);
+            flatten(r, out);
+            out.push(FlatOp::Binary(*op));
+        }
+    }
+}
+
+/// A postfix-flattened expression. Evaluation visits loads and faults in
+/// exactly the order [`crate::eval_concrete`] does on the source tree
+/// (postfix emission preserves the depth-first left-to-right walk), so the
+/// first fault of a step is identical across tiers.
+#[derive(Debug, Clone)]
+struct FlatExpr {
+    ops: Box<[FlatOp]>,
+}
+
+impl FlatExpr {
+    fn compile(e: &Expr) -> FlatExpr {
+        let mut ops = Vec::new();
+        flatten(e, &mut ops);
+        FlatExpr {
+            ops: ops.into_boxed_slice(),
+        }
+    }
+
+    /// Evaluates against `mem`, reporting every load address to `on_load`
+    /// *before* the load is attempted.
+    fn eval_with(
+        &self,
+        mem: &Memory,
+        frame_base: i64,
+        stack: &mut Vec<i64>,
+        mut on_load: impl FnMut(i64),
+    ) -> Result<i64, Fault> {
+        stack.clear();
+        for op in self.ops.iter() {
+            match *op {
+                FlatOp::Const(c) => stack.push(c),
+                FlatOp::FrameBase => stack.push(frame_base),
+                FlatOp::FrameSlot(k) => stack.push(frame_base.wrapping_add(k)),
+                FlatOp::LoadLocal(k) => {
+                    let addr = frame_base.wrapping_add(k);
+                    on_load(addr);
+                    stack.push(mem.load(addr)?);
+                }
+                FlatOp::LoadConst(addr) => {
+                    on_load(addr);
+                    stack.push(mem.load(addr)?);
+                }
+                FlatOp::Load => {
+                    let addr = stack.pop().expect("postfix arity");
+                    on_load(addr);
+                    stack.push(mem.load(addr)?);
+                }
+                FlatOp::Unary(op) => {
+                    let v = stack.pop().expect("postfix arity");
+                    stack.push(match op {
+                        UnOp::Neg => v.wrapping_neg(),
+                        UnOp::Not => i64::from(v == 0),
+                        UnOp::BitNot => !v,
+                    });
+                }
+                FlatOp::Binary(op) => {
+                    let b = stack.pop().expect("postfix arity");
+                    let a = stack.pop().expect("postfix arity");
+                    stack.push(apply_binop(op, a, b)?);
+                }
+            }
+        }
+        Ok(stack.pop().expect("postfix leaves one value"))
+    }
+}
+
+/// A decoded statement: operands flattened, call targets resolved.
+#[derive(Debug, Clone)]
+enum DStmt {
+    Assign {
+        dst: FlatExpr,
+        src: FlatExpr,
+    },
+    If {
+        cond: FlatExpr,
+        target: Label,
+    },
+    Goto(Label),
+    Call {
+        func: FuncId,
+        /// Callee entry label, resolved at decode time.
+        entry: Label,
+        /// Callee frame size, resolved at decode time.
+        frame_words: u32,
+        args: Box<[FlatExpr]>,
+        dst: Option<FlatExpr>,
+    },
+    CallExternal {
+        ext: ExtId,
+        dst: Option<FlatExpr>,
+    },
+    Ret {
+        value: Option<FlatExpr>,
+    },
+    Abort {
+        reason: Box<str>,
+    },
+    Halt,
+    Alloc {
+        dst: FlatExpr,
+        size: FlatExpr,
+        kind: AllocKind,
+    },
+}
+
+/// A [`Program`] lowered once into flat decoded statements. Build one per
+/// program (it is immutable and shareable) and run any number of
+/// [`FastMachine`]s over it.
+#[derive(Debug, Clone)]
+pub struct DecodedProgram {
+    stmts: Box<[DStmt]>,
+}
+
+impl DecodedProgram {
+    /// Lowers `program`: flattens every operand expression and resolves
+    /// call targets (entry label, frame size) so dispatch never consults
+    /// the function table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Call` names an out-of-range [`FuncId`] — the same
+    /// contract as the interpreter; run [`Program::validate`] first.
+    pub fn new(program: &Program) -> DecodedProgram {
+        let stmts = program
+            .stmts
+            .iter()
+            .map(|s| match s {
+                Statement::Assign { dst, src } => DStmt::Assign {
+                    dst: FlatExpr::compile(dst),
+                    src: FlatExpr::compile(src),
+                },
+                Statement::If { cond, target } => DStmt::If {
+                    cond: FlatExpr::compile(cond),
+                    target: *target,
+                },
+                Statement::Goto(target) => DStmt::Goto(*target),
+                Statement::Call { func, args, dst } => {
+                    let meta = program.func(*func);
+                    DStmt::Call {
+                        func: *func,
+                        entry: meta.entry,
+                        frame_words: meta.frame_words,
+                        args: args.iter().map(FlatExpr::compile).collect(),
+                        dst: dst.as_ref().map(FlatExpr::compile),
+                    }
+                }
+                Statement::CallExternal { ext, dst } => DStmt::CallExternal {
+                    ext: *ext,
+                    dst: dst.as_ref().map(FlatExpr::compile),
+                },
+                Statement::Ret { value } => DStmt::Ret {
+                    value: value.as_ref().map(FlatExpr::compile),
+                },
+                Statement::Abort { reason } => DStmt::Abort {
+                    reason: reason.clone().into_boxed_str(),
+                },
+                Statement::Halt => DStmt::Halt,
+                Statement::Alloc { dst, size, kind } => DStmt::Alloc {
+                    dst: FlatExpr::compile(dst),
+                    size: FlatExpr::compile(size),
+                    kind: *kind,
+                },
+            })
+            .collect();
+        DecodedProgram { stmts }
+    }
+
+    /// Number of decoded statements (same as the source program).
+    pub fn len(&self) -> usize {
+        self.stmts.len()
+    }
+
+    /// Whether the program has no statements.
+    pub fn is_empty(&self) -> bool {
+        self.stmts.is_empty()
+    }
+}
+
+/// The staged effect of the next step, computed by [`FastMachine::probe`]
+/// and applied by [`FastMachine::commit`]. The `Call` payload is boxed so
+/// the enum (written to the staged slot on *every* probe) stays small for
+/// the hot variants.
+#[derive(Debug, Clone)]
+enum Staged {
+    OutOfSteps,
+    Fault(Fault),
+    Assign {
+        addr: i64,
+        value: i64,
+    },
+    Branch {
+        taken: bool,
+        target: Label,
+    },
+    Jump {
+        target: Label,
+    },
+    Call(Box<StagedCall>),
+    CallExternal {
+        ext: ExtId,
+        addr: Option<i64>,
+    },
+    Ret {
+        value: Option<i64>,
+    },
+    Abort {
+        reason: String,
+    },
+    Halt,
+    Alloc {
+        addr: i64,
+        words: i64,
+        kind: AllocKind,
+    },
+    OutOfMemory,
+}
+
+/// The staged effect of a resolved in-program call (see [`Staged::Call`]).
+#[derive(Debug, Clone)]
+struct StagedCall {
+    func: FuncId,
+    entry: Label,
+    frame_words: u32,
+    arg_values: Vec<i64>,
+    ret_dst: Option<i64>,
+}
+
+/// What [`FastMachine::probe`] learned about the next step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeSummary {
+    /// The staged step ends the episode (fault, exhausted budget, abort,
+    /// halt). Terminal steps always need mirroring: the symbolic layer may
+    /// evaluate past the concrete fault point and touch tracked state.
+    pub terminal: bool,
+    /// Some mirrored operand (assignment source, branch condition, call
+    /// argument, return value) read a symbolically-tracked address.
+    pub tainted: bool,
+}
+
+impl ProbeSummary {
+    /// Whether the concolic driver must run the symbolic plan for this
+    /// step. False exactly when the step is a concrete-only, non-terminal
+    /// stretch where mirroring is a provable no-op.
+    pub fn needs_mirror(&self) -> bool {
+        self.terminal || self.tainted
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Frame {
+    base: i64,
+    ret_pc: Label,
+    ret_dst: Option<i64>,
+}
+
+/// The compiled-tier machine: dispatches over a [`DecodedProgram`] with the
+/// interpreter's exact semantics.
+///
+/// # Examples
+///
+/// ```
+/// use dart_ram::{DecodedProgram, Expr, FastMachine, Function, MachineConfig, Program,
+///                Statement, StepOutcome, ZeroEnv};
+///
+/// // fn id(x) { return x; }
+/// let program = Program {
+///     stmts: vec![Statement::Ret { value: Some(Expr::local(0)) }],
+///     funcs: vec![Function { name: "id".into(), entry: 0, frame_words: 1, num_params: 1 }],
+///     ..Program::default()
+/// };
+/// let decoded = DecodedProgram::new(&program);
+/// let mut m = FastMachine::new(&program, &decoded, MachineConfig::default());
+/// m.call(program.func_by_name("id").unwrap(), &[42]).unwrap();
+/// assert_eq!(m.run(&mut ZeroEnv), StepOutcome::Finished { value: Some(42) });
+/// ```
+#[derive(Debug, Clone)]
+pub struct FastMachine<'p> {
+    program: &'p Program,
+    decoded: &'p DecodedProgram,
+    mem: Memory,
+    pc: Label,
+    frames: Vec<Frame>,
+    steps: u64,
+    config: MachineConfig,
+    running: bool,
+    /// Reusable postfix evaluation stack — no per-step allocation.
+    scratch: Vec<i64>,
+    staged: Option<Staged>,
+}
+
+impl MemView for FastMachine<'_> {
+    fn load(&self, addr: i64) -> Result<i64, Fault> {
+        self.mem.load(addr)
+    }
+    fn frame_base(&self) -> i64 {
+        self.frames.last().map(|f| f.base).unwrap_or(0)
+    }
+}
+
+impl<'p> FastMachine<'p> {
+    /// Creates an idle machine over `program` and its decoded form.
+    ///
+    /// `decoded` must be `DecodedProgram::new(program)` — the machine
+    /// dispatches on the decoded statements and only reports the source
+    /// statements (for symbolic mirroring) via
+    /// [`FastMachine::current_statement`].
+    pub fn new(
+        program: &'p Program,
+        decoded: &'p DecodedProgram,
+        config: MachineConfig,
+    ) -> FastMachine<'p> {
+        FastMachine {
+            program,
+            decoded,
+            mem: Memory::new(program.global_words, config.stack_budget),
+            pc: 0,
+            frames: Vec::new(),
+            steps: 0,
+            config,
+            running: false,
+            scratch: Vec::with_capacity(16),
+            staged: None,
+        }
+    }
+
+    /// The source program being executed.
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// Read access to memory.
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable access to memory (used by the driver to initialize inputs).
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> Label {
+        self.pc
+    }
+
+    /// The *source* statement about to execute, if running — what the
+    /// symbolic layer mirrors.
+    pub fn current_statement(&self) -> Option<&'p Statement> {
+        if self.running {
+            self.program.stmts.get(self.pc)
+        } else {
+            None
+        }
+    }
+
+    /// Steps executed so far (cumulative across episodes).
+    pub fn steps_taken(&self) -> u64 {
+        self.steps
+    }
+
+    /// Whether an episode is in progress.
+    pub fn is_running(&self) -> bool {
+        self.running
+    }
+
+    /// Begins an episode; see [`crate::Machine::call`].
+    ///
+    /// # Errors
+    ///
+    /// [`Fault::StackOverflow`] if the frame does not fit;
+    /// [`Fault::BadArity`] if `args` exceeds the function's frame size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an episode is already running.
+    pub fn call(&mut self, func: FuncId, args: &[i64]) -> Result<i64, Fault> {
+        assert!(!self.running, "episode already in progress");
+        self.staged = None;
+        let meta = self.program.func(func);
+        if args.len() > meta.frame_words as usize {
+            return Err(Fault::BadArity { func: func.0 });
+        }
+        let base = self.mem.push_frame(meta.frame_words)?;
+        for (i, &v) in args.iter().enumerate() {
+            self.mem
+                .store(base + i as i64, v)
+                .expect("fresh frame slot is mapped");
+        }
+        self.frames.push(Frame {
+            base,
+            ret_pc: 0,
+            ret_dst: None,
+        });
+        self.pc = meta.entry;
+        self.running = true;
+        Ok(base)
+    }
+
+    /// Stages the next step without mutating machine state (`steps`, `pc`,
+    /// memory and frames are untouched; only the staged slot and the
+    /// scratch stack change). `tracked` answers whether an address is
+    /// symbolically tracked; the probe applies it to every load performed
+    /// by a *mirrored* operand (assignment sources, branch conditions,
+    /// call arguments, return values — the expressions the symbolic plan
+    /// evaluates) and reports the result.
+    ///
+    /// Call [`FastMachine::commit`] to apply the staged step. Probing
+    /// again simply restages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no episode is running.
+    pub fn probe<F: Fn(i64) -> bool>(&mut self, tracked: F) -> ProbeSummary {
+        assert!(self.running, "no episode in progress");
+        let mut tainted = false;
+        let staged = self.stage(tracked, &mut tainted);
+        let terminal = matches!(
+            staged,
+            Staged::OutOfSteps
+                | Staged::Fault(_)
+                | Staged::Abort { .. }
+                | Staged::Halt
+                | Staged::OutOfMemory
+        );
+        self.staged = Some(staged);
+        ProbeSummary { terminal, tainted }
+    }
+
+    /// Computes the staged effect of the next step. Pure on machine state;
+    /// replicates the interpreter's evaluation order exactly (budget check
+    /// before the statement fetch, operand order, fault points).
+    fn stage<F: Fn(i64) -> bool>(&mut self, tracked: F, tainted: &mut bool) -> Staged {
+        if self.steps >= self.config.max_steps {
+            return Staged::OutOfSteps;
+        }
+        let Some(stmt) = self.decoded.stmts.get(self.pc) else {
+            return Staged::Fault(Fault::BadJump { label: self.pc });
+        };
+        let frame_base = self.frames.last().map(|f| f.base).unwrap_or(0);
+        let mem = &self.mem;
+        let scratch = &mut self.scratch;
+        let nop = |_: i64| {};
+        let mut taint = |addr: i64| {
+            if tracked(addr) {
+                *tainted = true;
+            }
+        };
+
+        macro_rules! try_stage {
+            ($e:expr) => {
+                match $e {
+                    Ok(v) => v,
+                    Err(fault) => return Staged::Fault(fault),
+                }
+            };
+        }
+
+        match stmt {
+            DStmt::Assign { dst, src } => {
+                let addr = try_stage!(dst.eval_with(mem, frame_base, scratch, nop));
+                let value = try_stage!(src.eval_with(mem, frame_base, scratch, &mut taint));
+                Staged::Assign { addr, value }
+            }
+            DStmt::If { cond, target } => {
+                let v = try_stage!(cond.eval_with(mem, frame_base, scratch, &mut taint));
+                let taken = v != 0;
+                Staged::Branch {
+                    taken,
+                    target: if taken { *target } else { self.pc + 1 },
+                }
+            }
+            DStmt::Goto(target) => Staged::Jump { target: *target },
+            DStmt::Call {
+                func,
+                entry,
+                frame_words,
+                args,
+                dst,
+            } => {
+                if self.frames.len() >= self.config.max_frames {
+                    return Staged::Fault(Fault::StackOverflow);
+                }
+                let mut arg_values = Vec::with_capacity(args.len());
+                for a in args.iter() {
+                    arg_values.push(try_stage!(a.eval_with(mem, frame_base, scratch, &mut taint)));
+                }
+                let ret_dst = match dst {
+                    Some(d) => Some(try_stage!(d.eval_with(mem, frame_base, scratch, nop))),
+                    None => None,
+                };
+                if self.over_budget(*frame_words as i64) {
+                    return Staged::OutOfMemory;
+                }
+                if *frame_words as i64 > mem.stack_budget() {
+                    return Staged::Fault(Fault::StackOverflow);
+                }
+                Staged::Call(Box::new(StagedCall {
+                    func: *func,
+                    entry: *entry,
+                    frame_words: *frame_words,
+                    arg_values,
+                    ret_dst,
+                }))
+            }
+            DStmt::CallExternal { ext, dst } => {
+                let addr = match dst {
+                    Some(d) => Some(try_stage!(d.eval_with(mem, frame_base, scratch, nop))),
+                    None => None,
+                };
+                Staged::CallExternal { ext: *ext, addr }
+            }
+            DStmt::Ret { value } => {
+                let v = match value {
+                    Some(e) => Some(try_stage!(e.eval_with(mem, frame_base, scratch, &mut taint))),
+                    None => None,
+                };
+                Staged::Ret { value: v }
+            }
+            DStmt::Abort { reason } => Staged::Abort {
+                reason: reason.to_string(),
+            },
+            DStmt::Halt => Staged::Halt,
+            DStmt::Alloc { dst, size, kind } => {
+                let addr = try_stage!(dst.eval_with(mem, frame_base, scratch, nop));
+                let words = try_stage!(size.eval_with(mem, frame_base, scratch, nop));
+                if self.over_budget(words) {
+                    return Staged::OutOfMemory;
+                }
+                Staged::Alloc {
+                    addr,
+                    words,
+                    kind: *kind,
+                }
+            }
+        }
+    }
+
+    /// Stages the next step and, when it is concrete-only (untainted and
+    /// non-terminal) and self-contained, commits it in the same pass,
+    /// returning the outcome. External calls and allocations always defer
+    /// — the first needs the caller's [`Environment`], the second a
+    /// pre-commit fault-injection decision — as does anything terminal or
+    /// tainted. A deferred step is left staged exactly like
+    /// [`FastMachine::probe`]: run the symbolic plan if the summary calls
+    /// for it, then [`FastMachine::commit`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no episode is running.
+    pub fn step_concrete<F: Fn(i64) -> bool>(
+        &mut self,
+        tracked: F,
+    ) -> Result<StepOutcome, ProbeSummary> {
+        assert!(self.running, "no episode in progress");
+        let mut tainted = false;
+        let staged = self.stage(tracked, &mut tainted);
+        let terminal = matches!(
+            staged,
+            Staged::OutOfSteps
+                | Staged::Fault(_)
+                | Staged::Abort { .. }
+                | Staged::Halt
+                | Staged::OutOfMemory
+        );
+        if terminal
+            || tainted
+            || matches!(staged, Staged::CallExternal { .. } | Staged::Alloc { .. })
+        {
+            self.staged = Some(staged);
+            return Err(ProbeSummary { terminal, tainted });
+        }
+        self.staged = None;
+        // The environment is never consulted: external calls deferred above.
+        Ok(self.commit_staged(staged, &mut crate::interp::ZeroEnv))
+    }
+
+    /// Applies the step staged by the last [`FastMachine::probe`],
+    /// returning the interpreter-identical [`StepOutcome`]. The step
+    /// counter advances here (never on an `OutOfSteps` verdict, matching
+    /// the interpreter's budget-before-execute check).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no step is staged.
+    pub fn commit(&mut self, env: &mut dyn Environment) -> StepOutcome {
+        let staged = self.staged.take().expect("probe before commit");
+        self.commit_staged(staged, env)
+    }
+
+    fn commit_staged(&mut self, staged: Staged, env: &mut dyn Environment) -> StepOutcome {
+        if matches!(staged, Staged::OutOfSteps) {
+            return self.finish(StepOutcome::OutOfSteps);
+        }
+        self.steps += 1;
+
+        macro_rules! try_commit {
+            ($e:expr) => {
+                match $e {
+                    Ok(v) => v,
+                    Err(fault) => return self.finish(StepOutcome::Faulted(fault)),
+                }
+            };
+        }
+
+        match staged {
+            Staged::OutOfSteps => unreachable!("handled above"),
+            Staged::Fault(f) => self.finish(StepOutcome::Faulted(f)),
+            Staged::Assign { addr, value } => {
+                try_commit!(self.mem.store(addr, value));
+                self.pc += 1;
+                StepOutcome::Assigned { dst: addr, value }
+            }
+            Staged::Branch { taken, target } => {
+                self.pc = target;
+                StepOutcome::Branched { taken }
+            }
+            Staged::Jump { target } => {
+                self.pc = target;
+                StepOutcome::Jumped
+            }
+            Staged::Call(call) => {
+                let StagedCall {
+                    func,
+                    entry,
+                    frame_words,
+                    arg_values,
+                    ret_dst,
+                } = *call;
+                let base = try_commit!(self.mem.push_frame(frame_words));
+                for (i, &v) in arg_values.iter().enumerate() {
+                    try_commit!(self.mem.store(base + i as i64, v));
+                }
+                self.frames.push(Frame {
+                    base,
+                    ret_pc: self.pc + 1,
+                    ret_dst,
+                });
+                self.pc = entry;
+                StepOutcome::Called {
+                    func,
+                    frame_base: base,
+                    arg_values,
+                }
+            }
+            Staged::CallExternal { ext, addr } => {
+                let value = env.external_value(ext, &mut self.mem);
+                if let Some(a) = addr {
+                    try_commit!(self.mem.store(a, value));
+                }
+                self.pc += 1;
+                StepOutcome::ExternalReturned {
+                    ext,
+                    dst: addr,
+                    value,
+                }
+            }
+            Staged::Ret { value } => {
+                let frame = self.frames.pop().expect("running implies a frame");
+                self.mem.pop_frame(frame.base);
+                if self.frames.is_empty() {
+                    self.running = false;
+                    return StepOutcome::Finished { value };
+                }
+                if let Some(d) = frame.ret_dst {
+                    if let Some(v) = value {
+                        try_commit!(self.mem.store(d, v));
+                    }
+                }
+                self.pc = frame.ret_pc;
+                StepOutcome::Returned {
+                    dst: frame.ret_dst,
+                    value,
+                }
+            }
+            Staged::Abort { reason } => self.finish(StepOutcome::Aborted { reason }),
+            Staged::Halt => self.finish(StepOutcome::Halted),
+            Staged::Alloc { addr, words, kind } => {
+                let base = match kind {
+                    AllocKind::Heap => self.mem.alloc_heap(words),
+                    AllocKind::Stack => self.mem.alloc_stack(words),
+                };
+                try_commit!(self.mem.store(addr, base));
+                self.pc += 1;
+                StepOutcome::Allocated {
+                    dst: addr,
+                    base,
+                    words,
+                }
+            }
+            Staged::OutOfMemory => self.finish(StepOutcome::OutOfMemory),
+        }
+    }
+
+    /// Executes one statement: probe (with no tracked addresses) plus
+    /// commit. Concrete-only callers use this; the concolic driver calls
+    /// probe/commit itself to interleave the symbolic plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no episode is running.
+    pub fn step(&mut self, env: &mut dyn Environment) -> StepOutcome {
+        self.probe(|_| false);
+        self.commit(env)
+    }
+
+    /// Runs until the episode ends, returning the terminal outcome.
+    pub fn run(&mut self, env: &mut dyn Environment) -> StepOutcome {
+        loop {
+            let out = self.step(env);
+            if out.is_terminal() {
+                return out;
+            }
+        }
+    }
+
+    /// Whether admitting `words` more allocated words would exceed the
+    /// allocation budget (same boundary as the interpreter: landing
+    /// exactly on the cap is allowed).
+    fn over_budget(&self, words: i64) -> bool {
+        words > 0
+            && self.mem.words_allocated().saturating_add(words as u64)
+                > self.config.budget.max_alloc_words
+    }
+
+    /// Ends the episode, unwinding live frames.
+    fn finish(&mut self, outcome: StepOutcome) -> StepOutcome {
+        self.running = false;
+        while let Some(f) = self.frames.pop() {
+            self.mem.pop_frame(f.base);
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{Machine, ZeroEnv};
+    use crate::memory::GLOBAL_BASE;
+    use crate::program::{External, Function};
+    use crate::ResourceBudget;
+
+    fn run_fast(program: &Program, func: &str, args: &[i64]) -> StepOutcome {
+        let decoded = DecodedProgram::new(program);
+        let mut m = FastMachine::new(program, &decoded, MachineConfig::default());
+        m.call(program.func_by_name(func).unwrap(), args).unwrap();
+        m.run(&mut ZeroEnv)
+    }
+
+    /// Drives both machines in lockstep and asserts identical outcome
+    /// sequences, step counts and final memory observables.
+    fn assert_lockstep(program: &Program, config: MachineConfig, args: &[i64]) {
+        let decoded = DecodedProgram::new(program);
+        let mut interp = Machine::new(program, config);
+        let mut fast = FastMachine::new(program, &decoded, config);
+        let main = program.func_by_name("main").unwrap();
+        assert_eq!(interp.call(main, args), fast.call(main, args));
+        loop {
+            assert_eq!(interp.pc(), fast.pc());
+            let a = interp.step(&mut ZeroEnv);
+            let b = fast.step(&mut ZeroEnv);
+            assert_eq!(a, b, "tiers diverged at step {}", interp.steps_taken());
+            assert_eq!(interp.steps_taken(), fast.steps_taken());
+            if a.is_terminal() {
+                break;
+            }
+        }
+        assert_eq!(interp.is_running(), fast.is_running());
+        assert_eq!(interp.mem().words_allocated(), fast.mem().words_allocated());
+    }
+
+    /// main(n): acc = 1; while (n > 0) { acc = acc * n; n = n - 1 } return acc
+    fn factorial_program() -> Program {
+        Program {
+            stmts: vec![
+                Statement::Assign {
+                    dst: Expr::frame_slot(1),
+                    src: Expr::Const(1),
+                },
+                Statement::If {
+                    cond: Expr::binary(BinOp::Le, Expr::local(0), Expr::Const(0)),
+                    target: 5,
+                },
+                Statement::Assign {
+                    dst: Expr::frame_slot(1),
+                    src: Expr::binary(BinOp::Mul, Expr::local(1), Expr::local(0)),
+                },
+                Statement::Assign {
+                    dst: Expr::frame_slot(0),
+                    src: Expr::binary(BinOp::Sub, Expr::local(0), Expr::Const(1)),
+                },
+                Statement::Goto(1),
+                Statement::Ret {
+                    value: Some(Expr::local(1)),
+                },
+            ],
+            funcs: vec![Function {
+                name: "main".into(),
+                entry: 0,
+                frame_words: 2,
+                num_params: 1,
+            }],
+            ..Program::default()
+        }
+    }
+
+    #[test]
+    fn factorial_matches_interpreter() {
+        let p = factorial_program();
+        assert_eq!(
+            run_fast(&p, "main", &[5]),
+            StepOutcome::Finished { value: Some(120) }
+        );
+        assert_lockstep(&p, MachineConfig::default(), &[5]);
+        assert_lockstep(&p, MachineConfig::default(), &[0]);
+    }
+
+    #[test]
+    fn flat_expr_preserves_fault_order() {
+        // (*(0) / *(bp)) — the null load faults before the division is
+        // reached, exactly as tree evaluation orders it.
+        let p = Program {
+            stmts: vec![Statement::Assign {
+                dst: Expr::frame_slot(0),
+                src: Expr::binary(BinOp::Div, Expr::load(Expr::Const(0)), Expr::local(0)),
+            }],
+            funcs: vec![Function {
+                name: "main".into(),
+                entry: 0,
+                frame_words: 1,
+                num_params: 1,
+            }],
+            ..Program::default()
+        };
+        assert_eq!(
+            run_fast(&p, "main", &[0]),
+            StepOutcome::Faulted(Fault::NullDeref { addr: 0 })
+        );
+        assert_lockstep(&p, MachineConfig::default(), &[0]);
+    }
+
+    #[test]
+    fn bad_arity_call_is_an_error() {
+        let p = factorial_program();
+        let decoded = DecodedProgram::new(&p);
+        let mut m = FastMachine::new(&p, &decoded, MachineConfig::default());
+        assert_eq!(
+            m.call(FuncId(0), &[1, 2, 3]),
+            Err(Fault::BadArity { func: 0 })
+        );
+        assert!(!m.is_running());
+        m.call(FuncId(0), &[5]).unwrap();
+        assert_eq!(
+            m.run(&mut ZeroEnv),
+            StepOutcome::Finished { value: Some(120) }
+        );
+    }
+
+    #[test]
+    fn step_budget_boundaries_match_interpreter() {
+        let p = factorial_program();
+        for budget in [0u64, 1, 2, 7, 20] {
+            let config = MachineConfig {
+                max_steps: budget,
+                ..MachineConfig::default()
+            };
+            assert_lockstep(&p, config, &[5]);
+        }
+        // Budget 0: no statement executes, the counter stays at zero.
+        let decoded = DecodedProgram::new(&p);
+        let mut m = FastMachine::new(
+            &p,
+            &decoded,
+            MachineConfig {
+                max_steps: 0,
+                ..MachineConfig::default()
+            },
+        );
+        m.call(FuncId(0), &[3]).unwrap();
+        assert_eq!(m.step(&mut ZeroEnv), StepOutcome::OutOfSteps);
+        assert_eq!(m.steps_taken(), 0);
+    }
+
+    #[test]
+    fn recursion_overflows_like_interpreter() {
+        // main() { main(); }
+        let p = Program {
+            stmts: vec![
+                Statement::Call {
+                    func: FuncId(0),
+                    args: vec![],
+                    dst: None,
+                },
+                Statement::Ret { value: None },
+            ],
+            funcs: vec![Function {
+                name: "main".into(),
+                entry: 0,
+                frame_words: 0,
+                num_params: 0,
+            }],
+            ..Program::default()
+        };
+        assert_eq!(
+            run_fast(&p, "main", &[]),
+            StepOutcome::Faulted(Fault::StackOverflow)
+        );
+        assert_lockstep(&p, MachineConfig::default(), &[]);
+    }
+
+    #[test]
+    fn externals_and_globals_match_interpreter() {
+        struct Script(Vec<i64>);
+        impl Environment for Script {
+            fn external_value(&mut self, _ext: ExtId, _mem: &mut Memory) -> i64 {
+                self.0.remove(0)
+            }
+        }
+        // main: g = ext(); x = ext(); return g - x  (g is a global)
+        let p = Program {
+            stmts: vec![
+                Statement::CallExternal {
+                    ext: ExtId(0),
+                    dst: Some(Expr::Const(GLOBAL_BASE)),
+                },
+                Statement::CallExternal {
+                    ext: ExtId(0),
+                    dst: Some(Expr::frame_slot(0)),
+                },
+                Statement::Ret {
+                    value: Some(Expr::binary(
+                        BinOp::Sub,
+                        Expr::load(Expr::Const(GLOBAL_BASE)),
+                        Expr::local(0),
+                    )),
+                },
+            ],
+            funcs: vec![Function {
+                name: "main".into(),
+                entry: 0,
+                frame_words: 1,
+                num_params: 0,
+            }],
+            externals: vec![External {
+                name: "getchar".into(),
+            }],
+            global_words: 1,
+            ..Program::default()
+        };
+        let decoded = DecodedProgram::new(&p);
+        let mut m = FastMachine::new(&p, &decoded, MachineConfig::default());
+        m.call(FuncId(0), &[]).unwrap();
+        assert_eq!(
+            m.run(&mut Script(vec![30, 12])),
+            StepOutcome::Finished { value: Some(18) }
+        );
+    }
+
+    #[test]
+    fn alloc_budget_matches_interpreter() {
+        // main: p = malloc(2); q = alloca(3); return 0 — frame is 2 words.
+        let p = Program {
+            stmts: vec![
+                Statement::Alloc {
+                    dst: Expr::frame_slot(0),
+                    size: Expr::Const(2),
+                    kind: AllocKind::Heap,
+                },
+                Statement::Alloc {
+                    dst: Expr::frame_slot(1),
+                    size: Expr::Const(3),
+                    kind: AllocKind::Stack,
+                },
+                Statement::Ret {
+                    value: Some(Expr::Const(0)),
+                },
+            ],
+            funcs: vec![Function {
+                name: "main".into(),
+                entry: 0,
+                frame_words: 2,
+                num_params: 0,
+            }],
+            ..Program::default()
+        };
+        for cap in [3u64, 6, 7, u64::MAX] {
+            let config = MachineConfig {
+                budget: ResourceBudget {
+                    max_alloc_words: cap,
+                },
+                ..MachineConfig::default()
+            };
+            assert_lockstep(&p, config, &[]);
+        }
+    }
+
+    #[test]
+    fn probe_is_pure_and_reports_taint() {
+        let p = factorial_program();
+        let decoded = DecodedProgram::new(&p);
+        let mut m = FastMachine::new(&p, &decoded, MachineConfig::default());
+        let base = m.call(FuncId(0), &[4]).unwrap();
+
+        // Statement 0 (acc = 1): the source is constant — untainted even
+        // though the parameter address is tracked; probing twice is
+        // harmless and mutates nothing.
+        let tracked = move |addr: i64| addr == base;
+        let s = m.probe(tracked);
+        assert_eq!(
+            s,
+            ProbeSummary {
+                terminal: false,
+                tainted: false
+            }
+        );
+        assert_eq!(m.probe(tracked), s, "probe restages idempotently");
+        assert_eq!(m.steps_taken(), 0);
+        assert_eq!(m.pc(), 0);
+        assert!(matches!(
+            m.commit(&mut ZeroEnv),
+            StepOutcome::Assigned { .. }
+        ));
+
+        // Statement 1 (if n <= 0): the condition loads the tracked
+        // parameter slot.
+        let s = m.probe(tracked);
+        assert_eq!(
+            s,
+            ProbeSummary {
+                terminal: false,
+                tainted: true
+            }
+        );
+        assert!(matches!(
+            m.commit(&mut ZeroEnv),
+            StepOutcome::Branched { taken: false }
+        ));
+
+        // With nothing tracked, the same condition is untainted.
+        let s = m.probe(|_| false);
+        assert!(!s.tainted && !s.terminal);
+    }
+
+    #[test]
+    fn probe_marks_terminal_steps() {
+        let p = Program {
+            stmts: vec![Statement::Abort {
+                reason: "boom".into(),
+            }],
+            funcs: vec![Function {
+                name: "main".into(),
+                entry: 0,
+                frame_words: 0,
+                num_params: 0,
+            }],
+            ..Program::default()
+        };
+        let decoded = DecodedProgram::new(&p);
+        let mut m = FastMachine::new(&p, &decoded, MachineConfig::default());
+        m.call(FuncId(0), &[]).unwrap();
+        let s = m.probe(|_| false);
+        assert!(s.terminal && s.needs_mirror());
+        assert_eq!(
+            m.commit(&mut ZeroEnv),
+            StepOutcome::Aborted {
+                reason: "boom".into()
+            }
+        );
+    }
+
+    #[test]
+    fn abort_unwinds_and_allows_fresh_episode() {
+        let p = Program {
+            stmts: vec![
+                Statement::Abort {
+                    reason: "boom".into(),
+                },
+                Statement::Call {
+                    func: FuncId(0),
+                    args: vec![],
+                    dst: None,
+                },
+                Statement::Ret { value: None },
+            ],
+            funcs: vec![
+                Function {
+                    name: "helper".into(),
+                    entry: 0,
+                    frame_words: 0,
+                    num_params: 0,
+                },
+                Function {
+                    name: "main".into(),
+                    entry: 1,
+                    frame_words: 0,
+                    num_params: 0,
+                },
+            ],
+            ..Program::default()
+        };
+        let decoded = DecodedProgram::new(&p);
+        let mut m = FastMachine::new(&p, &decoded, MachineConfig::default());
+        m.call(FuncId(1), &[]).unwrap();
+        assert_eq!(
+            m.run(&mut ZeroEnv),
+            StepOutcome::Aborted {
+                reason: "boom".into()
+            }
+        );
+        assert!(!m.is_running());
+        assert!(m.call(FuncId(1), &[]).is_ok());
+    }
+
+    #[test]
+    fn heap_pointers_and_use_after_return_match_interpreter() {
+        // leaf() { local; return &local }  — returns a dangling frame addr;
+        // main: p = leaf(); *p = 1 faults (use after return).
+        let p = Program {
+            stmts: vec![
+                // leaf: 0: return bp
+                Statement::Ret {
+                    value: Some(Expr::FrameBase),
+                },
+                // main: 1: p = leaf()
+                Statement::Call {
+                    func: FuncId(0),
+                    args: vec![],
+                    dst: Some(Expr::frame_slot(0)),
+                },
+                // 2: *p = 1
+                Statement::Assign {
+                    dst: Expr::local(0),
+                    src: Expr::Const(1),
+                },
+                Statement::Ret { value: None },
+            ],
+            funcs: vec![
+                Function {
+                    name: "leaf".into(),
+                    entry: 0,
+                    frame_words: 1,
+                    num_params: 0,
+                },
+                Function {
+                    name: "main".into(),
+                    entry: 1,
+                    frame_words: 1,
+                    num_params: 0,
+                },
+            ],
+            ..Program::default()
+        };
+        let out = run_fast(&p, "main", &[]);
+        assert!(
+            matches!(out, StepOutcome::Faulted(Fault::OutOfBounds { .. })),
+            "{out:?}"
+        );
+        assert_lockstep(&p, MachineConfig::default(), &[]);
+    }
+}

@@ -278,20 +278,20 @@ impl<'p> Machine<'p> {
     ///
     /// # Errors
     ///
-    /// [`Fault::StackOverflow`] if the frame does not fit.
+    /// [`Fault::StackOverflow`] if the frame does not fit;
+    /// [`Fault::BadArity`] if `args` exceeds the function's frame size —
+    /// a bad-arity call from a harness or generated workload must surface
+    /// as a reportable fault, not a panic that aborts the engine.
     ///
     /// # Panics
     ///
-    /// Panics if an episode is already running or `args` exceeds the
-    /// function's parameter count.
+    /// Panics if an episode is already running.
     pub fn call(&mut self, func: FuncId, args: &[i64]) -> Result<i64, Fault> {
         assert!(!self.running, "episode already in progress");
         let meta = self.program.func(func);
-        assert!(
-            args.len() <= meta.frame_words as usize,
-            "too many arguments for {}",
-            meta.name
-        );
+        if args.len() > meta.frame_words as usize {
+            return Err(Fault::BadArity { func: func.0 });
+        }
         let base = self.mem.push_frame(meta.frame_words)?;
         for (i, &v) in args.iter().enumerate() {
             self.mem
@@ -616,6 +616,99 @@ mod tests {
                 reason: "error".into()
             }
         );
+    }
+
+    #[test]
+    fn bad_arity_call_is_an_error_not_a_panic() {
+        let p = factorial_program(); // frame_words = 2
+        let mut m = Machine::new(&p, MachineConfig::default());
+        assert_eq!(
+            m.call(FuncId(0), &[1, 2, 3]),
+            Err(Fault::BadArity { func: 0 })
+        );
+        assert!(!m.is_running(), "the failed call leaves the machine idle");
+        // A well-formed episode still works on the same machine.
+        m.call(FuncId(0), &[5]).unwrap();
+        assert_eq!(
+            m.run(&mut ZeroEnv),
+            StepOutcome::Finished { value: Some(120) }
+        );
+    }
+
+    /// main: four countable statements (3 assigns + halt).
+    fn straightline_program() -> Program {
+        let assign = |v: i64| Statement::Assign {
+            dst: Expr::frame_slot(0),
+            src: Expr::Const(v),
+        };
+        Program {
+            stmts: vec![assign(1), assign(2), assign(3), Statement::Halt],
+            funcs: vec![Function {
+                name: "main".into(),
+                entry: 0,
+                frame_words: 1,
+                num_params: 0,
+            }],
+            ..Program::default()
+        }
+    }
+
+    #[test]
+    fn step_budget_of_zero_executes_nothing() {
+        let p = straightline_program();
+        let mut m = Machine::new(
+            &p,
+            MachineConfig {
+                max_steps: 0,
+                ..MachineConfig::default()
+            },
+        );
+        m.call(FuncId(0), &[]).unwrap();
+        assert_eq!(m.step(&mut ZeroEnv), StepOutcome::OutOfSteps);
+        assert_eq!(m.steps_taken(), 0, "budget 0 executes no statement");
+        assert!(!m.is_running());
+    }
+
+    #[test]
+    fn step_budget_of_n_executes_exactly_n_statements() {
+        let p = straightline_program();
+        for budget in 1..=3u64 {
+            let mut m = Machine::new(
+                &p,
+                MachineConfig {
+                    max_steps: budget,
+                    ..MachineConfig::default()
+                },
+            );
+            m.call(FuncId(0), &[]).unwrap();
+            let mut executed = 0u64;
+            loop {
+                match m.step(&mut ZeroEnv) {
+                    StepOutcome::OutOfSteps => break,
+                    out => {
+                        assert!(!out.is_terminal(), "budget {budget} must cut the run");
+                        executed += 1;
+                    }
+                }
+            }
+            assert_eq!(executed, budget, "budget N executes exactly N statements");
+            assert_eq!(
+                m.steps_taken(),
+                budget,
+                "steps_taken agrees after OutOfSteps"
+            );
+        }
+        // Budget 4 admits the whole program: 3 assigns + halt.
+        let mut m = Machine::new(
+            &p,
+            MachineConfig {
+                max_steps: 4,
+                ..MachineConfig::default()
+            },
+        );
+        m.call(FuncId(0), &[]).unwrap();
+        assert_eq!(m.run(&mut ZeroEnv), StepOutcome::Halted);
+        assert_eq!(m.steps_taken(), 4);
     }
 
     #[test]

@@ -37,11 +37,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod decode;
 pub mod expr;
 pub mod interp;
 pub mod memory;
 pub mod program;
 
+pub use decode::{DecodedProgram, FastMachine, ProbeSummary};
 pub use expr::{apply_binop, eval_concrete, BinOp, Expr, MemView, UnOp};
 pub use interp::{Environment, Machine, MachineConfig, ResourceBudget, StepOutcome, ZeroEnv};
 pub use memory::{Fault, Memory, Region, GLOBAL_BASE, HEAP_BASE, STACK_BASE};

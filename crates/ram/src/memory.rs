@@ -15,8 +15,37 @@
 //! * **Sparse cells.** Contents are a hash map; mapped-but-unwritten cells
 //!   read as 0 (deterministic, like a zeroing allocator).
 
+use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative (fibonacci) hasher for word addresses. Cell lookups are
+/// the machine's hottest operation — several per executed statement — and
+/// SipHash's per-call cost dominates them; addresses are also not
+/// attacker-controlled (the machine's allocator hands them out), so a
+/// DoS-resistant hash buys nothing here. Sequential keys `k`, `k+1` land
+/// `PHI` buckets apart, so loop-adjacent frame slots never cluster.
+#[derive(Default)]
+struct AddrHasher(u64);
+
+const PHI: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl Hasher for AddrHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0.rotate_left(5) ^ u64::from(b)).wrapping_mul(PHI);
+        }
+    }
+    fn write_i64(&mut self, n: i64) {
+        self.0 = (self.0.rotate_left(5) ^ n as u64).wrapping_mul(PHI);
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type AddrMap = HashMap<i64, i64, BuildHasherDefault<AddrHasher>>;
 
 /// First global address.
 pub const GLOBAL_BASE: i64 = 0x1000;
@@ -49,6 +78,13 @@ pub enum Fault {
         /// The bad statement label.
         label: usize,
     },
+    /// An episode entry call supplied more arguments than the callee's
+    /// frame can hold (a harness-level bad call; in-program calls are
+    /// rejected by [`crate::Program::validate`]).
+    BadArity {
+        /// Index of the callee function.
+        func: u32,
+    },
 }
 
 impl fmt::Display for Fault {
@@ -59,6 +95,9 @@ impl fmt::Display for Fault {
             Fault::DivisionByZero => write!(f, "division by zero"),
             Fault::StackOverflow => write!(f, "call stack overflow"),
             Fault::BadJump { label } => write!(f, "jump to invalid label {label}"),
+            Fault::BadArity { func } => {
+                write!(f, "too many arguments in call to function #{func}")
+            }
         }
     }
 }
@@ -86,8 +125,25 @@ struct Block {
 /// The machine memory: sparse cells plus a block table for validity.
 #[derive(Debug, Clone)]
 pub struct Memory {
-    cells: HashMap<i64, i64>,
+    /// Global cells, dense: index `addr - GLOBAL_BASE`, sized at creation.
+    global_cells: Vec<i64>,
+    /// Stack-region cells (frames and `alloca` blocks), dense: index
+    /// `addr - STACK_BASE`, grown on first store past the high-water mark.
+    /// The stack allocator is monotone and bounded (budget × `max_steps`),
+    /// so the vector's length tracks the region's high-water footprint —
+    /// the same order as a sparse map's, with array-indexed access. Cell
+    /// reads and writes are the machine's hottest operations.
+    stack_cells: Vec<i64>,
+    /// Heap cells stay sparse: heap addresses are unbounded above.
+    heap_cells: AddrMap,
     blocks: BTreeMap<i64, Block>,
+    /// One-entry cache of the last live block `check` resolved, as a
+    /// `[start, end)` range (`(0, 0)` when empty). Loops hit the same
+    /// frame block on almost every access, turning the per-access
+    /// validity check into two compares. Invalidated whenever a block
+    /// dies ([`Memory::pop_frame`]); allocation only adds blocks, so a
+    /// cached live range can never go stale on that path.
+    check_cache: Cell<(i64, i64)>,
     stack_top: i64,
     heap_top: i64,
     /// Remaining stack words available to `alloca` (models the bounded
@@ -122,8 +178,11 @@ impl Memory {
             );
         }
         Memory {
-            cells: HashMap::new(),
+            global_cells: vec![0; global_words as usize],
+            stack_cells: Vec::new(),
+            heap_cells: AddrMap::default(),
             blocks,
+            check_cache: Cell::new((0, 0)),
             stack_top: STACK_BASE,
             heap_top: HEAP_BASE,
             stack_budget,
@@ -133,11 +192,20 @@ impl Memory {
 
     /// Checks that `addr` falls inside a live block.
     fn check(&self, addr: i64) -> Result<(), Fault> {
+        // Cached ranges always start at or above `GLOBAL_BASE`, so the
+        // fast path can never swallow a null-guard hit.
+        let (start, end) = self.check_cache.get();
+        if addr >= start && addr < end {
+            return Ok(());
+        }
         if (0..NULL_GUARD).contains(&addr) {
             return Err(Fault::NullDeref { addr });
         }
         match self.blocks.range(..=addr).next_back() {
-            Some((&start, b)) if b.live && addr < start + b.len => Ok(()),
+            Some((&start, b)) if b.live && addr < start + b.len => {
+                self.check_cache.set((start, start + b.len));
+                Ok(())
+            }
             _ => Err(Fault::OutOfBounds { addr }),
         }
     }
@@ -150,7 +218,17 @@ impl Memory {
     /// cells read as 0.
     pub fn load(&self, addr: i64) -> Result<i64, Fault> {
         self.check(addr)?;
-        Ok(self.cells.get(&addr).copied().unwrap_or(0))
+        // `check` proved `addr` lies in a live block of its region, so the
+        // region split below is total; cells past a dense vector's length
+        // are mapped-but-unwritten and read 0.
+        Ok(if addr >= HEAP_BASE {
+            self.heap_cells.get(&addr).copied().unwrap_or(0)
+        } else if addr >= STACK_BASE {
+            let i = (addr - STACK_BASE) as usize;
+            self.stack_cells.get(i).copied().unwrap_or(0)
+        } else {
+            self.global_cells[(addr - GLOBAL_BASE) as usize]
+        })
     }
 
     /// Writes the word at `addr`.
@@ -160,7 +238,19 @@ impl Memory {
     /// Same fault conditions as [`Memory::load`].
     pub fn store(&mut self, addr: i64, value: i64) -> Result<(), Fault> {
         self.check(addr)?;
-        self.cells.insert(addr, value);
+        if addr >= HEAP_BASE {
+            self.heap_cells.insert(addr, value);
+        } else if addr >= STACK_BASE {
+            let i = (addr - STACK_BASE) as usize;
+            if i >= self.stack_cells.len() {
+                // Grow to the stack region's current high-water mark; the
+                // allocator is monotone, so this is touched-once growth.
+                self.stack_cells.resize(i + 1, 0);
+            }
+            self.stack_cells[i] = value;
+        } else {
+            self.global_cells[(addr - GLOBAL_BASE) as usize] = value;
+        }
         Ok(())
     }
 
@@ -251,6 +341,9 @@ impl Memory {
             debug_assert_eq!(b.region, Region::Stack);
             b.live = false;
             self.stack_budget += b.len;
+            // The dead block may be the cached one; drop the cache rather
+            // than compare (frame pops are rare next to loads).
+            self.check_cache.set((0, 0));
         }
     }
 
@@ -392,6 +485,22 @@ mod tests {
         m.alloc_heap(-1);
         m.alloc_stack(1_000_000);
         assert_eq!(m.words_allocated(), 12);
+    }
+
+    #[test]
+    fn check_cache_does_not_mask_dead_frames() {
+        // Warm the cache on a frame, kill the frame, and make sure the
+        // next access faults instead of hitting the stale range.
+        let mut m = mem();
+        let base = m.push_frame(4).unwrap();
+        assert_eq!(m.load(base + 1), Ok(0), "warms the cache");
+        m.pop_frame(base);
+        assert_eq!(m.load(base + 1), Err(Fault::OutOfBounds { addr: base + 1 }));
+        // A fresh frame over new addresses re-warms correctly, and the
+        // null guard still wins over any cached range.
+        let base2 = m.push_frame(4).unwrap();
+        assert_eq!(m.load(base2), Ok(0));
+        assert_eq!(m.load(3), Err(Fault::NullDeref { addr: 3 }));
     }
 
     #[test]

@@ -1,0 +1,261 @@
+//! Differential oracle for the compiled execution tier.
+//!
+//! Random programs (all statement kinds, fault-prone expressions, bad jump
+//! targets) are run in lockstep on the tree-walking interpreter and on
+//! [`FastMachine`] under random step/allocation/stack budgets. Every
+//! observable must agree at every step: the [`StepOutcome`] sequence, the
+//! step counter (pinning the budget boundary), the program counter, and the
+//! final memory meters. This is the compiled tier's correctness argument —
+//! the interpreter is the reference semantics.
+
+use dart_ram::{
+    AllocKind, BinOp, DecodedProgram, Environment, Expr, ExtId, External, FastMachine, FuncId,
+    Function, Machine, MachineConfig, Memory, Program, ResourceBudget, Statement, UnOp,
+    GLOBAL_BASE,
+};
+use proptest::prelude::*;
+
+/// Deterministic environment: a seeded LCG stream, so the interpreter and
+/// the compiled machine each get an identical copy.
+struct LcgEnv(u64);
+
+impl Environment for LcgEnv {
+    fn external_value(&mut self, _ext: ExtId, _mem: &mut Memory) -> i64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((self.0 >> 33) as i64).rem_euclid(31) - 15
+    }
+}
+
+/// A statement with label/function references still raw — they are fixed
+/// up modulo the program size (deliberately reaching slightly past the end
+/// so `BadJump` faults are generated too).
+#[derive(Debug, Clone)]
+enum RawStmt {
+    Assign {
+        dst: Expr,
+        src: Expr,
+    },
+    If {
+        cond: Expr,
+        target: u8,
+    },
+    Goto {
+        target: u8,
+    },
+    Call {
+        func: u8,
+        args: Vec<Expr>,
+        dst: Option<Expr>,
+    },
+    CallExternal {
+        dst: Option<Expr>,
+    },
+    Ret {
+        value: Option<Expr>,
+    },
+    Abort,
+    Halt,
+    Alloc {
+        dst: Expr,
+        size: i64,
+        heap: bool,
+    },
+}
+
+fn expr() -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (-4i64..16).prop_map(Expr::Const),
+        Just(Expr::FrameBase),
+        (0u32..4).prop_map(Expr::local),
+        (0u32..4).prop_map(Expr::frame_slot),
+        Just(Expr::load(Expr::Const(GLOBAL_BASE))),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (0u8..3, inner.clone()).prop_map(|(op, e)| {
+                Expr::unary([UnOp::Neg, UnOp::Not, UnOp::BitNot][op as usize], e)
+            }),
+            inner.clone().prop_map(Expr::load),
+            (0u8..16, inner.clone(), inner).prop_map(|(op, a, b)| {
+                const OPS: [BinOp; 16] = [
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::Mul,
+                    BinOp::Div,
+                    BinOp::Rem,
+                    BinOp::Eq,
+                    BinOp::Ne,
+                    BinOp::Lt,
+                    BinOp::Le,
+                    BinOp::Gt,
+                    BinOp::Ge,
+                    BinOp::BitAnd,
+                    BinOp::BitOr,
+                    BinOp::BitXor,
+                    BinOp::Shl,
+                    BinOp::Shr,
+                ];
+                Expr::binary(OPS[op as usize], a, b)
+            }),
+        ]
+    })
+}
+
+fn raw_stmt() -> BoxedStrategy<RawStmt> {
+    prop_oneof![
+        3 => (expr(), expr()).prop_map(|(dst, src)| RawStmt::Assign { dst, src }),
+        2 => (expr(), any::<u8>()).prop_map(|(cond, target)| RawStmt::If { cond, target }),
+        1 => any::<u8>().prop_map(|target| RawStmt::Goto { target }),
+        2 => (
+            any::<u8>(),
+            proptest::collection::vec(expr(), 0..3),
+            proptest::option::of(expr()),
+        )
+            .prop_map(|(func, args, dst)| RawStmt::Call { func, args, dst }),
+        1 => proptest::option::of(expr()).prop_map(|dst| RawStmt::CallExternal { dst }),
+        2 => proptest::option::of(expr()).prop_map(|value| RawStmt::Ret { value }),
+        1 => Just(RawStmt::Abort),
+        1 => Just(RawStmt::Halt),
+        1 => (expr(), -3i64..10, any::<bool>())
+            .prop_map(|(dst, size, heap)| RawStmt::Alloc { dst, size, heap }),
+    ]
+    .boxed()
+}
+
+fn build_program(raw: &[RawStmt], entry: usize) -> Program {
+    let n = raw.len();
+    // Labels land in [0, n+2): the top two values are past the program
+    // text, so jumps there fault with `BadJump` in both tiers.
+    let fix = |t: u8| (t as usize) % (n + 2);
+    let stmts = raw
+        .iter()
+        .cloned()
+        .map(|r| match r {
+            RawStmt::Assign { dst, src } => Statement::Assign { dst, src },
+            RawStmt::If { cond, target } => Statement::If {
+                cond,
+                target: fix(target),
+            },
+            RawStmt::Goto { target } => Statement::Goto(fix(target)),
+            RawStmt::Call { func, args, dst } => Statement::Call {
+                func: FuncId(u32::from(func) % 2),
+                args,
+                dst,
+            },
+            RawStmt::CallExternal { dst } => Statement::CallExternal { ext: ExtId(0), dst },
+            RawStmt::Ret { value } => Statement::Ret { value },
+            RawStmt::Abort => Statement::Abort {
+                reason: "prop".into(),
+            },
+            RawStmt::Halt => Statement::Halt,
+            RawStmt::Alloc { dst, size, heap } => Statement::Alloc {
+                dst,
+                size: Expr::Const(size),
+                kind: if heap {
+                    AllocKind::Heap
+                } else {
+                    AllocKind::Stack
+                },
+            },
+        })
+        .collect();
+    Program {
+        stmts,
+        funcs: vec![
+            Function {
+                name: "helper".into(),
+                entry: 0,
+                frame_words: 3,
+                num_params: 1,
+            },
+            Function {
+                name: "main".into(),
+                entry: entry % n,
+                frame_words: 4,
+                num_params: 2,
+            },
+        ],
+        externals: vec![External { name: "ext".into() }],
+        global_words: 2,
+        ..Program::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    #[test]
+    fn compiled_tier_matches_interpreter(
+        raw in proptest::collection::vec(raw_stmt(), 4..16),
+        entry in 0usize..64,
+        args in proptest::collection::vec(-8i64..8, 2),
+        seed in any::<u64>(),
+        max_steps in prop_oneof![Just(0u64), Just(1u64), Just(7u64), Just(40u64), Just(200u64)],
+        max_alloc_words in prop_oneof![Just(6u64), Just(64u64), Just(u64::MAX)],
+        stack_budget in prop_oneof![Just(6i64), Just(1i64 << 20)],
+        max_frames in prop_oneof![Just(4usize), Just(64usize)],
+    ) {
+        let program = build_program(&raw, entry);
+        let config = MachineConfig {
+            max_steps,
+            stack_budget,
+            max_frames,
+            budget: ResourceBudget { max_alloc_words },
+        };
+        let decoded = DecodedProgram::new(&program);
+        let mut interp = Machine::new(&program, config);
+        let mut fast = FastMachine::new(&program, &decoded, config);
+
+        let main = FuncId(1);
+        let ic = interp.call(main, &args);
+        let fc = fast.call(main, &args);
+        prop_assert_eq!(ic, fc, "episode setup must agree");
+        let Ok(base) = ic else { return Ok(()) };
+
+        // Track the two parameter slots so the probe's taint scan runs on
+        // realistic input-tainted state (its verdict must not perturb
+        // execution).
+        let tracked = move |addr: i64| addr == base || addr == base + 1;
+        let mut ienv = LcgEnv(seed);
+        let mut fenv = LcgEnv(seed);
+        let mut iters = 0u64;
+        loop {
+            iters += 1;
+            prop_assert!(iters <= max_steps + 2, "runaway episode");
+            prop_assert_eq!(interp.pc(), fast.pc(), "pc diverged before step {}", iters);
+            let want = interp.step(&mut ienv);
+            let summary = fast.probe(tracked);
+            let got = fast.commit(&mut fenv);
+            prop_assert_eq!(&want, &got, "outcome diverged at step {}", iters);
+            prop_assert_eq!(
+                interp.steps_taken(),
+                fast.steps_taken(),
+                "step accounting diverged"
+            );
+            if summary.terminal {
+                prop_assert!(got.is_terminal(), "probe staged a terminal step");
+            }
+            if want.is_terminal() {
+                break;
+            }
+        }
+
+        prop_assert_eq!(interp.is_running(), fast.is_running());
+        prop_assert_eq!(
+            interp.mem().words_allocated(),
+            fast.mem().words_allocated(),
+            "allocation meters diverged"
+        );
+        prop_assert_eq!(
+            interp.mem().stack_budget(),
+            fast.mem().stack_budget(),
+            "stack budgets diverged"
+        );
+        for addr in GLOBAL_BASE..GLOBAL_BASE + 2 {
+            prop_assert_eq!(interp.mem().load(addr), fast.mem().load(addr));
+        }
+    }
+}

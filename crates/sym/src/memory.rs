@@ -14,10 +14,22 @@ use dart_solver::{LinExpr, Var};
 use std::collections::HashMap;
 
 /// The symbolic store: machine address → linear form over inputs.
+///
+/// A 64-bit address bloom (`summary`) sits in front of the map: bit
+/// `addr mod 64` is set for every address ever inserted. Membership
+/// misses — the common case on concrete-only execution stretches, which
+/// the compiled tier probes on every load — then cost one AND instead of
+/// a hash lookup. The bloom is a may-analysis (no false negatives; stale
+/// bits after removals are harmless) and resets whenever the map drains.
 #[derive(Debug, Clone, Default)]
 pub struct SymMemory {
     map: HashMap<i64, LinExpr>,
+    summary: u64,
     next_input: u32,
+}
+
+fn summary_bit(addr: i64) -> u64 {
+    1u64 << (addr as u64 & 63)
 }
 
 impl SymMemory {
@@ -31,6 +43,7 @@ impl SymMemory {
     pub fn bind_input(&mut self, addr: i64) -> Var {
         let v = Var(self.next_input);
         self.next_input += 1;
+        self.summary |= summary_bit(addr);
         self.map.insert(addr, LinExpr::var(v));
         v
     }
@@ -44,21 +57,33 @@ impl SymMemory {
     /// Used by drivers that own the input numbering (e.g. DART's input
     /// tape, where variable `k` is the `k`-th consumed input).
     pub fn bind(&mut self, addr: i64, var: Var) {
+        self.summary |= summary_bit(addr);
         self.map.insert(addr, LinExpr::var(var));
     }
 
     /// The symbolic value stored at `addr`, if any non-constant form is
     /// tracked there.
     pub fn get(&self, addr: i64) -> Option<&LinExpr> {
+        if self.summary & summary_bit(addr) == 0 {
+            return None;
+        }
         self.map.get(&addr)
+    }
+
+    /// Whether `addr` is tracked — `get(addr).is_some()` without forming
+    /// the reference. This is the compiled tier's per-load taint probe.
+    #[inline]
+    pub fn tracks(&self, addr: i64) -> bool {
+        self.summary & summary_bit(addr) != 0 && self.map.contains_key(&addr)
     }
 
     /// Stores a symbolic value at `addr`. Constant forms erase the entry
     /// (the concrete memory already has the value).
     pub fn set(&mut self, addr: i64, value: LinExpr) {
         if value.is_constant() {
-            self.map.remove(&addr);
+            self.forget(addr);
         } else {
+            self.summary |= summary_bit(addr);
             self.map.insert(addr, value);
         }
     }
@@ -66,7 +91,13 @@ impl SymMemory {
     /// Drops any symbolic tracking for `addr` (used when a cell receives a
     /// value the symbolic layer cannot represent, e.g. a fresh pointer).
     pub fn forget(&mut self, addr: i64) {
+        if self.summary & summary_bit(addr) == 0 {
+            return;
+        }
         self.map.remove(&addr);
+        if self.map.is_empty() {
+            self.summary = 0;
+        }
     }
 
     /// Number of addresses currently tracked symbolically.
@@ -108,6 +139,27 @@ mod tests {
         s.set(500, LinExpr::constant_expr(7));
         assert_eq!(s.get(500), None);
         assert_eq!(s.tracked(), 1);
+    }
+
+    #[test]
+    fn tracks_matches_get_under_churn() {
+        // Exercise the summary bloom across aliasing bits (addresses 64
+        // apart share a bit), removals and the drain-reset path.
+        let mut s = SymMemory::new();
+        let x = s.bind_input(100);
+        assert!(s.tracks(100));
+        assert!(!s.tracks(164), "bit-aliased address is not a member");
+        s.set(164, LinExpr::var(x).offset(2));
+        assert!(s.tracks(164));
+        s.forget(100);
+        assert!(!s.tracks(100), "stale summary bit must not report members");
+        assert!(s.tracks(164));
+        s.set(164, LinExpr::constant_expr(9));
+        assert!(!s.tracks(164));
+        assert_eq!(s.tracked(), 0);
+        // After draining, re-binding still works (summary was reset).
+        s.bind(200, x);
+        assert!(s.tracks(200) && s.get(200).is_some());
     }
 
     #[test]

@@ -37,6 +37,10 @@
 //!                      scheduled — persistent work-stealing pool, or
 //!                      the per-walk scoped fan-out kept as an ablation
 //!                      baseline (reports unchanged either way) [stealing]
+//!   --exec-tier T      interp | compiled: which execution tier runs the
+//!                      program — the tree-walking interpreter, or the
+//!                      pre-decoded compiled tier (reports unchanged;
+//!                      only throughput improves)  [$DART_EXEC_TIER or interp]
 //!   --shared-cache     share solver verdicts across sweep sessions
 //!                      (reports unchanged; only wall-clock improves)
 //!   --interface        print the extracted interface and exit
@@ -50,7 +54,9 @@
 //!
 //! Exit status: 0 = no bug, 1 = bug found, 2 = usage/compile error.
 
-use dart::{Dart, DartConfig, EngineMode, FrontierOrder, SchedulerMode, Strategy, SweepOutcome};
+use dart::{
+    Dart, DartConfig, EngineMode, ExecTier, FrontierOrder, SchedulerMode, Strategy, SweepOutcome,
+};
 use std::process::ExitCode;
 
 struct Options {
@@ -73,6 +79,7 @@ struct Options {
     max_retries: u32,
     solve_threads: Option<usize>,
     scheduler: SchedulerMode,
+    exec_tier: Option<ExecTier>,
     shared_cache: bool,
     interface_only: bool,
     print_ir: bool,
@@ -90,7 +97,8 @@ fn usage() -> &'static str {
      [--frontier-budget N] [--checkpoint FILE] \
      [--all-bugs] [--max-steps N] [--mem-budget N] [--deadline MS] \
      [--sweep NAMES --threads N --max-retries N] \
-     [--solve-threads N] [--scheduler stealing|scoped] [--shared-cache] \
+     [--solve-threads N] [--scheduler stealing|scoped] \
+     [--exec-tier interp|compiled] [--shared-cache] \
      [--stats] [--no-cache] [--interface] [--print-ir]"
 }
 
@@ -115,6 +123,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         max_retries: 1,
         solve_threads: None,
         scheduler: SchedulerMode::WorkStealing,
+        exec_tier: None,
         shared_cache: false,
         interface_only: false,
         print_ir: false,
@@ -195,6 +204,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     "scoped" => SchedulerMode::StaticScoped,
                     other => return Err(format!("unknown scheduler `{other}`")),
                 }
+            }
+            "--exec-tier" => {
+                opts.exec_tier = Some(match value(&mut it, "--exec-tier")?.as_str() {
+                    "interp" => ExecTier::Interp,
+                    "compiled" => ExecTier::Compiled,
+                    other => return Err(format!("unknown exec tier `{other}`")),
+                })
             }
             "--shared-cache" => opts.shared_cache = true,
             "--mode" | "--engine" => {
@@ -277,6 +293,10 @@ fn build_config(opts: &Options) -> DartConfig {
     if let Some(n) = opts.solve_threads {
         // Unset, the default stands: $DART_SOLVE_THREADS, else 1.
         config.solve_threads = n;
+    }
+    if let Some(tier) = opts.exec_tier {
+        // Unset, the default stands: $DART_EXEC_TIER, else the interpreter.
+        config.exec_tier = tier;
     }
     if let Some(words) = opts.mem_budget {
         config.machine.budget.max_alloc_words = words;
@@ -642,6 +662,22 @@ mod tests {
         assert_eq!(o.scheduler, SchedulerMode::WorkStealing);
         assert!(parse(&["p.mc", "--scheduler", "chunked"]).is_err());
         assert!(parse(&["p.mc", "--scheduler"]).is_err());
+    }
+
+    #[test]
+    fn exec_tier_flag() {
+        let o = parse(&["p.mc", "--exec-tier", "compiled"]).unwrap();
+        assert_eq!(o.exec_tier, Some(ExecTier::Compiled));
+        assert_eq!(build_config(&o).exec_tier, ExecTier::Compiled);
+        let o = parse(&["p.mc", "--exec-tier", "interp"]).unwrap();
+        assert_eq!(o.exec_tier, Some(ExecTier::Interp));
+        assert_eq!(build_config(&o).exec_tier, ExecTier::Interp);
+        // Unset, the flag defers to the DartConfig default (which reads
+        // $DART_EXEC_TIER) rather than pinning the interpreter.
+        let o = parse(&["p.mc"]).unwrap();
+        assert_eq!(o.exec_tier, None);
+        assert!(parse(&["p.mc", "--exec-tier", "jit"]).is_err());
+        assert!(parse(&["p.mc", "--exec-tier"]).is_err());
     }
 
     #[test]

@@ -70,20 +70,31 @@ fn oom_can_be_downgraded_to_incompleteness() {
 
 #[test]
 fn session_deadline_degrades_to_partial_results() {
-    // 2^40 feasible paths: no chance of finishing, so the deadline is the
-    // only way out.
+    // A 40-level binary search over [0, 2^40): every branch splits the
+    // remaining interval strictly in half, so the ~2^40 feasible paths are
+    // all distinct and the frontier can never drain. The deadline is the
+    // only way out, however fast the engine gets.
     let compiled = dart_minic::compile(
         r#"
         int hog(int x) {
+            int lo;
+            int hi;
+            int mid;
             int i;
-            int n;
+            lo = 0;
+            hi = 1;
             i = 0;
-            n = 0;
             while (i < 40) {
-                if (x > i) n = n + 1;
+                hi = hi + hi;
                 i = i + 1;
             }
-            return n;
+            i = 0;
+            while (i < 40) {
+                mid = (lo + hi) / 2;
+                if (x < mid) { hi = mid; } else { lo = mid; }
+                i = i + 1;
+            }
+            return lo;
         }
         "#,
     )
