@@ -340,6 +340,10 @@ pub struct Dart<'p> {
     /// A parsed resume point, loaded by [`Dart::new`] when
     /// [`DartConfig::checkpoint`] names an existing file.
     checkpoint: Option<Checkpoint>,
+    /// Persisted dedup fingerprints to union into the frontier's
+    /// seen-set *iff* this session resumes a checkpoint — see
+    /// [`Dart::with_resume_fingerprints`].
+    resume_fingerprints: Vec<u64>,
     /// The program lowered once for the compiled tier — `None` on the
     /// interpreter tier, so interpreter sessions pay nothing.
     decoded: Option<DecodedProgram>,
@@ -433,6 +437,7 @@ impl<'p> Dart<'p> {
             shared: None,
             pool: None,
             checkpoint,
+            resume_fingerprints: Vec::new(),
             decoded,
         })
     }
@@ -468,6 +473,20 @@ impl<'p> Dart<'p> {
     /// scheduler is selected.
     pub fn with_pool(mut self, pool: std::sync::Arc<SolvePool>) -> Self {
         self.pool = Some(pool);
+        self
+    }
+
+    /// Attaches persisted dedup fingerprints (the farm store's
+    /// fingerprint tier) for this session's frontier. They are applied
+    /// **only if the session actually resumes a checkpoint** — a seen
+    /// fingerprint suppresses a child derivation, which is only sound
+    /// when this very session (in a previous incarnation, under the same
+    /// function and seed) already performed the derivation; into a fresh
+    /// session it would silently skip subtrees. When applied, the keys
+    /// are unioned with the checkpoint's own seen-set, so the import can
+    /// only suppress re-derivations, never un-see anything.
+    pub fn with_resume_fingerprints(mut self, keys: Vec<u64>) -> Self {
+        self.resume_fingerprints = keys;
         self
     }
 
@@ -696,6 +715,7 @@ impl<'p> Dart<'p> {
                 let _: u64 = rng.gen();
             }
             frontier.restore(cp);
+            frontier.import_seen(&self.resume_fingerprints);
             resumed_complete = Some(cp.session_complete);
         }
 

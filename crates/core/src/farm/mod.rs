@@ -1,0 +1,481 @@
+//! The fuzzing farm: process-isolated sweep shards.
+//!
+//! [`crate::sweep`] contains engine faults with `catch_unwind` — which
+//! only helps for *unwinding* panics. A target-triggered `abort()`, an
+//! OOM kill, or a runaway worker takes down the whole sweep process and
+//! every in-memory artifact with it. The farm lifts the same
+//! supervision discipline (bounded reseeded retries, one result per
+//! function, input-order results) from caught panics to **OS
+//! processes**: a supervisor spawns one worker process per function
+//! (the `dartc` binary re-executed in its hidden `--farm-worker` mode),
+//! reaps it via exit status, translates signals into engine faults, and
+//! enforces a per-worker wall-clock deadline with kill-on-timeout.
+//!
+//! Three artifacts make the farm durable and observable:
+//!
+//! * [`store::FarmStore`] — a checksummed, atomically rewritten file
+//!   carrying the shared verdict tiers and per-scope dedup fingerprints
+//!   across worker processes *and* across farm runs.
+//! * [`wire`] — the exact (bit-for-bit round-tripping) worker →
+//!   supervisor report protocol over the worker's stdout pipe.
+//! * [`stream`] — JSONL result streaming, one line per finished
+//!   function, in completion order.
+//!
+//! **Determinism.** A worker derives its session seed exactly as
+//! [`crate::sweep`] does (`config.seed ^ fnv(name)`, retry constant
+//! folded in per attempt) and runs the same supervised session body, so
+//! farm results are byte-identical to an in-process sweep of the same
+//! seeds, modulo the scheduling-dependent diagnostics that
+//! [`crate::SolveStats::scrub_scheduling`] zeroes. The persistent store
+//! can only add shared-store cache hits (accounted as-if-fresh), never
+//! change a verdict.
+
+pub mod store;
+pub(crate) mod stream;
+pub(crate) mod wire;
+
+use crate::driver::{DartConfig, DartError};
+use crate::report::SessionReport;
+use crate::supervise;
+use crate::sweep::{SweepOutcome, SweepResult};
+use dart_minic::CompiledProgram;
+use dart_solver::SharedVerdictStore;
+use std::collections::BTreeSet;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitStatus, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use store::FarmStore;
+use wire::{WorkerOutput, WorkerPayload};
+
+/// Supervisor-side knobs for one farm run.
+#[derive(Debug, Clone)]
+pub struct FarmOptions {
+    /// Concurrent worker processes.
+    pub threads: usize,
+    /// Reseeded retries after a worker fault, mirroring
+    /// [`DartConfig::max_retries`] — the farm applies it at the process
+    /// level, so it covers aborts and kills, not just panics.
+    pub max_retries: u32,
+    /// Wall-clock budget per worker process; the supervisor SIGKILLs a
+    /// worker that exceeds it and reports the kill as an engine fault
+    /// (retriable, and resumable from the worker's checkpoint).
+    pub worker_deadline: Option<Duration>,
+    /// Base of the exponential backoff slept before retry `n`
+    /// (`backoff * 2^(n-1)`).
+    pub retry_backoff: Duration,
+    /// The persistent store file shared by every worker and future farm
+    /// run; `None` runs without persistence.
+    pub store: Option<PathBuf>,
+}
+
+impl Default for FarmOptions {
+    fn default() -> FarmOptions {
+        FarmOptions {
+            threads: 4,
+            max_retries: 1,
+            worker_deadline: None,
+            retry_backoff: Duration::from_millis(50),
+            store: None,
+        }
+    }
+}
+
+/// One worker launch the supervisor asks the caller to describe: the
+/// caller (normally `dartc`) turns it into a [`Command`] that re-execs
+/// itself in `--farm-worker` mode with matching engine flags. Keeping
+/// command construction on the caller's side is what lets tests inject
+/// per-worker environment (fault plans) and lets `dartc` own its flag
+/// syntax.
+#[derive(Debug, Clone, Copy)]
+pub struct FarmJob<'a> {
+    /// The toplevel function this worker will test.
+    pub function: &'a str,
+    /// Its input-order index in the farm's function list (the index
+    /// fault-injection plans key on).
+    pub index: usize,
+    /// Which attempt this launch is (0 = first, >0 = reseeded retry).
+    pub attempt: u32,
+}
+
+/// Runs a farm: every function in `toplevels` tested in its own worker
+/// process, results in input order — one [`SweepResult`] per function,
+/// exactly like [`crate::sweep::sweep`].
+///
+/// `command` builds the [`Command`] for one worker launch (see
+/// [`FarmJob`]); the supervisor pipes its stdout (the [`wire`] protocol)
+/// and stderr, reaps it, and maps exit status to outcomes: a parsed
+/// report is [`SweepOutcome::Finished`], a caught panic or any abnormal
+/// exit (signal, nonzero code, malformed output, deadline kill) is
+/// retried and ultimately reported as [`SweepOutcome::EngineFault`]
+/// with the exit status or signal in the message.
+///
+/// `stream`, when given, receives one JSONL line per finished function
+/// in completion order.
+///
+/// # Errors
+///
+/// [`DartError::InvalidConfig`] if `threads` is 0. Worker-side failures
+/// are never errors — they surface as per-function
+/// [`SweepOutcome::EngineFault`]s, which is the point of the farm.
+pub fn run_farm(
+    toplevels: &[String],
+    options: &FarmOptions,
+    command: &(dyn Fn(&FarmJob) -> Command + Sync),
+    stream: Option<&mut (dyn Write + Send)>,
+) -> Result<Vec<SweepResult>, DartError> {
+    if options.threads == 0 {
+        return Err(DartError::InvalidConfig(
+            "farm needs at least one worker process".to_string(),
+        ));
+    }
+    // The supervisor is the store's single writer: load once, merge each
+    // finished worker's records under the lock, flush (tmp+rename) at
+    // every commit so a killed farm loses at most the in-flight function.
+    let store = options.store.as_ref().map(|path| {
+        let loaded = FarmStore::load(path);
+        for warning in &loaded.warnings {
+            eprintln!("warning: {warning}");
+        }
+        (path, Mutex::new(loaded.store))
+    });
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<SweepResult>> = Vec::new();
+    slots.resize_with(toplevels.len(), || None);
+    let slots_ref = Mutex::new(&mut slots);
+    let stream_ref = stream.map(Mutex::new);
+
+    std::thread::scope(|scope| {
+        for _ in 0..options.threads.min(toplevels.len().max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(name) = toplevels.get(i) else {
+                    return;
+                };
+                let started = Instant::now();
+                let (outcome, attempts) = run_one(name, i, options, command, store.as_ref());
+                let result = SweepResult {
+                    function: name.clone(),
+                    outcome,
+                };
+                if let Some(stream) = &stream_ref {
+                    let line = stream::function_line(i, &result, attempts, started.elapsed());
+                    let mut w = stream.lock().expect("stream writers don't panic");
+                    let _ = writeln!(w, "{line}");
+                    let _ = w.flush();
+                }
+                slots_ref.lock().expect("worker threads don't panic")[i] = Some(result);
+            });
+        }
+    });
+
+    Ok(slots
+        .into_iter()
+        .map(|r| r.expect("every index was processed"))
+        .collect())
+}
+
+/// One function under process supervision: launch, reap, merge, retry.
+/// Returns the outcome plus the number of attempts launched.
+fn run_one(
+    name: &str,
+    index: usize,
+    options: &FarmOptions,
+    command: &(dyn Fn(&FarmJob) -> Command + Sync),
+    store: Option<&(&PathBuf, Mutex<FarmStore>)>,
+) -> (SweepOutcome, u32) {
+    let mut attempt: u32 = 0;
+    loop {
+        let retried = attempt > 0;
+        let job = FarmJob {
+            function: name,
+            index,
+            attempt,
+        };
+        let message = match run_attempt(&job, options, command) {
+            Ok(output) => {
+                if let Some((path, store)) = store {
+                    commit(path, store, &output);
+                }
+                match output.payload {
+                    WorkerPayload::Report(report) => {
+                        return (SweepOutcome::Finished { report, retried }, attempt + 1)
+                    }
+                    WorkerPayload::Fault(message) => message,
+                }
+            }
+            Err(message) => message,
+        };
+        if attempt >= options.max_retries {
+            return (SweepOutcome::EngineFault { message, retried }, attempt + 1);
+        }
+        let backoff = options.retry_backoff.saturating_mul(1 << attempt.min(10));
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
+        }
+        attempt += 1;
+    }
+}
+
+/// Merges one worker's shipped records into the persistent store and
+/// flushes if anything was new. Insertions are idempotent set-unions
+/// and verdicts are first-publisher-wins facts, so commit order across
+/// concurrent workers cannot change any session's results — only who
+/// gets the cache hit.
+fn commit(path: &Path, store: &Mutex<FarmStore>, output: &WorkerOutput) {
+    let mut s = store.lock().expect("supervisor threads don't panic");
+    let mut changed = false;
+    for record in &output.verdicts {
+        changed |= s.insert_verdict(record.clone());
+    }
+    for &(scope, key) in &output.fingerprints {
+        changed |= s.insert_fingerprint(scope, key);
+    }
+    if changed {
+        if let Err(e) = s.flush(path) {
+            eprintln!("warning: store {}: flush failed ({e})", path.display());
+        }
+    }
+}
+
+/// Launches and reaps one worker process. `Ok` carries well-formed
+/// worker output (which may still be a caught fault); `Err` is a
+/// supervisor-observed failure: spawn error, death by signal, abnormal
+/// exit, or malformed output.
+fn run_attempt(
+    job: &FarmJob<'_>,
+    options: &FarmOptions,
+    command: &(dyn Fn(&FarmJob) -> Command + Sync),
+) -> Result<WorkerOutput, String> {
+    let mut cmd = command(job);
+    cmd.stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    let mut child = cmd
+        .spawn()
+        .map_err(|e| format!("failed to spawn worker: {e}"))?;
+    // Drain both pipes on their own threads while the supervisor thread
+    // polls for exit: a worker writing more than a pipe buffer must not
+    // deadlock against a supervisor waiting for exit first.
+    let stdout_reader = drain(child.stdout.take().expect("stdout is piped"));
+    let stderr_reader = drain(child.stderr.take().expect("stderr is piped"));
+    let (status, deadline_killed) = wait_with_deadline(&mut child, options.worker_deadline);
+    let stdout = String::from_utf8_lossy(&stdout_reader.join().unwrap_or_default()).into_owned();
+    let stderr = String::from_utf8_lossy(&stderr_reader.join().unwrap_or_default()).into_owned();
+    let status = status.map_err(|e| format!("failed to wait for worker: {e}"))?;
+
+    if let Some(signal) = unix_signal(&status) {
+        // The satellite contract: process-path faults name the signal.
+        let mut message = format!("worker killed by signal {signal}");
+        if deadline_killed {
+            message.push_str(&format!(
+                " (supervisor deadline of {:?} exceeded)",
+                options.worker_deadline.unwrap_or_default()
+            ));
+        }
+        return Err(message);
+    }
+    match wire::parse_output(&stdout) {
+        // Exit 0 with any well-formed payload, or a nonzero exit that
+        // still shipped a caught fault (the worker's exit-70 path):
+        // both are usable worker output.
+        Ok(output) => match (&output.payload, status.success()) {
+            (_, true) | (WorkerPayload::Fault(_), false) => Ok(output),
+            (WorkerPayload::Report(_), false) => Err(format!(
+                "worker exited with code {} despite reporting a completed session",
+                status.code().unwrap_or(-1)
+            )),
+        },
+        Err(parse_err) if status.success() => {
+            Err(format!("worker produced malformed output: {parse_err}"))
+        }
+        Err(_) => {
+            let detail = stderr.lines().next().unwrap_or("").trim();
+            let mut message = format!("worker exited with code {}", status.code().unwrap_or(-1));
+            if !detail.is_empty() {
+                message.push_str(": ");
+                message.push_str(detail);
+            }
+            Err(message)
+        }
+    }
+}
+
+/// Reads a pipe to EOF on a dedicated thread.
+fn drain(mut pipe: impl std::io::Read + Send + 'static) -> std::thread::JoinHandle<Vec<u8>> {
+    std::thread::spawn(move || {
+        let mut buf = Vec::new();
+        let _ = pipe.read_to_end(&mut buf);
+        buf
+    })
+}
+
+/// Waits for the child, killing it (SIGKILL — it must die, not unwind)
+/// once `deadline` elapses. The boolean reports whether the kill fired.
+fn wait_with_deadline(
+    child: &mut Child,
+    deadline: Option<Duration>,
+) -> (std::io::Result<ExitStatus>, bool) {
+    let Some(deadline) = deadline else {
+        return (child.wait(), false);
+    };
+    let start = Instant::now();
+    loop {
+        match child.try_wait() {
+            Ok(Some(status)) => return (Ok(status), false),
+            Err(e) => return (Err(e), false),
+            Ok(None) => {
+                if start.elapsed() >= deadline {
+                    let _ = child.kill();
+                    return (child.wait(), true);
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}
+
+fn unix_signal(status: &ExitStatus) -> Option<i32> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::process::ExitStatusExt;
+        status.signal()
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = status;
+        None
+    }
+}
+
+/// The worker half: runs one supervised session and writes the [`wire`]
+/// document to `out`. This is what `dartc --farm-worker` calls after
+/// compiling the program; everything engine-visible (seed derivation,
+/// checkpoint qualification, store-as-session-cache) matches the
+/// in-process sweep byte for byte.
+///
+/// Returns the process exit code: 0 for a completed session (bugs found
+/// or not — those are *results*), 70 for a caught engine fault, which
+/// the supervisor reads from the `fault` line rather than the code.
+pub fn run_worker(
+    compiled: &CompiledProgram,
+    toplevel: &str,
+    index: usize,
+    attempt: u32,
+    config: &DartConfig,
+    store_path: Option<&Path>,
+    out: &mut dyn Write,
+) -> i32 {
+    let base_seed = config.seed ^ crate::sweep::name_hash(toplevel);
+    let seed = crate::sweep::retry_seed(base_seed, attempt);
+    let checkpoint = config
+        .checkpoint
+        .as_ref()
+        .map(|base| crate::sweep::qualified_checkpoint(base, toplevel, seed));
+    let cfg = DartConfig {
+        seed,
+        checkpoint: checkpoint.clone(),
+        ..config.clone()
+    };
+    let scope = store::scope_key(toplevel, seed);
+
+    // Load the persistent store: verdict records become this session's
+    // shared cache; fingerprints for this exact (function, seed) scope
+    // ride along and apply only if the session resumes its checkpoint.
+    let mut preloaded: BTreeSet<String> = BTreeSet::new();
+    let mut resume_fps: Vec<u64> = Vec::new();
+    let shared = if let Some(path) = store_path {
+        let loaded = FarmStore::load(path);
+        for warning in &loaded.warnings {
+            eprintln!("warning: {warning}");
+        }
+        let shared = std::sync::Arc::new(SharedVerdictStore::new());
+        let mut skipped = 0usize;
+        for record in loaded.store.verdict_records() {
+            if shared.import_record(record) {
+                preloaded.insert(record.to_string());
+            } else {
+                skipped += 1;
+            }
+        }
+        if skipped > 0 {
+            eprintln!(
+                "warning: store {}: skipped {skipped} unparseable verdict record(s)",
+                path.display()
+            );
+        }
+        resume_fps = loaded.store.fingerprints_for(scope);
+        Some(shared)
+    } else if cfg.shared_cache {
+        // No persistence: a private store, so the session behaves like
+        // its in-process sweep counterpart.
+        Some(std::sync::Arc::new(SharedVerdictStore::new()))
+    } else {
+        None
+    };
+
+    let run = supervise::run_caught(|| {
+        supervise::maybe_panic(&cfg, index);
+        supervise::maybe_abort(&cfg, index);
+        let mut dart = crate::Dart::new(compiled, toplevel, cfg.clone())?;
+        if let Some(shared) = &shared {
+            dart = dart.with_shared_store(shared.clone());
+        }
+        if !resume_fps.is_empty() {
+            dart = dart.with_resume_fingerprints(resume_fps.clone());
+        }
+        Ok::<SessionReport, DartError>(dart.run())
+    });
+
+    let output = match run {
+        Err(message) => WorkerOutput {
+            verdicts: Vec::new(),
+            fingerprints: Vec::new(),
+            payload: WorkerPayload::Fault(message),
+        },
+        Ok(Err(e)) => WorkerOutput {
+            verdicts: Vec::new(),
+            fingerprints: Vec::new(),
+            payload: WorkerPayload::Fault(format!("worker session setup failed: {e}")),
+        },
+        Ok(Ok(report)) => {
+            let mut verdicts = Vec::new();
+            let mut fingerprints = Vec::new();
+            if store_path.is_some() {
+                if let Some(shared) = &shared {
+                    // Ship only what this session newly published.
+                    for record in shared.export_records() {
+                        if !preloaded.contains(&record) {
+                            verdicts.push(record);
+                        }
+                    }
+                }
+                // The dedup fingerprints live in the session's final
+                // checkpoint (written by the driver after every expanded
+                // item); exporting from the file keeps the store at or
+                // behind the checkpoint, never ahead of it.
+                if let Some(cp_path) = &checkpoint {
+                    if let Ok(text) = std::fs::read_to_string(cp_path) {
+                        if let Ok(cp) = crate::frontier::Checkpoint::parse(&text) {
+                            fingerprints.extend(cp.seen.iter().map(|&key| (scope, key)));
+                        }
+                    }
+                }
+            }
+            WorkerOutput {
+                verdicts,
+                fingerprints,
+                payload: WorkerPayload::Report(Box::new(report)),
+            }
+        }
+    };
+    let _ = out.write_all(wire::render_output(&output).as_bytes());
+    let _ = out.flush();
+    match output.payload {
+        WorkerPayload::Fault(_) => 70,
+        WorkerPayload::Report(_) => 0,
+    }
+}

@@ -1,0 +1,369 @@
+//! The farm's file-backed persistent store.
+//!
+//! One text file holds the two durable tiers a farm accumulates across
+//! runs: serialized [`SharedVerdictStore`](dart_solver::SharedVerdictStore)
+//! records (facts about constraint sets — safe to replay anywhere) and
+//! dedup fingerprints keyed by a `(function, seed)` *scope* (only safe
+//! to replay when resuming that exact scope's checkpoint — see
+//! [`crate::Dart::with_resume_fingerprints`]).
+//!
+//! Crash-safety discipline:
+//!
+//! * **Single writer.** Only the supervisor writes the file; workers
+//!   read it at spawn and ship new records back over the wire protocol.
+//!   No file locking is needed.
+//! * **Checksummed records.** Every line ends with ` ~<FNV-64 of the
+//!   body>`. A torn write — the classic crash-mid-append failure — is
+//!   detected on load and the tail from the first bad line on is
+//!   ignored, with a warning. A half-written record can therefore cost
+//!   cache hits, never produce a wrong verdict.
+//! * **Atomic replacement.** A flush writes the complete snapshot to
+//!   `<path>.tmp` and renames it over the store, so readers and crashes
+//!   only ever observe either the old or the new complete file. A stale
+//!   `.tmp` from a killed flush is simply overwritten by the next one.
+//! * **Unrecognized data degrades, never aborts.** A bad header or an
+//!   unreadable file loads as an empty (cold) store with a warning;
+//!   a checksummed record of an unknown kind (a future format
+//!   extension) is skipped, not treated as corruption.
+
+use std::collections::BTreeSet;
+use std::io::Write;
+use std::path::Path;
+
+/// First line of the store file.
+const HEADER: &str = "dart-farm-store v1";
+
+/// The in-memory image of a store file. Insertions are idempotent
+/// set-unions, so merging the same worker output twice (a retried farm
+/// run, a resumed shard) cannot corrupt anything.
+#[derive(Debug, Default, Clone)]
+pub struct FarmStore {
+    /// Verdict-record payloads, exactly as
+    /// [`SharedVerdictStore::export_records`](dart_solver::SharedVerdictStore::export_records)
+    /// produced them. Kept as sorted text: the store file is then
+    /// deterministic for a given content, and the worker — the only
+    /// party that interprets records — revalidates on import.
+    verdicts: BTreeSet<String>,
+    /// `(scope, fingerprint)` pairs; scope = [`scope_key`].
+    fingerprints: BTreeSet<(u64, u64)>,
+}
+
+/// A loaded store plus everything suspicious the loader noticed.
+#[derive(Debug, Default)]
+pub struct LoadedFarmStore {
+    /// The usable records.
+    pub store: FarmStore,
+    /// Human-readable warnings (torn tail truncated, bad header, …).
+    /// Empty on a clean load. The callers print these to stderr; none
+    /// of them is fatal — the cost is only a colder cache.
+    pub warnings: Vec<String>,
+}
+
+impl FarmStore {
+    /// An empty store.
+    pub fn new() -> FarmStore {
+        FarmStore::default()
+    }
+
+    /// Loads `path`, tolerating every corruption mode by degrading (see
+    /// the module docs). A missing file is a clean empty store.
+    pub fn load(path: &Path) -> LoadedFarmStore {
+        let mut loaded = LoadedFarmStore::default();
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return loaded,
+            Err(e) => {
+                loaded.warnings.push(format!(
+                    "store {}: unreadable ({e}); starting cold",
+                    path.display()
+                ));
+                return loaded;
+            }
+        };
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(HEADER) => {}
+            Some(other) => {
+                loaded.warnings.push(format!(
+                    "store {}: unrecognized header `{other}`; starting cold",
+                    path.display()
+                ));
+                return loaded;
+            }
+            None => {
+                loaded.warnings.push(format!(
+                    "store {}: empty file; starting cold",
+                    path.display()
+                ));
+                return loaded;
+            }
+        }
+        for (i, line) in lines.enumerate() {
+            let line_no = i + 2; // 1-based, after the header
+            let Some((body, checksum)) = line.rsplit_once(" ~") else {
+                loaded.warnings.push(format!(
+                    "store {}: unchecksummed line {line_no} (torn write?); \
+                     ignoring it and the {} line(s) after it",
+                    path.display(),
+                    text.lines().count().saturating_sub(line_no),
+                ));
+                return loaded;
+            };
+            if u64::from_str_radix(checksum, 16) != Ok(fnv64(body.as_bytes())) {
+                loaded.warnings.push(format!(
+                    "store {}: checksum mismatch at line {line_no} (torn write?); \
+                     ignoring it and the {} line(s) after it",
+                    path.display(),
+                    text.lines().count().saturating_sub(line_no),
+                ));
+                return loaded;
+            }
+            if let Some(record) = body.strip_prefix("v ") {
+                loaded.store.verdicts.insert(record.to_string());
+            } else if let Some(pair) = body.strip_prefix("f ") {
+                let parsed = pair.split_once(' ').and_then(|(scope, key)| {
+                    Some((
+                        super::wire::parse_hex64(scope)?,
+                        super::wire::parse_hex64(key)?,
+                    ))
+                });
+                match parsed {
+                    Some(pair) => {
+                        loaded.store.fingerprints.insert(pair);
+                    }
+                    None => loaded.warnings.push(format!(
+                        "store {}: malformed fingerprint record at line {line_no}; skipped",
+                        path.display()
+                    )),
+                }
+            } else {
+                // A valid checksum over an unknown kind: a future format,
+                // not corruption. Skip it, keep the rest.
+                loaded.warnings.push(format!(
+                    "store {}: unknown record kind at line {line_no}; skipped",
+                    path.display()
+                ));
+            }
+        }
+        loaded
+    }
+
+    /// Writes the complete snapshot atomically (`<path>.tmp` + rename).
+    pub fn flush(&self, path: &Path) -> std::io::Result<()> {
+        let mut text = String::from(HEADER);
+        text.push('\n');
+        for record in &self.verdicts {
+            let body = format!("v {record}");
+            text.push_str(&body);
+            text.push_str(&format!(" ~{:016x}\n", fnv64(body.as_bytes())));
+        }
+        for (scope, key) in &self.fingerprints {
+            let body = format!("f {scope:016x} {key:016x}");
+            text.push_str(&body);
+            text.push_str(&format!(" ~{:016x}\n", fnv64(body.as_bytes())));
+        }
+        let tmp = {
+            let mut t = path.to_path_buf().into_os_string();
+            t.push(".tmp");
+            std::path::PathBuf::from(t)
+        };
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(text.as_bytes())?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Inserts one verdict record; `true` if it was new.
+    pub fn insert_verdict(&mut self, record: String) -> bool {
+        self.verdicts.insert(record)
+    }
+
+    /// Inserts one scoped fingerprint; `true` if it was new.
+    pub fn insert_fingerprint(&mut self, scope: u64, key: u64) -> bool {
+        self.fingerprints.insert((scope, key))
+    }
+
+    /// All verdict records, sorted.
+    pub fn verdict_records(&self) -> impl Iterator<Item = &str> {
+        self.verdicts.iter().map(String::as_str)
+    }
+
+    /// The fingerprints persisted for one `(function, seed)` scope.
+    pub fn fingerprints_for(&self, scope: u64) -> Vec<u64> {
+        self.fingerprints
+            .range((scope, 0)..=(scope, u64::MAX))
+            .map(|&(_, key)| key)
+            .collect()
+    }
+
+    /// Total records, both tiers.
+    pub fn len(&self) -> usize {
+        self.verdicts.len() + self.fingerprints.len()
+    }
+
+    /// Whether the store holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The fingerprint scope of one session: FNV-1a over the function name,
+/// a 0 separator, and the session seed's little-endian bytes. Stable
+/// across runs and platforms, like the sweep's per-function seed hash.
+pub fn scope_key(function: &str, seed: u64) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in function
+        .bytes()
+        .chain(std::iter::once(0))
+        .chain(seed.to_le_bytes())
+    {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// FNV-1a over raw bytes — the per-line checksum.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("dart-farm-store-{}-{name}", std::process::id()))
+    }
+
+    fn sample() -> FarmStore {
+        let mut store = FarmStore::new();
+        store.insert_verdict("u 07 1".to_string());
+        store.insert_verdict("e 00 - unknown 0".to_string());
+        store.insert_fingerprint(1, 0xabc);
+        store.insert_fingerprint(1, 0xdef);
+        store.insert_fingerprint(2, 0xabc);
+        store
+    }
+
+    #[test]
+    fn flush_and_load_round_trip() {
+        let path = temp_path("roundtrip");
+        let store = sample();
+        store.flush(&path).unwrap();
+        let loaded = FarmStore::load(&path);
+        assert!(loaded.warnings.is_empty(), "{:?}", loaded.warnings);
+        assert_eq!(
+            loaded.store.verdict_records().collect::<Vec<_>>(),
+            store.verdict_records().collect::<Vec<_>>()
+        );
+        assert_eq!(loaded.store.fingerprints_for(1), vec![0xabc, 0xdef]);
+        assert_eq!(loaded.store.fingerprints_for(2), vec![0xabc]);
+        assert_eq!(loaded.store.fingerprints_for(3), Vec::<u64>::new());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_cold_store() {
+        let loaded = FarmStore::load(&temp_path("never-created"));
+        assert!(loaded.store.is_empty());
+        assert!(loaded.warnings.is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_with_a_warning() {
+        let path = temp_path("torn");
+        sample().flush(&path).unwrap();
+        // Simulate a crash mid-append: chop the file mid-line.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 7]).unwrap();
+        let loaded = FarmStore::load(&path);
+        assert_eq!(loaded.warnings.len(), 1, "{:?}", loaded.warnings);
+        assert!(loaded.warnings[0].contains("torn write"));
+        // Every surviving record is a real one; only the tail was lost.
+        assert_eq!(loaded.store.len(), sample().len() - 1);
+        for record in loaded.store.verdict_records() {
+            assert!(sample().verdicts.contains(record));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_middle_truncates_from_the_damage_on() {
+        let path = temp_path("corrupt-middle");
+        sample().flush(&path).unwrap();
+        let mut lines: Vec<String> = std::fs::read_to_string(&path)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect();
+        // Flip a byte inside the second record's body.
+        lines[2] = format!("X{}", &lines[2][1..]);
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+        let loaded = FarmStore::load(&path);
+        assert!(
+            loaded
+                .warnings
+                .iter()
+                .any(|w| w.contains("checksum mismatch")),
+            "{:?}",
+            loaded.warnings
+        );
+        // Only the records before the damage survive.
+        assert_eq!(loaded.store.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_header_degrades_to_cold_cache() {
+        let path = temp_path("bad-header");
+        std::fs::write(&path, "some other file\nv u 07 1 ~0\n").unwrap();
+        let loaded = FarmStore::load(&path);
+        assert!(loaded.store.is_empty());
+        assert!(loaded.warnings[0].contains("unrecognized header"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unknown_record_kind_is_skipped_not_fatal() {
+        let path = temp_path("unknown-kind");
+        sample().flush(&path).unwrap();
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        let body = "z future-record";
+        text.insert_str(
+            HEADER.len() + 1,
+            &format!("{body} ~{:016x}\n", fnv64(body.as_bytes())),
+        );
+        std::fs::write(&path, text).unwrap();
+        let loaded = FarmStore::load(&path);
+        assert!(loaded.warnings[0].contains("unknown record kind"));
+        assert_eq!(loaded.store.len(), sample().len(), "all real records kept");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn flush_replaces_atomically_and_overwrites_stale_tmp() {
+        let path = temp_path("atomic");
+        let tmp = {
+            let mut t = path.clone().into_os_string();
+            t.push(".tmp");
+            PathBuf::from(t)
+        };
+        // A stale tmp from a previously killed flush must not interfere.
+        std::fs::write(&tmp, "garbage from a killed flush").unwrap();
+        sample().flush(&path).unwrap();
+        assert!(!tmp.exists(), "flush consumed the tmp file");
+        let loaded = FarmStore::load(&path);
+        assert!(loaded.warnings.is_empty());
+        assert_eq!(loaded.store.len(), sample().len());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

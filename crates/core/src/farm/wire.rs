@@ -1,0 +1,656 @@
+//! The farm's worker → supervisor wire protocol.
+//!
+//! A `--farm-worker` process writes one line-oriented text document to
+//! its stdout and exits; the supervisor parses it after reaping the
+//! process. The document carries three things: freshly published
+//! verdict records for the persistent store, the session's dedup
+//! fingerprints (exported from its final checkpoint), and either the
+//! full [`SessionReport`] or a caught engine-fault message.
+//!
+//! The report serialization is *exact* — every field round-trips
+//! bit-for-bit (durations included) — because the farm's determinism
+//! contract promises results byte-identical to an in-process sweep, and
+//! a lossy wire format would silently break that. Both directions
+//! destructure the structs exhaustively, so adding a report field
+//! without extending the protocol is a compile error, not a silent
+//! truncation.
+//!
+//! Layout (`-` marks an empty list field throughout):
+//!
+//! ```text
+//! dart-farm-worker v1
+//! verdict <record>              (0+, see dart_solver shared-store records)
+//! fp <scope hex16> <key hex16>  (0+)
+//! report | fault <escaped message>
+//! ...report block...
+//! done
+//! ```
+
+use crate::report::{Bug, BugKind, Outcome, SessionReport};
+use crate::search::SolveStats;
+use crate::tape::{InputKind, InputSlot};
+use dart_ram::Fault;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// First line of every worker document: versions the protocol so a
+/// supervisor never misparses output from a mismatched binary.
+pub(crate) const HEADER: &str = "dart-farm-worker v1";
+
+/// What a worker produced for its function.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum WorkerPayload {
+    /// The session ran to completion.
+    Report(Box<SessionReport>),
+    /// The engine panicked; the message is what `catch_unwind` captured.
+    Fault(String),
+}
+
+/// Everything one worker process reports back.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct WorkerOutput {
+    /// Store records newly published by this session (already-persisted
+    /// records are filtered worker-side to keep the pipe small).
+    pub verdicts: Vec<String>,
+    /// `(scope, fingerprint)` pairs from the session's final checkpoint.
+    pub fingerprints: Vec<(u64, u64)>,
+    /// The report or the fault.
+    pub payload: WorkerPayload,
+}
+
+/// Renders a complete worker document, `done` terminator included.
+pub(crate) fn render_output(out: &WorkerOutput) -> String {
+    let mut text = String::new();
+    text.push_str(HEADER);
+    text.push('\n');
+    for record in &out.verdicts {
+        let _ = writeln!(text, "verdict {record}");
+    }
+    for (scope, key) in &out.fingerprints {
+        let _ = writeln!(text, "fp {scope:016x} {key:016x}");
+    }
+    match &out.payload {
+        WorkerPayload::Fault(message) => {
+            let _ = writeln!(text, "fault {}", escape(message));
+        }
+        WorkerPayload::Report(report) => {
+            text.push_str("report\n");
+            render_report(&mut text, report);
+        }
+    }
+    text.push_str("done\n");
+    text
+}
+
+/// Parses a worker document; errors carry the offending line number.
+pub(crate) fn parse_output(text: &str) -> Result<WorkerOutput, String> {
+    let mut lines = Lines::new(text);
+    let header = lines.next()?;
+    if header != HEADER {
+        return Err(format!("bad worker header `{header}`"));
+    }
+    let mut verdicts = Vec::new();
+    let mut fingerprints = Vec::new();
+    loop {
+        let line = lines.next()?;
+        if let Some(record) = line.strip_prefix("verdict ") {
+            verdicts.push(record.to_string());
+        } else if let Some(rest) = line.strip_prefix("fp ") {
+            let (scope, key) = rest
+                .split_once(' ')
+                .ok_or_else(|| lines.err("malformed fp line"))?;
+            fingerprints.push((
+                parse_hex64(scope).ok_or_else(|| lines.err("bad fp scope"))?,
+                parse_hex64(key).ok_or_else(|| lines.err("bad fp key"))?,
+            ));
+        } else if let Some(message) = line.strip_prefix("fault ") {
+            let message = unescape(message).ok_or_else(|| lines.err("bad fault escape"))?;
+            lines.expect("done")?;
+            lines.expect_end()?;
+            return Ok(WorkerOutput {
+                verdicts,
+                fingerprints,
+                payload: WorkerPayload::Fault(message),
+            });
+        } else if line == "report" {
+            let report = parse_report(&mut lines)?;
+            lines.expect("done")?;
+            lines.expect_end()?;
+            return Ok(WorkerOutput {
+                verdicts,
+                fingerprints,
+                payload: WorkerPayload::Report(Box::new(report)),
+            });
+        } else {
+            return Err(lines.err(&format!("unexpected line `{line}`")));
+        }
+    }
+}
+
+fn render_report(text: &mut String, report: &SessionReport) {
+    // Exhaustive destructure: a new `SessionReport` field fails to
+    // compile here until the wire format carries it.
+    let SessionReport {
+        outcome,
+        runs,
+        bugs,
+        divergences,
+        restarts,
+        solver,
+        steps,
+        branches_covered,
+        branch_sites,
+        dedup_hits,
+        frontier_evicted,
+        frontier_peak,
+        paths,
+        exec_time,
+        solve_time,
+    } = report;
+    match outcome {
+        Outcome::Complete => text.push_str("outcome complete\n"),
+        Outcome::Exhausted => text.push_str("outcome exhausted\n"),
+        Outcome::DeadlineExceeded => text.push_str("outcome deadline\n"),
+        Outcome::BugFound(bug) => {
+            text.push_str("outcome bugfound\n");
+            render_bug(text, bug);
+        }
+    }
+    let _ = writeln!(text, "runs {runs}");
+    let _ = writeln!(text, "divergences {divergences}");
+    let _ = writeln!(text, "restarts {restarts}");
+    let _ = writeln!(text, "steps {steps}");
+    let _ = writeln!(text, "branches {branches_covered} {branch_sites}");
+    let _ = writeln!(
+        text,
+        "frontier {dedup_hits} {frontier_evicted} {frontier_peak}"
+    );
+    let SolveStats {
+        sat,
+        unsat,
+        unknown,
+        cache_hits,
+        cache_model_reuse,
+        split_solves,
+        parallel_wasted,
+        shared_hits,
+        steals,
+        pool_idle_ns,
+        max_queue_depth,
+        per_worker_solves,
+    } = solver;
+    let _ = writeln!(
+        text,
+        "solver {sat} {unsat} {unknown} {cache_hits} {cache_model_reuse} {split_solves} \
+         {parallel_wasted} {shared_hits} {steals} {pool_idle_ns} {max_queue_depth}"
+    );
+    let _ = writeln!(text, "workers {}", render_u64_list(per_worker_solves));
+    let _ = writeln!(
+        text,
+        "exec {} {}",
+        exec_time.as_secs(),
+        exec_time.subsec_nanos()
+    );
+    let _ = writeln!(
+        text,
+        "solve {} {}",
+        solve_time.as_secs(),
+        solve_time.subsec_nanos()
+    );
+    let _ = writeln!(text, "bugs {}", bugs.len());
+    for bug in bugs {
+        render_bug(text, bug);
+    }
+    let _ = writeln!(text, "paths {}", paths.len());
+    for path in paths {
+        if path.is_empty() {
+            text.push_str("path -\n");
+        } else {
+            let parts: Vec<String> = path
+                .iter()
+                .map(|(site, dir)| format!("{site}:{}", *dir as u8))
+                .collect();
+            let _ = writeln!(text, "path {}", parts.join(","));
+        }
+    }
+    text.push_str("endreport\n");
+}
+
+fn parse_report(lines: &mut Lines<'_>) -> Result<SessionReport, String> {
+    let outcome_line = lines.next()?;
+    let outcome = match outcome_line.strip_prefix("outcome ") {
+        Some("complete") => Outcome::Complete,
+        Some("exhausted") => Outcome::Exhausted,
+        Some("deadline") => Outcome::DeadlineExceeded,
+        Some("bugfound") => Outcome::BugFound(parse_bug(lines)?),
+        _ => return Err(lines.err(&format!("bad outcome line `{outcome_line}`"))),
+    };
+    let runs = lines.field_u64("runs")?;
+    let divergences = lines.field_u64("divergences")?;
+    let restarts = lines.field_u64("restarts")?;
+    let steps = lines.field_u64("steps")?;
+    let branches = lines.field_list("branches", 2)?;
+    let frontier = lines.field_list("frontier", 3)?;
+    let solver_fields = lines.field_list("solver", 11)?;
+    let workers_line = lines.field_rest("workers")?;
+    let per_worker_solves =
+        parse_u64_list(&workers_line).ok_or_else(|| lines.err("bad workers list"))?;
+    let exec = lines.field_list("exec", 2)?;
+    let solve = lines.field_list("solve", 2)?;
+    let bug_count = lines.field_u64("bugs")?;
+    let mut bugs = Vec::new();
+    for _ in 0..bug_count {
+        bugs.push(parse_bug(lines)?);
+    }
+    let path_count = lines.field_u64("paths")?;
+    let mut paths = Vec::new();
+    for _ in 0..path_count {
+        let body = lines.field_rest("path")?;
+        if body == "-" {
+            paths.push(Vec::new());
+            continue;
+        }
+        let path: Option<Vec<(usize, bool)>> = body
+            .split(',')
+            .map(|pair| {
+                let (site, dir) = pair.split_once(':')?;
+                let dir = match dir {
+                    "0" => false,
+                    "1" => true,
+                    _ => return None,
+                };
+                Some((site.parse::<usize>().ok()?, dir))
+            })
+            .collect();
+        paths.push(path.ok_or_else(|| lines.err("bad path entry"))?);
+    }
+    lines.expect("endreport")?;
+    Ok(SessionReport {
+        outcome,
+        runs,
+        bugs,
+        divergences,
+        restarts,
+        solver: SolveStats {
+            sat: solver_fields[0],
+            unsat: solver_fields[1],
+            unknown: solver_fields[2],
+            cache_hits: solver_fields[3],
+            cache_model_reuse: solver_fields[4],
+            split_solves: solver_fields[5],
+            parallel_wasted: solver_fields[6],
+            shared_hits: solver_fields[7],
+            steals: solver_fields[8],
+            pool_idle_ns: solver_fields[9],
+            max_queue_depth: solver_fields[10],
+            per_worker_solves,
+        },
+        steps,
+        branches_covered: branches[0] as usize,
+        branch_sites: branches[1] as usize,
+        dedup_hits: frontier[0],
+        frontier_evicted: frontier[1],
+        frontier_peak: frontier[2],
+        paths,
+        exec_time: Duration::new(exec[0], exec[1] as u32),
+        solve_time: Duration::new(solve[0], solve[1] as u32),
+    })
+}
+
+fn render_bug(text: &mut String, bug: &Bug) {
+    let Bug {
+        kind,
+        run_index,
+        inputs,
+    } = bug;
+    let kind = match kind {
+        BugKind::Abort(reason) => format!("abort {}", escape(reason)),
+        BugKind::NonTermination => "nonterm".to_string(),
+        BugKind::OutOfMemory => "oom".to_string(),
+        BugKind::Crash(fault) => match fault {
+            Fault::NullDeref { addr } => format!("crash null {addr}"),
+            Fault::OutOfBounds { addr } => format!("crash oob {addr}"),
+            Fault::DivisionByZero => "crash div0".to_string(),
+            Fault::StackOverflow => "crash stackoverflow".to_string(),
+            Fault::BadJump { label } => format!("crash badjump {label}"),
+            Fault::BadArity { func } => format!("crash badarity {func}"),
+        },
+    };
+    let _ = writeln!(text, "bug {run_index} {kind}");
+    for InputSlot { kind, value, name } in inputs {
+        let kind = match kind {
+            InputKind::IntLike => "int",
+            InputKind::Pointer => "ptr",
+        };
+        // The name is the rest of the line, like the checkpoint format's
+        // slot lines: names contain spaces but never newlines.
+        let _ = writeln!(text, "slot {kind} {value} {name}");
+    }
+    text.push_str("endbug\n");
+}
+
+fn parse_bug(lines: &mut Lines<'_>) -> Result<Bug, String> {
+    let head = lines.field_rest("bug")?;
+    let (run_index, kind) = head
+        .split_once(' ')
+        .ok_or_else(|| lines.err("malformed bug line"))?;
+    let run_index: u64 = run_index
+        .parse()
+        .map_err(|_| lines.err("bad bug run index"))?;
+    let kind = parse_bug_kind(kind).ok_or_else(|| lines.err(&format!("bad bug kind `{kind}`")))?;
+    let mut inputs = Vec::new();
+    loop {
+        let line = lines.next()?;
+        if line == "endbug" {
+            break;
+        }
+        let mut fields = line.splitn(4, ' ');
+        let (Some("slot"), Some(slot_kind), Some(value)) =
+            (fields.next(), fields.next(), fields.next())
+        else {
+            return Err(lines.err(&format!("expected slot or endbug, got `{line}`")));
+        };
+        let kind = match slot_kind {
+            "int" => InputKind::IntLike,
+            "ptr" => InputKind::Pointer,
+            _ => return Err(lines.err("bad slot kind")),
+        };
+        inputs.push(InputSlot {
+            kind,
+            value: value.parse().map_err(|_| lines.err("bad slot value"))?,
+            name: fields.next().unwrap_or("").to_string(),
+        });
+    }
+    Ok(Bug {
+        kind,
+        run_index,
+        inputs,
+    })
+}
+
+fn parse_bug_kind(text: &str) -> Option<BugKind> {
+    if let Some(reason) = text.strip_prefix("abort ") {
+        return Some(BugKind::Abort(unescape(reason)?));
+    }
+    match text {
+        "nonterm" => return Some(BugKind::NonTermination),
+        "oom" => return Some(BugKind::OutOfMemory),
+        _ => {}
+    }
+    let crash = text.strip_prefix("crash ")?;
+    if let Some(addr) = crash.strip_prefix("null ") {
+        return Some(BugKind::Crash(Fault::NullDeref {
+            addr: addr.parse().ok()?,
+        }));
+    }
+    if let Some(addr) = crash.strip_prefix("oob ") {
+        return Some(BugKind::Crash(Fault::OutOfBounds {
+            addr: addr.parse().ok()?,
+        }));
+    }
+    if let Some(label) = crash.strip_prefix("badjump ") {
+        return Some(BugKind::Crash(Fault::BadJump {
+            label: label.parse().ok()?,
+        }));
+    }
+    if let Some(func) = crash.strip_prefix("badarity ") {
+        return Some(BugKind::Crash(Fault::BadArity {
+            func: func.parse().ok()?,
+        }));
+    }
+    match crash {
+        "div0" => Some(BugKind::Crash(Fault::DivisionByZero)),
+        "stackoverflow" => Some(BugKind::Crash(Fault::StackOverflow)),
+        _ => None,
+    }
+}
+
+fn render_u64_list(values: &[u64]) -> String {
+    if values.is_empty() {
+        return "-".to_string();
+    }
+    let parts: Vec<String> = values.iter().map(u64::to_string).collect();
+    parts.join(",")
+}
+
+fn parse_u64_list(text: &str) -> Option<Vec<u64>> {
+    if text == "-" {
+        return Some(Vec::new());
+    }
+    text.split(',').map(|v| v.parse().ok()).collect()
+}
+
+pub(crate) fn parse_hex64(text: &str) -> Option<u64> {
+    if text.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(text, 16).ok()
+}
+
+/// Escapes newlines and backslashes so arbitrary abort reasons and panic
+/// messages stay single-line. Spaces are fine: escaped strings only ever
+/// occupy a line's final field.
+pub(crate) fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+pub(crate) fn unescape(text: &str) -> Option<String> {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next()? {
+            '\\' => out.push('\\'),
+            'n' => out.push('\n'),
+            'r' => out.push('\r'),
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Line cursor with 1-based positions for error messages; running out of
+/// lines is reported as truncation (the torn-pipe case).
+struct Lines<'a> {
+    lines: std::str::Lines<'a>,
+    line_no: usize,
+}
+
+impl<'a> Lines<'a> {
+    fn new(text: &'a str) -> Lines<'a> {
+        Lines {
+            lines: text.lines(),
+            line_no: 0,
+        }
+    }
+
+    fn next(&mut self) -> Result<&'a str, String> {
+        self.line_no += 1;
+        self.lines
+            .next()
+            .ok_or_else(|| format!("truncated worker output at line {}", self.line_no))
+    }
+
+    fn err(&self, what: &str) -> String {
+        format!("{what} at line {}", self.line_no)
+    }
+
+    fn expect(&mut self, want: &str) -> Result<(), String> {
+        let line = self.next()?;
+        if line == want {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{want}`, got `{line}`")))
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<(), String> {
+        match self.lines.next() {
+            None => Ok(()),
+            Some(extra) => Err(format!("trailing data after `done`: `{extra}`")),
+        }
+    }
+
+    /// A `<name> <u64>` line.
+    fn field_u64(&mut self, name: &str) -> Result<u64, String> {
+        let body = self.field_rest(name)?;
+        body.parse()
+            .map_err(|_| self.err(&format!("bad {name} value `{body}`")))
+    }
+
+    /// A `<name> <u64> ...` line with exactly `count` values.
+    fn field_list(&mut self, name: &str, count: usize) -> Result<Vec<u64>, String> {
+        let body = self.field_rest(name)?;
+        let values: Option<Vec<u64>> = body.split(' ').map(|v| v.parse().ok()).collect();
+        match values {
+            Some(v) if v.len() == count => Ok(v),
+            _ => Err(self.err(&format!("bad {name} line `{body}`"))),
+        }
+    }
+
+    /// A `<name> <rest of line>` line.
+    fn field_rest(&mut self, name: &str) -> Result<String, String> {
+        let line = self.next()?;
+        line.strip_prefix(name)
+            .and_then(|r| r.strip_prefix(' '))
+            .map(str::to_string)
+            .ok_or_else(|| self.err(&format!("expected `{name}`, got `{line}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> SessionReport {
+        let mut report = SessionReport::new(12);
+        report.runs = 17;
+        report.divergences = 2;
+        report.restarts = 3;
+        report.steps = 90210;
+        report.branches_covered = 9;
+        report.dedup_hits = 4;
+        report.frontier_evicted = 1;
+        report.frontier_peak = 6;
+        report.solver.sat = 5;
+        report.solver.unsat = 7;
+        report.solver.unknown = 1;
+        report.solver.pool_idle_ns = 12345;
+        report.solver.per_worker_solves = vec![3, 0, 9];
+        report.exec_time = Duration::new(1, 999_999_999);
+        report.solve_time = Duration::from_nanos(1);
+        report.paths = vec![vec![(0, true), (3, false)], Vec::new()];
+        let bug = Bug {
+            kind: BugKind::Abort("assertion failed:\n x > 0 \\ always".to_string()),
+            run_index: 9,
+            inputs: vec![
+                InputSlot {
+                    kind: InputKind::IntLike,
+                    value: -41,
+                    name: "arg 0 of f (iter 1)".to_string(),
+                },
+                InputSlot {
+                    kind: InputKind::Pointer,
+                    value: 0,
+                    name: "deref at 7".to_string(),
+                },
+            ],
+        };
+        report.bugs = vec![
+            bug.clone(),
+            Bug {
+                kind: BugKind::Crash(Fault::NullDeref { addr: -8 }),
+                run_index: 11,
+                inputs: Vec::new(),
+            },
+            Bug {
+                kind: BugKind::Crash(Fault::DivisionByZero),
+                run_index: 12,
+                inputs: Vec::new(),
+            },
+            Bug {
+                kind: BugKind::NonTermination,
+                run_index: 13,
+                inputs: Vec::new(),
+            },
+            Bug {
+                kind: BugKind::OutOfMemory,
+                run_index: 14,
+                inputs: Vec::new(),
+            },
+        ];
+        report.outcome = Outcome::BugFound(bug);
+        report
+    }
+
+    #[test]
+    fn report_output_round_trips_exactly() {
+        let output = WorkerOutput {
+            verdicts: vec!["u 07 1".to_string(), "e 00 - unknown 0".to_string()],
+            fingerprints: vec![(0xdead_beef, 42), (u64::MAX, 0)],
+            payload: WorkerPayload::Report(Box::new(sample_report())),
+        };
+        let text = render_output(&output);
+        let parsed = parse_output(&text).unwrap();
+        assert_eq!(parsed, output);
+    }
+
+    #[test]
+    fn fault_output_round_trips_with_escapes() {
+        let output = WorkerOutput {
+            verdicts: Vec::new(),
+            fingerprints: Vec::new(),
+            payload: WorkerPayload::Fault("panicked:\nline two \\ backslash".to_string()),
+        };
+        let parsed = parse_output(&render_output(&output)).unwrap();
+        assert_eq!(parsed, output);
+    }
+
+    #[test]
+    fn empty_report_round_trips() {
+        let output = WorkerOutput {
+            verdicts: Vec::new(),
+            fingerprints: Vec::new(),
+            payload: WorkerPayload::Report(Box::new(SessionReport::new(0))),
+        };
+        let parsed = parse_output(&render_output(&output)).unwrap();
+        assert_eq!(parsed, output);
+    }
+
+    #[test]
+    fn truncated_and_malformed_output_are_rejected() {
+        let full = render_output(&WorkerOutput {
+            verdicts: Vec::new(),
+            fingerprints: Vec::new(),
+            payload: WorkerPayload::Report(Box::new(sample_report())),
+        });
+        // Every strict prefix (on line boundaries) must fail to parse:
+        // a torn pipe can never produce a silently wrong report.
+        let lines: Vec<&str> = full.lines().collect();
+        for cut in 0..lines.len() {
+            let partial = lines[..cut].join("\n");
+            assert!(
+                parse_output(&partial).is_err(),
+                "prefix of {cut} lines parsed"
+            );
+        }
+        assert!(parse_output(&full).is_ok());
+        assert!(
+            parse_output(&format!("{full}extra\n")).is_err(),
+            "trailing data"
+        );
+        assert!(parse_output("nonsense\n").is_err());
+    }
+}

@@ -300,6 +300,21 @@ impl Frontier {
             );
         }
     }
+
+    /// Unions externally persisted dedup fingerprints — the farm store's
+    /// fingerprint tier — into the seen-set. Sound only when the caller
+    /// is resuming a checkpoint for the *same* (function, seed) scope
+    /// the fingerprints were exported from: a seen key suppresses the
+    /// derivation it fingerprints, and that is only correct if this very
+    /// session (in a previous incarnation) already performed it. The
+    /// driver enforces the restriction by applying imports exclusively
+    /// on the checkpoint-resume path. With dedup off this tracks
+    /// nothing, like [`Frontier::note_candidate`].
+    pub(crate) fn import_seen(&mut self, keys: &[u64]) {
+        if self.dedup {
+            self.seen.extend(keys.iter().copied());
+        }
+    }
 }
 
 /// The deterministic seed of a child tape's fresh-value RNG: splitmix64

@@ -56,6 +56,7 @@
 
 pub mod driver;
 pub mod exec;
+pub mod farm;
 pub mod frontier;
 pub mod interface;
 pub mod pool;
@@ -69,6 +70,7 @@ pub mod tape;
 
 pub use driver::{Dart, DartConfig, DartError, EngineMode, ExecTier, SchedulerMode};
 pub use exec::{run_once, run_once_in_tier, run_once_traced, RunResult, RunTermination};
+pub use farm::{run_farm, run_worker, FarmJob, FarmOptions};
 pub use frontier::{CheckpointParseError, FrontierOrder};
 pub use interface::{describe_interface, InterfaceReport};
 pub use pool::{SolvePool, WalkItem, WalkRequest, WalkVerdicts};

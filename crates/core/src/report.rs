@@ -168,7 +168,8 @@ impl fmt::Display for SessionReport {
         write!(
             f,
             "{outcome} | runs {} | bugs {} | divergences {} | restarts {} | \
-             solver sat/unsat/unknown {}/{}/{} | cache hits/reuse/splits {}/{}/{} | \
+             solver sat/unsat/unknown {}/{}/{} (unknown rate {:.1}%) | \
+             cache hits/reuse/splits {}/{}/{} | \
              shared/wasted {}/{} | steals {} | frontier dedup/evict/peak {}/{}/{} | \
              branch cov {}/{}",
             self.runs,
@@ -178,6 +179,7 @@ impl fmt::Display for SessionReport {
             self.solver.sat,
             self.solver.unsat,
             self.solver.unknown,
+            self.solver.unknown_rate() * 100.0,
             self.solver.cache_hits,
             self.solver.cache_model_reuse,
             self.solver.split_solves,

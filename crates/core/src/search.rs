@@ -159,6 +159,20 @@ impl SolveStats {
         self.max_queue_depth = 0;
         self.per_worker_solves.clear();
     }
+
+    /// The session's completeness margin: `Unknown` verdicts as a
+    /// fraction of all solver verdicts (`sat + unsat + unknown`), `0.0`
+    /// when no queries ran. Every `Unknown` is a path DART could not
+    /// decide — Theorem 1(b)'s completeness claim erodes exactly this
+    /// fast, which is why the rate is surfaced in the report `Display`
+    /// and `dartc --stats` for regression gating.
+    pub fn unknown_rate(&self) -> f64 {
+        let total = self.sat + self.unsat + self.unknown;
+        if total == 0 {
+            return 0.0;
+        }
+        self.unknown as f64 / total as f64
+    }
 }
 
 /// The next directed step: a branch prediction stack and the input updates

@@ -48,6 +48,32 @@ pub struct FaultPlan {
     /// [`crate::RunTermination::OutOfMemory`] as if the allocation
     /// budget had just run out.
     pub deny_alloc: Option<u64>,
+    /// `abort()` the whole process (a non-unwinding crash that
+    /// `catch_unwind` cannot contain) in the sweep session with this
+    /// input-order index. Only honoured on the farm's worker-process
+    /// path, where the supervisor reaps the SIGABRT; the in-process
+    /// sweep ignores it rather than kill its host.
+    pub abort_in_session: Option<usize>,
+}
+
+#[cfg(any(test, feature = "fault-injection"))]
+impl FaultPlan {
+    /// Reads a plan from the `DART_FAULT_*` environment variables
+    /// (`PANIC_SESSION`, `ABORT_SESSION`, `UNKNOWN_QUERY`, `DENY_ALLOC`):
+    /// the transport a farm supervisor (or test) uses to hand a plan to
+    /// a spawned `--farm-worker` process. Unset or unparseable variables
+    /// inject nothing.
+    pub fn from_env() -> FaultPlan {
+        fn read<T: std::str::FromStr>(name: &str) -> Option<T> {
+            std::env::var(name).ok()?.parse().ok()
+        }
+        FaultPlan {
+            panic_in_session: read("DART_FAULT_PANIC_SESSION"),
+            unknown_on_query: read("DART_FAULT_UNKNOWN_QUERY"),
+            deny_alloc: read("DART_FAULT_DENY_ALLOC"),
+            abort_in_session: read("DART_FAULT_ABORT_SESSION"),
+        }
+    }
 }
 
 /// Per-session fault-injection counters.
@@ -123,6 +149,20 @@ pub(crate) fn maybe_panic(config: &crate::DartConfig, index: usize) {
 #[cfg(not(any(test, feature = "fault-injection")))]
 pub(crate) fn maybe_panic(_config: &crate::DartConfig, _index: usize) {}
 
+/// Aborts the process iff `config`'s plan names this sweep-session
+/// `index` — a non-unwinding crash for exercising process-level
+/// containment. Called only on the farm worker path ([`crate::farm`]);
+/// the in-process sweep deliberately never consults this field.
+#[cfg(any(test, feature = "fault-injection"))]
+pub(crate) fn maybe_abort(config: &crate::DartConfig, index: usize) {
+    if config.faults.abort_in_session == Some(index) {
+        std::process::abort();
+    }
+}
+
+#[cfg(not(any(test, feature = "fault-injection")))]
+pub(crate) fn maybe_abort(_config: &crate::DartConfig, _index: usize) {}
+
 thread_local! {
     /// Whether this thread is currently inside [`run_caught`]: the
     /// wrapping panic hook stays quiet for those panics (they are
@@ -159,15 +199,36 @@ pub(crate) fn run_caught<T>(work: impl FnOnce() -> T) -> Result<T, String> {
 }
 
 /// Best-effort extraction of a panic payload's message (`panic!` with a
-/// literal yields `&str`, with a format string `String`).
+/// literal yields `&str`, with a format string `String`). Non-string
+/// payloads — `panic_any(42)` and friends — are rendered by value for
+/// the handful of primitive types worth special-casing, and otherwise by
+/// the payload's [`TypeId`](std::any::TypeId), so the fault message
+/// always identifies *what* was thrown instead of collapsing to one
+/// generic string.
 fn payload_message(payload: &(dyn Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "engine panic with non-string payload".to_string()
+        return (*s).to_string();
     }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return s.clone();
+    }
+    macro_rules! try_primitive {
+        ($($ty:ty),*) => {
+            $(if let Some(v) = payload.downcast_ref::<$ty>() {
+                return format!(
+                    "engine panic with {} payload: {v}",
+                    stringify!($ty)
+                );
+            })*
+        };
+    }
+    try_primitive!(
+        i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize, bool, char, f32, f64
+    );
+    format!(
+        "engine panic with non-string payload of type {:?}",
+        payload.type_id()
+    )
 }
 
 #[cfg(test)]
@@ -190,6 +251,34 @@ mod tests {
             run_caught(|| -> u32 { panic!("formatted {n}") }),
             Err("formatted 7".to_string())
         );
+    }
+
+    #[test]
+    fn run_caught_describes_non_string_payloads() {
+        let msg = run_caught(|| -> u32 { std::panic::panic_any(42i32) }).unwrap_err();
+        assert_eq!(msg, "engine panic with i32 payload: 42");
+        let msg = run_caught(|| -> u32 { std::panic::panic_any(true) }).unwrap_err();
+        assert_eq!(msg, "engine panic with bool payload: true");
+        #[derive(Debug)]
+        struct Opaque;
+        let msg = run_caught(|| -> u32 { std::panic::panic_any(Opaque) }).unwrap_err();
+        assert!(
+            msg.starts_with("engine panic with non-string payload of type "),
+            "unexpected message: {msg}"
+        );
+    }
+
+    #[test]
+    fn fault_plan_reads_from_environment() {
+        // Process-global env: use names no other test touches, and clean up.
+        std::env::set_var("DART_FAULT_ABORT_SESSION", "3");
+        std::env::set_var("DART_FAULT_UNKNOWN_QUERY", "junk");
+        let plan = FaultPlan::from_env();
+        std::env::remove_var("DART_FAULT_ABORT_SESSION");
+        std::env::remove_var("DART_FAULT_UNKNOWN_QUERY");
+        assert_eq!(plan.abort_in_session, Some(3));
+        assert_eq!(plan.unknown_on_query, None);
+        assert_eq!(plan.panic_in_session, None);
     }
 
     #[test]

@@ -206,11 +206,10 @@ fn run_supervised(
         // Seed-qualified checkpoint file (see `sweep`'s doc): one per
         // function *and* per retry seed, since a checkpoint is only
         // loadable under the exact seed that recorded it.
-        let checkpoint = config.checkpoint.as_ref().map(|base| {
-            let mut qualified = base.clone().into_os_string();
-            qualified.push(format!(".{name}-{seed:016x}"));
-            std::path::PathBuf::from(qualified)
-        });
+        let checkpoint = config
+            .checkpoint
+            .as_ref()
+            .map(|base| qualified_checkpoint(base, name, seed));
         let cfg = DartConfig {
             seed,
             checkpoint,
@@ -250,18 +249,37 @@ fn run_supervised(
 /// function's sweep seed (so supervised and plain runs agree), later
 /// attempts fold in a fixed odd constant so a fault caused by one input
 /// sequence is not replayed verbatim.
-fn retry_seed(base_seed: u64, attempt: u32) -> u64 {
+///
+/// `pub(crate)` because the farm's worker processes ([`crate::farm`])
+/// must derive the *same* session seed as an in-process sweep — byte
+/// parity of results depends on it.
+pub(crate) fn retry_seed(base_seed: u64, attempt: u32) -> u64 {
     base_seed ^ (attempt as u64).wrapping_mul(0x9E3779B97F4A7C15)
 }
 
 /// FNV-1a, so per-function seeds are stable across runs and platforms.
-fn name_hash(name: &str) -> u64 {
+/// `pub(crate)`: shared with the farm worker path for seed parity.
+pub(crate) fn name_hash(name: &str) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
     for b in name.bytes() {
         h ^= b as u64;
         h = h.wrapping_mul(0x100000001b3);
     }
     h
+}
+
+/// The seed-qualified checkpoint path for one session of a sweep or
+/// farm: `<base>.<function>-<seed in hex>`. Shared with [`crate::farm`]
+/// so a farm worker resumes exactly the file an in-process sweep of the
+/// same seeds would have written.
+pub(crate) fn qualified_checkpoint(
+    base: &std::path::Path,
+    name: &str,
+    seed: u64,
+) -> std::path::PathBuf {
+    let mut qualified = base.to_path_buf().into_os_string();
+    qualified.push(format!(".{name}-{seed:016x}"));
+    std::path::PathBuf::from(qualified)
 }
 
 #[cfg(test)]
@@ -619,6 +637,7 @@ mod tests {
                 panic_in_session: panic,
                 unknown_on_query: query,
                 deny_alloc: alloc,
+                ..FaultPlan::default()
             })
     }
 

@@ -200,6 +200,191 @@ impl SharedVerdictStore {
             s.stats.misses += 1;
         }
     }
+
+    /// Serializes every verdict to a line-oriented text record, sorted so
+    /// the output is deterministic regardless of publish order. Each line
+    /// round-trips through [`import_record`](SharedVerdictStore::import_record);
+    /// the farm's persistent store frames these with its own checksums.
+    pub fn export_records(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let s = shard.read().expect("store lock poisoned");
+            for (set, &split) in &s.unsat {
+                out.push(format!("u {} {}", encode_key(set), split as u8));
+            }
+            for ((seq, hint), (verdict, split)) in &s.exact {
+                out.push(format!(
+                    "e {} {} {} {}",
+                    encode_key(seq),
+                    encode_hint(hint),
+                    encode_outcome(verdict),
+                    *split as u8
+                ));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Parses one [`export_records`](SharedVerdictStore::export_records)
+    /// line and publishes it (first publisher wins, so re-importing is
+    /// idempotent). Returns `false` without publishing anything if the
+    /// record is malformed — a reader recovering a damaged store skips
+    /// such lines and degrades to a colder cache, never a wrong verdict.
+    pub fn import_record(&self, record: &str) -> bool {
+        let mut fields = record.split(' ');
+        match fields.next() {
+            Some("u") => {
+                let (Some(key), Some(split), None) = (fields.next(), fields.next(), fields.next())
+                else {
+                    return false;
+                };
+                let (Some(set), Some(split)) = (decode_key(key), decode_flag(split)) else {
+                    return false;
+                };
+                self.publish_unsat(set, split);
+                true
+            }
+            Some("e") => {
+                let (Some(key), Some(hint), Some(verdict), Some(split), None) = (
+                    fields.next(),
+                    fields.next(),
+                    fields.next(),
+                    fields.next(),
+                    fields.next(),
+                ) else {
+                    return false;
+                };
+                let (Some(seq), Some(hint), Some(out), Some(split)) = (
+                    decode_key(key),
+                    decode_hint(hint),
+                    decode_outcome(verdict),
+                    decode_flag(split),
+                ) else {
+                    return false;
+                };
+                self.publish_exact(seq, hint, out, split);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// `-` for the empty key, else `.`-joined lowercase-hex constraint
+/// fingerprints. Hex keeps the record single-line and space-free no
+/// matter what bytes the fingerprints contain.
+fn encode_key(key: &SetKey) -> String {
+    if key.is_empty() {
+        return "-".to_string();
+    }
+    let parts: Vec<String> = key.iter().map(|part| hex_encode(part)).collect();
+    parts.join(".")
+}
+
+fn decode_key(text: &str) -> Option<SetKey> {
+    if text == "-" {
+        return Some(Vec::new());
+    }
+    text.split('.').map(hex_decode).collect()
+}
+
+/// `-` for the empty projection, else `,`-joined `var:value` pairs with
+/// `var:-` for an unassigned hint slot.
+fn encode_hint(hint: &HintKey) -> String {
+    if hint.is_empty() {
+        return "-".to_string();
+    }
+    let parts: Vec<String> = hint
+        .iter()
+        .map(|(var, val)| match val {
+            Some(v) => format!("{var}:{v}"),
+            None => format!("{var}:-"),
+        })
+        .collect();
+    parts.join(",")
+}
+
+fn decode_hint(text: &str) -> Option<HintKey> {
+    if text == "-" {
+        return Some(Vec::new());
+    }
+    text.split(',')
+        .map(|pair| {
+            let (var, val) = pair.split_once(':')?;
+            let var: u32 = var.parse().ok()?;
+            let val = match val {
+                "-" => None,
+                v => Some(v.parse::<i64>().ok()?),
+            };
+            Some((var, val))
+        })
+        .collect()
+}
+
+/// `unknown`, or `sat:` followed by the model as `,`-joined `var:value`
+/// pairs (`sat:-` for the empty model). `Unsat` never reaches the exact
+/// tier, so it has no encoding.
+fn encode_outcome(out: &SolveOutcome) -> String {
+    match out {
+        SolveOutcome::Unknown => "unknown".to_string(),
+        SolveOutcome::Sat(model) => {
+            if model.is_empty() {
+                return "sat:-".to_string();
+            }
+            let parts: Vec<String> = model
+                .iter()
+                .map(|(var, val)| format!("{}:{val}", var.0))
+                .collect();
+            format!("sat:{}", parts.join(","))
+        }
+        SolveOutcome::Unsat => "unsat".to_string(),
+    }
+}
+
+fn decode_outcome(text: &str) -> Option<SolveOutcome> {
+    if text == "unknown" {
+        return Some(SolveOutcome::Unknown);
+    }
+    if text == "unsat" {
+        return Some(SolveOutcome::Unsat);
+    }
+    let model = text.strip_prefix("sat:")?;
+    if model == "-" {
+        return Some(SolveOutcome::Sat(crate::Assignment::new()));
+    }
+    let mut out = crate::Assignment::new();
+    for pair in model.split(',') {
+        let (var, val) = pair.split_once(':')?;
+        out.insert(crate::Var(var.parse().ok()?), val.parse().ok()?);
+    }
+    Some(SolveOutcome::Sat(out))
+}
+
+fn decode_flag(text: &str) -> Option<bool> {
+    match text {
+        "0" => Some(false),
+        "1" => Some(true),
+        _ => None,
+    }
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+fn hex_decode(text: &str) -> Option<Vec<u8>> {
+    if !text.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..text.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&text[i..i + 2], 16).ok())
+        .collect()
 }
 
 /// FNV-1a over the key's constraint fingerprints — stable across runs and
@@ -257,6 +442,57 @@ mod tests {
         store.publish_unsat(set.clone(), false);
         store.publish_unsat(set.clone(), true);
         assert_eq!(store.lookup_unsat(&set), Some(false));
+    }
+
+    #[test]
+    fn records_round_trip_through_export_and_import() {
+        let store = SharedVerdictStore::new();
+        store.publish_unsat(set_key([eq(0, 1), eq(0, 2)].iter()), true);
+        store.publish_exact(
+            vec![vec![1, 2, 3], vec![0xfe, 0xff]],
+            vec![(0, Some(5)), (3, None)],
+            SolveOutcome::Sat(crate::Assignment::from([(Var(0), 5), (Var(3), -7)])),
+            false,
+        );
+        store.publish_exact(vec![vec![9]], Vec::new(), SolveOutcome::Unknown, true);
+        let records = store.export_records();
+        assert_eq!(records.len(), 3);
+
+        let copy = SharedVerdictStore::new();
+        for line in &records {
+            assert!(copy.import_record(line), "rejected {line:?}");
+        }
+        assert_eq!(copy.export_records(), records);
+        assert_eq!(copy.len(), 3);
+    }
+
+    #[test]
+    fn import_rejects_malformed_records_without_publishing() {
+        let store = SharedVerdictStore::new();
+        for bad in [
+            "",
+            "x 00 1",
+            "u",
+            "u zz 1",
+            "u 00 2",
+            "u 00 1 extra",
+            "e 00 - unknown",
+            "e 00 0:x unknown 0",
+            "e 00 - sat:0 0",
+            "e 00 - what 0",
+        ] {
+            assert!(!store.import_record(bad), "accepted {bad:?}");
+        }
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn import_is_idempotent_and_first_publisher_wins() {
+        let store = SharedVerdictStore::new();
+        assert!(store.import_record("u 07 0"));
+        assert!(store.import_record("u 07 1"));
+        assert_eq!(store.lookup_unsat(&vec![vec![7]]), Some(false));
+        assert_eq!(store.len(), 1);
     }
 
     #[test]

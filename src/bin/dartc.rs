@@ -31,6 +31,15 @@
 //!                      session per function (overrides --toplevel)
 //!   --threads N        sweep parallelism                       [4]
 //!   --max-retries N    reseeded retries per faulted sweep session [1]
+//!   --farm             with --sweep: run each function in its own worker
+//!                      process (true fault isolation — aborts, OOM kills
+//!                      and runaway workers are contained and retried)
+//!   --store PATH       farm-only: persistent verdict/fingerprint store
+//!                      shared by all workers and future farm runs
+//!   --stream PATH      farm-only: append one JSON line per finished
+//!                      function to PATH (`-` streams to stdout)
+//!   --worker-deadline MS  farm-only: kill any worker process that runs
+//!                      longer than MS (fault, retriable, resumable)
 //!   --solve-threads N  per-run candidate-query fan-out; results are
 //!                      byte-identical to N=1       [$DART_SOLVE_THREADS or 1]
 //!   --scheduler S      stealing | scoped: how N solver workers are
@@ -77,6 +86,16 @@ struct Options {
     sweep: Option<String>,
     threads: usize,
     max_retries: u32,
+    farm: bool,
+    store: Option<String>,
+    stream: Option<String>,
+    worker_deadline_ms: Option<u64>,
+    // Hidden worker mode: `dartc <file> --farm-worker --toplevel NAME
+    // --farm-index I --farm-attempt A [engine flags]`, spawned by the
+    // farm supervisor. Never part of the public usage string.
+    farm_worker: bool,
+    farm_index: usize,
+    farm_attempt: u32,
     solve_threads: Option<usize>,
     scheduler: SchedulerMode,
     exec_tier: Option<ExecTier>,
@@ -97,6 +116,7 @@ fn usage() -> &'static str {
      [--frontier-budget N] [--checkpoint FILE] \
      [--all-bugs] [--max-steps N] [--mem-budget N] [--deadline MS] \
      [--sweep NAMES --threads N --max-retries N] \
+     [--farm --store PATH --stream PATH|- --worker-deadline MS] \
      [--solve-threads N] [--scheduler stealing|scoped] \
      [--exec-tier interp|compiled] [--shared-cache] \
      [--stats] [--no-cache] [--interface] [--print-ir]"
@@ -121,6 +141,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         sweep: None,
         threads: 4,
         max_retries: 1,
+        farm: false,
+        store: None,
+        stream: None,
+        worker_deadline_ms: None,
+        farm_worker: false,
+        farm_index: 0,
+        farm_attempt: 0,
         solve_threads: None,
         scheduler: SchedulerMode::WorkStealing,
         exec_tier: None,
@@ -188,6 +215,27 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.max_retries = value(&mut it, "--max-retries")?
                     .parse()
                     .map_err(|_| "--max-retries expects an integer".to_string())?
+            }
+            "--farm" => opts.farm = true,
+            "--store" => opts.store = Some(value(&mut it, "--store")?),
+            "--stream" => opts.stream = Some(value(&mut it, "--stream")?),
+            "--worker-deadline" => {
+                opts.worker_deadline_ms = Some(
+                    value(&mut it, "--worker-deadline")?
+                        .parse()
+                        .map_err(|_| "--worker-deadline expects milliseconds".to_string())?,
+                )
+            }
+            "--farm-worker" => opts.farm_worker = true,
+            "--farm-index" => {
+                opts.farm_index = value(&mut it, "--farm-index")?
+                    .parse()
+                    .map_err(|_| "--farm-index expects an integer".to_string())?
+            }
+            "--farm-attempt" => {
+                opts.farm_attempt = value(&mut it, "--farm-attempt")?
+                    .parse()
+                    .map_err(|_| "--farm-attempt expects an integer".to_string())?
             }
             "--solve-threads" => {
                 opts.solve_threads = Some(
@@ -266,6 +314,16 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if opts.file.is_empty() {
         return Err("no input file".into());
     }
+    if !opts.farm_worker {
+        if opts.farm && opts.sweep.is_none() {
+            return Err("--farm requires --sweep".into());
+        }
+        if !opts.farm
+            && (opts.store.is_some() || opts.stream.is_some() || opts.worker_deadline_ms.is_some())
+        {
+            return Err("--store/--stream/--worker-deadline require --farm".into());
+        }
+    }
     Ok(opts)
 }
 
@@ -311,6 +369,140 @@ fn build_config(opts: &Options) -> DartConfig {
     config
 }
 
+/// Engine flags every worker process must inherit so a farm shard runs
+/// the exact session the in-process sweep would. Supervisor-only flags
+/// (`--threads`, `--max-retries`, `--farm`, `--stream`,
+/// `--worker-deadline`) are deliberately absent; retries are driven by
+/// the supervisor via `--farm-attempt`.
+fn worker_forward_args(opts: &Options) -> Vec<String> {
+    let mode = match opts.mode {
+        EngineMode::Directed => "directed",
+        EngineMode::RandomOnly => "random",
+        EngineMode::SymbolicOnly => "symbolic",
+        EngineMode::Generational => "generational",
+    };
+    let strategy = match opts.strategy {
+        Strategy::Dfs => "dfs",
+        Strategy::RandomBranch => "random-branch",
+    };
+    let order = match opts.frontier_order {
+        FrontierOrder::Scored => "scored",
+        FrontierOrder::Fifo => "fifo",
+    };
+    let scheduler = match opts.scheduler {
+        SchedulerMode::WorkStealing => "stealing",
+        SchedulerMode::StaticScoped => "scoped",
+    };
+    let mut args: Vec<String> = [
+        "--depth",
+        &opts.depth.to_string(),
+        "--runs",
+        &opts.runs.to_string(),
+        "--seed",
+        &opts.seed.to_string(),
+        "--mode",
+        mode,
+        "--strategy",
+        strategy,
+        "--frontier-order",
+        order,
+        "--scheduler",
+        scheduler,
+        "--max-steps",
+        &opts.max_steps.to_string(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    if let Some(budget) = opts.frontier_budget {
+        args.extend(["--frontier-budget".to_string(), budget.to_string()]);
+    }
+    if let Some(path) = &opts.checkpoint {
+        args.extend(["--checkpoint".to_string(), path.clone()]);
+    }
+    if opts.all_bugs {
+        args.push("--all-bugs".to_string());
+    }
+    if let Some(words) = opts.mem_budget {
+        args.extend(["--mem-budget".to_string(), words.to_string()]);
+    }
+    if let Some(ms) = opts.deadline_ms {
+        args.extend(["--deadline".to_string(), ms.to_string()]);
+    }
+    if let Some(n) = opts.solve_threads {
+        args.extend(["--solve-threads".to_string(), n.to_string()]);
+    }
+    if let Some(tier) = opts.exec_tier {
+        let tier = match tier {
+            ExecTier::Interp => "interp",
+            ExecTier::Compiled => "compiled",
+            // Only an unrecognised $DART_EXEC_TIER yields this, and
+            // `--exec-tier` (the sole writer of `opts.exec_tier`)
+            // accepts interp|compiled alone.
+            ExecTier::Invalid => unreachable!("--exec-tier never parses to Invalid"),
+        };
+        args.extend(["--exec-tier".to_string(), tier.to_string()]);
+    }
+    if opts.shared_cache {
+        args.push("--shared-cache".to_string());
+    }
+    if opts.no_cache {
+        args.push("--no-cache".to_string());
+    }
+    if let Some(path) = &opts.store {
+        args.extend(["--store".to_string(), path.clone()]);
+    }
+    args
+}
+
+/// Runs `--sweep` in farm mode: shards across worker processes spawned
+/// from this same executable in the hidden `--farm-worker` mode.
+fn run_farm_sweep(opts: &Options, names: &[String]) -> Result<Vec<dart::SweepResult>, String> {
+    let exe = std::env::current_exe()
+        .map_err(|e| format!("cannot locate own executable for farm workers: {e}"))?;
+    let forwarded = worker_forward_args(opts);
+    let file = opts.file.clone();
+    let command = move |job: &dart::FarmJob| -> std::process::Command {
+        let mut cmd = std::process::Command::new(&exe);
+        cmd.arg(&file)
+            .arg("--farm-worker")
+            .arg("--toplevel")
+            .arg(job.function)
+            .arg("--farm-index")
+            .arg(job.index.to_string())
+            .arg("--farm-attempt")
+            .arg(job.attempt.to_string())
+            .args(&forwarded);
+        cmd
+    };
+    let farm_options = dart::FarmOptions {
+        threads: opts.threads,
+        max_retries: opts.max_retries,
+        worker_deadline: opts
+            .worker_deadline_ms
+            .map(std::time::Duration::from_millis),
+        store: opts.store.as_ref().map(std::path::PathBuf::from),
+        ..dart::FarmOptions::default()
+    };
+    // `Stdout` (unlocked) rather than `StdoutLock`: the lock guard is
+    // not `Send`, and the stream writer crosses into scoped threads.
+    let mut stdout_stream;
+    let mut file_stream;
+    let stream: Option<&mut (dyn std::io::Write + Send)> = match opts.stream.as_deref() {
+        Some("-") => {
+            stdout_stream = std::io::stdout();
+            Some(&mut stdout_stream)
+        }
+        Some(path) => {
+            file_stream = std::fs::File::create(path)
+                .map_err(|e| format!("cannot create stream file {path}: {e}"))?;
+            Some(&mut file_stream)
+        }
+        None => None,
+    };
+    dart::run_farm(names, &farm_options, &command, stream).map_err(|e| e.to_string())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let opts = match parse_args(&args) {
@@ -336,6 +528,38 @@ fn main() -> ExitCode {
         }
     };
 
+    if opts.farm_worker {
+        // Hidden mode: one farm shard, spawned by the supervisor below.
+        // All human-readable output goes to stderr; stdout carries the
+        // wire protocol the supervisor parses.
+        let Some(toplevel) = opts.toplevel.as_deref() else {
+            eprintln!("dartc: --farm-worker requires --toplevel");
+            return ExitCode::from(2);
+        };
+        if compiled.fn_sig(toplevel).is_none() {
+            eprintln!("dartc: no function `{toplevel}` in {}", opts.file);
+            return ExitCode::from(2);
+        }
+        #[allow(unused_mut)]
+        let mut config = build_config(&opts);
+        #[cfg(feature = "fault-injection")]
+        {
+            config.faults = dart::FaultPlan::from_env();
+        }
+        let store = opts.store.as_ref().map(std::path::PathBuf::from);
+        let mut out = std::io::stdout();
+        let code = dart::run_worker(
+            &compiled,
+            toplevel,
+            opts.farm_index,
+            opts.farm_attempt,
+            &config,
+            store.as_deref(),
+            &mut out,
+        );
+        return ExitCode::from(code as u8);
+    }
+
     if opts.print_ir {
         print!("{}", compiled.program);
         return ExitCode::SUCCESS;
@@ -358,11 +582,21 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
-        let results = match dart::sweep(&compiled, &names, &build_config(&opts), opts.threads) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("dartc: {e}");
-                return ExitCode::from(2);
+        let results = if opts.farm {
+            match run_farm_sweep(&opts, &names) {
+                Ok(r) => r,
+                Err(msg) => {
+                    eprintln!("dartc: {msg}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            match dart::sweep(&compiled, &names, &build_config(&opts), opts.threads) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("dartc: {e}");
+                    return ExitCode::from(2);
+                }
             }
         };
         let mut buggy = 0usize;
@@ -500,6 +734,7 @@ fn main() -> ExitCode {
         println!("  sat                {}", s.sat);
         println!("  unsat              {}", s.unsat);
         println!("  unknown            {}", s.unknown);
+        println!("  unknown rate       {:.1}%", s.unknown_rate() * 100.0);
         println!("  cache hits         {}", s.cache_hits);
         println!("  model reuse        {}", s.cache_model_reuse);
         println!("  split solves       {}", s.split_solves);
@@ -648,6 +883,103 @@ mod tests {
         assert!(!o.shared_cache);
         assert!(parse(&["p.mc", "--solve-threads", "0"]).is_err());
         assert!(parse(&["p.mc", "--solve-threads", "many"]).is_err());
+    }
+
+    #[test]
+    fn farm_flags() {
+        let o = parse(&[
+            "p.mc",
+            "--sweep",
+            "f,g",
+            "--farm",
+            "--store",
+            "verdicts.store",
+            "--stream",
+            "-",
+            "--worker-deadline",
+            "750",
+        ])
+        .unwrap();
+        assert!(o.farm);
+        assert_eq!(o.store.as_deref(), Some("verdicts.store"));
+        assert_eq!(o.stream.as_deref(), Some("-"));
+        assert_eq!(o.worker_deadline_ms, Some(750));
+        let o = parse(&["p.mc"]).unwrap();
+        assert!(!o.farm);
+        assert!(o.store.is_none());
+        assert!(o.stream.is_none());
+        assert_eq!(o.worker_deadline_ms, None);
+        // Farm flags are tied to the farm, and the farm to the sweep.
+        assert!(parse(&["p.mc", "--farm"]).is_err());
+        assert!(parse(&["p.mc", "--store", "s"]).is_err());
+        assert!(parse(&["p.mc", "--sweep", "f", "--stream", "out.jsonl"]).is_err());
+        assert!(parse(&[
+            "p.mc",
+            "--sweep",
+            "f",
+            "--farm",
+            "--worker-deadline",
+            "soon"
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn farm_worker_mode_flags() {
+        let o = parse(&[
+            "p.mc",
+            "--farm-worker",
+            "--toplevel",
+            "f",
+            "--farm-index",
+            "3",
+            "--farm-attempt",
+            "1",
+            "--store",
+            "verdicts.store",
+        ])
+        .unwrap();
+        assert!(o.farm_worker);
+        assert_eq!(o.farm_index, 3);
+        assert_eq!(o.farm_attempt, 1);
+        // Worker mode skips the farm-flag validation: the supervisor
+        // forwards `--store` without `--farm`.
+        assert_eq!(o.store.as_deref(), Some("verdicts.store"));
+    }
+
+    #[test]
+    fn worker_args_forward_the_engine_configuration() {
+        let o = parse(&[
+            "p.mc",
+            "--sweep",
+            "f",
+            "--farm",
+            "--mode",
+            "generational",
+            "--checkpoint",
+            "cp",
+            "--store",
+            "s",
+            "--solve-threads",
+            "2",
+            "--threads",
+            "8",
+            "--worker-deadline",
+            "100",
+        ])
+        .unwrap();
+        let args = worker_forward_args(&o);
+        let has = |flag: &str| args.iter().any(|a| a == flag);
+        assert!(has("--mode") && args.contains(&"generational".to_string()));
+        assert!(has("--checkpoint") && has("--store") && has("--solve-threads"));
+        // Supervisor-only flags must not leak into workers.
+        assert!(!has("--threads") && !has("--worker-deadline") && !has("--farm"));
+        // Unset optionals stay unset so workers inherit env defaults.
+        let o = parse(&["p.mc", "--sweep", "f", "--farm"]).unwrap();
+        let args = worker_forward_args(&o);
+        assert!(!args
+            .iter()
+            .any(|a| a == "--exec-tier" || a == "--solve-threads"));
     }
 
     #[test]
