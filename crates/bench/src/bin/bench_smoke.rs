@@ -13,6 +13,7 @@
 //!
 //! ```text
 //! bench_smoke [--baseline PATH] [--tolerance PCT] [--write-baseline] [--gate]
+//!             [--json PATH]
 //! ```
 //!
 //! By default regressions are *reported*, never fatal. With `--gate`,
@@ -21,7 +22,9 @@
 //! 50% (1.5× median) tolerance so only real regressions trip it.
 //! `--write-baseline` overwrites PATH (default `crates/bench/baseline.json`)
 //! with this machine's medians; run it when a deliberate perf change shifts
-//! the numbers.
+//! the numbers. `--json PATH` additionally writes a machine-readable
+//! snapshot — every workload median plus the derived speedup ratios — for
+//! committing alongside a perf-focused change (e.g. `BENCH_8.json`).
 //!
 //! Note on the `parallel_solve`, `work_steal` and `pool` groups: their
 //! speedups are hardware-bound — on a single-core machine the paired
@@ -473,6 +476,25 @@ fn render_baseline(entries: &[(String, u64)]) -> String {
     format!("{{\n{}\n}}\n", body.join(",\n"))
 }
 
+/// The `--json` snapshot: workload medians (ns/iter) plus the derived
+/// speedup ratios, nested so consumers can tell the two apart without
+/// knowing the benchmark names.
+fn render_json_snapshot(medians: &[(String, u64)], ratios: &[(String, f64)]) -> String {
+    let med: Vec<String> = medians
+        .iter()
+        .map(|(k, v)| format!("    \"{k}\": {v}"))
+        .collect();
+    let rat: Vec<String> = ratios
+        .iter()
+        .map(|(k, v)| format!("    \"{k}\": {v:.3}"))
+        .collect();
+    format!(
+        "{{\n  \"median_ns_per_iter\": {{\n{}\n  }},\n  \"speedup_ratios\": {{\n{}\n  }}\n}}\n",
+        med.join(",\n"),
+        rat.join(",\n")
+    )
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let flag_value = |flag: &str| {
@@ -585,29 +607,66 @@ fn main() -> ExitCode {
         Some(get(num)? / get(den)?)
     };
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    if let Some(s) = ratio(
-        "parallel_solve/candidates_1_threads",
-        "parallel_solve/candidates_4_threads",
-    ) {
-        println!("parallel solve speedup (1 -> 4 threads): {s:.2}x on {cores} core(s)");
+    // Each entry: (JSON key, human description, numerator, denominator).
+    let ratio_specs: [(&str, String, &str, &str); 7] = [
+        (
+            "parallel_solve_speedup",
+            format!("parallel solve speedup (1 -> 4 threads) on {cores} core(s)"),
+            "parallel_solve/candidates_1_threads",
+            "parallel_solve/candidates_4_threads",
+        ),
+        (
+            "work_steal_speedup",
+            format!(
+                "work-stealing speedup on skewed candidate costs (static -> stealing) on {cores} core(s)"
+            ),
+            "work_steal/skewed_static",
+            "work_steal/skewed_stealing",
+        ),
+        (
+            "pool_dispatch_speedup",
+            "persistent pool vs per-walk scoped spawn (tiny walk)".to_string(),
+            "pool/spawn_scoped",
+            "pool/dispatch_pooled",
+        ),
+        (
+            "shared_store_speedup",
+            "shared store speedup (600-function sweep)".to_string(),
+            "shared_store/sweep_600_off",
+            "shared_store/sweep_600_on",
+        ),
+        (
+            "frontier_order_speedup",
+            "generational frontier order (fifo -> scored)".to_string(),
+            "gen/fifo",
+            "gen/scored",
+        ),
+        (
+            "gen_dedup_speedup",
+            "generational path-prefix dedup (off -> on)".to_string(),
+            "gen_dedup/off",
+            "gen_dedup/on",
+        ),
+        (
+            "exec_tier_speedup",
+            "compiled execution tier (interp -> compiled)".to_string(),
+            "exec/interp",
+            "exec/compiled",
+        ),
+    ];
+    let mut ratios: Vec<(String, f64)> = Vec::new();
+    for (key, description, num, den) in &ratio_specs {
+        if let Some(s) = ratio(num, den) {
+            println!("{description}: {s:.2}x");
+            ratios.push((key.to_string(), s));
+        }
     }
-    if let Some(s) = ratio("work_steal/skewed_static", "work_steal/skewed_stealing") {
-        println!("work-stealing speedup on skewed candidate costs (static -> stealing): {s:.2}x on {cores} core(s)");
-    }
-    if let Some(s) = ratio("pool/spawn_scoped", "pool/dispatch_pooled") {
-        println!("persistent pool vs per-walk scoped spawn (tiny walk): {s:.2}x");
-    }
-    if let Some(s) = ratio("shared_store/sweep_600_off", "shared_store/sweep_600_on") {
-        println!("shared store speedup (600-function sweep): {s:.2}x");
-    }
-    if let Some(s) = ratio("gen/fifo", "gen/scored") {
-        println!("generational frontier order (fifo -> scored): {s:.2}x");
-    }
-    if let Some(s) = ratio("gen_dedup/off", "gen_dedup/on") {
-        println!("generational path-prefix dedup (off -> on): {s:.2}x");
-    }
-    if let Some(s) = ratio("exec/interp", "exec/compiled") {
-        println!("compiled execution tier (interp -> compiled): {s:.2}x");
+
+    if let Some(json_path) = flag_value("--json") {
+        let text = render_json_snapshot(&current, &ratios);
+        std::fs::write(&json_path, text)
+            .unwrap_or_else(|e| panic!("cannot write {json_path}: {e}"));
+        println!("json snapshot written to {json_path}");
     }
 
     if write_baseline {
@@ -683,6 +742,23 @@ mod tests {
         let entries = vec![("a/b".to_string(), 123u64), ("c".to_string(), 9)];
         let text = render_baseline(&entries);
         assert_eq!(parse_baseline(&text).unwrap(), entries);
+    }
+
+    #[test]
+    fn json_snapshot_has_both_sections() {
+        let text = render_json_snapshot(
+            &[
+                ("exec/interp".to_string(), 2000),
+                ("exec/compiled".to_string(), 400),
+            ],
+            &[("exec_tier_speedup".to_string(), 5.0)],
+        );
+        assert!(text.contains("\"median_ns_per_iter\""));
+        assert!(text.contains("\"exec/compiled\": 400"));
+        assert!(text.contains("\"speedup_ratios\""));
+        assert!(text.contains("\"exec_tier_speedup\": 5.000"));
+        // Keys never need escaping, so the snapshot stays flat JSON.
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
     }
 
     #[test]

@@ -582,6 +582,9 @@ impl<'p> Dart<'p> {
                 report.exec_time += exec_started.elapsed();
                 report.runs += 1;
                 report.steps += result.steps;
+                report.blocks_fused += result.blocks_fused;
+                report.block_fallbacks += result.block_fallbacks;
+                report.steps_fast_pathed += result.steps_fast_pathed;
                 coverage.extend(result.branches.iter().copied());
                 report.branches_covered = coverage.len();
                 if cfg.record_paths {
@@ -762,6 +765,9 @@ impl<'p> Dart<'p> {
                 report.exec_time += exec_started.elapsed();
                 report.runs += 1;
                 report.steps += result.steps;
+                report.blocks_fused += result.blocks_fused;
+                report.block_fallbacks += result.block_fallbacks;
+                report.steps_fast_pathed += result.steps_fast_pathed;
                 // Coverage novelty — the count of `(site, direction)`
                 // pairs this run discovered — scores its children.
                 let mut new_pairs: u64 = 0;
@@ -1209,6 +1215,11 @@ mod tests {
                 let mut report = Dart::new(&compiled, "f", config).unwrap().run();
                 report.exec_time = std::time::Duration::ZERO;
                 report.solve_time = std::time::Duration::ZERO;
+                // Like the wall-clock times, the block counters are tier
+                // diagnostics, not observables.
+                report.blocks_fused = 0;
+                report.block_fallbacks = 0;
+                report.steps_fast_pathed = 0;
                 report
             };
             assert_eq!(run(ExecTier::Interp), run(ExecTier::Compiled), "{mode:?}");

@@ -17,8 +17,8 @@ use crate::supervise::FaultState;
 use crate::tape::InputTape;
 use dart_minic::{CompiledProgram, FnSig};
 use dart_ram::{
-    DecodedProgram, FastMachine, Fault, FuncId, Machine, MachineConfig, MemView, Memory, Statement,
-    StepOutcome, GLOBAL_BASE,
+    BlockOutcome, DecodedProgram, FastMachine, Fault, FuncId, Machine, MachineConfig, MemView,
+    Memory, Statement, StepOutcome, GLOBAL_BASE,
 };
 use dart_solver::Constraint;
 use dart_solver::LinExpr;
@@ -104,6 +104,16 @@ pub struct RunResult {
     /// Branch directions executed: `(conditional's statement label, taken)`
     /// for every conditional (symbolic or not) — branch coverage data.
     pub branches: Vec<(usize, bool)>,
+    /// Whole basic blocks committed through the compiled tier's fused
+    /// path (trace-level taint summary hit nothing tracked). Always zero
+    /// on the interpreter tier — a diagnostic, not an observable.
+    pub blocks_fused: u64,
+    /// Block dispatches that dropped to the stepwise path: footprint
+    /// possibly tainted, budget too tight, or a mid-block fault.
+    pub block_fallbacks: u64,
+    /// Statements committed through the fused path with zero per-step
+    /// symbolic bookkeeping.
+    pub steps_fast_pathed: u64,
 }
 
 /// Executes one instrumented run: initializes extern variables, then calls
@@ -260,6 +270,9 @@ fn run_once_impl(
 
     let mut termination = RunTermination::Ok;
     let mut branches: Vec<(usize, bool)> = Vec::new();
+    let mut blocks_fused = 0u64;
+    let mut block_fallbacks = 0u64;
+    let mut steps_fast_pathed = 0u64;
     // The injected-allocation-denial pre-check below must consult the
     // *source* statement every step; programs that never allocate (the
     // common case) skip it wholesale — on the compiled tier that fetch
@@ -285,7 +298,7 @@ fn run_once_impl(
 
         // The instrumented execution loop.
         loop {
-            let pc = machine.pc();
+            let mut pc = machine.pc();
             if let Some(t) = trace.as_deref_mut() {
                 t.push(format!("{pc:5}: {}", compiled.program.render_stmt(pc)));
             }
@@ -315,8 +328,36 @@ fn run_once_impl(
                 // allocations — defers, mirroring the interpreter's
                 // plan/deny/step order exactly.
                 ExecMachine::Compiled(m) => {
-                    let sym = &ctx.sym;
-                    match m.step_concrete(|addr| sym.tracks(addr)) {
+                    // Trace-level taint summary: attempt a whole basic
+                    // block first. A clean footprint miss against `S`
+                    // commits every statement in the block with zero
+                    // per-step symbolic bookkeeping, outcome plumbing or
+                    // termination checks — skipping `note_taint` is sound
+                    // because the completeness flags only change inside
+                    // `plan`, which a fused block provably does not need.
+                    // Tainted, deferred or budget-limited blocks drop to
+                    // the interpreter-exact stepwise path below.
+                    match m.run_block(&ctx.sym) {
+                        BlockOutcome::Fused { steps, branch } => {
+                            blocks_fused += 1;
+                            steps_fast_pathed += u64::from(steps);
+                            if let Some((bpc, taken)) = branch {
+                                branches.push((bpc, taken));
+                            }
+                            continue;
+                        }
+                        BlockOutcome::Partial { steps } => {
+                            block_fallbacks += 1;
+                            steps_fast_pathed += u64::from(steps);
+                        }
+                        BlockOutcome::Fallback => block_fallbacks += 1,
+                        BlockOutcome::NoBlock => {}
+                    }
+                    // After a partial block the pc rests on the faulting
+                    // statement; re-read it so branch coverage (below)
+                    // attributes the stepwise outcome correctly.
+                    pc = m.pc();
+                    match m.step_concrete(&ctx.sym) {
                         Ok(outcome) => {
                             ctx.note_taint();
                             (Planned::Skipped, outcome)
@@ -386,6 +427,9 @@ fn run_once_impl(
         init_truncated: ctx.init_truncated,
         taint_at: ctx.taint_at,
         branches,
+        blocks_fused,
+        block_fallbacks,
+        steps_fast_pathed,
     }
 }
 
@@ -813,7 +857,7 @@ mod tests {
                         32,
                         None,
                     );
-                    let fast = run_once_in_tier(
+                    let mut fast = run_once_in_tier(
                         &c,
                         &sig,
                         depth,
@@ -823,6 +867,14 @@ mod tests {
                         32,
                         Some(&decoded),
                     );
+                    // The block counters are tier diagnostics (always zero
+                    // on the interpreter), not observables — scrub before
+                    // the byte-for-byte comparison, like wall-clock times
+                    // at the report level.
+                    assert_eq!((interp.blocks_fused, interp.steps_fast_pathed), (0, 0));
+                    fast.blocks_fused = 0;
+                    fast.block_fallbacks = 0;
+                    fast.steps_fast_pathed = 0;
                     assert_eq!(
                         format!("{interp:?}"),
                         format!("{fast:?}"),
@@ -831,5 +883,111 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// A loop over concrete data (no tracked address in its footprint)
+    /// commits most of its steps through fused blocks. Note the loop
+    /// variables are seeded with constants — constant forms are erased
+    /// from `S`, so the block's taint summary comes back clean. A loop
+    /// over the *symbolic* argument would (correctly) fall back stepwise.
+    #[test]
+    fn concrete_loop_mostly_fuses() {
+        let c = compiled(
+            r#"
+            int f(int x) {
+                int i;
+                int acc;
+                i = 0;
+                acc = 0;
+                while (i < 50) {
+                    acc = acc + 2;
+                    i = i + 1;
+                }
+                if (acc > x) return 1;
+                return 0;
+            }
+            "#,
+        );
+        let decoded = DecodedProgram::new(&c.program);
+        let sig = c.fn_sig("f").unwrap().clone();
+        let config = MachineConfig {
+            max_steps: 2000,
+            ..MachineConfig::default()
+        };
+        let r = run_once_in_tier(
+            &c,
+            &sig,
+            1,
+            config,
+            InputTape::new(3),
+            Vec::new(),
+            32,
+            Some(&decoded),
+        );
+        assert!(r.blocks_fused > 0, "concrete loop body must fuse: {r:?}");
+        assert!(
+            r.steps_fast_pathed * 2 > r.steps,
+            "most steps should commit through blocks: {} of {}",
+            r.steps_fast_pathed,
+            r.steps
+        );
+    }
+
+    /// An injected allocation denial lands identically on both tiers: the
+    /// straight-line statements before the `malloc` fuse, but the
+    /// allocation itself never enters a block, so the denial decision
+    /// stays on the stepwise path *before* any effect commits — reports
+    /// match the interpreter byte for byte.
+    #[test]
+    fn injected_alloc_denial_is_tier_invisible() {
+        use crate::supervise::FaultPlan;
+
+        let c = compiled(
+            r#"
+            int f(int x) {
+                int acc;
+                int *p;
+                acc = 1;
+                acc = acc * 2;
+                p = malloc(2);
+                *p = acc + x;
+                return *p;
+            }
+            "#,
+        );
+        let decoded = DecodedProgram::new(&c.program);
+        let sig = c.fn_sig("f").unwrap().clone();
+        let config = crate::DartConfig {
+            faults: FaultPlan {
+                deny_alloc: Some(0),
+                ..FaultPlan::default()
+            },
+            ..crate::DartConfig::default()
+        };
+        let run_tier = |decoded: Option<&DecodedProgram>| {
+            let mut faults = FaultState::for_config(&config);
+            run_once_with_faults(
+                &c,
+                &sig,
+                1,
+                MachineConfig::default(),
+                InputTape::new(5),
+                Vec::new(),
+                32,
+                decoded,
+                &mut faults,
+            )
+        };
+        let interp = run_tier(None);
+        let mut fast = run_tier(Some(&decoded));
+        assert_eq!(interp.termination, RunTermination::OutOfMemory);
+        assert!(
+            fast.blocks_fused > 0,
+            "the assignments before the malloc must fuse: {fast:?}"
+        );
+        fast.blocks_fused = 0;
+        fast.block_fallbacks = 0;
+        fast.steps_fast_pathed = 0;
+        assert_eq!(format!("{interp:?}"), format!("{fast:?}"));
     }
 }

@@ -146,6 +146,9 @@ fn render_report(text: &mut String, report: &SessionReport) {
         paths,
         exec_time,
         solve_time,
+        blocks_fused,
+        block_fallbacks,
+        steps_fast_pathed,
     } = report;
     match outcome {
         Outcome::Complete => text.push_str("outcome complete\n"),
@@ -164,6 +167,10 @@ fn render_report(text: &mut String, report: &SessionReport) {
     let _ = writeln!(
         text,
         "frontier {dedup_hits} {frontier_evicted} {frontier_peak}"
+    );
+    let _ = writeln!(
+        text,
+        "blocks {blocks_fused} {block_fallbacks} {steps_fast_pathed}"
     );
     let SolveStats {
         sat,
@@ -231,6 +238,7 @@ fn parse_report(lines: &mut Lines<'_>) -> Result<SessionReport, String> {
     let steps = lines.field_u64("steps")?;
     let branches = lines.field_list("branches", 2)?;
     let frontier = lines.field_list("frontier", 3)?;
+    let blocks = lines.field_list("blocks", 3)?;
     let solver_fields = lines.field_list("solver", 11)?;
     let workers_line = lines.field_rest("workers")?;
     let per_worker_solves =
@@ -294,6 +302,9 @@ fn parse_report(lines: &mut Lines<'_>) -> Result<SessionReport, String> {
         paths,
         exec_time: Duration::new(exec[0], exec[1] as u32),
         solve_time: Duration::new(solve[0], solve[1] as u32),
+        blocks_fused: blocks[0],
+        block_fallbacks: blocks[1],
+        steps_fast_pathed: blocks[2],
     })
 }
 
@@ -551,6 +562,9 @@ mod tests {
         report.solver.per_worker_solves = vec![3, 0, 9];
         report.exec_time = Duration::new(1, 999_999_999);
         report.solve_time = Duration::from_nanos(1);
+        report.blocks_fused = 311;
+        report.block_fallbacks = 13;
+        report.steps_fast_pathed = 88000;
         report.paths = vec![vec![(0, true), (3, false)], Vec::new()];
         let bug = Bug {
             kind: BugKind::Abort("assertion failed:\n x > 0 \\ always".to_string()),

@@ -254,6 +254,11 @@ fn run_parallel_cfg(
 fn scrub(mut r: SessionReport) -> SessionReport {
     r.exec_time = std::time::Duration::ZERO;
     r.solve_time = std::time::Duration::ZERO;
+    // The block counters are compiled-tier diagnostics (always zero on
+    // the interpreter), outside the cross-tier determinism contract.
+    r.blocks_fused = 0;
+    r.block_fallbacks = 0;
+    r.steps_fast_pathed = 0;
     r.solver.scrub_scheduling();
     r
 }

@@ -52,6 +52,11 @@ const AC_CONTROLLER: &str = r#"
 fn scrub(mut r: SessionReport) -> SessionReport {
     r.exec_time = std::time::Duration::ZERO;
     r.solve_time = std::time::Duration::ZERO;
+    // Block counters are compiled-tier diagnostics, zero on the
+    // interpreter — outside the cross-tier contract.
+    r.blocks_fused = 0;
+    r.block_fallbacks = 0;
+    r.steps_fast_pathed = 0;
     r.solver.scrub_scheduling();
     r
 }

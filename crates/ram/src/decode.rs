@@ -16,6 +16,18 @@
 //! driver run the expensive symbolic plan. Concrete-only stretches pay for
 //! the probe and nothing else.
 //!
+//! Above single steps sits the basic-block layer: [`DecodedProgram::new`]
+//! discovers block boundaries over the flat array at lowering time (the
+//! boundary definition is shared with the interpreter via
+//! [`crate::interp::block_role`]) and attaches to each block a static
+//! read/write address footprint plus a fused superinstruction.
+//! [`FastMachine::run_block`] executes a whole straight-line block with one
+//! budget check, one footprint probe against a [`SymView`] (the
+//! trace-level taint summary) and one dispatch — zero per-statement
+//! staging, outcome plumbing or termination checks — and declines without
+//! side effects whenever the footprint may overlap tracked state, so the
+//! caller can drop to the interpreter-exact stepwise path.
+//!
 //! Semantics are pinned to the interpreter — same statement order, same
 //! fault points, same budget boundaries ([`crate::MachineConfig::max_steps`]
 //! is checked before the step, so a budget of N executes exactly N
@@ -24,7 +36,7 @@
 //! programs, which is what makes this tier safe to trust.
 
 use crate::expr::{apply_binop, BinOp, Expr, MemView, UnOp};
-use crate::interp::{Environment, MachineConfig, StepOutcome};
+use crate::interp::{block_role, BlockRole, Environment, MachineConfig, StepOutcome};
 use crate::memory::{Fault, Memory};
 use crate::program::{AllocKind, ExtId, FuncId, Label, Program, Statement};
 
@@ -157,6 +169,347 @@ impl FlatExpr {
     }
 }
 
+/// Read-only view of the symbolic store, as the compiled tier consumes it:
+/// a per-address membership test plus a 64-bit address bloom over the whole
+/// tracked set. One `&dyn SymView` serves both granularities — the per-load
+/// taint probe of the stepwise path and the whole-block footprint pass of
+/// the fused path — and keeps [`FastMachine::probe`] monomorphized once,
+/// shared by every call site, instead of re-instantiated per closure.
+pub trait SymView {
+    /// Whether `addr` currently holds a symbolically-tracked value.
+    fn tracks(&self, addr: i64) -> bool;
+
+    /// Address bloom over the tracked set: bit `addr mod 64` is set for
+    /// every tracked address. A may-summary — false positives allowed,
+    /// false negatives not; `0` means nothing is tracked at all.
+    fn summary(&self) -> u64;
+
+    /// Bulk footprint probe for a fused block: whether any of the block's
+    /// frame slots (offsets relative to `frame_base`) or absolute
+    /// addresses is tracked. `bloom` is the caller's precomputed address
+    /// bloom of the whole footprint; one `AND` against
+    /// [`SymView::summary`] resolves the common all-concrete case, and
+    /// only a bloom hit pays for the precise per-address pass.
+    fn tracks_footprint(&self, bloom: u64, frame_base: i64, slots: &[i64], abs: &[i64]) -> bool {
+        let summary = self.summary();
+        if summary & bloom == 0 {
+            return false;
+        }
+        slots
+            .iter()
+            .any(|&k| self.tracks(frame_base.wrapping_add(k)))
+            || abs.iter().any(|&a| self.tracks(a))
+    }
+}
+
+/// The empty [`SymView`]: nothing is tracked (concrete-only execution).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoSym;
+
+impl SymView for NoSym {
+    fn tracks(&self, _addr: i64) -> bool {
+        false
+    }
+    fn summary(&self) -> u64 {
+        0
+    }
+}
+
+/// Abstract value for the static footprint scan: what a (sub)expression
+/// evaluates to when only the frame base is unknown.
+#[derive(Debug, Clone, Copy)]
+enum AbsVal {
+    /// A compile-time constant.
+    Const(i64),
+    /// `frame_base + k` for the executing frame.
+    FrameRel(i64),
+    /// Anything data-dependent.
+    Opaque,
+}
+
+/// Accumulated read/write footprint of a block: frame-slot offsets plus
+/// absolute addresses. Order and duplicates are irrelevant here — the sets
+/// are sorted and deduplicated when the block is sealed.
+#[derive(Debug, Default)]
+struct Footprint {
+    slots: Vec<i64>,
+    abs: Vec<i64>,
+}
+
+impl Footprint {
+    fn merge(&mut self, other: &Footprint) {
+        self.slots.extend_from_slice(&other.slots);
+        self.abs.extend_from_slice(&other.abs);
+    }
+}
+
+/// Statically scans a flattened expression, recording every address it can
+/// load from into `fp` and returning the abstract value it produces.
+/// Returns `None` (escape) when some load address is data-dependent — such
+/// an expression has no static footprint, so its statement can never be
+/// part of a fused block. Constant folding mirrors [`apply_binop`]'s
+/// wrapping `Add`/`Sub` exactly (both are total); every other operator is
+/// treated as opaque.
+fn scan_expr(e: &FlatExpr, fp: &mut Footprint) -> Option<AbsVal> {
+    let mut stack: Vec<AbsVal> = Vec::with_capacity(8);
+    for op in e.ops.iter() {
+        let v = match *op {
+            FlatOp::Const(c) => AbsVal::Const(c),
+            FlatOp::FrameBase => AbsVal::FrameRel(0),
+            FlatOp::FrameSlot(k) => AbsVal::FrameRel(k),
+            FlatOp::LoadLocal(k) => {
+                fp.slots.push(k);
+                AbsVal::Opaque
+            }
+            FlatOp::LoadConst(a) => {
+                fp.abs.push(a);
+                AbsVal::Opaque
+            }
+            FlatOp::Load => {
+                match stack.pop().expect("postfix arity") {
+                    AbsVal::Const(a) => fp.abs.push(a),
+                    AbsVal::FrameRel(k) => fp.slots.push(k),
+                    AbsVal::Opaque => return None,
+                }
+                AbsVal::Opaque
+            }
+            FlatOp::Unary(_) => {
+                stack.pop().expect("postfix arity");
+                AbsVal::Opaque
+            }
+            FlatOp::Binary(op) => {
+                let b = stack.pop().expect("postfix arity");
+                let a = stack.pop().expect("postfix arity");
+                match (op, a, b) {
+                    (BinOp::Add, AbsVal::FrameRel(k), AbsVal::Const(c))
+                    | (BinOp::Add, AbsVal::Const(c), AbsVal::FrameRel(k)) => {
+                        AbsVal::FrameRel(k.wrapping_add(c))
+                    }
+                    (BinOp::Sub, AbsVal::FrameRel(k), AbsVal::Const(c)) => {
+                        AbsVal::FrameRel(k.wrapping_sub(c))
+                    }
+                    (BinOp::Add, AbsVal::Const(x), AbsVal::Const(y)) => {
+                        AbsVal::Const(x.wrapping_add(y))
+                    }
+                    (BinOp::Sub, AbsVal::Const(x), AbsVal::Const(y)) => {
+                        AbsVal::Const(x.wrapping_sub(y))
+                    }
+                    _ => AbsVal::Opaque,
+                }
+            }
+        };
+        stack.push(v);
+    }
+    Some(stack.pop().expect("postfix leaves one value"))
+}
+
+/// Statically-resolved destination of a fused assignment.
+#[derive(Debug, Clone, Copy)]
+enum Dst {
+    /// Frame slot `k` of the executing frame.
+    Slot(i64),
+    /// A fixed absolute address (globals).
+    Abs(i64),
+}
+
+/// How a basic block ends.
+#[derive(Debug, Clone, Copy)]
+enum BlockEnd {
+    /// Falls to the stepwise path: the next statement defers (call,
+    /// return, allocation, …) or its footprint escapes.
+    Stop,
+    /// Unconditional `Goto`.
+    Jump(Label),
+    /// Conditional `If` with the given taken-target.
+    Branch(Label),
+}
+
+/// Per-block metadata attached at lowering time: the superinstruction the
+/// fused path executes plus the static address footprint the trace-level
+/// taint summary is checked against. A block is a maximal run of fusible
+/// assignments (static destinations, no escaping loads) optionally closed
+/// by one in-block control transfer; it never contains calls, allocations
+/// or terminal statements — those always execute stepwise.
+#[derive(Debug, Clone)]
+struct Block {
+    /// Statements the fused path commits (`body` assignments plus the
+    /// `Jump`/`Branch` terminator when present). Always ≥ 1.
+    len: u32,
+    /// Leading assignment count.
+    body: u32,
+    end: BlockEnd,
+    /// Destinations of the body assignments, in order.
+    dsts: Box<[Dst]>,
+    /// Frame-slot footprint (reads and writes), deduplicated.
+    slots: Box<[i64]>,
+    /// Absolute-address footprint (reads and writes), deduplicated.
+    abs: Box<[i64]>,
+    /// Bloom over `slots` (bit `k mod 64`). Rotating left by
+    /// `frame_base mod 64` yields the bloom of the resolved runtime
+    /// addresses, because `(frame_base + k) mod 64` equals
+    /// `(frame_base mod 64 + k mod 64) mod 64` — wrapping arithmetic is
+    /// congruent mod 64.
+    rel_bloom: u64,
+    /// Bloom over `abs` (bit `addr mod 64`).
+    abs_bloom: u64,
+}
+
+/// Longest straight-line run a single block may fuse. Bounds the quadratic
+/// overlap of blocks discovered at every leader inside one long run.
+const MAX_FUSED_LEN: usize = 64;
+
+/// Per-statement fusibility, derived once from the shared [`block_role`]
+/// classification plus the static footprint scan.
+enum Fuse {
+    /// Fusible assignment: static destination, summarizable reads.
+    Body { dst: Dst, fp: Footprint },
+    /// Conditional with a summarizable condition — may close a block.
+    Branch { target: Label, fp: Footprint },
+    /// Unconditional jump — may close a block.
+    Jump(Label),
+    /// Deferred statement or data-dependent footprint: stepwise only.
+    Boundary,
+}
+
+fn classify(source: &Statement, decoded: &DStmt) -> Fuse {
+    match (block_role(source), decoded) {
+        (BlockRole::Body, DStmt::Assign { dst, src }) => {
+            let mut fp = Footprint::default();
+            let dst_val = scan_expr(dst, &mut fp);
+            let src_ok = scan_expr(src, &mut fp).is_some();
+            // The destination address is part of the footprint too: a
+            // write over a tracked address must fall back so the symbolic
+            // layer can forget the binding.
+            match dst_val {
+                Some(AbsVal::FrameRel(k)) if src_ok => {
+                    fp.slots.push(k);
+                    Fuse::Body {
+                        dst: Dst::Slot(k),
+                        fp,
+                    }
+                }
+                Some(AbsVal::Const(a)) if src_ok => {
+                    fp.abs.push(a);
+                    Fuse::Body {
+                        dst: Dst::Abs(a),
+                        fp,
+                    }
+                }
+                _ => Fuse::Boundary,
+            }
+        }
+        (BlockRole::Jump, DStmt::If { cond, target }) => {
+            let mut fp = Footprint::default();
+            match scan_expr(cond, &mut fp) {
+                Some(_) => Fuse::Branch {
+                    target: *target,
+                    fp,
+                },
+                None => Fuse::Boundary,
+            }
+        }
+        (BlockRole::Jump, DStmt::Goto(target)) => Fuse::Jump(*target),
+        _ => Fuse::Boundary,
+    }
+}
+
+/// Discovers basic blocks at every *leader* — function entries,
+/// jump/branch/call targets, and each fallthrough out of a non-fusible
+/// statement. Leaders are the only pcs the driver can reach with a fresh
+/// dispatch: a fused commit stops only at boundaries (whose successors are
+/// leaders) or terminal faults (which end the episode), so mid-block pcs
+/// are never re-entered and blocks at leaders cover everything fusible.
+fn discover_blocks(program: &Program, stmts: &[DStmt]) -> Box<[Option<Box<Block>>]> {
+    let n = stmts.len();
+    let kinds: Vec<Fuse> = program
+        .stmts
+        .iter()
+        .zip(stmts.iter())
+        .map(|(s, d)| classify(s, d))
+        .collect();
+
+    let mut leader = vec![false; n];
+    if n > 0 {
+        leader[0] = true;
+    }
+    for f in &program.funcs {
+        if f.entry < n {
+            leader[f.entry] = true;
+        }
+    }
+    for (i, d) in stmts.iter().enumerate() {
+        let target = match d {
+            DStmt::If { target, .. } => Some(*target),
+            DStmt::Goto(target) => Some(*target),
+            DStmt::Call { entry, .. } => Some(*entry),
+            _ => None,
+        };
+        if let Some(t) = target {
+            if t < n {
+                leader[t] = true;
+            }
+        }
+        if !matches!(kinds[i], Fuse::Body { .. }) && i + 1 < n {
+            leader[i + 1] = true;
+        }
+    }
+
+    let mut blocks: Vec<Option<Box<Block>>> = (0..n).map(|_| None).collect();
+    for pc in 0..n {
+        if !leader[pc] {
+            continue;
+        }
+        let mut fp = Footprint::default();
+        let mut dsts = Vec::new();
+        let mut i = pc;
+        while i < n && dsts.len() < MAX_FUSED_LEN {
+            match &kinds[i] {
+                Fuse::Body { dst, fp: sfp } => {
+                    dsts.push(*dst);
+                    fp.merge(sfp);
+                    i += 1;
+                }
+                _ => break,
+            }
+        }
+        let end = if dsts.len() < MAX_FUSED_LEN {
+            match kinds.get(i) {
+                Some(Fuse::Branch { target, fp: cfp }) => {
+                    fp.merge(cfp);
+                    BlockEnd::Branch(*target)
+                }
+                Some(Fuse::Jump(target)) => BlockEnd::Jump(*target),
+                _ => BlockEnd::Stop,
+            }
+        } else {
+            BlockEnd::Stop
+        };
+        let body = dsts.len();
+        let len = body + usize::from(!matches!(end, BlockEnd::Stop));
+        if len == 0 {
+            continue;
+        }
+        let Footprint { mut slots, mut abs } = fp;
+        slots.sort_unstable();
+        slots.dedup();
+        abs.sort_unstable();
+        abs.dedup();
+        let rel_bloom = slots.iter().fold(0u64, |s, &k| s | 1u64 << (k as u64 & 63));
+        let abs_bloom = abs.iter().fold(0u64, |s, &a| s | 1u64 << (a as u64 & 63));
+        blocks[pc] = Some(Box::new(Block {
+            len: len as u32,
+            body: body as u32,
+            end,
+            dsts: dsts.into_boxed_slice(),
+            slots: slots.into_boxed_slice(),
+            abs: abs.into_boxed_slice(),
+            rel_bloom,
+            abs_bloom,
+        }));
+    }
+    blocks.into_boxed_slice()
+}
+
 /// A decoded statement: operands flattened, call targets resolved.
 #[derive(Debug, Clone)]
 enum DStmt {
@@ -202,6 +555,8 @@ enum DStmt {
 #[derive(Debug, Clone)]
 pub struct DecodedProgram {
     stmts: Box<[DStmt]>,
+    /// Basic-block metadata, indexed by leader pc (`None` elsewhere).
+    blocks: Box<[Option<Box<Block>>]>,
 }
 
 impl DecodedProgram {
@@ -214,7 +569,7 @@ impl DecodedProgram {
     /// Panics if a `Call` names an out-of-range [`FuncId`] — the same
     /// contract as the interpreter; run [`Program::validate`] first.
     pub fn new(program: &Program) -> DecodedProgram {
-        let stmts = program
+        let stmts: Box<[DStmt]> = program
             .stmts
             .iter()
             .map(|s| match s {
@@ -255,7 +610,27 @@ impl DecodedProgram {
                 },
             })
             .collect();
-        DecodedProgram { stmts }
+        let blocks = discover_blocks(program, &stmts);
+        DecodedProgram { stmts, blocks }
+    }
+
+    /// The basic block whose leader is `pc`, if one was discovered there.
+    fn block_at(&self, pc: Label) -> Option<&Block> {
+        self.blocks.get(pc).and_then(|b| b.as_deref())
+    }
+
+    /// Number of statements covered by fused blocks (diagnostic; counts
+    /// each statement once even when overlapping blocks cover it).
+    pub fn fused_coverage(&self) -> usize {
+        let mut covered = vec![false; self.stmts.len()];
+        for (pc, b) in self.blocks.iter().enumerate() {
+            if let Some(b) = b {
+                for c in covered.iter_mut().skip(pc).take(b.len as usize) {
+                    *c = true;
+                }
+            }
+        }
+        covered.iter().filter(|&&c| c).count()
     }
 
     /// Number of decoded statements (same as the source program).
@@ -316,6 +691,35 @@ struct StagedCall {
     frame_words: u32,
     arg_values: Vec<i64>,
     ret_dst: Option<i64>,
+}
+
+/// What [`FastMachine::run_block`] did at the current pc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockOutcome {
+    /// No fusible block starts at the current pc (the statement is
+    /// deferred, escaping, or mid-block): execute stepwise.
+    NoBlock,
+    /// A block exists but could not fuse this time: its footprint may
+    /// overlap the tracked set, or the step budget cannot admit the whole
+    /// block. Machine state is untouched; execute stepwise.
+    Fallback,
+    /// The whole block committed concretely: `steps` statements with
+    /// provably no symbolic effect. `branch` carries the terminating
+    /// conditional's `(label, taken)` when the block ended in one.
+    Fused {
+        /// Statements committed (and added to the step counter).
+        steps: u32,
+        /// `(pc, taken)` of the closing conditional, if any.
+        branch: Option<(Label, bool)>,
+    },
+    /// A prefix of `steps` statements committed, then evaluation faulted
+    /// before any effect of the next statement; the pc rests on that
+    /// statement and the stepwise path re-executes it, surfacing the
+    /// interpreter-identical terminal outcome.
+    Partial {
+        /// Statements committed before the stop.
+        steps: u32,
+    },
 }
 
 /// What [`FastMachine::probe`] learned about the next step.
@@ -489,10 +893,108 @@ impl<'p> FastMachine<'p> {
         Ok(base)
     }
 
+    /// Attempts to execute a whole basic block through the fused path: one
+    /// budget check, one footprint probe against `sym`, then straight-line
+    /// commits with zero per-statement staging or outcome plumbing.
+    /// Returns [`BlockOutcome::NoBlock`] / [`BlockOutcome::Fallback`]
+    /// without touching machine state when the current pc has no block or
+    /// the block cannot prove itself concrete; on a fault mid-block the
+    /// committed prefix stands and the pc rests on the faulting statement
+    /// ([`BlockOutcome::Partial`]), which the stepwise path then
+    /// re-executes to surface the interpreter-identical terminal outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no episode is running.
+    pub fn run_block(&mut self, sym: &dyn SymView) -> BlockOutcome {
+        assert!(self.running, "no episode in progress");
+        let decoded = self.decoded;
+        let Some(block) = decoded.block_at(self.pc) else {
+            return BlockOutcome::NoBlock;
+        };
+        if self.steps.saturating_add(u64::from(block.len)) > self.config.max_steps {
+            return BlockOutcome::Fallback;
+        }
+        let frame_base = self.frames.last().map(|f| f.base).unwrap_or(0);
+        let bloom = block.rel_bloom.rotate_left((frame_base as u64 & 63) as u32) | block.abs_bloom;
+        if sym.tracks_footprint(bloom, frame_base, &block.slots, &block.abs) {
+            return BlockOutcome::Fallback;
+        }
+
+        self.staged = None;
+        let start = self.pc;
+        for i in 0..block.body as usize {
+            let DStmt::Assign { src, .. } = &decoded.stmts[start + i] else {
+                unreachable!("block body is fusible assignments");
+            };
+            let evaluated = src.eval_with(&self.mem, frame_base, &mut self.scratch, |_| {});
+            let committed = match evaluated {
+                Ok(value) => {
+                    let addr = match block.dsts[i] {
+                        Dst::Slot(k) => frame_base.wrapping_add(k),
+                        Dst::Abs(a) => a,
+                    };
+                    self.mem.store(addr, value)
+                }
+                Err(fault) => Err(fault),
+            };
+            if committed.is_err() {
+                // Stop *before* the faulting statement: the committed
+                // prefix matches the interpreter exactly, and re-running
+                // the statement stepwise surfaces the identical fault.
+                self.pc = start + i;
+                self.steps += i as u64;
+                return BlockOutcome::Partial { steps: i as u32 };
+            }
+        }
+
+        match block.end {
+            BlockEnd::Stop => {
+                self.pc = start + block.body as usize;
+                self.steps += u64::from(block.body);
+                BlockOutcome::Fused {
+                    steps: block.body,
+                    branch: None,
+                }
+            }
+            BlockEnd::Jump(target) => {
+                self.pc = target;
+                self.steps += u64::from(block.len);
+                BlockOutcome::Fused {
+                    steps: block.len,
+                    branch: None,
+                }
+            }
+            BlockEnd::Branch(target) => {
+                let if_pc = start + block.body as usize;
+                let DStmt::If { cond, .. } = &decoded.stmts[if_pc] else {
+                    unreachable!("branch block ends in an If");
+                };
+                let evaluated = cond.eval_with(&self.mem, frame_base, &mut self.scratch, |_| {});
+                match evaluated {
+                    Ok(v) => {
+                        let taken = v != 0;
+                        self.pc = if taken { target } else { if_pc + 1 };
+                        self.steps += u64::from(block.len);
+                        BlockOutcome::Fused {
+                            steps: block.len,
+                            branch: Some((if_pc, taken)),
+                        }
+                    }
+                    Err(_) => {
+                        self.pc = if_pc;
+                        self.steps += u64::from(block.body);
+                        BlockOutcome::Partial { steps: block.body }
+                    }
+                }
+            }
+        }
+    }
+
     /// Stages the next step without mutating machine state (`steps`, `pc`,
     /// memory and frames are untouched; only the staged slot and the
-    /// scratch stack change). `tracked` answers whether an address is
-    /// symbolically tracked; the probe applies it to every load performed
+    /// scratch stack change). `sym` answers whether an address is
+    /// symbolically tracked; the probe consults it on every load performed
     /// by a *mirrored* operand (assignment sources, branch conditions,
     /// call arguments, return values — the expressions the symbolic plan
     /// evaluates) and reports the result.
@@ -503,10 +1005,10 @@ impl<'p> FastMachine<'p> {
     /// # Panics
     ///
     /// Panics if no episode is running.
-    pub fn probe<F: Fn(i64) -> bool>(&mut self, tracked: F) -> ProbeSummary {
+    pub fn probe(&mut self, sym: &dyn SymView) -> ProbeSummary {
         assert!(self.running, "no episode in progress");
         let mut tainted = false;
-        let staged = self.stage(tracked, &mut tainted);
+        let staged = self.stage(sym, &mut tainted);
         let terminal = matches!(
             staged,
             Staged::OutOfSteps
@@ -522,7 +1024,7 @@ impl<'p> FastMachine<'p> {
     /// Computes the staged effect of the next step. Pure on machine state;
     /// replicates the interpreter's evaluation order exactly (budget check
     /// before the statement fetch, operand order, fault points).
-    fn stage<F: Fn(i64) -> bool>(&mut self, tracked: F, tainted: &mut bool) -> Staged {
+    fn stage(&mut self, sym: &dyn SymView, tainted: &mut bool) -> Staged {
         if self.steps >= self.config.max_steps {
             return Staged::OutOfSteps;
         }
@@ -534,7 +1036,7 @@ impl<'p> FastMachine<'p> {
         let scratch = &mut self.scratch;
         let nop = |_: i64| {};
         let mut taint = |addr: i64| {
-            if tracked(addr) {
+            if sym.tracks(addr) {
                 *tainted = true;
             }
         };
@@ -640,13 +1142,10 @@ impl<'p> FastMachine<'p> {
     /// # Panics
     ///
     /// Panics if no episode is running.
-    pub fn step_concrete<F: Fn(i64) -> bool>(
-        &mut self,
-        tracked: F,
-    ) -> Result<StepOutcome, ProbeSummary> {
+    pub fn step_concrete(&mut self, sym: &dyn SymView) -> Result<StepOutcome, ProbeSummary> {
         assert!(self.running, "no episode in progress");
         let mut tainted = false;
-        let staged = self.stage(tracked, &mut tainted);
+        let staged = self.stage(sym, &mut tainted);
         let terminal = matches!(
             staged,
             Staged::OutOfSteps
@@ -792,7 +1291,7 @@ impl<'p> FastMachine<'p> {
     ///
     /// Panics if no episode is running.
     pub fn step(&mut self, env: &mut dyn Environment) -> StepOutcome {
-        self.probe(|_| false);
+        self.probe(&NoSym);
         self.commit(env)
     }
 
@@ -833,11 +1332,48 @@ mod tests {
     use crate::program::{External, Function};
     use crate::ResourceBudget;
 
+    /// Test [`SymView`] over an explicit tracked-address set.
+    struct TrackedSet(Vec<i64>);
+
+    impl SymView for TrackedSet {
+        fn tracks(&self, addr: i64) -> bool {
+            self.0.contains(&addr)
+        }
+        fn summary(&self) -> u64 {
+            self.0.iter().fold(0, |s, &a| s | 1u64 << (a as u64 & 63))
+        }
+    }
+
     fn run_fast(program: &Program, func: &str, args: &[i64]) -> StepOutcome {
         let decoded = DecodedProgram::new(program);
         let mut m = FastMachine::new(program, &decoded, MachineConfig::default());
         m.call(program.func_by_name(func).unwrap(), args).unwrap();
         m.run(&mut ZeroEnv)
+    }
+
+    /// Runs to completion through the block layer: fused where possible,
+    /// stepwise everywhere else. Returns the terminal outcome and steps.
+    fn run_via_blocks(
+        program: &Program,
+        config: MachineConfig,
+        args: &[i64],
+        sym: &dyn SymView,
+    ) -> (StepOutcome, u64) {
+        let decoded = DecodedProgram::new(program);
+        let mut m = FastMachine::new(program, &decoded, config);
+        m.call(program.func_by_name("main").unwrap(), args).unwrap();
+        loop {
+            if let BlockOutcome::Fused { .. } = m.run_block(sym) {
+                continue;
+            }
+            let out = match m.step_concrete(sym) {
+                Ok(out) => out,
+                Err(_) => m.commit(&mut ZeroEnv),
+            };
+            if out.is_terminal() {
+                return (out, m.steps_taken());
+            }
+        }
     }
 
     /// Drives both machines in lockstep and asserts identical outcome
@@ -1097,8 +1633,8 @@ mod tests {
         // Statement 0 (acc = 1): the source is constant — untainted even
         // though the parameter address is tracked; probing twice is
         // harmless and mutates nothing.
-        let tracked = move |addr: i64| addr == base;
-        let s = m.probe(tracked);
+        let tracked = TrackedSet(vec![base]);
+        let s = m.probe(&tracked);
         assert_eq!(
             s,
             ProbeSummary {
@@ -1106,7 +1642,7 @@ mod tests {
                 tainted: false
             }
         );
-        assert_eq!(m.probe(tracked), s, "probe restages idempotently");
+        assert_eq!(m.probe(&tracked), s, "probe restages idempotently");
         assert_eq!(m.steps_taken(), 0);
         assert_eq!(m.pc(), 0);
         assert!(matches!(
@@ -1116,7 +1652,7 @@ mod tests {
 
         // Statement 1 (if n <= 0): the condition loads the tracked
         // parameter slot.
-        let s = m.probe(tracked);
+        let s = m.probe(&tracked);
         assert_eq!(
             s,
             ProbeSummary {
@@ -1130,7 +1666,7 @@ mod tests {
         ));
 
         // With nothing tracked, the same condition is untainted.
-        let s = m.probe(|_| false);
+        let s = m.probe(&NoSym);
         assert!(!s.tainted && !s.terminal);
     }
 
@@ -1151,7 +1687,7 @@ mod tests {
         let decoded = DecodedProgram::new(&p);
         let mut m = FastMachine::new(&p, &decoded, MachineConfig::default());
         m.call(FuncId(0), &[]).unwrap();
-        let s = m.probe(|_| false);
+        let s = m.probe(&NoSym);
         assert!(s.terminal && s.needs_mirror());
         assert_eq!(
             m.commit(&mut ZeroEnv),
@@ -1249,5 +1785,172 @@ mod tests {
             "{out:?}"
         );
         assert_lockstep(&p, MachineConfig::default(), &[]);
+    }
+
+    #[test]
+    fn blocks_cover_the_factorial_loop() {
+        let p = factorial_program();
+        let decoded = DecodedProgram::new(&p);
+        // Leader 0 (entry): [acc = 1] closed by the If → len 2.
+        let b = decoded.block_at(0).expect("entry block");
+        assert_eq!((b.body, b.len), (1, 2));
+        assert!(matches!(b.end, BlockEnd::Branch(5)));
+        // Footprint: slot 0 read by the condition, slot 1 written.
+        assert_eq!(&*b.slots, &[0, 1]);
+        assert!(b.abs.is_empty());
+        // Leader 2 (fallthrough of the If): both loop assigns + the Goto.
+        let b = decoded.block_at(2).expect("loop body block");
+        assert_eq!((b.body, b.len), (2, 3));
+        assert!(matches!(b.end, BlockEnd::Jump(1)));
+        assert_eq!(&*b.slots, &[0, 1]);
+        // The whole program is reachable through fused blocks except the
+        // Ret (deferred).
+        assert_eq!(decoded.fused_coverage(), 5);
+    }
+
+    #[test]
+    fn fused_blocks_match_stepwise_execution() {
+        let p = factorial_program();
+        for n in [0i64, 1, 5, 10] {
+            let decoded = DecodedProgram::new(&p);
+            let mut stepwise = FastMachine::new(&p, &decoded, MachineConfig::default());
+            stepwise.call(FuncId(0), &[n]).unwrap();
+            let want = stepwise.run(&mut ZeroEnv);
+            let (got, steps) = run_via_blocks(&p, MachineConfig::default(), &[n], &NoSym);
+            assert_eq!(got, want);
+            assert_eq!(steps, stepwise.steps_taken());
+        }
+    }
+
+    #[test]
+    fn fused_branch_reports_the_conditional() {
+        let p = factorial_program();
+        let decoded = DecodedProgram::new(&p);
+        let mut m = FastMachine::new(&p, &decoded, MachineConfig::default());
+        m.call(FuncId(0), &[4]).unwrap();
+        // Entry block: acc = 1; if (n <= 0) — n is 4, so not taken.
+        assert_eq!(
+            m.run_block(&NoSym),
+            BlockOutcome::Fused {
+                steps: 2,
+                branch: Some((1, false)),
+            }
+        );
+        assert_eq!(m.pc(), 2);
+        assert_eq!(m.steps_taken(), 2);
+    }
+
+    #[test]
+    fn tracked_footprint_forces_fallback() {
+        let p = factorial_program();
+        let decoded = DecodedProgram::new(&p);
+        let mut m = FastMachine::new(&p, &decoded, MachineConfig::default());
+        let base = m.call(FuncId(0), &[4]).unwrap();
+        // The entry block reads slot 0 (the parameter): tracked → fallback,
+        // with no state mutated.
+        let sym = TrackedSet(vec![base]);
+        assert_eq!(m.run_block(&sym), BlockOutcome::Fallback);
+        assert_eq!((m.pc(), m.steps_taken()), (0, 0));
+        // A tracked *write* target (slot 1 = acc) also forces fallback: the
+        // symbolic layer must forget the overwritten binding.
+        let sym = TrackedSet(vec![base + 1]);
+        assert_eq!(m.run_block(&sym), BlockOutcome::Fallback);
+        // An address outside the footprint fuses fine, even one whose
+        // bloom bit collides (base + 64 aliases base mod 64).
+        let sym = TrackedSet(vec![base + 64]);
+        assert_eq!(
+            m.run_block(&sym),
+            BlockOutcome::Fused {
+                steps: 2,
+                branch: Some((1, false)),
+            }
+        );
+    }
+
+    #[test]
+    fn block_budget_check_falls_back_to_stepwise() {
+        let p = factorial_program();
+        // Budget 1 cannot admit the len-2 entry block; stepwise execution
+        // must still run exactly one statement.
+        let config = MachineConfig {
+            max_steps: 1,
+            ..MachineConfig::default()
+        };
+        let decoded = DecodedProgram::new(&p);
+        let mut m = FastMachine::new(&p, &decoded, config);
+        m.call(FuncId(0), &[4]).unwrap();
+        assert_eq!(m.run_block(&NoSym), BlockOutcome::Fallback);
+        assert_eq!(m.steps_taken(), 0, "fallback leaves state untouched");
+        let (out, steps) = run_via_blocks(&p, config, &[4], &NoSym);
+        assert_eq!(out, StepOutcome::OutOfSteps);
+        assert_eq!(steps, 1);
+    }
+
+    #[test]
+    fn mid_block_fault_commits_prefix_and_stops_before_fault() {
+        // main: a = 1; b = *(0); unreachable — the second assign has a
+        // static footprint (absolute address 0) but faults at runtime.
+        let p = Program {
+            stmts: vec![
+                Statement::Assign {
+                    dst: Expr::frame_slot(0),
+                    src: Expr::Const(1),
+                },
+                Statement::Assign {
+                    dst: Expr::frame_slot(1),
+                    src: Expr::load(Expr::Const(0)),
+                },
+                Statement::Ret { value: None },
+            ],
+            funcs: vec![Function {
+                name: "main".into(),
+                entry: 0,
+                frame_words: 2,
+                num_params: 0,
+            }],
+            ..Program::default()
+        };
+        let decoded = DecodedProgram::new(&p);
+        let b = decoded.block_at(0).expect("entry block");
+        assert_eq!((b.body, b.len), (2, 2));
+        assert_eq!(&*b.abs, &[0]);
+        let mut m = FastMachine::new(&p, &decoded, MachineConfig::default());
+        let base = m.call(FuncId(0), &[]).unwrap();
+        assert_eq!(m.run_block(&NoSym), BlockOutcome::Partial { steps: 1 });
+        assert_eq!((m.pc(), m.steps_taken()), (1, 1));
+        assert_eq!(m.mem().load(base), Ok(1), "prefix committed");
+        // The stepwise path re-runs the faulting statement and surfaces
+        // the interpreter-identical fault at the interpreter's step count.
+        let (out, steps) = run_via_blocks(&p, MachineConfig::default(), &[], &NoSym);
+        assert_eq!(out, StepOutcome::Faulted(Fault::NullDeref { addr: 0 }));
+        let mut interp = Machine::new(&p, MachineConfig::default());
+        interp.call(FuncId(0), &[]).unwrap();
+        assert_eq!(interp.run(&mut ZeroEnv), out);
+        assert_eq!(steps, interp.steps_taken());
+    }
+
+    #[test]
+    fn escaping_addresses_are_never_fused() {
+        // main: *(*bp) = 7 — the destination is data-dependent, so no
+        // block forms anywhere over it.
+        let p = Program {
+            stmts: vec![
+                Statement::Assign {
+                    dst: Expr::local(0),
+                    src: Expr::Const(7),
+                },
+                Statement::Ret { value: None },
+            ],
+            funcs: vec![Function {
+                name: "main".into(),
+                entry: 0,
+                frame_words: 1,
+                num_params: 1,
+            }],
+            ..Program::default()
+        };
+        let decoded = DecodedProgram::new(&p);
+        assert!(decoded.block_at(0).is_none());
+        assert_eq!(decoded.fused_coverage(), 0);
     }
 }

@@ -174,6 +174,50 @@ impl StepOutcome {
     }
 }
 
+/// How a statement participates in a basic block.
+///
+/// This is the block-boundary definition shared by the reference
+/// interpreter (whose per-statement semantics below define it) and the
+/// compiled tier's block discovery ([`crate::DecodedProgram`]): a basic
+/// block is a maximal run of [`BlockRole::Body`] statements followed by
+/// at most one terminator. The split between the two terminator roles is
+/// what the fused block executor relies on — [`BlockRole::Jump`]
+/// statements only move the pc, so a block may end with one and still
+/// commit wholesale, while [`BlockRole::Deferred`] statements touch
+/// state the fused path cannot replicate (frames, the environment, the
+/// allocator, episode termination) and always execute stepwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockRole {
+    /// Straight-line body statement: control always falls through to
+    /// `pc + 1` and the only state touched is memory cells
+    /// ([`Statement::Assign`]).
+    Body,
+    /// Ends a block with an in-block control transfer the fused path can
+    /// execute itself: a conditional or unconditional jump. No frame,
+    /// allocator or environment interaction; never terminal by itself.
+    Jump,
+    /// Ends a block and always drops to stepwise execution: calls push
+    /// or pop frames and consult budgets, external calls need the
+    /// caller's [`Environment`], allocations need a pre-commit
+    /// fault-injection decision, and `abort`/`halt` terminate the
+    /// episode.
+    Deferred,
+}
+
+/// Classifies `stmt` for block discovery; see [`BlockRole`].
+pub fn block_role(stmt: &Statement) -> BlockRole {
+    match stmt {
+        Statement::Assign { .. } => BlockRole::Body,
+        Statement::If { .. } | Statement::Goto(_) => BlockRole::Jump,
+        Statement::Call { .. }
+        | Statement::CallExternal { .. }
+        | Statement::Ret { .. }
+        | Statement::Abort { .. }
+        | Statement::Halt
+        | Statement::Alloc { .. } => BlockRole::Deferred,
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Frame {
     base: i64,
@@ -1083,6 +1127,103 @@ mod tests {
         // A fresh episode can start and frames were unwound.
         assert!(!m.is_running());
         assert!(m.call(FuncId(1), &[]).is_ok());
+    }
+
+    #[test]
+    fn block_roles_match_step_semantics() {
+        // Drive the interpreter over a program mixing all three roles and
+        // check the classification against what each step actually did:
+        // Body falls through to pc+1 and never changes the allocation
+        // meter; Jump only moves the pc; everything that pushes/pops
+        // frames, allocates, or terminates is Deferred.
+        let p = Program {
+            stmts: vec![
+                // main: 0: x = 1            (Body)
+                Statement::Assign {
+                    dst: Expr::frame_slot(0),
+                    src: Expr::Const(1),
+                },
+                // 1: if x goto 3            (Jump)
+                Statement::If {
+                    cond: Expr::local(0),
+                    target: 3,
+                },
+                // 2: goto 3                 (Jump, skipped here)
+                Statement::Goto(3),
+                // 3: p = malloc(2)          (Deferred)
+                Statement::Alloc {
+                    dst: Expr::frame_slot(1),
+                    size: Expr::Const(2),
+                    kind: AllocKind::Heap,
+                },
+                // 4: call leaf              (Deferred)
+                Statement::Call {
+                    func: FuncId(1),
+                    args: vec![],
+                    dst: None,
+                },
+                // 5: halt                   (Deferred)
+                Statement::Halt,
+                // leaf: 6: ret              (Deferred)
+                Statement::Ret { value: None },
+            ],
+            funcs: vec![
+                Function {
+                    name: "main".into(),
+                    entry: 0,
+                    frame_words: 2,
+                    num_params: 0,
+                },
+                Function {
+                    name: "leaf".into(),
+                    entry: 6,
+                    frame_words: 1,
+                    num_params: 0,
+                },
+            ],
+            ..Program::default()
+        };
+        let mut m = Machine::new(&p, MachineConfig::default());
+        m.call(FuncId(0), &[]).unwrap();
+        loop {
+            let pc = m.pc();
+            let role = block_role(&p.stmts[pc]);
+            let words_before = m.mem().words_allocated();
+            let out = m.step(&mut ZeroEnv);
+            match role {
+                BlockRole::Body => {
+                    assert!(matches!(out, StepOutcome::Assigned { .. }));
+                    assert_eq!(m.pc(), pc + 1, "Body falls through");
+                    assert_eq!(m.mem().words_allocated(), words_before);
+                }
+                BlockRole::Jump => {
+                    assert!(matches!(
+                        out,
+                        StepOutcome::Branched { .. } | StepOutcome::Jumped
+                    ));
+                    assert!(!out.is_terminal());
+                    assert_eq!(m.mem().words_allocated(), words_before);
+                }
+                BlockRole::Deferred => {
+                    // Frame pushes, allocations, returns, terminals.
+                    assert!(matches!(
+                        out,
+                        StepOutcome::Called { .. }
+                            | StepOutcome::Returned { .. }
+                            | StepOutcome::ExternalReturned { .. }
+                            | StepOutcome::Allocated { .. }
+                            | StepOutcome::Finished { .. }
+                            | StepOutcome::Halted
+                            | StepOutcome::Aborted { .. }
+                            | StepOutcome::Faulted(_)
+                            | StepOutcome::OutOfMemory
+                    ));
+                }
+            }
+            if out.is_terminal() {
+                break;
+            }
+        }
     }
 
     #[test]

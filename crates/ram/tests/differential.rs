@@ -7,11 +7,17 @@
 //! step counter (pinning the budget boundary), the program counter, and the
 //! final memory meters. This is the compiled tier's correctness argument —
 //! the interpreter is the reference semantics.
+//!
+//! The basic-block layer is pinned the same way: a second lockstep drives
+//! `run_block` (fused where possible, stepwise everywhere else) against the
+//! interpreter while the tracked-address set churns with the step counter,
+//! so taint enters and leaves between block dispatches — every fused commit
+//! must replay on the interpreter as exactly that many non-terminal steps.
 
 use dart_ram::{
-    AllocKind, BinOp, DecodedProgram, Environment, Expr, ExtId, External, FastMachine, FuncId,
-    Function, Machine, MachineConfig, Memory, Program, ResourceBudget, Statement, UnOp,
-    GLOBAL_BASE,
+    AllocKind, BinOp, BlockOutcome, DecodedProgram, Environment, Expr, ExtId, External,
+    FastMachine, FuncId, Function, Machine, MachineConfig, Memory, NoSym, Program, ResourceBudget,
+    Statement, StepOutcome, SymView, UnOp, GLOBAL_BASE,
 };
 use proptest::prelude::*;
 
@@ -26,6 +32,108 @@ impl Environment for LcgEnv {
             .wrapping_mul(6364136223846793005)
             .wrapping_add(1442695040888963407);
         ((self.0 >> 33) as i64).rem_euclid(31) - 15
+    }
+}
+
+/// Taint view over an explicit set of addresses.
+struct TrackedSet(Vec<i64>);
+
+impl SymView for TrackedSet {
+    fn tracks(&self, addr: i64) -> bool {
+        self.0.contains(&addr)
+    }
+    fn summary(&self) -> u64 {
+        self.0.iter().fold(0, |s, &a| s | 1u64 << (a as u64 & 63))
+    }
+}
+
+/// Drives the block layer (fused blocks plus stepwise fallback) against
+/// the interpreter to the terminal outcome. `taint_period` churns the
+/// tracked set as the step counter advances (`0` keeps it empty), so taint
+/// enters and leaves across block boundaries; a tainted dispatch must fall
+/// back and a fused one must replay as exactly `steps` non-terminal
+/// interpreter steps.
+fn assert_block_lockstep(
+    program: &Program,
+    config: MachineConfig,
+    args: &[i64],
+    seed: u64,
+    taint_period: u64,
+) {
+    let decoded = DecodedProgram::new(program);
+    let mut interp = Machine::new(program, config);
+    let mut fast = FastMachine::new(program, &decoded, config);
+    let main = program.func_by_name("main").unwrap();
+    let ic = interp.call(main, args);
+    let fc = fast.call(main, args);
+    assert_eq!(ic, fc, "episode setup must agree");
+    let Ok(base) = ic else { return };
+
+    let mut ienv = LcgEnv(seed);
+    let mut fenv = LcgEnv(seed);
+    let mut iters = 0u64;
+    loop {
+        iters += 1;
+        assert!(iters <= 2 * config.max_steps + 4, "runaway episode");
+        assert_eq!(
+            interp.pc(),
+            fast.pc(),
+            "pc diverged before dispatch {iters}"
+        );
+        assert_eq!(
+            interp.steps_taken(),
+            fast.steps_taken(),
+            "step accounting diverged before dispatch {iters}"
+        );
+        let taint_on = taint_period != 0 && (fast.steps_taken() / taint_period).is_multiple_of(2);
+        let sym = TrackedSet(if taint_on {
+            vec![base, base + 1, GLOBAL_BASE]
+        } else {
+            Vec::new()
+        });
+        match fast.run_block(&sym) {
+            BlockOutcome::Fused { steps, branch } => {
+                assert!(steps >= 1, "fused blocks commit at least one statement");
+                let mut last = None;
+                for _ in 0..steps {
+                    let w = interp.step(&mut ienv);
+                    assert!(!w.is_terminal(), "fused block replayed a terminal step");
+                    last = Some(w);
+                }
+                if let Some((bpc, taken)) = branch {
+                    assert!(bpc < program.stmts.len());
+                    assert_eq!(last, Some(StepOutcome::Branched { taken }));
+                }
+                continue;
+            }
+            BlockOutcome::Partial { steps } => {
+                for _ in 0..steps {
+                    let w = interp.step(&mut ienv);
+                    assert!(!w.is_terminal(), "partial prefix replayed a terminal step");
+                }
+                assert_eq!(interp.pc(), fast.pc(), "pc diverged after partial block");
+            }
+            BlockOutcome::NoBlock | BlockOutcome::Fallback => {}
+        }
+        let want = interp.step(&mut ienv);
+        let got = match fast.step_concrete(&sym) {
+            Ok(out) => out,
+            Err(_) => fast.commit(&mut fenv),
+        };
+        assert_eq!(want, got, "outcome diverged at dispatch {iters}");
+        if want.is_terminal() {
+            break;
+        }
+    }
+
+    assert_eq!(interp.is_running(), fast.is_running());
+    assert_eq!(
+        interp.mem().words_allocated(),
+        fast.mem().words_allocated(),
+        "allocation meters diverged"
+    );
+    for addr in GLOBAL_BASE..GLOBAL_BASE + 2 {
+        assert_eq!(interp.mem().load(addr), fast.mem().load(addr));
     }
 }
 
@@ -218,7 +326,7 @@ proptest! {
         // Track the two parameter slots so the probe's taint scan runs on
         // realistic input-tainted state (its verdict must not perturb
         // execution).
-        let tracked = move |addr: i64| addr == base || addr == base + 1;
+        let tracked = TrackedSet(vec![base, base + 1]);
         let mut ienv = LcgEnv(seed);
         let mut fenv = LcgEnv(seed);
         let mut iters = 0u64;
@@ -227,7 +335,7 @@ proptest! {
             prop_assert!(iters <= max_steps + 2, "runaway episode");
             prop_assert_eq!(interp.pc(), fast.pc(), "pc diverged before step {}", iters);
             let want = interp.step(&mut ienv);
-            let summary = fast.probe(tracked);
+            let summary = fast.probe(&tracked);
             let got = fast.commit(&mut fenv);
             prop_assert_eq!(&want, &got, "outcome diverged at step {}", iters);
             prop_assert_eq!(
@@ -257,5 +365,151 @@ proptest! {
         for addr in GLOBAL_BASE..GLOBAL_BASE + 2 {
             prop_assert_eq!(interp.mem().load(addr), fast.mem().load(addr));
         }
+    }
+
+    /// The block layer against the interpreter: random programs, random
+    /// budgets, and a taint set that enters and leaves mid-trace.
+    #[test]
+    fn block_tier_matches_interpreter(
+        raw in proptest::collection::vec(raw_stmt(), 4..16),
+        entry in 0usize..64,
+        args in proptest::collection::vec(-8i64..8, 2),
+        seed in any::<u64>(),
+        max_steps in prop_oneof![Just(0u64), Just(1u64), Just(2u64), Just(7u64), Just(40u64), Just(200u64)],
+        max_alloc_words in prop_oneof![Just(6u64), Just(64u64), Just(u64::MAX)],
+        taint_period in prop_oneof![Just(0u64), Just(1u64), Just(3u64), Just(8u64)],
+    ) {
+        let program = build_program(&raw, entry);
+        let config = MachineConfig {
+            max_steps,
+            stack_budget: 1 << 20,
+            max_frames: 64,
+            budget: ResourceBudget { max_alloc_words },
+        };
+        assert_block_lockstep(&program, config, &args, seed, taint_period);
+    }
+}
+
+/// Deterministic coverage of every block-terminator kind in one program:
+/// a conditional close (`If`), an unconditional close (`Goto`), and stops
+/// before a call, an allocation, and a return — driven through the block
+/// layer against the interpreter, then re-driven under an allocation
+/// budget tight enough to deny the `Alloc`. The denial must surface on the
+/// stepwise path: allocations are never part of a fused block, so the
+/// denial decision always happens pre-commit.
+#[test]
+fn blocks_end_at_every_terminator_kind() {
+    let p = Program {
+        stmts: vec![
+            // main, entry 0 — block [x=5] closed by the If.
+            Statement::Assign {
+                dst: Expr::frame_slot(0),
+                src: Expr::Const(5),
+            },
+            Statement::If {
+                cond: Expr::binary(BinOp::Lt, Expr::local(0), Expr::Const(0)),
+                target: 9,
+            },
+            // Block [y=x+1] closed by the Goto.
+            Statement::Assign {
+                dst: Expr::frame_slot(1),
+                src: Expr::binary(BinOp::Add, Expr::local(0), Expr::Const(1)),
+            },
+            Statement::Goto(4),
+            // Block [z=y*2] stopping before the call.
+            Statement::Assign {
+                dst: Expr::frame_slot(2),
+                src: Expr::binary(BinOp::Mul, Expr::local(1), Expr::Const(2)),
+            },
+            Statement::Call {
+                func: FuncId(0),
+                args: vec![Expr::local(2)],
+                dst: Some(Expr::frame_slot(3)),
+            },
+            // Block [w=w+1] stopping before the allocation.
+            Statement::Assign {
+                dst: Expr::frame_slot(3),
+                src: Expr::binary(BinOp::Add, Expr::local(3), Expr::Const(1)),
+            },
+            Statement::Alloc {
+                dst: Expr::frame_slot(0),
+                size: Expr::Const(3),
+                kind: AllocKind::Heap,
+            },
+            Statement::Ret {
+                value: Some(Expr::local(3)),
+            },
+            Statement::Ret {
+                value: Some(Expr::Const(0)),
+            },
+            // helper, entry 10: return arg + 1.
+            Statement::Ret {
+                value: Some(Expr::binary(BinOp::Add, Expr::local(0), Expr::Const(1))),
+            },
+        ],
+        funcs: vec![
+            Function {
+                name: "helper".into(),
+                entry: 10,
+                frame_words: 1,
+                num_params: 1,
+            },
+            Function {
+                name: "main".into(),
+                entry: 0,
+                frame_words: 4,
+                num_params: 0,
+            },
+        ],
+        ..Program::default()
+    };
+
+    // Fused-shape walk: each terminator kind shows up as expected.
+    let decoded = DecodedProgram::new(&p);
+    let mut m = FastMachine::new(&p, &decoded, MachineConfig::default());
+    m.call(FuncId(1), &[]).unwrap();
+    assert_eq!(
+        m.run_block(&NoSym),
+        BlockOutcome::Fused {
+            steps: 2,
+            branch: Some((1, false)),
+        },
+        "conditional close",
+    );
+    assert_eq!(
+        m.run_block(&NoSym),
+        BlockOutcome::Fused {
+            steps: 2,
+            branch: None,
+        },
+        "unconditional close",
+    );
+    assert_eq!(m.pc(), 4);
+    assert_eq!(
+        m.run_block(&NoSym),
+        BlockOutcome::Fused {
+            steps: 1,
+            branch: None,
+        },
+        "stop before call",
+    );
+    assert_eq!(m.pc(), 5);
+    assert_eq!(
+        m.run_block(&NoSym),
+        BlockOutcome::NoBlock,
+        "calls never fuse"
+    );
+
+    // Full lockstep: generous budget (the run finishes), then a budget
+    // that denies the allocation (terminal OutOfMemory, stepwise).
+    for cap in [u64::MAX, 6] {
+        let config = MachineConfig {
+            budget: ResourceBudget {
+                max_alloc_words: cap,
+            },
+            ..MachineConfig::default()
+        };
+        assert_block_lockstep(&p, config, &[], 1, 0);
+        assert_block_lockstep(&p, config, &[], 1, 2);
     }
 }

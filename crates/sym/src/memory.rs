@@ -10,6 +10,7 @@
 //! small). Machine addresses are never reused within a run (the allocator
 //! is monotonic), so stale entries cannot alias fresh blocks.
 
+use dart_ram::SymView;
 use dart_solver::{LinExpr, Var};
 use std::collections::HashMap;
 
@@ -106,6 +107,22 @@ impl SymMemory {
     }
 }
 
+/// The compiled tier's taint view of `S`: the per-load probe delegates to
+/// [`SymMemory::tracks`], the whole-block footprint pass to the address
+/// bloom. The bulk check ([`SymView::tracks_footprint`]) is the trait's
+/// one-`AND` default — exposing `summary` here is what makes it work.
+impl SymView for SymMemory {
+    #[inline]
+    fn tracks(&self, addr: i64) -> bool {
+        SymMemory::tracks(self, addr)
+    }
+
+    #[inline]
+    fn summary(&self) -> u64 {
+        self.summary
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +177,26 @@ mod tests {
         // After draining, re-binding still works (summary was reset).
         s.bind(200, x);
         assert!(s.tracks(200) && s.get(200).is_some());
+    }
+
+    #[test]
+    fn bulk_footprint_check_matches_per_address_probes() {
+        let mut s = SymMemory::new();
+        let x = s.bind_input(100);
+        s.set(300, LinExpr::var(x).offset(1));
+        let bloom_of = |addrs: &[i64]| addrs.iter().fold(0u64, |b, &a| b | 1u64 << (a as u64 & 63));
+        // Clean miss: footprint {40, 41} shares no bloom bit with {100, 300}.
+        assert!(!s.tracks_footprint(bloom_of(&[40, 41]), 0, &[40, 41], &[]));
+        // Bloom collision (164 aliases 100 mod 64) but no member: still a
+        // miss after the precise pass.
+        assert!(!s.tracks_footprint(bloom_of(&[164]), 0, &[], &[164]));
+        // A tracked member is found whether it arrives as an absolute
+        // address or as a frame-relative slot.
+        assert!(s.tracks_footprint(bloom_of(&[100]), 0, &[], &[100]));
+        assert!(s.tracks_footprint(bloom_of(&[300]), 280, &[20], &[]));
+        // An empty store reports a clean miss for any footprint.
+        let empty = SymMemory::new();
+        assert!(!empty.tracks_footprint(u64::MAX, 0, &[0, 1, 2], &[100]));
     }
 
     #[test]

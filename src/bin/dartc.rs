@@ -755,6 +755,9 @@ fn main() -> ExitCode {
         println!("  frontier peak      {}", report.frontier_peak);
         println!("  exec time          {:?}", report.exec_time);
         println!("  solve time         {:?}", report.solve_time);
+        println!("  blocks fused       {}", report.blocks_fused);
+        println!("  block fallbacks    {}", report.block_fallbacks);
+        println!("  steps fast-pathed  {}", report.steps_fast_pathed);
     }
     for bug in &report.bugs {
         println!("\n{bug}");
