@@ -13,7 +13,7 @@
 //!
 //! ```text
 //! bench_smoke [--baseline PATH] [--tolerance PCT] [--write-baseline] [--gate]
-//!             [--json PATH]
+//!             [--json PATH] [--unknown-baseline PATH] [--write-unknown-baseline]
 //! ```
 //!
 //! By default regressions are *reported*, never fatal. With `--gate`,
@@ -25,6 +25,13 @@
 //! the numbers. `--json PATH` additionally writes a machine-readable
 //! snapshot — every workload median plus the derived speedup ratios — for
 //! committing alongside a perf-focused change (e.g. `BENCH_8.json`).
+//!
+//! Alongside the perf gate runs a *completeness* check: the
+//! `unknown_rate` of every report-producing workload, in basis points,
+//! against `crates/bench/unknown_baseline.json` (refresh with
+//! `--write-unknown-baseline`). A budget knob that turns hard queries
+//! into `Unknown` shows up here the way a slow path shows up in the perf
+//! table. Warn-only for this PR; enforcement follows.
 //!
 //! Note on the `parallel_solve`, `work_steal` and `pool` groups: their
 //! speedups are hardware-bound — on a single-core machine the paired
@@ -44,7 +51,10 @@ use dart::{
     InputTape, Scheduler, SolvePool, Strategy,
 };
 use dart_ram::{DecodedProgram, MachineConfig};
-use dart_solver::{Constraint, LinExpr, QueryCache, RelOp, Solver, SolverConfig, Var};
+use dart_solver::simplex::{LpResult, LpRow, LpSession};
+use dart_solver::{
+    Constraint, LinExpr, QueryCache, Rat, RelOp, SolveOutcome, Solver, SolverConfig, Var,
+};
 use dart_sym::{BranchRecord, PathConstraint};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -358,6 +368,107 @@ fn generational_workload(
     generational_report(compiled, order, dedup).runs as usize
 }
 
+/// The negated-prefix LP workload (`lp_warm/{cold,warm}`): a 24-variable
+/// monotone chain prefix (`y_i >= y_{i-1} + 1`, capped) kept pushed, then
+/// a stream of scratch frames each demanding a higher floor for the last
+/// variable — so the previous vertex never satisfies the new row and the
+/// session must really re-solve every time. A cold session pays a full
+/// Phase 1 over the whole chain per query; a warm one repairs its
+/// retained dictionary with a couple of dual pivots.
+fn lp_warm_workload(warm: bool) -> usize {
+    const N: usize = 24;
+    let r = Rat::from_int;
+    let mut sess = LpSession::with_warm(N, warm);
+    let mut prefix = Vec::with_capacity(N + 1);
+    let mut first = vec![r(0); N];
+    first[0] = r(-1);
+    prefix.push(LpRow {
+        coeffs: first,
+        rhs: r(-1), // y0 >= 1
+    });
+    for i in 1..N {
+        let mut coeffs = vec![r(0); N];
+        coeffs[i - 1] = r(1);
+        coeffs[i] = r(-1);
+        prefix.push(LpRow {
+            coeffs,
+            rhs: r(-1), // y_i >= y_{i-1} + 1
+        });
+    }
+    let mut cap = vec![r(0); N];
+    cap[N - 1] = r(1);
+    prefix.push(LpRow {
+        coeffs: cap,
+        rhs: r(100_000),
+    });
+    sess.push_frame(prefix);
+    let mut feas = 0;
+    for k in 1..=16i128 {
+        // Mostly feasible floors, with an every-4th query infeasible
+        // (y0 >= 200k against the cap via the chain) so the warm engine's
+        // dual infeasibility certificates are measured too.
+        let scratch = if k % 4 == 0 {
+            let mut coeffs = vec![r(0); N];
+            coeffs[0] = r(-1);
+            LpRow {
+                coeffs,
+                rhs: r(-200_000),
+            }
+        } else {
+            let mut coeffs = vec![r(0); N];
+            coeffs[N - 1] = r(-1);
+            LpRow {
+                coeffs,
+                rhs: r(-(N as i128) - 50 * k),
+            }
+        };
+        let mark = sess.push_frame(vec![scratch]);
+        if matches!(
+            sess.feasible().expect("chain workload stays in range"),
+            LpResult::Feasible(_)
+        ) {
+            feas += 1;
+        }
+        sess.pop_to(mark);
+    }
+    feas
+}
+
+/// The strategy-race workload (`portfolio/{lp_only,race}`): every query
+/// negates a difference chain's closing constraint, so the conjunction
+/// is LP-infeasible but interval propagation on wide boxes cannot see it
+/// and the FD search burns its whole node budget before giving up. With
+/// the portfolio off the session pays FD-budget-then-LP sequentially;
+/// with it on the LP's rational infeasibility certificate cancels the FD
+/// arm as soon as it lands.
+fn portfolio_workload(race: bool) -> usize {
+    let solver = Solver::new(SolverConfig {
+        max_fd_nodes: 2_000,
+        portfolio: race,
+        ..SolverConfig::default()
+    });
+    let path = vec![
+        Constraint::new(v(1).sub(&v(0)).offset(-1), RelOp::Ge), // x1 >= x0 + 1
+        Constraint::new(v(2).sub(&v(1)).offset(-1), RelOp::Ge), // x2 >= x1 + 1
+        Constraint::new(v(2).sub(&v(0)).offset(-2), RelOp::Ge), // x2 >= x0 + 2
+    ];
+    let mut sess = solver.session();
+    for c in &path {
+        sess.push(c);
+    }
+    let mut unsat = 0;
+    for _ in 0..4 {
+        // ¬(x2 >= x0 + 2) = x2 <= x0 + 1, contradicting the chain.
+        if matches!(
+            sess.solve_query(2, &path[2].negated(), |_| Some(0)),
+            SolveOutcome::Unsat
+        ) {
+            unsat += 1;
+        }
+    }
+    unsat
+}
+
 /// The execution-tier workload program: ~10k statements of concrete
 /// loop arithmetic with a single symbolic comparison at the end.
 /// Symbolic mirroring is pure overhead on all but a handful of steps,
@@ -403,6 +514,43 @@ fn exec_workload(
     );
     result.steps as usize
 }
+
+/// Completeness margins for the report-producing workloads, in basis
+/// points (`unknown_rate * 10_000`, rounded). These are deterministic —
+/// seeded, sequential sessions — so unlike the perf medians they need no
+/// sampling and tolerate only a small drift band: a budget knob turning
+/// hard queries into `Unknown` regresses completeness the way a slow
+/// path regresses perf, and is caught the same way.
+fn unknown_rates(gen_lib: &dart_minic::CompiledProgram) -> Vec<(String, u64)> {
+    let bp = |r: &dart::SessionReport| (r.solver.unknown_rate() * 10_000.0).round() as u64;
+    [
+        (
+            "gen/fifo",
+            bp(&generational_report(gen_lib, FrontierOrder::Fifo, true)),
+        ),
+        (
+            "gen/scored",
+            bp(&generational_report(gen_lib, FrontierOrder::Scored, true)),
+        ),
+        (
+            "gen_dedup/off",
+            bp(&generational_report(gen_lib, FrontierOrder::Scored, false)),
+        ),
+        (
+            "gen_dedup/on",
+            bp(&generational_report(gen_lib, FrontierOrder::Scored, true)),
+        ),
+    ]
+    .into_iter()
+    .map(|(k, v)| (format!("unknown_rate/{k}"), v))
+    .collect()
+}
+
+/// Absolute drift allowed on each `unknown_rate` entry, in basis points
+/// (100 = one percentage point). Deterministic workloads should sit
+/// exactly on their baseline; the band only absorbs deliberate
+/// workload-shape edits small enough not to matter.
+const UNKNOWN_TOLERANCE_BP: u64 = 100;
 
 /// Median nanoseconds per iteration: calibrates a batch size that takes a
 /// few milliseconds, then medians over `SAMPLES` batches.
@@ -510,6 +658,9 @@ fn main() -> ExitCode {
         .unwrap_or(50);
     let write_baseline = args.iter().any(|a| a == "--write-baseline");
     let gate = args.iter().any(|a| a == "--gate");
+    let unknown_baseline_path = flag_value("--unknown-baseline")
+        .unwrap_or_else(|| "crates/bench/unknown_baseline.json".to_string());
+    let write_unknown_baseline = args.iter().any(|a| a == "--write-unknown-baseline");
 
     let sweep_fns = 600usize;
     let library = sweep_library(sweep_fns);
@@ -595,6 +746,22 @@ fn main() -> ExitCode {
             "exec/compiled".to_string(),
             measure(|| exec_workload(&exec_lib, Some(&exec_decoded))),
         ),
+        (
+            "lp_warm/cold".to_string(),
+            measure(|| lp_warm_workload(false)),
+        ),
+        (
+            "lp_warm/warm".to_string(),
+            measure(|| lp_warm_workload(true)),
+        ),
+        (
+            "portfolio/lp_only".to_string(),
+            measure(|| portfolio_workload(false)),
+        ),
+        (
+            "portfolio/race".to_string(),
+            measure(|| portfolio_workload(true)),
+        ),
     ];
 
     let ratio = |num: &str, den: &str| -> Option<f64> {
@@ -608,7 +775,7 @@ fn main() -> ExitCode {
     };
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     // Each entry: (JSON key, human description, numerator, denominator).
-    let ratio_specs: [(&str, String, &str, &str); 7] = [
+    let ratio_specs: [(&str, String, &str, &str); 9] = [
         (
             "parallel_solve_speedup",
             format!("parallel solve speedup (1 -> 4 threads) on {cores} core(s)"),
@@ -653,6 +820,18 @@ fn main() -> ExitCode {
             "exec/interp",
             "exec/compiled",
         ),
+        (
+            "lp_warm_speedup",
+            "warm-started dual-simplex resolves (cold -> warm)".to_string(),
+            "lp_warm/cold",
+            "lp_warm/warm",
+        ),
+        (
+            "portfolio_speedup",
+            format!("strategy portfolio race (sequential -> racing) on {cores} core(s)"),
+            "portfolio/lp_only",
+            "portfolio/race",
+        ),
     ];
     let mut ratios: Vec<(String, f64)> = Vec::new();
     for (key, description, num, den) in &ratio_specs {
@@ -667,6 +846,53 @@ fn main() -> ExitCode {
         std::fs::write(&json_path, text)
             .unwrap_or_else(|e| panic!("cannot write {json_path}: {e}"));
         println!("json snapshot written to {json_path}");
+    }
+
+    // The completeness gate rides next to the perf gate: same baseline
+    // JSON shape, but absolute basis-point drift instead of a relative
+    // percentage — and warn-only for this PR (enforcement follows once a
+    // baseline has soaked on CI hardware).
+    let unknown_current = unknown_rates(&gen_lib);
+    if write_unknown_baseline {
+        std::fs::write(&unknown_baseline_path, render_baseline(&unknown_current))
+            .unwrap_or_else(|e| panic!("cannot write {unknown_baseline_path}: {e}"));
+        println!("unknown-rate baseline written to {unknown_baseline_path}");
+    } else {
+        match std::fs::read_to_string(&unknown_baseline_path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| parse_baseline(&text))
+        {
+            Ok(baseline) => {
+                let mut worse = 0usize;
+                for (name, bp) in &unknown_current {
+                    let Some((_, base)) = baseline.iter().find(|(k, _)| k == name) else {
+                        println!("{name}: {bp} bp (no baseline entry)");
+                        continue;
+                    };
+                    if *bp > base + UNKNOWN_TOLERANCE_BP {
+                        worse += 1;
+                        println!(
+                            "WARN {name}: unknown rate {bp} bp vs baseline {base} bp \
+                             (+{} bp over the {UNKNOWN_TOLERANCE_BP} bp band)",
+                            bp - base
+                        );
+                    }
+                }
+                if worse == 0 {
+                    println!(
+                        "unknown rates within {UNKNOWN_TOLERANCE_BP} bp of {unknown_baseline_path}"
+                    );
+                } else {
+                    println!(
+                        "WARN: {worse} workload(s) lost completeness vs {unknown_baseline_path} \
+                         (warn-only this PR; refresh with --write-unknown-baseline if deliberate)"
+                    );
+                }
+            }
+            Err(e) => println!(
+                "WARN: {unknown_baseline_path}: {e} — run with --write-unknown-baseline first"
+            ),
+        }
     }
 
     if write_baseline {
@@ -818,6 +1044,32 @@ mod tests {
             dispatch_workload(Scheduler::Scoped(4)),
             dispatch_workload(Scheduler::Pool(&pool))
         );
+    }
+
+    #[test]
+    fn lp_warm_workload_is_mode_invariant() {
+        // Warm and cold sessions must answer identically — otherwise the
+        // `lp_warm/{cold,warm}` pair measures different work. 12 of the
+        // 16 scratch floors are feasible; every 4th is the cap conflict.
+        assert_eq!(lp_warm_workload(false), 12);
+        assert_eq!(lp_warm_workload(true), 12);
+    }
+
+    #[test]
+    fn portfolio_workload_is_mode_invariant() {
+        // Racing must not change the verdicts — all four queries are the
+        // same LP-infeasible chain contradiction.
+        assert_eq!(portfolio_workload(false), 4);
+        assert_eq!(portfolio_workload(true), 4);
+    }
+
+    #[test]
+    fn unknown_rates_cover_the_generational_workloads() {
+        let rates = unknown_rates(&gen_program());
+        assert_eq!(rates.len(), 4);
+        assert!(rates.iter().all(|(k, _)| k.starts_with("unknown_rate/")));
+        // Basis points stay in [0, 10000] by construction.
+        assert!(rates.iter().all(|(_, bp)| *bp <= 10_000));
     }
 
     #[test]

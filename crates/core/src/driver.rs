@@ -92,6 +92,28 @@ pub enum ExecTier {
     Invalid,
 }
 
+/// Whether solver queries race the FD search against the warm LP as a
+/// portfolio ([`dart_solver::SolverConfig::portfolio`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PortfolioMode {
+    /// Strategies run sequentially on the query thread (the default).
+    #[default]
+    Off,
+    /// Each LP-eligible query races a hint-guided FD search against a
+    /// warm-LP infeasibility check on a scoped helper thread; the first
+    /// decisive verdict wins and the loser is cancelled. The committed
+    /// verdict — and so every deterministic report byte — is identical
+    /// to [`PortfolioMode::Off`]; only wall-clock and the scrubbed
+    /// `portfolio_*_wins` diagnostics change.
+    On,
+    /// The sentinel a malformed `DART_PORTFOLIO` environment value
+    /// parses to; rejected by [`Dart::new`] and [`crate::sweep::sweep`]
+    /// with [`DartError::InvalidConfig`] instead of silently racing (or
+    /// not racing): a typo'd portfolio run must not masquerade as the
+    /// other mode.
+    Invalid,
+}
+
 /// Driver configuration.
 #[derive(Debug, Clone)]
 pub struct DartConfig {
@@ -197,6 +219,17 @@ pub struct DartConfig {
     /// is rejected by [`Dart::new`] with [`DartError::InvalidConfig`],
     /// never silently ignored.
     pub exec_tier: ExecTier,
+    /// Whether each LP-eligible solver query races the FD search against
+    /// the warm LP (see [`PortfolioMode`]). [`Dart::new`] normalizes this
+    /// into [`SolverConfig::portfolio`](dart_solver::SolverConfig) — the
+    /// single point where the mode reaches the solver, so pool workers
+    /// and sweep shards inherit it through the solver config they are
+    /// handed. The default honors the `DART_PORTFOLIO` environment
+    /// variable (`on` / `off`) when set, so the unmodified test suite
+    /// can be exercised under racing; a malformed value there is
+    /// rejected by [`Dart::new`] with [`DartError::InvalidConfig`],
+    /// never silently ignored.
+    pub portfolio: PortfolioMode,
     /// Deterministic fault-injection plan, consulted by the driver and
     /// the sweep (tests and the `fault-injection` feature only). The
     /// default plan injects nothing.
@@ -230,6 +263,7 @@ impl Default for DartConfig {
             frontier_dedup: true,
             checkpoint: None,
             exec_tier: exec_tier_default(),
+            portfolio: portfolio_default(),
             #[cfg(any(test, feature = "fault-injection"))]
             faults: crate::supervise::FaultPlan::default(),
         }
@@ -284,6 +318,30 @@ fn parse_exec_tier(env: Option<&str>) -> ExecTier {
             "interp" => ExecTier::Interp,
             "compiled" => ExecTier::Compiled,
             _ => ExecTier::Invalid,
+        },
+    }
+}
+
+/// The [`DartConfig::portfolio`] default: `DART_PORTFOLIO` when set to
+/// `on` or `off`, else off. An environment hook for the same reason as
+/// [`exec_tier_default`]: CI runs the unmodified tier-1 suite with the
+/// portfolio racing, and byte-identical reports make that a pure
+/// re-exercise of the deterministic-commit claim.
+fn portfolio_default() -> PortfolioMode {
+    parse_portfolio(std::env::var("DART_PORTFOLIO").ok().as_deref())
+}
+
+/// Parses a `DART_PORTFOLIO` value. Unset means off; a
+/// set-but-unrecognized value parses to [`PortfolioMode::Invalid`],
+/// which [`Dart::new`] and [`crate::sweep::sweep`] reject with
+/// [`DartError::InvalidConfig`].
+fn parse_portfolio(env: Option<&str>) -> PortfolioMode {
+    match env {
+        None => PortfolioMode::Off,
+        Some(v) => match v.trim() {
+            "on" => PortfolioMode::On,
+            "off" => PortfolioMode::Off,
+            _ => PortfolioMode::Invalid,
         },
     }
 }
@@ -366,7 +424,7 @@ impl<'p> Dart<'p> {
     pub fn new(
         compiled: &'p CompiledProgram,
         toplevel: &str,
-        config: DartConfig,
+        mut config: DartConfig,
     ) -> Result<Dart<'p>, DartError> {
         if config.solve_threads == 0 {
             return Err(DartError::InvalidConfig(
@@ -387,6 +445,15 @@ impl<'p> Dart<'p> {
                     .to_string(),
             ));
         }
+        if config.portfolio == PortfolioMode::Invalid {
+            return Err(DartError::InvalidConfig(
+                "portfolio mode is unrecognized (DART_PORTFOLIO must be `on` or `off`)".to_string(),
+            ));
+        }
+        // The single normalization point: everything downstream — the
+        // commit session, pool workers, sweep shards — reads the solver
+        // config, never `DartConfig::portfolio` directly.
+        config.solver.portfolio = config.portfolio == PortfolioMode::On;
         let checkpoint = match &config.checkpoint {
             None => None,
             Some(path) => {
@@ -928,6 +995,14 @@ impl<'p> Dart<'p> {
                         *acc += w;
                     }
                 }
+                // LP/portfolio counters from this generation's committing
+                // session (speculative workers' sessions are discarded —
+                // scheduling-dependent, scrubbed; see `solve_next`).
+                let session_stats = session.stats();
+                report.solver.warm_pivots += session_stats.warm_pivots;
+                report.solver.cold_restarts += session_stats.cold_restarts;
+                report.solver.portfolio_fd_wins += session_stats.portfolio_fd_wins;
+                report.solver.portfolio_lp_wins += session_stats.portfolio_lp_wins;
                 report.solver.absorb_cache(&cache);
                 report.solve_time += solve_started.elapsed();
                 report.dedup_hits = frontier.dedup_hits;
@@ -1075,6 +1150,66 @@ mod tests {
         assert_eq!(parse_exec_tier(Some("jit")), ExecTier::Invalid);
     }
 
+    /// `DART_PORTFOLIO` parsing: unset is off; any set-but-unrecognized
+    /// value parses to the `Invalid` sentinel that `Dart::new` / `sweep`
+    /// reject — never a silent fallback to either mode.
+    #[test]
+    fn portfolio_env_parsing_is_strict() {
+        assert_eq!(parse_portfolio(None), PortfolioMode::Off);
+        assert_eq!(parse_portfolio(Some("on")), PortfolioMode::On);
+        assert_eq!(parse_portfolio(Some("off")), PortfolioMode::Off);
+        assert_eq!(parse_portfolio(Some(" on ")), PortfolioMode::On);
+        assert_eq!(parse_portfolio(Some("")), PortfolioMode::Invalid);
+        assert_eq!(parse_portfolio(Some("1")), PortfolioMode::Invalid);
+        assert_eq!(parse_portfolio(Some("On")), PortfolioMode::Invalid);
+        assert_eq!(parse_portfolio(Some("race")), PortfolioMode::Invalid);
+    }
+
+    #[test]
+    fn invalid_portfolio_mode_rejected_at_session_construction() {
+        let compiled = dart_minic::compile("int f(int x) { return x; }").unwrap();
+        let config = DartConfig {
+            portfolio: PortfolioMode::Invalid,
+            ..DartConfig::default()
+        };
+        match Dart::new(&compiled, "f", config) {
+            Err(DartError::InvalidConfig(reason)) => {
+                assert!(reason.contains("DART_PORTFOLIO"), "{reason}");
+            }
+            other => panic!("expected InvalidConfig, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    /// `Dart::new` is the single point normalizing `DartConfig::portfolio`
+    /// into the solver config the session (and its pool workers) run on.
+    #[test]
+    fn portfolio_mode_normalized_into_solver_config() {
+        let compiled = dart_minic::compile("int f(int x) { return x; }").unwrap();
+        let on = Dart::new(
+            &compiled,
+            "f",
+            DartConfig {
+                portfolio: PortfolioMode::On,
+                ..DartConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(on.config().solver.portfolio);
+        // Explicit Off rather than the default: the default consults the
+        // ambient `DART_PORTFOLIO`, and this test must pass under the CI
+        // leg that exports it.
+        let off = Dart::new(
+            &compiled,
+            "f",
+            DartConfig {
+                portfolio: PortfolioMode::Off,
+                ..DartConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(!off.config().solver.portfolio);
+    }
+
     #[test]
     fn invalid_exec_tier_rejected_at_session_construction() {
         let compiled = dart_minic::compile("int f(int x) { return x; }").unwrap();
@@ -1173,6 +1308,47 @@ mod tests {
         assert_eq!(sequential, run(4, SchedulerMode::StaticScoped), "scoped");
     }
 
+    /// The portfolio knob changes nothing observable either: racing and
+    /// sequential-strategy sessions over the same program and seed
+    /// produce byte-identical reports after scrubbing the scheduling
+    /// diagnostics — across engine modes and solve-thread counts, so the
+    /// race composes with speculative parallel walks.
+    #[test]
+    fn portfolio_mode_is_report_invisible() {
+        let compiled = dart_minic::compile(
+            r#"
+            int f(int x, int y) {
+                if (x + y > 10)
+                    if (x - y < 3)
+                        if (2 * x == y + 14)
+                            abort();
+                return 0;
+            }
+            "#,
+        )
+        .unwrap();
+        for mode in [EngineMode::Directed, EngineMode::Generational] {
+            let run = |portfolio: PortfolioMode, threads: usize| {
+                let config = DartConfig {
+                    max_runs: 60,
+                    stop_at_first_bug: false,
+                    mode,
+                    portfolio,
+                    solve_threads: threads,
+                    ..DartConfig::default()
+                };
+                let mut report = Dart::new(&compiled, "f", config).unwrap().run();
+                report.exec_time = std::time::Duration::ZERO;
+                report.solve_time = std::time::Duration::ZERO;
+                report.solver.scrub_scheduling();
+                report
+            };
+            let plain = run(PortfolioMode::Off, 1);
+            assert_eq!(plain, run(PortfolioMode::On, 1), "{mode:?} race");
+            assert_eq!(plain, run(PortfolioMode::On, 4), "{mode:?} race, pooled");
+        }
+    }
+
     /// The execution-tier knob changes nothing observable either: over
     /// the same program and seed, interpreter and compiled sessions
     /// produce byte-identical reports after zeroing wall-clock times —
@@ -1220,6 +1396,13 @@ mod tests {
                 report.blocks_fused = 0;
                 report.block_fallbacks = 0;
                 report.steps_fast_pathed = 0;
+                // Under an ambient `DART_PORTFOLIO=on` the race makes the
+                // LP/portfolio counters timing-dependent; they are
+                // scheduling diagnostics, not observables.
+                report.solver.warm_pivots = 0;
+                report.solver.cold_restarts = 0;
+                report.solver.portfolio_fd_wins = 0;
+                report.solver.portfolio_lp_wins = 0;
                 report
             };
             assert_eq!(run(ExecTier::Interp), run(ExecTier::Compiled), "{mode:?}");

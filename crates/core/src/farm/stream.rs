@@ -30,7 +30,8 @@ pub(crate) fn function_line(
             "{common},\"outcome\":\"finished\",\"retried\":{retried},\
              \"runs\":{},\"bugs\":{},\"complete\":{},\"unknown_rate\":{:.4},\
              \"shared_hits\":{},\"blocks_fused\":{},\"block_fallbacks\":{},\
-             \"steps_fast_pathed\":{},\"summary\":\"{}\"}}",
+             \"steps_fast_pathed\":{},\"warm_pivots\":{},\"cold_restarts\":{},\
+             \"portfolio_fd_wins\":{},\"portfolio_lp_wins\":{},\"summary\":\"{}\"}}",
             report.runs,
             report.bugs.len(),
             report.is_complete(),
@@ -39,6 +40,10 @@ pub(crate) fn function_line(
             report.blocks_fused,
             report.block_fallbacks,
             report.steps_fast_pathed,
+            report.solver.warm_pivots,
+            report.solver.cold_restarts,
+            report.solver.portfolio_fd_wins,
+            report.solver.portfolio_lp_wins,
             json_escape(&report.to_string()),
         ),
         SweepOutcome::EngineFault { message, retried } => format!(
@@ -96,6 +101,8 @@ mod tests {
         assert!(line.contains("\"wall_ms\":250"));
         assert!(line.contains("\"unknown_rate\":0.0000"));
         assert!(line.contains("\"blocks_fused\":0"));
+        assert!(line.contains("\"warm_pivots\":0"));
+        assert!(line.contains("\"portfolio_fd_wins\":0"));
         assert!(line.ends_with('}'));
 
         let fault = SweepResult {

@@ -185,11 +185,16 @@ fn render_report(text: &mut String, report: &SessionReport) {
         pool_idle_ns,
         max_queue_depth,
         per_worker_solves,
+        warm_pivots,
+        cold_restarts,
+        portfolio_fd_wins,
+        portfolio_lp_wins,
     } = solver;
     let _ = writeln!(
         text,
         "solver {sat} {unsat} {unknown} {cache_hits} {cache_model_reuse} {split_solves} \
-         {parallel_wasted} {shared_hits} {steals} {pool_idle_ns} {max_queue_depth}"
+         {parallel_wasted} {shared_hits} {steals} {pool_idle_ns} {max_queue_depth} \
+         {warm_pivots} {cold_restarts} {portfolio_fd_wins} {portfolio_lp_wins}"
     );
     let _ = writeln!(text, "workers {}", render_u64_list(per_worker_solves));
     let _ = writeln!(
@@ -239,7 +244,7 @@ fn parse_report(lines: &mut Lines<'_>) -> Result<SessionReport, String> {
     let branches = lines.field_list("branches", 2)?;
     let frontier = lines.field_list("frontier", 3)?;
     let blocks = lines.field_list("blocks", 3)?;
-    let solver_fields = lines.field_list("solver", 11)?;
+    let solver_fields = lines.field_list("solver", 15)?;
     let workers_line = lines.field_rest("workers")?;
     let per_worker_solves =
         parse_u64_list(&workers_line).ok_or_else(|| lines.err("bad workers list"))?;
@@ -292,6 +297,10 @@ fn parse_report(lines: &mut Lines<'_>) -> Result<SessionReport, String> {
             pool_idle_ns: solver_fields[9],
             max_queue_depth: solver_fields[10],
             per_worker_solves,
+            warm_pivots: solver_fields[11],
+            cold_restarts: solver_fields[12],
+            portfolio_fd_wins: solver_fields[13],
+            portfolio_lp_wins: solver_fields[14],
         },
         steps,
         branches_covered: branches[0] as usize,
@@ -560,6 +569,10 @@ mod tests {
         report.solver.unknown = 1;
         report.solver.pool_idle_ns = 12345;
         report.solver.per_worker_solves = vec![3, 0, 9];
+        report.solver.warm_pivots = 42;
+        report.solver.cold_restarts = 2;
+        report.solver.portfolio_fd_wins = 8;
+        report.solver.portfolio_lp_wins = 5;
         report.exec_time = Duration::new(1, 999_999_999);
         report.solve_time = Duration::from_nanos(1);
         report.blocks_fused = 311;

@@ -183,7 +183,8 @@ impl fmt::Display for SessionReport {
             "{outcome} | runs {} | bugs {} | divergences {} | restarts {} | \
              solver sat/unsat/unknown {}/{}/{} (unknown rate {:.1}%) | \
              cache hits/reuse/splits {}/{}/{} | \
-             shared/wasted {}/{} | steals {} | frontier dedup/evict/peak {}/{}/{} | \
+             shared/wasted {}/{} | steals {} | lp pivots/colds {}/{} | \
+             portfolio fd/lp wins {}/{} | frontier dedup/evict/peak {}/{}/{} | \
              branch cov {}/{}",
             self.runs,
             self.bugs.len(),
@@ -199,6 +200,10 @@ impl fmt::Display for SessionReport {
             self.solver.shared_hits,
             self.solver.parallel_wasted,
             self.solver.steals,
+            self.solver.warm_pivots,
+            self.solver.cold_restarts,
+            self.solver.portfolio_fd_wins,
+            self.solver.portfolio_lp_wins,
             self.dedup_hits,
             self.frontier_evicted,
             self.frontier_peak,

@@ -122,6 +122,24 @@ pub struct SolveStats {
     /// shared across a sweep these count the whole pool's work as seen
     /// by this session's walks.
     pub per_worker_solves: Vec<u64>,
+    /// Dual-simplex pivots performed by warm-started LP resolves
+    /// (committed sessions only — pool workers' speculative sessions are
+    /// discarded, so the total depends on which walks committed where;
+    /// scheduling-dependent, scrubbed like the counters above).
+    pub warm_pivots: u64,
+    /// Warm LP dictionaries discarded for a cold two-phase solve (first
+    /// query of a session, pivot-budget exhaustion, or arithmetic
+    /// overflow). Scheduling-dependent for the same reason as
+    /// [`SolveStats::warm_pivots`].
+    pub cold_restarts: u64,
+    /// Portfolio races decided by the FD-search arm (a verified model
+    /// beat the LP). Counted only with `--portfolio on`; which arm wins
+    /// never changes the committed verdict, but the tally is
+    /// mode-dependent, so it is scrubbed with the scheduling counters.
+    pub portfolio_fd_wins: u64,
+    /// Portfolio races decided by the warm-LP arm (rational infeasibility
+    /// beat the FD search). See [`SolveStats::portfolio_fd_wins`].
+    pub portfolio_lp_wins: u64,
 }
 
 impl SolveStats {
@@ -149,8 +167,10 @@ impl SolveStats {
     /// Zeroes every scheduling-dependent diagnostic — the counters the
     /// determinism contract explicitly excludes (`parallel_wasted`,
     /// `shared_hits`, `steals`, `pool_idle_ns`, `max_queue_depth`,
-    /// `per_worker_solves`). After this, two reports of the same session
-    /// under any scheduler × shared-cache combination compare equal.
+    /// `per_worker_solves`, `warm_pivots`, `cold_restarts`,
+    /// `portfolio_fd_wins`, `portfolio_lp_wins`). After this, two reports
+    /// of the same session under any scheduler × shared-cache ×
+    /// portfolio-mode combination compare equal.
     pub fn scrub_scheduling(&mut self) {
         self.parallel_wasted = 0;
         self.shared_hits = 0;
@@ -158,6 +178,10 @@ impl SolveStats {
         self.pool_idle_ns = 0;
         self.max_queue_depth = 0;
         self.per_worker_solves.clear();
+        self.warm_pivots = 0;
+        self.cold_restarts = 0;
+        self.portfolio_fd_wins = 0;
+        self.portfolio_lp_wins = 0;
     }
 
     /// The session's completeness margin: `Unknown` verdicts as a
@@ -307,6 +331,15 @@ pub fn solve_next(
             *acc += w;
         }
     }
+    // LP/portfolio counters from the committing session. Speculative pool
+    // workers solve on their own sessions that are dropped with the scope,
+    // so these totals depend on how much work the commit walk did locally
+    // — diagnostics, scrubbed with the rest.
+    let session_stats = session.stats();
+    stats.warm_pivots += session_stats.warm_pivots;
+    stats.cold_restarts += session_stats.cold_restarts;
+    stats.portfolio_fd_wins += session_stats.portfolio_fd_wins;
+    stats.portfolio_lp_wins += session_stats.portfolio_lp_wins;
     stats.absorb_cache(cache);
     found
 }
@@ -586,6 +619,10 @@ mod tests {
             pool_idle_ns: 10,
             max_queue_depth: 11,
             per_worker_solves: vec![12, 13],
+            warm_pivots: 14,
+            cold_restarts: 15,
+            portfolio_fd_wins: 16,
+            portfolio_lp_wins: 17,
         };
         stats.scrub_scheduling();
         let expected = SolveStats {
@@ -601,6 +638,10 @@ mod tests {
             pool_idle_ns: 0,
             max_queue_depth: 0,
             per_worker_solves: Vec::new(),
+            warm_pivots: 0,
+            cold_restarts: 0,
+            portfolio_fd_wins: 0,
+            portfolio_lp_wins: 0,
         };
         assert_eq!(stats, expected);
     }
@@ -892,6 +933,79 @@ mod tests {
                 u64::from(k == 0),
                 "fault on query {k}"
             );
+        }
+    }
+
+    /// The portfolio race changes no walk observable: across every
+    /// scheduler × fault-injection combination, `solve_next` with a
+    /// racing solver returns the same `NextStep` and the same scrubbed
+    /// stats as the plain strategy order (the `portfolio_*_wins` and LP
+    /// counters are scheduling/mode diagnostics, zeroed by the scrub).
+    #[test]
+    fn portfolio_walk_matches_plain_across_schedulers_and_faults() {
+        let pool = SolvePool::new(4);
+        for fault in [None, Some(0u64), Some(1u64)] {
+            let run = |portfolio: bool, scheduler: Scheduler<'_>| {
+                // A mix of sat and unsat flips so both race outcomes
+                // (fd-model wins, LP-infeasibility wins) are exercised:
+                // x == 1 (taken), x < 100 (taken), x != 5.
+                let mut pc = PathConstraint::new();
+                pc.push(Constraint::new(LinExpr::var(Var(0)).offset(-1), RelOp::Eq));
+                pc.push(Constraint::new(
+                    LinExpr::var(Var(0)).offset(-100),
+                    RelOp::Lt,
+                ));
+                pc.push(Constraint::new(LinExpr::var(Var(0)).offset(-5), RelOp::Ne));
+                let mut tape = InputTape::new(0);
+                let _ = tape.take(InputKind::IntLike, || "x".into());
+                let stack = vec![
+                    record(true, false),
+                    record(true, false),
+                    record(false, false),
+                ];
+                let solver = Solver::new(dart_solver::SolverConfig {
+                    portfolio,
+                    ..dart_solver::SolverConfig::default()
+                });
+                let mut rng = SmallRng::seed_from_u64(0);
+                let mut stats = SolveStats::default();
+                let config = crate::DartConfig {
+                    faults: crate::supervise::FaultPlan {
+                        unknown_on_query: fault,
+                        ..crate::supervise::FaultPlan::default()
+                    },
+                    ..crate::DartConfig::default()
+                };
+                let mut faults = FaultState::for_config(&config);
+                let step = solve_next(
+                    &pc,
+                    &stack,
+                    &tape,
+                    &solver,
+                    &mut QueryCache::new(true),
+                    Strategy::Dfs,
+                    &mut rng,
+                    &mut stats,
+                    &mut faults,
+                    scheduler,
+                );
+                stats.scrub_scheduling();
+                (step.map(|s| (s.stack, s.model)), stats)
+            };
+            let baseline = run(false, Scheduler::Sequential);
+            for portfolio in [false, true] {
+                for scheduler in [
+                    Scheduler::Sequential,
+                    Scheduler::Scoped(4),
+                    Scheduler::Pool(&pool),
+                ] {
+                    assert_eq!(
+                        baseline,
+                        run(portfolio, scheduler),
+                        "portfolio={portfolio} {scheduler:?} fault={fault:?}"
+                    );
+                }
+            }
         }
     }
 

@@ -134,6 +134,11 @@ pub fn sweep(
             "exec_tier is unrecognized (DART_EXEC_TIER must be `interp` or `compiled`)".to_string(),
         ));
     }
+    if config.portfolio == crate::driver::PortfolioMode::Invalid {
+        return Err(DartError::InvalidConfig(
+            "portfolio mode is unrecognized (DART_PORTFOLIO must be `on` or `off`)".to_string(),
+        ));
+    }
     for name in toplevels {
         if compiled.fn_sig(name).is_none() {
             return Err(DartError::UnknownToplevel(name.clone()));

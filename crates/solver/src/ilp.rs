@@ -13,6 +13,7 @@ use crate::linear::Var;
 use crate::rational::{ArithError, Rat};
 use crate::simplex::{feasible_point, Lp, LpResult, LpRow, LpSession};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 /// Inclusive variable bounds.
@@ -84,6 +85,23 @@ impl SolveInfo {
     }
 }
 
+/// Per-session solver-internal counters, snapshot via
+/// [`PrefixSession::stats`]: warm-LP engine activity plus portfolio race
+/// outcomes. All four are scheduling-dependent diagnostics (they vary with
+/// cache state, speculation and the portfolio toggle), never observables.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Dual-simplex pivots performed by the warm LP engine.
+    pub warm_pivots: u64,
+    /// Warm-engine dictionary builds/fallbacks to the cold two-phase
+    /// simplex.
+    pub cold_restarts: u64,
+    /// Portfolio races settled decisively by the FD arm (a model).
+    pub portfolio_fd_wins: u64,
+    /// Portfolio races settled decisively by the LP arm (a refutation).
+    pub portfolio_lp_wins: u64,
+}
+
 /// Tunable solver limits.
 #[derive(Debug, Clone, Copy)]
 pub struct SolverConfig {
@@ -105,6 +123,17 @@ pub struct SolverConfig {
     /// never as `Unsat`). `None` (the default) means node budgets alone
     /// bound the query, with zero timing overhead.
     pub deadline: Option<Duration>,
+    /// Race the hint-guided FD search against the shared-prefix LP screen
+    /// on two threads per session query, first *decisive* verdict wins
+    /// (see [`PrefixSession`]). The commit rule is deterministic, so
+    /// outcomes — and report bytes — are identical to the sequential
+    /// pipeline; only wall-clock time changes. Off by default.
+    pub portfolio: bool,
+    /// Warm-start the shared-prefix LP with a persistent dual-simplex
+    /// dictionary ([`LpSession::with_warm`]). On by default; turning it
+    /// off restores the cold re-solve engine for ablation. Verdicts are
+    /// identical either way.
+    pub lp_warm: bool,
 }
 
 impl Default for SolverConfig {
@@ -116,6 +145,8 @@ impl Default for SolverConfig {
             max_ne_leaves: 512,
             max_propagation_rounds: 100,
             deadline: None,
+            portfolio: false,
+            lp_warm: true,
         }
     }
 }
@@ -135,22 +166,37 @@ impl From<ArithError> for Stop {
 }
 
 /// Per-query deadline clock, started when the query enters the solver.
-/// With no deadline configured, [`QueryClock::expired`] never touches the
-/// system clock.
+/// With no deadline configured and no cancel token attached,
+/// [`QueryClock::expired`] never touches the system clock.
 #[derive(Debug, Clone, Copy)]
-struct QueryClock {
+struct QueryClock<'a> {
     deadline: Option<Instant>,
+    /// Cooperative cancel token, set by a racing portfolio arm's decisive
+    /// finish; observed at every point the deadline is. Cancellation rides
+    /// the same give-up paths as deadline expiry, so cancelled searches
+    /// degrade to indecision, never to a wrong verdict.
+    cancel: Option<&'a AtomicBool>,
 }
 
-impl QueryClock {
-    fn start(deadline: Option<Duration>) -> QueryClock {
+impl QueryClock<'_> {
+    fn start(deadline: Option<Duration>) -> QueryClock<'static> {
         QueryClock {
             deadline: deadline.map(|d| Instant::now() + d),
+            cancel: None,
+        }
+    }
+
+    /// The same deadline, additionally observing `cancel`.
+    fn with_cancel<'a>(&self, cancel: &'a AtomicBool) -> QueryClock<'a> {
+        QueryClock {
+            deadline: self.deadline,
+            cancel: Some(cancel),
         }
     }
 
     fn expired(&self) -> bool {
-        self.deadline.is_some_and(|d| Instant::now() >= d)
+        self.cancel.is_some_and(|t| t.load(Ordering::Relaxed))
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 }
 
@@ -454,6 +500,50 @@ impl Solver {
         }
         splits.push(ne);
         Ok(found)
+    }
+
+    /// One full FD strategy pass for a session query: hint-guided search
+    /// from the warm boxes, then verification against the case splits and
+    /// the original constraints. `None` is indecision (budget, deadline,
+    /// cancellation, or an unverified candidate), never unsat — exactly
+    /// the sequential pipeline's fall-through condition.
+    #[allow(clippy::too_many_arguments)] // internal; mirrors the search state
+    fn fd_strategy(
+        &self,
+        q_rows: &[Row],
+        q_boxes: &[(i128, i128)],
+        q_excl: &[BTreeSet<i64>],
+        hint_vals: &[i64],
+        q_splits: &[NeSplit],
+        q_live: &[&Constraint],
+        q_vars: &[Var],
+        clock: &QueryClock,
+    ) -> Option<Assignment> {
+        let mut fd_budget = self.config.max_fd_nodes;
+        let sol = self.fd_search(
+            q_rows,
+            q_boxes.to_vec(),
+            q_excl,
+            hint_vals,
+            &mut fd_budget,
+            clock,
+        )?;
+        if q_splits.iter().any(|ne| ne.violated_by(&sol)) {
+            return None;
+        }
+        let model: Assignment = q_vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, sol[i]))
+            .collect();
+        if q_live
+            .iter()
+            .all(|c| c.satisfied_by(|v| model.get(&v).copied()))
+        {
+            Some(model)
+        } else {
+            None
+        }
     }
 
     /// Hint-guided assign-and-propagate search.
@@ -782,6 +872,8 @@ pub struct PrefixSession<'s> {
     /// How many leading `frames` the LP currently has pushed.
     lp_synced: usize,
     frames: Vec<Frame>,
+    /// Portfolio race outcomes (the LP counters live in `lp`).
+    stats: SessionStats,
 }
 
 impl<'s> PrefixSession<'s> {
@@ -793,15 +885,27 @@ impl<'s> PrefixSession<'s> {
             var_idx: HashMap::new(),
             rows: Vec::new(),
             splits: Vec::new(),
-            lp: LpSession::new(0),
+            lp: LpSession::with_warm(0, solver.config.lp_warm),
             lp_synced: 0,
             frames: Vec::new(),
+            stats: SessionStats::default(),
         }
     }
 
     /// Number of pushed constraints.
     pub fn depth(&self) -> usize {
         self.frames.len()
+    }
+
+    /// Solver-internal counters accumulated over this session's queries:
+    /// warm-LP pivots and restarts plus portfolio race wins.
+    pub fn stats(&self) -> SessionStats {
+        let lp = self.lp.stats();
+        SessionStats {
+            warm_pivots: lp.warm_pivots,
+            cold_restarts: lp.cold_restarts,
+            ..self.stats
+        }
     }
 
     /// The solver this session runs on.
@@ -1076,54 +1180,40 @@ impl<'s> PrefixSession<'s> {
             return SolveOutcome::Unsat;
         }
 
-        // Hint-guided finite-domain pass, from the warm boxes. Path
-        // constraints are mostly unit systems, so this settles the easy
-        // `Sat` queries immediately and keeps incremental queries as
-        // cheap as plain solves — the rational LP machinery below is
-        // reserved for the queries it cannot.
+        // The two decisive strategies: the hint-guided finite-domain pass
+        // (settles easy `Sat` queries — path constraints are mostly unit
+        // systems) and the shared-prefix LP screen (an infeasible rational
+        // relaxation ⇒ integer unsat, settling `Unsat` queries without any
+        // branch & bound). The sequential pipeline runs FD first and the
+        // LP only on a miss; the portfolio races them on two threads with
+        // a deterministic first-decisive-verdict commit rule.
         let hint_vals: Vec<i64> = q_vars.iter().map(|&v| hint(v).unwrap_or(0)).collect();
-        let mut fd_budget = self.solver.config.max_fd_nodes;
-        if let Some(sol) = self.solver.fd_search(
-            &q_rows,
-            q_boxes.clone(),
-            &q_excl,
-            &hint_vals,
-            &mut fd_budget,
-            &clock,
-        ) {
-            if q_splits.iter().all(|ne| !ne.violated_by(&sol)) {
-                let model: Assignment = q_vars
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &v)| (v, sol[i]))
-                    .collect();
-                if q_live
-                    .iter()
-                    .all(|c| c.satisfied_by(|v| model.get(&v).copied()))
-                {
-                    return SolveOutcome::Sat(model);
-                }
-            }
-        }
-
-        // Shared-prefix LP screen: sync the LP to depth `j`, push the
-        // negated rows as a scratch frame, and ask for rational
-        // feasibility. Infeasible relaxation ⇒ integer unsat, settling the
-        // query without any branch & bound. The tableau's cached vertex
-        // survives pops, so sibling queries usually answer by point checks.
-        if self.sync_lp(j) {
+        if self.solver.config.portfolio && self.lp_available(j, n) {
             let neg_lp = shift_lp_rows(&q_rows[first_new_row..], b, vars_len, n);
-            // A deeper earlier query may have widened the LP past this
-            // query's `n`; keep the wider width — the extra columns are
-            // zero in every live row, so feasibility is unchanged.
-            self.lp.grow_vars(n.max(self.lp.num_vars()));
-            let mark = self.lp.push_frame(neg_lp);
-            let verdict = self.lp.feasible();
-            self.lp.pop_to(mark);
-            match verdict {
-                Ok(LpResult::Infeasible) => return SolveOutcome::Unsat,
-                Ok(LpResult::Feasible(_)) => {}
-                Err(_) => {} // no information; fall through to the full solve
+            if let Some(outcome) = self.race_strategies(
+                &q_rows, &q_boxes, &q_excl, &hint_vals, &q_splits, &q_live, &q_vars, neg_lp, &clock,
+            ) {
+                return outcome;
+            }
+        } else {
+            if let Some(model) = self.solver.fd_strategy(
+                &q_rows, &q_boxes, &q_excl, &hint_vals, &q_splits, &q_live, &q_vars, &clock,
+            ) {
+                return SolveOutcome::Sat(model);
+            }
+            // The LP's cached vertex survives pops, so sibling queries
+            // usually answer by point checks; on a miss the warm
+            // dictionary repairs with a few dual pivots.
+            if self.lp_available(j, n) {
+                let neg_lp = shift_lp_rows(&q_rows[first_new_row..], b, vars_len, n);
+                let mark = self.lp.push_frame(neg_lp);
+                let verdict = self.lp.feasible();
+                self.lp.pop_to(mark);
+                match verdict {
+                    Ok(LpResult::Infeasible) => return SolveOutcome::Unsat,
+                    Ok(LpResult::Feasible(_)) => {}
+                    Err(_) => {} // no information; fall through to the full solve
+                }
             }
         }
 
@@ -1168,8 +1258,9 @@ impl<'s> PrefixSession<'s> {
 
     /// Brings the shared-prefix LP to exactly the first `j` frames,
     /// popping or re-pushing stored frame rows as needed. Returns `false`
-    /// when the LP would have to be skipped (never happens today; kept so
-    /// the caller treats the screen as best-effort).
+    /// when the LP has to be skipped (a rejected width change — cannot
+    /// happen with the monotone widths used here, but the screen degrades
+    /// instead of aborting).
     fn sync_lp(&mut self, j: usize) -> bool {
         if self.lp_synced > j {
             self.lp.pop_to(j);
@@ -1177,11 +1268,84 @@ impl<'s> PrefixSession<'s> {
         }
         while self.lp_synced < j {
             let f = &self.frames[self.lp_synced];
-            self.lp.grow_vars(f.vars_len.max(self.lp.num_vars()));
+            if self
+                .lp
+                .grow_vars(f.vars_len.max(self.lp.num_vars()))
+                .is_err()
+            {
+                return false;
+            }
             self.lp.push_frame(f.lp_rows.clone());
             self.lp_synced += 1;
         }
         true
+    }
+
+    /// Syncs the shared-prefix LP to depth `j` and widens it to at least
+    /// `n` columns (a deeper earlier query may already have widened it
+    /// further; the extra zero columns don't change feasibility). `false`
+    /// means the LP screen must be skipped for this query.
+    fn lp_available(&mut self, j: usize, n: usize) -> bool {
+        self.sync_lp(j) && self.lp.grow_vars(n.max(self.lp.num_vars())).is_ok()
+    }
+
+    /// Races the FD and warm-LP strategies on two threads. Only a
+    /// *decisive* arm — an FD model, or an LP refutation of the rational
+    /// relaxation — cancels its peer and commits. Sound strategies cannot
+    /// both be decisive on one query, each arm is deterministic given its
+    /// inputs, and a cancelled arm was provably headed for indecision
+    /// (the canceller's verdict forecloses its decisive outcome), so the
+    /// committed verdict is independent of timing and thread count.
+    /// `None` — both arms indecisive — falls through to the same complete
+    /// solve the sequential pipeline uses.
+    #[allow(clippy::too_many_arguments)] // internal; mirrors the search state
+    fn race_strategies(
+        &mut self,
+        q_rows: &[Row],
+        q_boxes: &[(i128, i128)],
+        q_excl: &[BTreeSet<i64>],
+        hint_vals: &[i64],
+        q_splits: &[NeSplit],
+        q_live: &[&Constraint],
+        q_vars: &[Var],
+        neg_lp: Vec<LpRow>,
+        clock: &QueryClock,
+    ) -> Option<SolveOutcome> {
+        let solver = self.solver;
+        let lp = &mut self.lp;
+        let fd_cancel = AtomicBool::new(false);
+        let lp_cancel = AtomicBool::new(false);
+        let (fd_model, lp_verdict) = std::thread::scope(|scope| {
+            let fd_arm = scope.spawn(|| {
+                let fd_clock = clock.with_cancel(&fd_cancel);
+                let model = solver.fd_strategy(
+                    q_rows, q_boxes, q_excl, hint_vals, q_splits, q_live, q_vars, &fd_clock,
+                );
+                if model.is_some() {
+                    lp_cancel.store(true, Ordering::Relaxed);
+                }
+                model
+            });
+            // The LP arm runs on the calling thread.
+            let mark = lp.push_frame(neg_lp);
+            let verdict = lp.feasible_cancellable(Some(&lp_cancel));
+            lp.pop_to(mark);
+            if matches!(verdict, Ok(Some(LpResult::Infeasible))) {
+                fd_cancel.store(true, Ordering::Relaxed);
+            }
+            let model = fd_arm.join().expect("fd strategy panicked");
+            (model, verdict)
+        });
+        if let Ok(Some(LpResult::Infeasible)) = lp_verdict {
+            debug_assert!(fd_model.is_none(), "sound strategies cannot disagree");
+            self.stats.portfolio_lp_wins += 1;
+            return Some(SolveOutcome::Unsat);
+        }
+        if let Some(model) = fd_model {
+            self.stats.portfolio_fd_wins += 1;
+            return Some(SolveOutcome::Sat(model));
+        }
+        None
     }
 }
 

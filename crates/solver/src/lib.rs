@@ -50,8 +50,10 @@ pub mod simplex;
 
 pub use cache::{CacheStats, QueryCache};
 pub use constraint::{Constraint, LeZero, NormalForm, RelOp};
-pub use ilp::{Assignment, Bounds, PrefixSession, SolveInfo, SolveOutcome, Solver, SolverConfig};
+pub use ilp::{
+    Assignment, Bounds, PrefixSession, SessionStats, SolveInfo, SolveOutcome, Solver, SolverConfig,
+};
 pub use linear::{LinExpr, Var};
 pub use rational::Rat;
 pub use shared::SharedVerdictStore;
-pub use simplex::LpSession;
+pub use simplex::{LpSession, LpStats, ShrinkError};

@@ -50,6 +50,10 @@
 //!                      program — the tree-walking interpreter, or the
 //!                      pre-decoded compiled tier (reports unchanged;
 //!                      only throughput improves)  [$DART_EXEC_TIER or interp]
+//!   --portfolio M      on | off: race the FD search against the warm LP
+//!                      on each eligible query, first decisive verdict
+//!                      wins (reports unchanged; only wall-clock
+//!                      improves)                  [$DART_PORTFOLIO or off]
 //!   --shared-cache     share solver verdicts across sweep sessions
 //!                      (reports unchanged; only wall-clock improves)
 //!   --interface        print the extracted interface and exit
@@ -64,7 +68,8 @@
 //! Exit status: 0 = no bug, 1 = bug found, 2 = usage/compile error.
 
 use dart::{
-    Dart, DartConfig, EngineMode, ExecTier, FrontierOrder, SchedulerMode, Strategy, SweepOutcome,
+    Dart, DartConfig, EngineMode, ExecTier, FrontierOrder, PortfolioMode, SchedulerMode, Strategy,
+    SweepOutcome,
 };
 use std::process::ExitCode;
 
@@ -99,6 +104,7 @@ struct Options {
     solve_threads: Option<usize>,
     scheduler: SchedulerMode,
     exec_tier: Option<ExecTier>,
+    portfolio: Option<PortfolioMode>,
     shared_cache: bool,
     interface_only: bool,
     print_ir: bool,
@@ -118,7 +124,7 @@ fn usage() -> &'static str {
      [--sweep NAMES --threads N --max-retries N] \
      [--farm --store PATH --stream PATH|- --worker-deadline MS] \
      [--solve-threads N] [--scheduler stealing|scoped] \
-     [--exec-tier interp|compiled] [--shared-cache] \
+     [--exec-tier interp|compiled] [--portfolio on|off] [--shared-cache] \
      [--stats] [--no-cache] [--interface] [--print-ir]"
 }
 
@@ -151,6 +157,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         solve_threads: None,
         scheduler: SchedulerMode::WorkStealing,
         exec_tier: None,
+        portfolio: None,
         shared_cache: false,
         interface_only: false,
         print_ir: false,
@@ -260,6 +267,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     other => return Err(format!("unknown exec tier `{other}`")),
                 })
             }
+            "--portfolio" => {
+                opts.portfolio = Some(match value(&mut it, "--portfolio")?.as_str() {
+                    "on" => PortfolioMode::On,
+                    "off" => PortfolioMode::Off,
+                    other => return Err(format!("unknown portfolio mode `{other}`")),
+                })
+            }
             "--shared-cache" => opts.shared_cache = true,
             "--mode" | "--engine" => {
                 opts.mode = match value(&mut it, arg)?.as_str() {
@@ -356,6 +370,10 @@ fn build_config(opts: &Options) -> DartConfig {
         // Unset, the default stands: $DART_EXEC_TIER, else the interpreter.
         config.exec_tier = tier;
     }
+    if let Some(mode) = opts.portfolio {
+        // Unset, the default stands: $DART_PORTFOLIO, else off.
+        config.portfolio = mode;
+    }
     if let Some(words) = opts.mem_budget {
         config.machine.budget.max_alloc_words = words;
     }
@@ -442,6 +460,17 @@ fn worker_forward_args(opts: &Options) -> Vec<String> {
             ExecTier::Invalid => unreachable!("--exec-tier never parses to Invalid"),
         };
         args.extend(["--exec-tier".to_string(), tier.to_string()]);
+    }
+    if let Some(mode) = opts.portfolio {
+        let mode = match mode {
+            PortfolioMode::Off => "off",
+            PortfolioMode::On => "on",
+            // Only an unrecognised $DART_PORTFOLIO yields this, and
+            // `--portfolio` (the sole writer of `opts.portfolio`)
+            // accepts on|off alone.
+            PortfolioMode::Invalid => unreachable!("--portfolio never parses to Invalid"),
+        };
+        args.extend(["--portfolio".to_string(), mode.to_string()]);
     }
     if opts.shared_cache {
         args.push("--shared-cache".to_string());
@@ -746,6 +775,10 @@ fn main() -> ExitCode {
             std::time::Duration::from_nanos(s.pool_idle_ns)
         );
         println!("  max queue depth    {}", s.max_queue_depth);
+        println!("  warm pivots        {}", s.warm_pivots);
+        println!("  cold restarts      {}", s.cold_restarts);
+        println!("  portfolio fd wins  {}", s.portfolio_fd_wins);
+        println!("  portfolio lp wins  {}", s.portfolio_lp_wins);
         if !s.per_worker_solves.is_empty() {
             let solves: Vec<String> = s.per_worker_solves.iter().map(u64::to_string).collect();
             println!("  per-worker solves  [{}]", solves.join(", "));
@@ -969,12 +1002,15 @@ mod tests {
             "8",
             "--worker-deadline",
             "100",
+            "--portfolio",
+            "on",
         ])
         .unwrap();
         let args = worker_forward_args(&o);
         let has = |flag: &str| args.iter().any(|a| a == flag);
         assert!(has("--mode") && args.contains(&"generational".to_string()));
         assert!(has("--checkpoint") && has("--store") && has("--solve-threads"));
+        assert!(has("--portfolio") && args.contains(&"on".to_string()));
         // Supervisor-only flags must not leak into workers.
         assert!(!has("--threads") && !has("--worker-deadline") && !has("--farm"));
         // Unset optionals stay unset so workers inherit env defaults.
@@ -982,7 +1018,7 @@ mod tests {
         let args = worker_forward_args(&o);
         assert!(!args
             .iter()
-            .any(|a| a == "--exec-tier" || a == "--solve-threads"));
+            .any(|a| a == "--exec-tier" || a == "--solve-threads" || a == "--portfolio"));
     }
 
     #[test]
@@ -1013,6 +1049,22 @@ mod tests {
         assert_eq!(o.exec_tier, None);
         assert!(parse(&["p.mc", "--exec-tier", "jit"]).is_err());
         assert!(parse(&["p.mc", "--exec-tier"]).is_err());
+    }
+
+    #[test]
+    fn portfolio_flag() {
+        let o = parse(&["p.mc", "--portfolio", "on"]).unwrap();
+        assert_eq!(o.portfolio, Some(PortfolioMode::On));
+        assert_eq!(build_config(&o).portfolio, PortfolioMode::On);
+        let o = parse(&["p.mc", "--portfolio", "off"]).unwrap();
+        assert_eq!(o.portfolio, Some(PortfolioMode::Off));
+        assert_eq!(build_config(&o).portfolio, PortfolioMode::Off);
+        // Unset, the flag defers to the DartConfig default (which reads
+        // $DART_PORTFOLIO) rather than pinning off.
+        let o = parse(&["p.mc"]).unwrap();
+        assert_eq!(o.portfolio, None);
+        assert!(parse(&["p.mc", "--portfolio", "race"]).is_err());
+        assert!(parse(&["p.mc", "--portfolio"]).is_err());
     }
 
     #[test]
